@@ -1,0 +1,155 @@
+//! Deriving C/P/B/N sensitivity classes from first principles.
+//!
+//! The paper classifies its 24 applications "based on profiling" (§5). We
+//! make the rule explicit: profile each application's normalized utility at
+//! the corners of the allocation envelope and measure how much performance
+//! it loses when starved of each resource while holding the other at its
+//! maximum:
+//!
+//! * `cache_gain = U(c_max, f_max) − U(c_min, f_max)`
+//! * `power_gain = U(c_max, f_max) − U(c_max, f_min)`
+//!
+//! An application is cache-sensitive when `cache_gain ≥ 0.25` and
+//! power-sensitive when `power_gain ≥ 0.45` (the power threshold is higher
+//! because the 5× frequency range gives every application *some* compute
+//! speedup). Neither → N; exactly one → C or P. When both thresholds are
+//! met, one resource may still *dominate*: if one gain exceeds the other
+//! by [`DOMINANCE_RATIO`] the application is classified by the dominant
+//! resource (e.g. *mcf* gains from frequency once its working set fits,
+//! but its cache gain dwarfs that — the paper calls it C); otherwise → B.
+
+use crate::perf::{utility, PerfEnv};
+use crate::profile::{AppClass, AppProfile};
+
+/// Minimum normalized-utility gain from cache to count as cache-sensitive.
+pub const CACHE_GAIN_THRESHOLD: f64 = 0.25;
+
+/// Minimum normalized-utility gain from power to count as power-sensitive.
+pub const POWER_GAIN_THRESHOLD: f64 = 0.45;
+
+/// When both thresholds are met, a gain this many times larger than the
+/// other makes its resource dominant (C or P instead of B).
+pub const DOMINANCE_RATIO: f64 = 1.25;
+
+/// The profiling envelope: minimum guaranteed allocation (one 128 kB
+/// region, 800 MHz) up to the stand-alone maximum (2 MB, 4 GHz).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Envelope {
+    /// Minimum cache allocation in bytes (one region).
+    pub c_min: f64,
+    /// Maximum profiled cache in bytes.
+    pub c_max: f64,
+    /// Minimum frequency in GHz.
+    pub f_min: f64,
+    /// Maximum frequency in GHz.
+    pub f_max: f64,
+}
+
+impl Envelope {
+    /// The paper's envelope (§4.1, §5).
+    pub fn paper() -> Self {
+        Self {
+            c_min: 128.0 * 1024.0,
+            c_max: 2.0 * 1024.0 * 1024.0,
+            f_min: 0.8,
+            f_max: 4.0,
+        }
+    }
+}
+
+impl Default for Envelope {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The measured sensitivities behind a classification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sensitivity {
+    /// Utility lost when starved of cache at full frequency.
+    pub cache_gain: f64,
+    /// Utility lost when starved of frequency at full cache.
+    pub power_gain: f64,
+    /// The resulting class.
+    pub class: AppClass,
+}
+
+/// Measures an application's sensitivities and classifies it.
+pub fn sensitivity(app: &AppProfile, env: &PerfEnv, envelope: &Envelope) -> Sensitivity {
+    let top = utility(app, env, envelope.c_max, envelope.f_max);
+    let cache_gain = top - utility(app, env, envelope.c_min, envelope.f_max);
+    let power_gain = top - utility(app, env, envelope.c_max, envelope.f_min);
+    let cache = cache_gain >= CACHE_GAIN_THRESHOLD;
+    let power = power_gain >= POWER_GAIN_THRESHOLD;
+    let class = match (cache, power) {
+        (true, true) => {
+            if cache_gain >= DOMINANCE_RATIO * power_gain {
+                AppClass::Cache
+            } else if power_gain >= DOMINANCE_RATIO * cache_gain {
+                AppClass::Power
+            } else {
+                AppClass::Both
+            }
+        }
+        (true, false) => AppClass::Cache,
+        (false, true) => AppClass::Power,
+        (false, false) => AppClass::None,
+    };
+    Sensitivity {
+        cache_gain,
+        power_gain,
+        class,
+    }
+}
+
+/// Classifies an application under the paper's envelope.
+///
+/// ```
+/// use rebudget_apps::classify::classify;
+/// use rebudget_apps::spec::app_by_name;
+/// use rebudget_apps::AppClass;
+///
+/// assert_eq!(classify(app_by_name("mcf").unwrap()), AppClass::Cache);
+/// assert_eq!(classify(app_by_name("hmmer").unwrap()), AppClass::Power);
+/// ```
+pub fn classify(app: &AppProfile) -> AppClass {
+    sensitivity(app, &PerfEnv::paper(), &Envelope::paper()).class
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::all_apps;
+
+    #[test]
+    fn every_declared_class_is_derivable_from_the_model() {
+        for app in all_apps() {
+            let s = sensitivity(app, &PerfEnv::paper(), &Envelope::paper());
+            assert_eq!(
+                s.class, app.class,
+                "{}: declared {:?} but measured {:?} (cache_gain {:.3}, power_gain {:.3})",
+                app.name, app.class, s.class, s.cache_gain, s.power_gain
+            );
+        }
+    }
+
+    #[test]
+    fn gains_are_in_unit_range() {
+        for app in all_apps() {
+            let s = sensitivity(app, &PerfEnv::paper(), &Envelope::paper());
+            assert!((0.0..=1.0).contains(&s.cache_gain), "{}", app.name);
+            assert!((0.0..=1.0).contains(&s.power_gain), "{}", app.name);
+        }
+    }
+
+    #[test]
+    fn class_archetypes() {
+        assert_eq!(classify(crate::spec::app_by_name("mcf").unwrap()), AppClass::Cache);
+        assert_eq!(classify(crate::spec::app_by_name("sixtrack").unwrap()), AppClass::Power);
+        assert_eq!(classify(crate::spec::app_by_name("swim").unwrap()), AppClass::Both);
+        assert_eq!(
+            classify(crate::spec::app_by_name("libquantum").unwrap()),
+            AppClass::None
+        );
+    }
+}

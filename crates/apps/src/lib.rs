@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Synthetic application models standing in for the paper's SPEC workloads.
+//!
+//! The paper evaluates on 24 SPEC CPU2000/2006 applications, cross-compiled
+//! to MIPS and simulated in SESC over SimPoint regions (§5). We cannot ship
+//! SPEC, so this crate provides 24 synthetic models whose *resource
+//! behaviour* reproduces the shapes the paper depends on:
+//!
+//! * per-application **miss curves** (misses per kilo-instruction vs. cache
+//!   size), including *mcf*'s famous 1.5 MB working-set cliff and *vpr*'s
+//!   smooth concave curve (Figure 2 of the paper);
+//! * compute/memory **phase decomposition** — the paper's utility monitor
+//!   splits execution into a frequency-scaled compute phase and a
+//!   cache-dependent memory phase (§4.1.1); [`perf`] implements that model;
+//! * **activity factors** governing dynamic power draw;
+//! * the four sensitivity classes — *Cache* (C), *Power* (P), *Both* (B),
+//!   *None* (N) — that the paper's workload generator draws from
+//!   ([`mod@classify`] recomputes them from first principles and the test suite
+//!   checks they match the hardcoded labels);
+//! * synthetic **address traces** per model ([`trace`]) so the real cache
+//!   substrate (UMON, Futility Scaling) can be driven end to end.
+
+pub mod classify;
+pub mod perf;
+pub mod phase;
+pub mod profile;
+pub mod spec;
+pub mod trace;
+
+pub use classify::classify;
+pub use profile::{AppClass, AppProfile, MpkiShape, Suite};
+pub use spec::{all_apps, app_by_name};

@@ -1,0 +1,155 @@
+//! The compute/memory phase performance model (§4.1.1 of the paper).
+//!
+//! The paper estimates execution time by splitting it into a *compute
+//! phase*, whose length scales with frequency, and a *memory phase*, whose
+//! length depends on the cache allocation (UMON miss estimates × a
+//! critical-path memory latency) and is frequency-independent:
+//!
+//! `t_per_kilo_instruction = 1000 · CPI / f  +  MPKI(cache) · L_mem / MLP`
+//!
+//! Utility is performance normalized to the stand-alone configuration
+//! (all cache, maximum frequency): `U = perf(r) / perf(alone)` — a value in
+//! `(0, 1]`, exactly the paper's normalized-IPC convention.
+
+use crate::profile::AppProfile;
+
+/// Machine parameters the phase model needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfEnv {
+    /// Effective memory (L2-miss) latency in nanoseconds, from the DRAM
+    /// model (DDR3-1600 round trip ≈ 70–90 ns loaded).
+    pub mem_latency_ns: f64,
+    /// Cache capacity of the stand-alone ("alone") configuration in bytes
+    /// (the paper caps profiling at 2 MB, §5 footnote 3).
+    pub alone_cache_bytes: f64,
+    /// Frequency of the stand-alone configuration in GHz.
+    pub alone_freq_ghz: f64,
+}
+
+impl PerfEnv {
+    /// The paper's reference environment: 80 ns memory latency, 2 MB cache
+    /// cap, 4 GHz.
+    pub fn paper() -> Self {
+        Self {
+            mem_latency_ns: 80.0,
+            alone_cache_bytes: 2.0 * 1024.0 * 1024.0,
+            alone_freq_ghz: 4.0,
+        }
+    }
+}
+
+impl Default for PerfEnv {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Nanoseconds to execute one kilo-instruction at the given allocation.
+pub fn time_per_kilo_instruction(
+    app: &AppProfile,
+    env: &PerfEnv,
+    cache_bytes: f64,
+    freq_ghz: f64,
+) -> f64 {
+    let compute_ns = 1000.0 * app.base_cpi / freq_ghz.max(1e-3);
+    let memory_ns = app.mpki_at(cache_bytes) * env.mem_latency_ns / app.mlp.max(0.1);
+    compute_ns + memory_ns
+}
+
+/// Performance in kilo-instructions per nanosecond (arbitrary but
+/// consistent unit).
+pub fn performance(app: &AppProfile, env: &PerfEnv, cache_bytes: f64, freq_ghz: f64) -> f64 {
+    1.0 / time_per_kilo_instruction(app, env, cache_bytes, freq_ghz)
+}
+
+/// Instructions per cycle at the given allocation.
+pub fn ipc(app: &AppProfile, env: &PerfEnv, cache_bytes: f64, freq_ghz: f64) -> f64 {
+    // instr/ns ÷ cycles/ns = instr/cycle.
+    1000.0 * performance(app, env, cache_bytes, freq_ghz) / freq_ghz
+}
+
+/// Normalized utility: `perf(cache, f) / perf(alone)` (§4.1.1). Values lie
+/// in `(0, 1]` whenever the allocation is within the stand-alone envelope.
+pub fn utility(app: &AppProfile, env: &PerfEnv, cache_bytes: f64, freq_ghz: f64) -> f64 {
+    performance(app, env, cache_bytes, freq_ghz)
+        / performance(app, env, env.alone_cache_bytes, env.alone_freq_ghz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::app_by_name;
+
+    #[test]
+    fn utility_is_one_when_alone() {
+        let env = PerfEnv::paper();
+        for app in crate::spec::all_apps() {
+            let u = utility(app, &env, env.alone_cache_bytes, env.alone_freq_ghz);
+            assert!((u - 1.0).abs() < 1e-12, "{}: {u}", app.name);
+        }
+    }
+
+    #[test]
+    fn utility_monotone_in_both_resources() {
+        let env = PerfEnv::paper();
+        let app = app_by_name("vpr").unwrap();
+        let mut prev = 0.0;
+        for k in 1..=16 {
+            let u = utility(app, &env, k as f64 * 128.0 * 1024.0, 2.0);
+            assert!(u >= prev);
+            prev = u;
+        }
+        let mut prev = 0.0;
+        for k in 0..=8 {
+            let u = utility(app, &env, 1e6, 0.8 + k as f64 * 0.4);
+            assert!(u >= prev);
+            prev = u;
+        }
+    }
+
+    #[test]
+    fn mcf_cliff_shows_in_utility() {
+        // Figure 2: mcf's normalized utility is ~flat low, then jumps once
+        // its 1.5 MB working set fits.
+        let env = PerfEnv::paper();
+        let mcf = app_by_name("mcf").unwrap();
+        let below = utility(mcf, &env, 1.0 * 1024.0 * 1024.0, 4.0);
+        let above = utility(mcf, &env, 1.6 * 1024.0 * 1024.0, 4.0);
+        assert!(below < 0.45, "below-cliff utility {below}");
+        assert!(above > 0.85, "above-cliff utility {above}");
+    }
+
+    #[test]
+    fn compute_bound_app_scales_with_frequency() {
+        let env = PerfEnv::paper();
+        let sixtrack = app_by_name("sixtrack").unwrap();
+        let slow = utility(sixtrack, &env, 128.0 * 1024.0, 0.8);
+        let fast = utility(sixtrack, &env, 128.0 * 1024.0, 4.0);
+        assert!(
+            fast / slow > 3.0,
+            "sixtrack should scale ~linearly with f: {slow} → {fast}"
+        );
+    }
+
+    #[test]
+    fn memory_bound_app_barely_scales_with_frequency() {
+        let env = PerfEnv::paper();
+        let libq = app_by_name("libquantum").unwrap();
+        let slow = utility(libq, &env, 256.0 * 1024.0, 0.8);
+        let fast = utility(libq, &env, 256.0 * 1024.0, 4.0);
+        assert!(
+            fast / slow < 1.6,
+            "libquantum is memory-bound: {slow} → {fast}"
+        );
+    }
+
+    #[test]
+    fn ipc_consistent_with_performance() {
+        let env = PerfEnv::paper();
+        let app = app_by_name("swim").unwrap();
+        let f = 2.0;
+        let p = performance(app, &env, 1e6, f);
+        let i = ipc(app, &env, 1e6, f);
+        assert!((i - 1000.0 * p / f).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,126 @@
+//! Time-varying application behaviour (phases).
+//!
+//! §4.3 of the paper motivates re-running the budget re-assignment every
+//! 1 ms "to handle the changing resource demands due to context switches
+//! and application phase changes". This module models the latter: an
+//! application that alternates between two behaviours (e.g. a
+//! cache-friendly solve phase and a compute-bound assembly phase) on a
+//! fixed quantum schedule. The integration tests drive a market across a
+//! phase change and check the allocation follows.
+
+use crate::profile::{AppProfile, MpkiShape};
+
+/// A two-phase application: phase A is the base profile; phase B swaps in
+/// a different miss curve and activity factor.
+#[derive(Debug, Clone, Copy)]
+pub struct PhasedApp {
+    /// Phase-A behaviour (also supplies name, CPI, MLP, APKI).
+    pub base: AppProfile,
+    /// Phase-B miss curve.
+    pub alt_mpki: MpkiShape,
+    /// Phase-B activity factor.
+    pub alt_activity: f64,
+    /// Full cycle length in allocation quanta.
+    pub period_quanta: usize,
+    /// Fraction of the cycle spent in phase A, in `(0, 1)`.
+    pub duty: f64,
+}
+
+impl PhasedApp {
+    /// Creates a phased application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_quanta` is zero or `duty` is outside `(0, 1)`.
+    pub fn new(
+        base: AppProfile,
+        alt_mpki: MpkiShape,
+        alt_activity: f64,
+        period_quanta: usize,
+        duty: f64,
+    ) -> Self {
+        assert!(period_quanta > 0, "period must be non-zero");
+        assert!(duty > 0.0 && duty < 1.0, "duty must be in (0, 1)");
+        Self {
+            base,
+            alt_mpki,
+            alt_activity,
+            period_quanta,
+            duty,
+        }
+    }
+
+    /// Whether quantum `q` falls in phase A.
+    pub fn in_phase_a(&self, quantum: usize) -> bool {
+        let pos = quantum % self.period_quanta;
+        (pos as f64) < self.duty * self.period_quanta as f64
+    }
+
+    /// The effective profile during quantum `q`. The returned profile
+    /// keeps the base name/CPI/MLP/APKI and swaps the phase-dependent
+    /// fields.
+    pub fn profile_at(&self, quantum: usize) -> AppProfile {
+        if self.in_phase_a(quantum) {
+            self.base
+        } else {
+            AppProfile {
+                mpki: self.alt_mpki,
+                activity: self.alt_activity,
+                ..self.base
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::app_by_name;
+
+    fn phased() -> PhasedApp {
+        // A cache-hungry solve phase (mcf-like base) alternating with a
+        // compute-bound phase.
+        PhasedApp::new(
+            *app_by_name("mcf").unwrap(),
+            MpkiShape::Flat { mpki: 0.5 },
+            0.95,
+            10,
+            0.6,
+        )
+    }
+
+    #[test]
+    fn schedule_follows_duty_cycle() {
+        let p = phased();
+        let in_a: Vec<bool> = (0..10).map(|q| p.in_phase_a(q)).collect();
+        assert_eq!(in_a.iter().filter(|&&x| x).count(), 6, "60% duty");
+        assert!(in_a[0] && in_a[5]);
+        assert!(!in_a[6] && !in_a[9]);
+        // Periodic.
+        assert_eq!(p.in_phase_a(3), p.in_phase_a(13));
+    }
+
+    #[test]
+    fn profiles_swap_phase_dependent_fields_only() {
+        let p = phased();
+        let a = p.profile_at(0);
+        let b = p.profile_at(7);
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.base_cpi, b.base_cpi);
+        assert_eq!(a.mpki_at(1e6), 45.0, "phase A keeps the mcf cliff");
+        assert_eq!(b.mpki_at(1e6), 0.5, "phase B is compute-bound");
+        assert_eq!(b.activity, 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty")]
+    fn rejects_bad_duty() {
+        let _ = PhasedApp::new(
+            *app_by_name("mcf").unwrap(),
+            MpkiShape::Flat { mpki: 1.0 },
+            0.9,
+            4,
+            1.5,
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! Application profiles: the parameters that drive every model.
+
+use rebudget_cache::MissCurve;
+
+/// Resource-sensitivity class used by the paper's workload generator (§5):
+/// *Cache-sensitive* (C), *Power-sensitive* (P), *Both-sensitive* (B), and
+/// *None* (N).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppClass {
+    /// Gains mostly from additional cache capacity.
+    Cache,
+    /// Gains mostly from additional power (frequency).
+    Power,
+    /// Gains substantially from both resources.
+    Both,
+    /// Largely insensitive to either resource.
+    None,
+}
+
+impl AppClass {
+    /// The single-letter code used in bundle category names (`C`, `P`,
+    /// `B`, `N`).
+    pub fn letter(self) -> char {
+        match self {
+            AppClass::Cache => 'C',
+            AppClass::Power => 'P',
+            AppClass::Both => 'B',
+            AppClass::None => 'N',
+        }
+    }
+
+    /// Parses a category letter.
+    pub fn from_letter(c: char) -> Option<Self> {
+        match c {
+            'C' => Some(AppClass::Cache),
+            'P' => Some(AppClass::Power),
+            'B' => Some(AppClass::Both),
+            'N' => Some(AppClass::None),
+            _ => None,
+        }
+    }
+
+    /// All four classes in canonical order.
+    pub const ALL: [AppClass; 4] = [AppClass::Cache, AppClass::Power, AppClass::Both, AppClass::None];
+}
+
+impl std::fmt::Display for AppClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// Benchmark suite of origin (informational).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPEC CPU2000 integer.
+    Spec2000Int,
+    /// SPEC CPU2000 floating point.
+    Spec2000Fp,
+    /// SPEC CPU2006.
+    Spec2006,
+}
+
+/// The shape of an application's L2 miss curve (misses per
+/// kilo-instruction as a function of allocated cache bytes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MpkiShape {
+    /// `mpki(s) = max(floor, base · (ref_bytes / s)^alpha)` — the smooth
+    /// concave-utility shape typical of *vpr*-like applications.
+    PowerLaw {
+        /// MPKI at `ref_bytes`.
+        base: f64,
+        /// Reference capacity in bytes.
+        ref_bytes: f64,
+        /// Decay exponent.
+        alpha: f64,
+        /// MPKI floor (compulsory misses).
+        floor: f64,
+    },
+    /// A working-set cliff: `high` MPKI below `ws_bytes`, dropping to
+    /// `low` across a `width_bytes` transition — *mcf*'s shape in
+    /// Figure 2.
+    Cliff {
+        /// MPKI below the working set.
+        high: f64,
+        /// MPKI once the working set fits.
+        low: f64,
+        /// Working-set size in bytes.
+        ws_bytes: f64,
+        /// Width of the transition region in bytes.
+        width_bytes: f64,
+    },
+    /// `mpki(s) = floor + (base − floor) · exp(−s / decay_bytes)`.
+    Exponential {
+        /// MPKI as capacity approaches zero.
+        base: f64,
+        /// Decay constant in bytes.
+        decay_bytes: f64,
+        /// MPKI floor.
+        floor: f64,
+    },
+    /// Capacity-independent MPKI (streaming or tiny working set).
+    Flat {
+        /// The constant MPKI.
+        mpki: f64,
+    },
+}
+
+impl MpkiShape {
+    /// Misses per kilo-instruction at `bytes` of cache.
+    pub fn mpki(&self, bytes: f64) -> f64 {
+        let bytes = bytes.max(1.0);
+        match *self {
+            MpkiShape::PowerLaw {
+                base,
+                ref_bytes,
+                alpha,
+                floor,
+            } => (base * (ref_bytes / bytes).powf(alpha)).max(floor),
+            MpkiShape::Cliff {
+                high,
+                low,
+                ws_bytes,
+                width_bytes,
+            } => {
+                if bytes <= ws_bytes - width_bytes {
+                    high
+                } else if bytes >= ws_bytes {
+                    low
+                } else {
+                    let t = (bytes - (ws_bytes - width_bytes)) / width_bytes;
+                    high + t * (low - high)
+                }
+            }
+            MpkiShape::Exponential {
+                base,
+                decay_bytes,
+                floor,
+            } => floor + (base - floor) * (-bytes / decay_bytes).exp(),
+            MpkiShape::Flat { mpki } => mpki,
+        }
+    }
+}
+
+/// A complete synthetic application model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppProfile {
+    /// Benchmark name (e.g. `"mcf"`).
+    pub name: &'static str,
+    /// Suite of origin.
+    pub suite: Suite,
+    /// Intended sensitivity class (validated against [`crate::classify::classify`]).
+    pub class: AppClass,
+    /// Compute-phase cycles per instruction (frequency-independent).
+    pub base_cpi: f64,
+    /// The L2 miss curve shape.
+    pub mpki: MpkiShape,
+    /// Memory-level parallelism: effective overlap divisor on miss latency.
+    pub mlp: f64,
+    /// Dynamic-power activity factor in `[0, 1]`.
+    pub activity: f64,
+    /// L2 accesses per kilo-instruction (for trace generation; ≥ peak MPKI).
+    pub apki: f64,
+}
+
+impl AppProfile {
+    /// Misses per kilo-instruction at `bytes` of allocated cache.
+    pub fn mpki_at(&self, bytes: f64) -> f64 {
+        self.mpki.mpki(bytes)
+    }
+
+    /// Samples the miss curve at the given capacities (bytes), returning a
+    /// [`MissCurve`] in MPKI units. Capacities must be increasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities` produces an invalid curve (non-increasing
+    /// capacities), which indicates a caller bug.
+    pub fn miss_curve(&self, capacities: &[f64]) -> MissCurve {
+        let mut points: Vec<(f64, f64)> = Vec::with_capacity(capacities.len());
+        let mut floor = f64::INFINITY;
+        for &c in capacities {
+            let mut m = self.mpki_at(c);
+            if m > floor {
+                m = floor; // enforce monotone non-increase against shape quirks
+            }
+            floor = m;
+            points.push((c, m));
+        }
+        MissCurve::new(points).expect("profile miss curves are valid by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_letters_round_trip() {
+        for class in AppClass::ALL {
+            assert_eq!(AppClass::from_letter(class.letter()), Some(class));
+            assert_eq!(format!("{class}").len(), 1);
+        }
+        assert_eq!(AppClass::from_letter('X'), None);
+    }
+
+    #[test]
+    fn power_law_decays_to_floor() {
+        let s = MpkiShape::PowerLaw {
+            base: 10.0,
+            ref_bytes: 128.0 * 1024.0,
+            alpha: 0.5,
+            floor: 1.0,
+        };
+        assert_eq!(s.mpki(128.0 * 1024.0), 10.0);
+        assert!((s.mpki(512.0 * 1024.0) - 5.0).abs() < 1e-9);
+        assert_eq!(s.mpki(1e12), 1.0);
+    }
+
+    #[test]
+    fn cliff_has_three_regimes() {
+        let s = MpkiShape::Cliff {
+            high: 45.0,
+            low: 5.0,
+            ws_bytes: 1536.0 * 1024.0,
+            width_bytes: 128.0 * 1024.0,
+        };
+        assert_eq!(s.mpki(1024.0 * 1024.0), 45.0);
+        assert_eq!(s.mpki(2048.0 * 1024.0), 5.0);
+        let mid = s.mpki(1472.0 * 1024.0);
+        assert!(mid < 45.0 && mid > 5.0);
+    }
+
+    #[test]
+    fn exponential_and_flat() {
+        let e = MpkiShape::Exponential {
+            base: 4.0,
+            decay_bytes: 100.0,
+            floor: 1.0,
+        };
+        assert!(e.mpki(1.0) > 3.9 && e.mpki(1.0) <= 4.0);
+        assert!((e.mpki(1e9) - 1.0).abs() < 1e-9);
+        let f = MpkiShape::Flat { mpki: 7.0 };
+        assert_eq!(f.mpki(1.0), 7.0);
+        assert_eq!(f.mpki(1e9), 7.0);
+    }
+
+    #[test]
+    fn miss_curve_is_monotone_even_across_shapes() {
+        let p = AppProfile {
+            name: "x",
+            suite: Suite::Spec2006,
+            class: AppClass::Cache,
+            base_cpi: 1.0,
+            mpki: MpkiShape::Cliff {
+                high: 40.0,
+                low: 2.0,
+                ws_bytes: 1.5e6,
+                width_bytes: 1e5,
+            },
+            mlp: 1.5,
+            activity: 0.5,
+            apki: 50.0,
+        };
+        let caps: Vec<f64> = (1..=16).map(|k| k as f64 * 128.0 * 1024.0).collect();
+        let curve = p.miss_curve(&caps);
+        assert!(curve.misses().windows(2).all(|w| w[1] <= w[0]));
+        assert_eq!(curve.capacities().len(), 16);
+    }
+}

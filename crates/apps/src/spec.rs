@@ -1,0 +1,417 @@
+//! The 24 SPEC CPU2000/2006-inspired application models (§5 of the paper).
+//!
+//! Parameters are synthetic but shaped after published characteristics of
+//! each benchmark where they matter to the paper:
+//!
+//! * *mcf*'s 1.5 MB working-set cliff (Figure 2 of the paper);
+//! * *vpr*'s smooth concave cache curve (same figure);
+//! * *swim*/*apsi* as "both-sensitive" apps and *hmmer*/*sixtrack* as
+//!   "power-sensitive" apps, matching the BBPC case study of §6.1.1;
+//! * six applications per class so the workload generator can draw the
+//!   paper's category mixes.
+//!
+//! Classes are validated against [`crate::classify::classify`] by the test suite —
+//! the label stored here must be derivable from the model itself.
+
+use crate::profile::{AppClass, AppProfile, MpkiShape, Suite};
+
+const KB: f64 = 1024.0;
+const MB: f64 = 1024.0 * 1024.0;
+
+/// All 24 application models, grouped by class (6 per class).
+pub fn all_apps() -> &'static [AppProfile] {
+    &APPS
+}
+
+/// Looks up an application model by name.
+pub fn app_by_name(name: &str) -> Option<&'static AppProfile> {
+    APPS.iter().find(|a| a.name == name)
+}
+
+/// All applications of a given class, in declaration order.
+pub fn apps_in_class(class: AppClass) -> Vec<&'static AppProfile> {
+    APPS.iter().filter(|a| a.class == class).collect()
+}
+
+static APPS: [AppProfile; 24] = [
+    // ----- Cache-sensitive (C): big miss-curve drops, latency-bound ------
+    AppProfile {
+        name: "mcf",
+        suite: Suite::Spec2000Int,
+        class: AppClass::Cache,
+        base_cpi: 1.0,
+        mpki: MpkiShape::Cliff {
+            high: 45.0,
+            low: 2.0,
+            ws_bytes: 1.5 * MB,
+            width_bytes: 128.0 * KB,
+        },
+        mlp: 0.7,
+        activity: 0.40,
+        apki: 70.0,
+    },
+    AppProfile {
+        name: "vpr",
+        suite: Suite::Spec2000Int,
+        class: AppClass::Cache,
+        base_cpi: 0.7,
+        mpki: MpkiShape::PowerLaw {
+            base: 30.0,
+            ref_bytes: 128.0 * KB,
+            alpha: 0.6,
+            floor: 12.0,
+        },
+        mlp: 1.0,
+        activity: 0.50,
+        apki: 55.0,
+    },
+    AppProfile {
+        name: "art",
+        suite: Suite::Spec2000Fp,
+        class: AppClass::Cache,
+        base_cpi: 0.8,
+        mpki: MpkiShape::Cliff {
+            high: 60.0,
+            low: 3.0,
+            ws_bytes: 896.0 * KB,
+            width_bytes: 128.0 * KB,
+        },
+        mlp: 0.9,
+        activity: 0.45,
+        apki: 90.0,
+    },
+    AppProfile {
+        name: "twolf",
+        suite: Suite::Spec2000Int,
+        class: AppClass::Cache,
+        base_cpi: 0.8,
+        mpki: MpkiShape::PowerLaw {
+            base: 35.0,
+            ref_bytes: 128.0 * KB,
+            alpha: 0.55,
+            floor: 14.0,
+        },
+        mlp: 1.0,
+        activity: 0.50,
+        apki: 60.0,
+    },
+    AppProfile {
+        name: "parser",
+        suite: Suite::Spec2000Int,
+        class: AppClass::Cache,
+        base_cpi: 0.9,
+        mpki: MpkiShape::PowerLaw {
+            base: 25.0,
+            ref_bytes: 128.0 * KB,
+            alpha: 0.45,
+            floor: 12.0,
+        },
+        mlp: 0.9,
+        activity: 0.45,
+        apki: 45.0,
+    },
+    AppProfile {
+        name: "milc",
+        suite: Suite::Spec2006,
+        class: AppClass::Cache,
+        base_cpi: 0.7,
+        mpki: MpkiShape::PowerLaw {
+            base: 30.0,
+            ref_bytes: 128.0 * KB,
+            alpha: 0.5,
+            floor: 13.0,
+        },
+        mlp: 1.1,
+        activity: 0.45,
+        apki: 50.0,
+    },
+    // ----- Power-sensitive (P): compute-bound, tiny footprints ----------
+    AppProfile {
+        name: "sixtrack",
+        suite: Suite::Spec2000Fp,
+        class: AppClass::Power,
+        base_cpi: 0.8,
+        mpki: MpkiShape::Flat { mpki: 0.3 },
+        mlp: 1.0,
+        activity: 0.95,
+        apki: 5.0,
+    },
+    AppProfile {
+        name: "hmmer",
+        suite: Suite::Spec2006,
+        class: AppClass::Power,
+        base_cpi: 0.7,
+        mpki: MpkiShape::Flat { mpki: 0.5 },
+        mlp: 1.2,
+        activity: 0.90,
+        apki: 6.0,
+    },
+    AppProfile {
+        name: "crafty",
+        suite: Suite::Spec2000Int,
+        class: AppClass::Power,
+        base_cpi: 0.8,
+        mpki: MpkiShape::Exponential {
+            base: 3.0,
+            decay_bytes: 64.0 * KB,
+            floor: 0.5,
+        },
+        mlp: 1.0,
+        activity: 0.85,
+        apki: 8.0,
+    },
+    AppProfile {
+        name: "eon",
+        suite: Suite::Spec2000Int,
+        class: AppClass::Power,
+        base_cpi: 0.9,
+        mpki: MpkiShape::Flat { mpki: 0.2 },
+        mlp: 1.0,
+        activity: 0.90,
+        apki: 5.0,
+    },
+    AppProfile {
+        name: "gap",
+        suite: Suite::Spec2000Int,
+        class: AppClass::Power,
+        base_cpi: 0.7,
+        mpki: MpkiShape::Flat { mpki: 0.9 },
+        mlp: 1.3,
+        activity: 0.85,
+        apki: 7.0,
+    },
+    AppProfile {
+        name: "perlbmk",
+        suite: Suite::Spec2000Int,
+        class: AppClass::Power,
+        base_cpi: 0.8,
+        mpki: MpkiShape::Exponential {
+            base: 2.5,
+            decay_bytes: 48.0 * KB,
+            floor: 0.4,
+        },
+        mlp: 1.0,
+        activity: 0.88,
+        apki: 7.0,
+    },
+    // ----- Both-sensitive (B): high-MLP miss curves + high activity -----
+    AppProfile {
+        name: "swim",
+        suite: Suite::Spec2000Fp,
+        class: AppClass::Both,
+        base_cpi: 0.8,
+        mpki: MpkiShape::PowerLaw {
+            base: 30.0,
+            ref_bytes: 128.0 * KB,
+            alpha: 0.4,
+            floor: 4.0,
+        },
+        mlp: 2.5,
+        activity: 0.85,
+        apki: 45.0,
+    },
+    AppProfile {
+        name: "apsi",
+        suite: Suite::Spec2000Fp,
+        class: AppClass::Both,
+        base_cpi: 0.7,
+        mpki: MpkiShape::PowerLaw {
+            base: 22.0,
+            ref_bytes: 128.0 * KB,
+            alpha: 0.45,
+            floor: 3.5,
+        },
+        mlp: 2.2,
+        activity: 0.80,
+        apki: 35.0,
+    },
+    AppProfile {
+        name: "equake",
+        suite: Suite::Spec2000Fp,
+        class: AppClass::Both,
+        base_cpi: 0.9,
+        mpki: MpkiShape::PowerLaw {
+            base: 25.0,
+            ref_bytes: 128.0 * KB,
+            alpha: 0.4,
+            floor: 4.5,
+        },
+        mlp: 2.4,
+        activity: 0.78,
+        apki: 40.0,
+    },
+    AppProfile {
+        name: "ammp",
+        suite: Suite::Spec2000Fp,
+        class: AppClass::Both,
+        base_cpi: 0.8,
+        mpki: MpkiShape::PowerLaw {
+            base: 20.0,
+            ref_bytes: 128.0 * KB,
+            alpha: 0.45,
+            floor: 3.0,
+        },
+        mlp: 2.0,
+        activity: 0.80,
+        apki: 32.0,
+    },
+    AppProfile {
+        name: "bzip2",
+        suite: Suite::Spec2000Int,
+        class: AppClass::Both,
+        base_cpi: 0.7,
+        mpki: MpkiShape::PowerLaw {
+            base: 18.0,
+            ref_bytes: 128.0 * KB,
+            alpha: 0.5,
+            floor: 2.5,
+        },
+        mlp: 2.0,
+        activity: 0.82,
+        apki: 30.0,
+    },
+    AppProfile {
+        name: "mgrid",
+        suite: Suite::Spec2000Fp,
+        class: AppClass::Both,
+        base_cpi: 0.8,
+        mpki: MpkiShape::PowerLaw {
+            base: 30.0,
+            ref_bytes: 128.0 * KB,
+            alpha: 0.45,
+            floor: 4.0,
+        },
+        mlp: 2.6,
+        activity: 0.85,
+        apki: 38.0,
+    },
+    // ----- Insensitive (N): latency-bound with flat curves --------------
+    AppProfile {
+        name: "libquantum",
+        suite: Suite::Spec2006,
+        class: AppClass::None,
+        base_cpi: 0.5,
+        mpki: MpkiShape::Flat { mpki: 28.0 },
+        mlp: 1.2,
+        activity: 0.40,
+        apki: 40.0,
+    },
+    AppProfile {
+        name: "applu",
+        suite: Suite::Spec2000Fp,
+        class: AppClass::None,
+        base_cpi: 0.6,
+        mpki: MpkiShape::Flat { mpki: 20.0 },
+        mlp: 1.6,
+        activity: 0.45,
+        apki: 32.0,
+    },
+    AppProfile {
+        name: "lucas",
+        suite: Suite::Spec2000Fp,
+        class: AppClass::None,
+        base_cpi: 0.55,
+        mpki: MpkiShape::Flat { mpki: 16.0 },
+        mlp: 1.3,
+        activity: 0.40,
+        apki: 28.0,
+    },
+    AppProfile {
+        name: "mesa",
+        suite: Suite::Spec2000Fp,
+        class: AppClass::None,
+        base_cpi: 0.6,
+        mpki: MpkiShape::Flat { mpki: 10.0 },
+        mlp: 0.9,
+        activity: 0.45,
+        apki: 20.0,
+    },
+    AppProfile {
+        name: "vortex",
+        suite: Suite::Spec2000Int,
+        class: AppClass::None,
+        base_cpi: 0.6,
+        mpki: MpkiShape::Exponential {
+            base: 18.0,
+            decay_bytes: 96.0 * KB,
+            floor: 10.0,
+        },
+        mlp: 1.1,
+        activity: 0.45,
+        apki: 26.0,
+    },
+    AppProfile {
+        name: "gzip",
+        suite: Suite::Spec2000Int,
+        class: AppClass::None,
+        base_cpi: 0.55,
+        mpki: MpkiShape::Exponential {
+            base: 15.0,
+            decay_bytes: 48.0 * KB,
+            floor: 9.0,
+        },
+        mlp: 1.0,
+        activity: 0.45,
+        apki: 22.0,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_four_apps_six_per_class() {
+        assert_eq!(all_apps().len(), 24);
+        for class in AppClass::ALL {
+            assert_eq!(
+                apps_in_class(class).len(),
+                6,
+                "class {class} must have 6 apps"
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = all_apps().iter().map(|a| a.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 24);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(app_by_name("mcf").unwrap().class, AppClass::Cache);
+        assert_eq!(app_by_name("swim").unwrap().class, AppClass::Both);
+        assert!(app_by_name("doom").is_none());
+    }
+
+    #[test]
+    fn parameters_are_sane() {
+        for app in all_apps() {
+            assert!(app.base_cpi > 0.0 && app.base_cpi < 5.0, "{}", app.name);
+            assert!(app.mlp >= 0.5 && app.mlp <= 4.0, "{}", app.name);
+            assert!((0.0..=1.0).contains(&app.activity), "{}", app.name);
+            assert!(app.apki > 0.0, "{}", app.name);
+            // apki must be able to carry the peak miss rate at the minimum
+            // allocation (one 128 kB region).
+            let peak_mpki = app.mpki_at(128.0 * 1024.0);
+            assert!(
+                app.apki >= peak_mpki * 0.9,
+                "{}: apki {} < peak mpki {peak_mpki}",
+                app.name,
+                app.apki
+            );
+        }
+    }
+
+    #[test]
+    fn mcf_cliff_at_1_5_mb() {
+        // Paper, Figure 2: mcf's miss rate is "almost zero" once it
+        // secures its 1.5 MB working set.
+        let mcf = app_by_name("mcf").unwrap();
+        assert_eq!(mcf.mpki_at(1.3 * 1024.0 * 1024.0), 45.0);
+        assert_eq!(mcf.mpki_at(1.6 * 1024.0 * 1024.0), 2.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Cache-substrate throughput: plain LRU accesses, Futility-Scaling
+//! partitioned accesses, UMON shadow-tag observation, and Talus planning.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rebudget_cache::futility::FutilityPartitionedCache;
+use rebudget_cache::talus::Talus;
+use rebudget_cache::{CacheConfig, MissCurve, SetAssocCache, UmonShadowTags};
+
+fn lcg_addresses(n: usize, distinct: u64) -> Vec<u64> {
+    let mut x = 0x1234_5678_9abc_def0u64;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((x >> 32) % distinct) * 32
+        })
+        .collect()
+}
+
+fn bench_set_assoc(c: &mut Criterion) {
+    let cfg = CacheConfig {
+        size_bytes: 1 << 20,
+        ways: 16,
+        line_bytes: 32,
+    };
+    let addrs = lcg_addresses(10_000, 100_000);
+    c.bench_function("set_assoc_10k_accesses", |b| {
+        b.iter(|| {
+            let mut cache = SetAssocCache::new(cfg).expect("valid config");
+            for &a in &addrs {
+                black_box(cache.access(0, a).hit);
+            }
+            cache.stats(0).misses
+        })
+    });
+}
+
+fn bench_futility(c: &mut Criterion) {
+    let cfg = CacheConfig {
+        size_bytes: 1 << 20,
+        ways: 16,
+        line_bytes: 32,
+    };
+    let addrs = lcg_addresses(10_000, 100_000);
+    c.bench_function("futility_10k_accesses_4parts", |b| {
+        b.iter(|| {
+            let mut cache = FutilityPartitionedCache::new(cfg, 4).expect("valid config");
+            for (k, &a) in addrs.iter().enumerate() {
+                black_box(cache.access(k % 4, a));
+            }
+            cache.occupancy(0)
+        })
+    });
+}
+
+fn bench_umon(c: &mut Criterion) {
+    let addrs = lcg_addresses(10_000, 100_000);
+    c.bench_function("umon_10k_observations", |b| {
+        b.iter(|| {
+            let mut umon = UmonShadowTags::paper_config(4096, 32).expect("valid");
+            for &a in &addrs {
+                umon.observe(a);
+            }
+            black_box(umon.estimated_misses_at(8))
+        })
+    });
+}
+
+fn bench_talus(c: &mut Criterion) {
+    let points: Vec<(f64, f64)> = (1..=16)
+        .map(|k| {
+            let cap = k as f64 * 131072.0;
+            let misses = if k < 12 { 1000.0 - k as f64 } else { 50.0 - k as f64 };
+            (cap, misses)
+        })
+        .collect();
+    let curve = MissCurve::new(points).expect("valid curve");
+    c.bench_function("talus_hull_and_plan", |b| {
+        b.iter(|| {
+            let talus = Talus::new(curve.clone());
+            black_box(talus.plan(1_000_000.0).expected_misses)
+        })
+    });
+}
+
+criterion_group!(benches, bench_set_assoc, bench_futility, bench_umon, bench_talus);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Scalability of the equilibrium search: solve time vs. player count.
+//!
+//! The paper's core scalability claim is that the market is "largely
+//! distributed": each iteration is O(N) best responses, and convergence
+//! takes a small constant number of iterations (§6.4). This bench
+//! measures wall-clock equilibrium time at 8, 16, 32, and 64 players.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rebudget_market::equilibrium::EquilibriumOptions;
+use rebudget_market::utility::SeparableUtility;
+use rebudget_market::{Market, Player, ResourceSpace};
+
+fn synthetic_market(n: usize) -> Market {
+    let caps = [3.0 * n as f64, 7.0 * n as f64];
+    let resources = ResourceSpace::new(caps.to_vec()).expect("valid capacities");
+    let players = (0..n)
+        .map(|i| {
+            // Deterministically varied tastes.
+            let w0 = 0.1 + 0.8 * (i as f64 * 0.37).fract();
+            Player::new(
+                format!("p{i}"),
+                100.0,
+                Arc::new(
+                    SeparableUtility::proportional(&[w0, 1.0 - w0], &caps)
+                        .expect("valid weights"),
+                ) as Arc<dyn rebudget_market::Utility>,
+            )
+        })
+        .collect();
+    Market::new(resources, players).expect("valid market")
+}
+
+fn bench_equilibrium_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equilibrium_solve");
+    for n in [8usize, 16, 32, 64] {
+        let market = synthetic_market(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &market, |b, m| {
+            b.iter(|| {
+                let out = m
+                    .equilibrium(&EquilibriumOptions::default())
+                    .expect("solvable");
+                black_box(out.iterations)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_best_response(c: &mut Criterion) {
+    use rebudget_market::bidding::{best_response, BiddingOptions};
+    let caps = [16.0, 80.0];
+    let u = SeparableUtility::proportional(&[0.7, 0.3], &caps).expect("valid");
+    c.bench_function("best_response", |b| {
+        b.iter(|| {
+            let r = best_response(
+                black_box(&u),
+                100.0,
+                &[40.0, 60.0],
+                &caps,
+                &BiddingOptions::default(),
+            );
+            black_box(r.lambda())
+        })
+    });
+}
+
+criterion_group!(benches, bench_equilibrium_scaling, bench_single_best_response);
+criterion_main!(benches);

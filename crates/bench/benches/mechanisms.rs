@@ -1,0 +1,58 @@
+//! End-to-end mechanism cost on the paper's BBPC case-study market:
+//! EqualBudget (one equilibrium), ReBudget-20/40 (several re-convergences),
+//! and the MaxEfficiency oracle (the "infeasible" fine-grained search).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rebudget_core::mechanisms::{EqualBudget, MaxEfficiency, Mechanism, ReBudget};
+use rebudget_sim::analytic::build_market;
+use rebudget_sim::{DramConfig, SystemConfig};
+use rebudget_workloads::paper_bbpc_8core;
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let sys = SystemConfig::paper_8core();
+    let dram = DramConfig::ddr3_1600();
+    let market = build_market(&paper_bbpc_8core(), &sys, &dram, 100.0).expect("valid market");
+
+    let mut group = c.benchmark_group("mechanism_bbpc8");
+    group.bench_function("EqualBudget", |b| {
+        b.iter(|| black_box(EqualBudget::new(100.0).allocate(&market).expect("runs").efficiency))
+    });
+    group.bench_function("ReBudget-20", |b| {
+        b.iter(|| {
+            black_box(
+                ReBudget::with_step(100.0, 20.0)
+                    .allocate(&market)
+                    .expect("runs")
+                    .efficiency,
+            )
+        })
+    });
+    group.bench_function("ReBudget-40", |b| {
+        b.iter(|| {
+            black_box(
+                ReBudget::with_step(100.0, 40.0)
+                    .allocate(&market)
+                    .expect("runs")
+                    .efficiency,
+            )
+        })
+    });
+    group.bench_function("MaxEfficiency", |b| {
+        b.iter(|| black_box(MaxEfficiency::default().allocate(&market).expect("runs").efficiency))
+    });
+    group.finish();
+}
+
+fn bench_market_construction(c: &mut Criterion) {
+    let sys = SystemConfig::paper_8core();
+    let dram = DramConfig::ddr3_1600();
+    let bundle = paper_bbpc_8core();
+    c.bench_function("build_market_bbpc8", |b| {
+        b.iter(|| black_box(build_market(&bundle, &sys, &dram, 100.0).expect("valid").len()))
+    });
+}
+
+criterion_group!(benches, bench_mechanisms, bench_market_construction);
+criterion_main!(benches);

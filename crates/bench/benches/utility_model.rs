@@ -1,0 +1,51 @@
+//! Utility-surface construction cost: the per-quantum work each core's
+//! monitor triggers (profile → hull → grid), and a full 1 ms allocation
+//! quantum (monitor + market + execute) on the 8-core case study.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rebudget_apps::spec::app_by_name;
+use rebudget_core::mechanisms::ReBudget;
+use rebudget_sim::utility_model::app_utility_grid;
+use rebudget_sim::{run_simulation, DramConfig, SimOptions, SystemConfig};
+use rebudget_workloads::paper_bbpc_8core;
+
+fn bench_grid_build(c: &mut Criterion) {
+    let sys = SystemConfig::paper_8core();
+    let dram = DramConfig::ddr3_1600();
+    let mcf = app_by_name("mcf").expect("exists");
+    c.bench_function("utility_grid_mcf", |b| {
+        b.iter(|| black_box(app_utility_grid(mcf, &sys, &dram).axis0().len()))
+    });
+}
+
+fn bench_quantum_loop(c: &mut Criterion) {
+    let sys = SystemConfig::paper_8core();
+    let dram = DramConfig::ddr3_1600();
+    let bundle = paper_bbpc_8core();
+    let opts = SimOptions {
+        quanta: 2,
+        accesses_per_quantum: 5_000,
+        budget: 100.0,
+        use_monitors: true,
+        seed: 3,
+        ..SimOptions::default()
+    };
+    c.bench_function("sim_2_quanta_rebudget20_8core", |b| {
+        b.iter(|| {
+            let r = run_simulation(
+                &sys,
+                &dram,
+                &bundle,
+                &ReBudget::with_step(100.0, 20.0),
+                &opts,
+            )
+            .expect("simulation runs");
+            black_box(r.efficiency)
+        })
+    });
+}
+
+criterion_group!(benches, bench_grid_build, bench_quantum_loop);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates **Figure 1** of the paper: the theoretical relationship
+//! between Price of Anarchy and MUR (left panel) and between
+//! envy-freeness and MBR (right panel).
+//!
+//! Usage: `fig1_theory [samples]` (default 21).
+
+use rebudget_core::theory::{ef_curve, poa_curve};
+
+fn main() {
+    let samples: usize = rebudget_bench::arg_or(1, 21);
+    let poa = poa_curve(samples);
+    let ef = ef_curve(samples);
+
+    println!("# Figure 1 (left): Price of Anarchy lower bound vs. MUR");
+    println!("{:>8} {:>10}", "MUR", "PoA>=");
+    for (x, y) in poa.x.iter().zip(&poa.y) {
+        println!("{x:>8.3} {y:>10.4}");
+    }
+    println!();
+    println!("# Figure 1 (right): envy-freeness lower bound vs. MBR");
+    println!("{:>8} {:>10}", "MBR", "EF>=");
+    for (x, y) in ef.x.iter().zip(&ef.y) {
+        println!("{x:>8.3} {y:>10.4}");
+    }
+    println!();
+    println!("# Reference points from the paper:");
+    println!("#   MUR=1.0 -> PoA>=0.75; MUR=0.5 -> PoA>=0.50 (knee of Theorem 1)");
+    println!("#   MBR=1.0 -> EF>=0.828 (Zhang's equal-budget bound, Lemma 3)");
+}

@@ -1,0 +1,13 @@
+//! Regenerates **Table 1** of the paper: the chip-multiprocessor system
+//! configuration, as actually instantiated by the simulator.
+
+use rebudget_sim::config::table1_rows;
+
+fn main() {
+    println!("# Table 1: system configuration (8-core / 64-core)");
+    println!("{:<34} {:>24} {:>28}", "Parameter", "8-core", "64-core");
+    println!("{}", "-".repeat(88));
+    for (name, v8, v64) in table1_rows() {
+        println!("{name:<34} {v8:>24} {v64:>28}");
+    }
+}

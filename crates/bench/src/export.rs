@@ -1,0 +1,94 @@
+//! CSV export of experiment results (for external plotting).
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::BundleResult;
+
+/// Writes a generic CSV: one header row, then data rows.
+///
+/// # Errors
+///
+/// Propagates I/O errors from file creation and writing.
+pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
+    let mut f = File::create(path)?;
+    writeln!(f, "{}", headers.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Writes the Figure-4 sweep as CSV: one row per bundle with normalized
+/// efficiency and envy-freeness for every mechanism.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_fig4_csv(path: &Path, results: &[BundleResult]) -> io::Result<()> {
+    let mechanisms: Vec<&str> = results
+        .first()
+        .map(|r| r.rows.iter().map(|m| m.mechanism.as_str()).collect())
+        .unwrap_or_default();
+    let mut headers = vec!["bundle".to_string()];
+    for m in &mechanisms {
+        headers.push(format!("{m}_eff"));
+        headers.push(format!("{m}_ef"));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.label.clone()];
+            for m in &mechanisms {
+                if let Some(x) = r.row(m) {
+                    row.push(format!("{:.6}", x.normalized_efficiency));
+                    row.push(format!("{:.6}", x.envy_freeness));
+                } else {
+                    row.push(String::new());
+                    row.push(String::new());
+                }
+            }
+            row
+        })
+        .collect();
+    write_csv(path, &header_refs, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{evaluate_bundle_analytic, system_for};
+    use rebudget_workloads::paper_bbpc_8core;
+
+    #[test]
+    fn generic_csv_round_trips() {
+        let path = std::env::temp_dir().join("rebudget_test_generic.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .expect("writes");
+        let text = std::fs::read_to_string(&path).expect("reads");
+        assert_eq!(text, "a,b\n1,2\n3,4\n");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fig4_csv_has_bundle_rows_and_mechanism_columns() {
+        let (sys, dram) = system_for(8);
+        let result = evaluate_bundle_analytic(&paper_bbpc_8core(), &sys, &dram).expect("runs");
+        let path = std::env::temp_dir().join("rebudget_test_fig4.csv");
+        write_fig4_csv(&path, &[result]).expect("writes");
+        let text = std::fs::read_to_string(&path).expect("reads");
+        let mut lines = text.lines();
+        let header = lines.next().expect("header");
+        assert!(header.starts_with("bundle,"));
+        assert!(header.contains("EqualBudget_eff"));
+        assert!(header.contains("MaxEfficiency_ef"));
+        assert_eq!(lines.count(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,168 @@
+//! Cache geometry and configuration errors.
+
+use std::fmt;
+
+/// Errors from cache construction or monitoring configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CacheError {
+    /// A geometric parameter was invalid.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::InvalidConfig { reason } => write!(f, "invalid cache config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+/// Geometry of a set-associative cache.
+///
+/// The paper's 64-core L2 is 32 MB, 32-way, with 32 B lines (Table 1); the
+/// 8-core configuration is 4 MB / 16-way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (lines per set).
+    pub ways: usize,
+    /// Line size in bytes (must be a power of two).
+    pub line_bytes: u64,
+}
+
+impl CacheConfig {
+    /// The paper's 8-core shared L2: 4 MB, 16-way, 32 B lines.
+    pub fn l2_8core() -> Self {
+        Self {
+            size_bytes: 4 << 20,
+            ways: 16,
+            line_bytes: 32,
+        }
+    }
+
+    /// The paper's 64-core shared L2: 32 MB, 32-way, 32 B lines.
+    pub fn l2_64core() -> Self {
+        Self {
+            size_bytes: 32 << 20,
+            ways: 32,
+            line_bytes: 32,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        (self.size_bytes / (self.ways as u64 * self.line_bytes)) as usize
+    }
+
+    /// Total number of lines.
+    pub fn lines(&self) -> usize {
+        (self.size_bytes / self.line_bytes) as usize
+    }
+
+    /// Bytes per way (one way across all sets).
+    pub fn way_bytes(&self) -> u64 {
+        self.size_bytes / self.ways as u64
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidConfig`] if any parameter is zero, the
+    /// line size is not a power of two, or the capacity is not divisible
+    /// into an integral power-of-two number of sets.
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.size_bytes == 0 || self.ways == 0 || self.line_bytes == 0 {
+            return Err(CacheError::InvalidConfig {
+                reason: "size, ways, and line size must be non-zero".into(),
+            });
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err(CacheError::InvalidConfig {
+                reason: format!("line size {} is not a power of two", self.line_bytes),
+            });
+        }
+        let denom = self.ways as u64 * self.line_bytes;
+        if !self.size_bytes.is_multiple_of(denom) {
+            return Err(CacheError::InvalidConfig {
+                reason: format!(
+                    "capacity {} not divisible by ways×line ({denom})",
+                    self.size_bytes
+                ),
+            });
+        }
+        let sets = self.size_bytes / denom;
+        if !sets.is_power_of_two() {
+            return Err(CacheError::InvalidConfig {
+                reason: format!("set count {sets} is not a power of two"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Set index and tag for a byte address.
+    pub fn index_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.line_bytes;
+        let sets = self.sets() as u64;
+        ((line % sets) as usize, line / sets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_are_valid() {
+        for cfg in [CacheConfig::l2_8core(), CacheConfig::l2_64core()] {
+            cfg.validate().unwrap();
+        }
+        let c8 = CacheConfig::l2_8core();
+        assert_eq!(c8.sets(), (4 << 20) / (16 * 32));
+        assert_eq!(c8.way_bytes(), (4 << 20) / 16);
+        assert_eq!(c8.lines(), (4 << 20) / 32);
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        let bad = CacheConfig {
+            size_bytes: 0,
+            ways: 4,
+            line_bytes: 32,
+        };
+        assert!(bad.validate().is_err());
+        let bad = CacheConfig {
+            size_bytes: 1 << 20,
+            ways: 4,
+            line_bytes: 48,
+        };
+        assert!(bad.validate().is_err());
+        let bad = CacheConfig {
+            size_bytes: 3 << 20,
+            ways: 4,
+            line_bytes: 32,
+        };
+        assert!(bad.validate().is_err(), "non-power-of-two set count");
+    }
+
+    #[test]
+    fn index_and_tag_round_trip() {
+        let cfg = CacheConfig::l2_8core();
+        let sets = cfg.sets() as u64;
+        let (idx, tag) = cfg.index_and_tag(0);
+        assert_eq!((idx, tag), (0, 0));
+        // Two addresses one "cache page" apart share a set but not a tag.
+        let stride = sets * cfg.line_bytes;
+        let (i1, t1) = cfg.index_and_tag(1234 * cfg.line_bytes);
+        let (i2, t2) = cfg.index_and_tag(1234 * cfg.line_bytes + stride);
+        assert_eq!(i1, i2);
+        assert_eq!(t2, t1 + 1);
+    }
+}

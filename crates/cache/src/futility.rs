@@ -1,0 +1,337 @@
+//! Futility Scaling cache partitioning (Wang & Chen, MICRO 2014).
+//!
+//! Way partitioning is too coarse for a market that trades 128 kB regions
+//! (the paper's *cache region* granularity, §4.1.1). Futility Scaling
+//! instead partitions at replacement time: every line has a *futility*
+//! (how useless it is to keep — here, its age), each partition has a
+//! *scaling factor*, and the victim on a fill is the line with the highest
+//! **scaled** futility. A feedback controller grows the scale of
+//! partitions above their target occupancy (making their lines look more
+//! futile, shrinking them) and shrinks the scale of under-target
+//! partitions. Occupancy thus converges to arbitrary line-granularity
+//! targets while keeping high effective associativity.
+
+use crate::config::{CacheConfig, CacheError};
+use crate::set_assoc::OwnerStats;
+use crate::Result;
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    partition: u16,
+    last_use: u64,
+    valid: bool,
+}
+
+impl Line {
+    const EMPTY: Line = Line {
+        tag: 0,
+        partition: 0,
+        last_use: 0,
+        valid: false,
+    };
+}
+
+/// Per-partition control state.
+#[derive(Debug, Clone, Copy)]
+struct PartitionState {
+    target_lines: f64,
+    occupancy: u64,
+    scale: f64,
+}
+
+/// A shared cache partitioned by Futility Scaling.
+///
+/// # Examples
+///
+/// ```
+/// use rebudget_cache::CacheConfig;
+/// use rebudget_cache::futility::FutilityPartitionedCache;
+/// # fn main() -> Result<(), rebudget_cache::CacheError> {
+/// let cfg = CacheConfig { size_bytes: 256 << 10, ways: 8, line_bytes: 32 };
+/// let mut cache = FutilityPartitionedCache::new(cfg, 2)?;
+/// cache.set_target_bytes(0, 192.0 * 1024.0)?; // 75%
+/// cache.set_target_bytes(1, 64.0 * 1024.0)?;  // 25%
+/// cache.access(0, 0x1000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FutilityPartitionedCache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+    partitions: Vec<PartitionState>,
+    stats: Vec<OwnerStats>,
+    rebalance_interval: u64,
+    since_rebalance: u64,
+}
+
+impl FutilityPartitionedCache {
+    /// Creates a cache with `partitions` partitions, each initially
+    /// targeting an equal share.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidConfig`] for invalid geometry or zero
+    /// partitions.
+    pub fn new(cfg: CacheConfig, partitions: usize) -> Result<Self> {
+        cfg.validate()?;
+        if partitions == 0 {
+            return Err(CacheError::InvalidConfig {
+                reason: "need at least one partition".into(),
+            });
+        }
+        let share = cfg.lines() as f64 / partitions as f64;
+        Ok(Self {
+            cfg,
+            sets: vec![vec![Line::EMPTY; cfg.ways]; cfg.sets()],
+            clock: 0,
+            partitions: vec![
+                PartitionState {
+                    target_lines: share,
+                    occupancy: 0,
+                    scale: 1.0,
+                };
+                partitions
+            ],
+            stats: vec![OwnerStats::default(); partitions],
+            rebalance_interval: 256,
+            since_rebalance: 0,
+        })
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Sets partition `p`'s target occupancy in lines (fractional targets
+    /// are allowed — that is the point of Futility Scaling).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidConfig`] if `p` is out of range or the
+    /// target is negative/non-finite.
+    pub fn set_target_lines(&mut self, p: usize, lines: f64) -> Result<()> {
+        if p >= self.partitions.len() {
+            return Err(CacheError::InvalidConfig {
+                reason: format!("partition {p} out of range"),
+            });
+        }
+        if !lines.is_finite() || lines < 0.0 {
+            return Err(CacheError::InvalidConfig {
+                reason: format!("invalid target {lines}"),
+            });
+        }
+        self.partitions[p].target_lines = lines;
+        Ok(())
+    }
+
+    /// Sets partition `p`'s target occupancy in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FutilityPartitionedCache::set_target_lines`].
+    pub fn set_target_bytes(&mut self, p: usize, bytes: f64) -> Result<()> {
+        self.set_target_lines(p, bytes / self.cfg.line_bytes as f64)
+    }
+
+    /// Current occupancy of partition `p` in lines.
+    pub fn occupancy(&self, p: usize) -> u64 {
+        self.partitions[p].occupancy
+    }
+
+    /// Current target of partition `p` in lines.
+    pub fn target_lines(&self, p: usize) -> f64 {
+        self.partitions[p].target_lines
+    }
+
+    /// Current futility scaling factor of partition `p`.
+    pub fn scale(&self, p: usize) -> f64 {
+        self.partitions[p].scale
+    }
+
+    /// Access statistics for partition `p`.
+    pub fn stats(&self, p: usize) -> OwnerStats {
+        self.stats[p]
+    }
+
+    /// Performs one access by partition `p` to byte address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn access(&mut self, p: usize, addr: u64) -> bool {
+        assert!(p < self.partitions.len(), "partition out of range");
+        self.clock += 1;
+        self.since_rebalance += 1;
+        if self.since_rebalance >= self.rebalance_interval {
+            self.rebalance();
+        }
+        let (idx, tag) = self.cfg.index_and_tag(addr);
+        self.stats[p].accesses += 1;
+
+        let clock = self.clock;
+        let set = &mut self.sets[idx];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.last_use = clock;
+            return true;
+        }
+        self.stats[p].misses += 1;
+
+        // Fill an invalid way if available.
+        if let Some(slot) = set.iter().position(|l| !l.valid) {
+            set[slot] = Line {
+                tag,
+                partition: p as u16,
+                last_use: clock,
+                valid: true,
+            };
+            self.partitions[p].occupancy += 1;
+            return false;
+        }
+
+        // Victim: highest scaled futility (age × partition scale).
+        let scales: Vec<f64> = self.partitions.iter().map(|s| s.scale).collect();
+        let victim = set
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                let fa = (clock - a.last_use) as f64 * scales[a.partition as usize];
+                let fb = (clock - b.last_use) as f64 * scales[b.partition as usize];
+                fa.partial_cmp(&fb).expect("finite futility")
+            })
+            .map(|(k, _)| k)
+            .expect("ways > 0");
+        let old = set[victim].partition as usize;
+        set[victim] = Line {
+            tag,
+            partition: p as u16,
+            last_use: clock,
+            valid: true,
+        };
+        self.partitions[old].occupancy -= 1;
+        self.partitions[p].occupancy += 1;
+        false
+    }
+
+    /// One feedback step: scale each partition by its occupancy/target
+    /// ratio (clamped), so over-occupied partitions donate lines.
+    fn rebalance(&mut self) {
+        self.since_rebalance = 0;
+        for s in &mut self.partitions {
+            let target = s.target_lines.max(0.5);
+            let ratio = (s.occupancy as f64 / target).clamp(0.25, 4.0);
+            s.scale = (s.scale * ratio).clamp(1e-3, 1e3);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 128 << 10, // 4096 lines
+            ways: 8,
+            line_bytes: 32,
+        }
+    }
+
+    /// Two partitions streaming far more data than fits; occupancies must
+    /// converge near the configured line-granularity targets.
+    fn run_to_targets(t0: f64, t1: f64) -> (f64, f64, FutilityPartitionedCache) {
+        let mut cache = FutilityPartitionedCache::new(cfg(), 2).unwrap();
+        let lines = cache.config().lines() as f64;
+        cache.set_target_lines(0, t0 * lines).unwrap();
+        cache.set_target_lines(1, t1 * lines).unwrap();
+        let mut x = 55u64;
+        for k in 0..400_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let p = (k % 2) as usize;
+            // Each partition cycles over 4× the whole cache worth of lines,
+            // in a disjoint address range.
+            let addr = ((x >> 33) % (4 * 4096)) * 32;
+            cache.access(p, addr + (p as u64) * (1 << 40));
+        }
+        let o0 = cache.occupancy(0) as f64 / lines;
+        let o1 = cache.occupancy(1) as f64 / lines;
+        (o0, o1, cache)
+    }
+
+    #[test]
+    fn converges_to_asymmetric_targets() {
+        let (o0, o1, _) = run_to_targets(0.75, 0.25);
+        assert!((o0 - 0.75).abs() < 0.08, "partition 0 at {o0}, want 0.75");
+        assert!((o1 - 0.25).abs() < 0.08, "partition 1 at {o1}, want 0.25");
+    }
+
+    #[test]
+    fn line_granularity_targets() {
+        // Targets that no way-based scheme could express for 8 ways.
+        let (o0, o1, _) = run_to_targets(0.55, 0.45);
+        assert!((o0 - 0.55).abs() < 0.08, "partition 0 at {o0}");
+        assert!((o1 - 0.45).abs() < 0.08, "partition 1 at {o1}");
+    }
+
+    #[test]
+    fn retargeting_reconverges() {
+        let (_, _, mut cache) = run_to_targets(0.75, 0.25);
+        let lines = cache.config().lines() as f64;
+        cache.set_target_lines(0, 0.30 * lines).unwrap();
+        cache.set_target_lines(1, 0.70 * lines).unwrap();
+        let mut x = 99u64;
+        for k in 0..400_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let p = (k % 2) as usize;
+            let addr = ((x >> 33) % (4 * 4096)) * 32;
+            cache.access(p, addr + (p as u64) * (1 << 40));
+        }
+        let o0 = cache.occupancy(0) as f64 / lines;
+        assert!((o0 - 0.30).abs() < 0.08, "partition 0 at {o0} after retarget");
+    }
+
+    #[test]
+    fn occupancy_accounting_is_consistent() {
+        let (_, _, cache) = run_to_targets(0.5, 0.5);
+        let counted: u64 = (0..2).map(|p| cache.occupancy(p)).sum();
+        assert!(counted <= cache.config().lines() as u64);
+        // Cache is fully warm after 400k accesses over 4096 lines.
+        assert_eq!(counted, cache.config().lines() as u64);
+    }
+
+    #[test]
+    fn stats_and_validation() {
+        let mut cache = FutilityPartitionedCache::new(cfg(), 2).unwrap();
+        assert!(cache.set_target_lines(5, 1.0).is_err());
+        assert!(cache.set_target_lines(0, -1.0).is_err());
+        assert!(cache.set_target_bytes(0, 64.0 * 1024.0).is_ok());
+        assert_eq!(cache.target_lines(0), 2048.0);
+        cache.access(0, 0);
+        cache.access(0, 0);
+        assert_eq!(cache.stats(0).accesses, 2);
+        assert_eq!(cache.stats(0).misses, 1);
+        assert!(FutilityPartitionedCache::new(cfg(), 0).is_err());
+    }
+
+    #[test]
+    fn scale_rises_for_over_occupied_partition() {
+        let mut cache = FutilityPartitionedCache::new(cfg(), 2).unwrap();
+        let lines = cache.config().lines() as f64;
+        cache.set_target_lines(0, 0.9 * lines).unwrap();
+        cache.set_target_lines(1, 0.1 * lines).unwrap();
+        // Only partition 1 streams → it over-occupies → its scale must rise
+        // above partition 0's.
+        for k in 0..100_000u64 {
+            cache.access(1, (k % 8192) * 32);
+        }
+        assert!(cache.scale(1) > cache.scale(0));
+    }
+}

@@ -1,0 +1,200 @@
+//! Miss curves: misses as a function of allocated cache capacity.
+//!
+//! Miss curves are the common currency of the cache substrate: UMON
+//! produces them, Talus convexifies them, and the simulator's utility
+//! models consume them. Capacity is measured in bytes; values are misses
+//! per profiled window (convert to rates or MPKI as needed).
+
+use crate::config::CacheError;
+use crate::Result;
+
+/// A non-increasing miss curve sampled at increasing capacities, with
+/// linear interpolation between samples and flat extension beyond them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissCurve {
+    capacities: Vec<f64>,
+    misses: Vec<f64>,
+}
+
+impl MissCurve {
+    /// Creates a miss curve from `(capacity_bytes, misses)` points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidConfig`] unless there is at least one
+    /// point, capacities are strictly increasing and positive, and miss
+    /// counts are non-negative and non-increasing (within a 1e-9 slack).
+    pub fn new(points: Vec<(f64, f64)>) -> Result<Self> {
+        if points.is_empty() {
+            return Err(CacheError::InvalidConfig {
+                reason: "miss curve needs at least one point".into(),
+            });
+        }
+        for w in points.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(CacheError::InvalidConfig {
+                    reason: "capacities must be strictly increasing".into(),
+                });
+            }
+            if w[1].1 > w[0].1 + 1e-9 {
+                return Err(CacheError::InvalidConfig {
+                    reason: "misses must be non-increasing in capacity".into(),
+                });
+            }
+        }
+        for &(c, m) in &points {
+            if !(c.is_finite() && m.is_finite()) || c <= 0.0 || m < 0.0 {
+                return Err(CacheError::InvalidConfig {
+                    reason: format!("invalid miss-curve point ({c}, {m})"),
+                });
+            }
+        }
+        let (capacities, misses) = points.into_iter().unzip();
+        Ok(Self { capacities, misses })
+    }
+
+    /// Sample capacities (bytes).
+    pub fn capacities(&self) -> &[f64] {
+        &self.capacities
+    }
+
+    /// Sample miss counts.
+    pub fn misses(&self) -> &[f64] {
+        &self.misses
+    }
+
+    /// Interpolated misses at `capacity` bytes (clamped flat outside the
+    /// sampled range).
+    pub fn at(&self, capacity: f64) -> f64 {
+        let n = self.capacities.len();
+        if capacity <= self.capacities[0] {
+            return self.misses[0];
+        }
+        if capacity >= self.capacities[n - 1] {
+            return self.misses[n - 1];
+        }
+        let k = self.capacities.partition_point(|&c| c <= capacity);
+        let (c0, c1) = (self.capacities[k - 1], self.capacities[k]);
+        let (m0, m1) = (self.misses[k - 1], self.misses[k]);
+        m0 + (m1 - m0) * (capacity - c0) / (c1 - c0)
+    }
+
+    /// Returns `true` if the curve is convex (non-increasing marginal miss
+    /// reduction) within `tol`.
+    pub fn is_convex(&self, tol: f64) -> bool {
+        let mut prev = f64::NEG_INFINITY;
+        for w in self.capacities.windows(2).zip(self.misses.windows(2)) {
+            let slope = (w.1[1] - w.1[0]) / (w.0[1] - w.0[0]);
+            if slope < prev - tol {
+                return false;
+            }
+            prev = slope;
+        }
+        true
+    }
+
+    /// The lower convex hull of the curve — the convexification Talus
+    /// performs. The retained points are the *points of interest* (PoIs).
+    ///
+    /// Because misses decrease with capacity, the hull is the set of points
+    /// no chord passes under; every capacity's hull value is ≤ the raw
+    /// curve's.
+    pub fn convex_hull(&self) -> MissCurve {
+        let n = self.capacities.len();
+        let mut hull: Vec<usize> = Vec::with_capacity(n);
+        for i in 0..n {
+            while hull.len() >= 2 {
+                let a = hull[hull.len() - 2];
+                let b = hull[hull.len() - 1];
+                let cross = (self.capacities[b] - self.capacities[a])
+                    * (self.misses[i] - self.misses[a])
+                    - (self.misses[b] - self.misses[a]) * (self.capacities[i] - self.capacities[a]);
+                // Keep b only if it lies strictly below chord a→i.
+                if cross <= 1e-12 {
+                    hull.pop();
+                } else {
+                    break;
+                }
+            }
+            hull.push(i);
+        }
+        let points: Vec<(f64, f64)> = hull
+            .into_iter()
+            .map(|i| (self.capacities[i], self.misses[i]))
+            .collect();
+        MissCurve::new(points).expect("hull of a valid curve is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cliff() -> MissCurve {
+        // mcf-like: flat high misses until a working-set cliff.
+        MissCurve::new(vec![
+            (128.0, 1000.0),
+            (256.0, 990.0),
+            (512.0, 980.0),
+            (1024.0, 970.0),
+            (1536.0, 50.0),
+            (2048.0, 40.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn interpolation_and_clamping() {
+        let c = cliff();
+        assert_eq!(c.at(64.0), 1000.0);
+        assert_eq!(c.at(4096.0), 40.0);
+        assert!((c.at(192.0) - 995.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_rejects_bad_curves() {
+        assert!(MissCurve::new(vec![]).is_err());
+        assert!(MissCurve::new(vec![(1.0, 10.0), (1.0, 5.0)]).is_err());
+        assert!(MissCurve::new(vec![(1.0, 10.0), (2.0, 15.0)]).is_err());
+        assert!(MissCurve::new(vec![(-1.0, 10.0)]).is_err());
+        assert!(MissCurve::new(vec![(1.0, -10.0)]).is_err());
+    }
+
+    #[test]
+    fn hull_is_convex_and_dominated() {
+        let c = cliff();
+        assert!(!c.is_convex(1e-9));
+        let hull = c.convex_hull();
+        assert!(hull.is_convex(1e-9));
+        for k in 0..40 {
+            let cap = 128.0 + k as f64 * 48.0;
+            assert!(
+                hull.at(cap) <= c.at(cap) + 1e-9,
+                "hull above raw at {cap}: {} vs {}",
+                hull.at(cap),
+                c.at(cap)
+            );
+        }
+        // End points preserved.
+        assert_eq!(hull.at(128.0), 1000.0);
+        assert_eq!(hull.at(2048.0), 40.0);
+        // The plateau points were dropped from the PoI set.
+        assert!(hull.capacities().len() < c.capacities().len());
+    }
+
+    #[test]
+    fn hull_of_convex_curve_is_identity() {
+        let c = MissCurve::new(vec![(1.0, 100.0), (2.0, 60.0), (4.0, 30.0), (8.0, 20.0)]).unwrap();
+        assert!(c.is_convex(1e-9));
+        assert_eq!(c.convex_hull(), c);
+    }
+
+    #[test]
+    fn single_point_curve() {
+        let c = MissCurve::new(vec![(1024.0, 7.0)]).unwrap();
+        assert_eq!(c.at(10.0), 7.0);
+        assert_eq!(c.at(10_000.0), 7.0);
+        assert!(c.is_convex(0.0));
+        assert_eq!(c.convex_hull(), c);
+    }
+}

@@ -1,0 +1,220 @@
+//! Exact Mattson LRU stack-distance profiling.
+//!
+//! For an LRU cache, a reference hits in a `w`-way set iff its *stack
+//! distance* — the number of distinct lines referenced in its set since the
+//! previous reference to the same line — is less than `w` (Mattson et al.,
+//! 1970). Recording a histogram of stack distances therefore yields the
+//! miss count at **every** associativity in one pass; this is the principle
+//! behind UMON's utility monitors (§4.1.1 of the paper).
+
+/// An exact per-set LRU stack profiler.
+///
+/// `max_distance` caps the tracked stack depth (references deeper than the
+/// cap count as misses at every size, like UMON's limited shadow-tag
+/// associativity — the paper limits it to 16).
+///
+/// # Examples
+///
+/// ```
+/// use rebudget_cache::stack::StackProfiler;
+///
+/// let mut p = StackProfiler::new(1, 32, 8);
+/// // a b a b …: with 2 ways everything but the cold misses hits.
+/// for k in 0..10u64 {
+///     p.record((k % 2) * 32);
+/// }
+/// assert_eq!(p.misses_at(1), 10); // direct-mapped thrashes
+/// assert_eq!(p.misses_at(2), 2);  // two ways: only cold misses
+/// ```
+#[derive(Debug, Clone)]
+pub struct StackProfiler {
+    sets: usize,
+    line_bytes: u64,
+    max_distance: usize,
+    /// Per-set LRU stack of tags, most recent first.
+    stacks: Vec<Vec<u64>>,
+    /// `histogram[d]` = number of references with stack distance `d`.
+    histogram: Vec<u64>,
+    /// References that missed every tracked position (cold or deeper than
+    /// `max_distance`).
+    deep_misses: u64,
+    accesses: u64,
+}
+
+impl StackProfiler {
+    /// Creates a profiler for a cache with `sets` sets and the given line
+    /// size, tracking distances up to `max_distance` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `max_distance` is zero, or `line_bytes` is not a
+    /// power of two.
+    pub fn new(sets: usize, line_bytes: u64, max_distance: usize) -> Self {
+        assert!(sets > 0, "sets must be non-zero");
+        assert!(max_distance > 0, "max_distance must be non-zero");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        Self {
+            sets,
+            line_bytes,
+            max_distance,
+            stacks: vec![Vec::new(); sets],
+            histogram: vec![0; max_distance],
+            deep_misses: 0,
+            accesses: 0,
+        }
+    }
+
+    /// Records one reference to byte address `addr`.
+    pub fn record(&mut self, addr: u64) {
+        self.accesses += 1;
+        let line = addr / self.line_bytes;
+        let set = (line % self.sets as u64) as usize;
+        let tag = line / self.sets as u64;
+        let stack = &mut self.stacks[set];
+        match stack.iter().position(|&t| t == tag) {
+            Some(d) => {
+                self.histogram[d] += 1;
+                let t = stack.remove(d);
+                stack.insert(0, t);
+            }
+            None => {
+                self.deep_misses += 1;
+                stack.insert(0, tag);
+                stack.truncate(self.max_distance);
+            }
+        }
+    }
+
+    /// Total references recorded.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// The raw stack-distance histogram (index = distance in ways).
+    pub fn histogram(&self) -> &[u64] {
+        &self.histogram
+    }
+
+    /// Predicted number of misses if the profiled stream ran on an LRU
+    /// cache with `ways` ways (of the same set count): references at stack
+    /// distance ≥ `ways`, plus cold/deep references.
+    ///
+    /// `ways` beyond `max_distance` saturate at the deepest tracked value.
+    pub fn misses_at(&self, ways: usize) -> u64 {
+        let w = ways.min(self.max_distance);
+        let hits_within: u64 = self.histogram[..w].iter().sum();
+        self.accesses - hits_within
+    }
+
+    /// Miss counts for every associativity from 1 to `max_distance`.
+    pub fn miss_profile(&self) -> Vec<u64> {
+        (1..=self.max_distance).map(|w| self.misses_at(w)).collect()
+    }
+
+    /// Zeroes the histogram and access counters while keeping the LRU
+    /// stacks warm — the epoch reset real UMON monitors perform so that
+    /// cold-start misses do not pollute steady-state estimates.
+    pub fn reset_counters(&mut self) {
+        self.histogram.iter_mut().for_each(|h| *h = 0);
+        self.deep_misses = 0;
+        self.accesses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use crate::set_assoc::SetAssocCache;
+
+    #[test]
+    fn repeated_line_has_distance_zero() {
+        let mut p = StackProfiler::new(4, 32, 8);
+        p.record(0);
+        p.record(0);
+        p.record(0);
+        assert_eq!(p.histogram()[0], 2);
+        assert_eq!(p.misses_at(1), 1);
+        assert_eq!(p.accesses(), 3);
+    }
+
+    #[test]
+    fn alternating_lines_have_distance_one() {
+        let mut p = StackProfiler::new(1, 32, 8);
+        // a b a b a b → after cold misses, distance 1 each.
+        for k in 0..6u64 {
+            p.record((k % 2) * 32);
+        }
+        assert_eq!(p.misses_at(1), 6); // direct-mapped: all miss
+        assert_eq!(p.misses_at(2), 2); // 2-way: only the 2 cold misses
+    }
+
+    #[test]
+    fn matches_real_cache_at_every_associativity() {
+        // The Mattson property: one profiling pass predicts the miss count
+        // of an actual LRU cache of any associativity.
+        let line = 32u64;
+        let sets = 16usize;
+        let mut profiler = StackProfiler::new(sets, line, 8);
+        // A synthetic quasi-random stream with reuse.
+        let mut x = 123456789u64;
+        let addrs: Vec<u64> = (0..20_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((x >> 33) % 600) * line
+            })
+            .collect();
+        for &a in &addrs {
+            profiler.record(a);
+        }
+        for ways in [1usize, 2, 4, 8] {
+            let mut cache = SetAssocCache::new(CacheConfig {
+                size_bytes: (sets * ways) as u64 * line,
+                ways,
+                line_bytes: line,
+            })
+            .unwrap();
+            for &a in &addrs {
+                cache.access(0, a);
+            }
+            assert_eq!(
+                profiler.misses_at(ways),
+                cache.stats(0).misses,
+                "mismatch at {ways} ways"
+            );
+        }
+    }
+
+    #[test]
+    fn misses_monotone_in_ways() {
+        let mut p = StackProfiler::new(8, 32, 16);
+        let mut x = 42u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            p.record(((x >> 30) % 300) * 32);
+        }
+        let profile = p.miss_profile();
+        assert!(profile.windows(2).all(|w| w[1] <= w[0]));
+        assert_eq!(profile.len(), 16);
+    }
+
+    #[test]
+    fn deep_references_saturate() {
+        let mut p = StackProfiler::new(1, 32, 4);
+        // Cyclic sweep of 6 lines > max_distance 4: LRU keeps missing.
+        for k in 0..60u64 {
+            p.record((k % 6) * 32);
+        }
+        assert_eq!(p.misses_at(4), 60);
+        assert_eq!(p.misses_at(100), 60, "saturates beyond max_distance");
+    }
+
+    #[test]
+    #[should_panic(expected = "sets must be non-zero")]
+    fn zero_sets_panics() {
+        let _ = StackProfiler::new(0, 32, 4);
+    }
+}

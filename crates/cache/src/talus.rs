@@ -1,0 +1,240 @@
+//! Talus: convexifying cache behaviour with shadow partitions
+//! (Beckmann & Sanchez, HPCA 2015; used by the paper in §4.1.1).
+//!
+//! Cache miss curves can have plateaus and cliffs (e.g. *mcf*'s working
+//! set: useless below 1.5 MB, perfect above). Talus removes these cliffs:
+//!
+//! 1. compute the **convex hull** of the application's miss curve; its
+//!    vertices are the *points of interest* (PoIs);
+//! 2. for a target size `s` between neighbouring PoIs `s_lo < s ≤ s_hi`,
+//!    split the partition into two *shadow partitions* sized `(1−ρ)·s_lo`
+//!    and `ρ·s_hi`, where `ρ = (s − s_lo)/(s_hi − s_lo)`, and steer a
+//!    fraction `ρ` of the (set-hashed) access stream to the second;
+//! 3. by the miss-curve scaling property, total misses interpolate
+//!    linearly between the PoIs: `m(s) = (1−ρ)·m(s_lo) + ρ·m(s_hi)`.
+//!
+//! The result is a continuous, convex effective miss curve — exactly the
+//! concave, continuous utility the market theory needs.
+
+use crate::miss_curve::MissCurve;
+
+/// How to realize a cache allocation of a given size with two shadow
+/// partitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShadowPlan {
+    /// Size of the first shadow partition in bytes (`(1−ρ)·s_lo`).
+    pub lo_bytes: f64,
+    /// Size of the second shadow partition in bytes (`ρ·s_hi`).
+    pub hi_bytes: f64,
+    /// Fraction `ρ` of the access stream steered to the second partition.
+    pub hi_fraction: f64,
+    /// Expected misses at this plan (the hull value).
+    pub expected_misses: f64,
+}
+
+impl ShadowPlan {
+    /// Total bytes consumed by the plan (equals the requested target).
+    pub fn total_bytes(&self) -> f64 {
+        self.lo_bytes + self.hi_bytes
+    }
+}
+
+/// A Talus controller built from a raw (possibly non-convex) miss curve.
+///
+/// # Examples
+///
+/// ```
+/// use rebudget_cache::{talus::Talus, MissCurve};
+///
+/// # fn main() -> Result<(), rebudget_cache::CacheError> {
+/// // A plateau-then-cliff curve (mcf-like).
+/// let raw = MissCurve::new(vec![
+///     (128e3, 1000.0), (512e3, 990.0), (1536e3, 20.0), (2048e3, 10.0),
+/// ])?;
+/// let talus = Talus::new(raw);
+/// // Mid-plateau allocations now buy proportional benefit...
+/// assert!(talus.expected_misses(900e3) < 600.0);
+/// // ...realized by two shadow partitions that sum to the target.
+/// let plan = talus.plan(900e3);
+/// assert!((plan.total_bytes() - 900e3).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Talus {
+    raw: MissCurve,
+    hull: MissCurve,
+}
+
+impl Talus {
+    /// Builds the controller, deriving the convex hull (PoIs) of `raw`.
+    pub fn new(raw: MissCurve) -> Self {
+        let hull = raw.convex_hull();
+        Self { raw, hull }
+    }
+
+    /// The original miss curve.
+    pub fn raw(&self) -> &MissCurve {
+        &self.raw
+    }
+
+    /// The convexified (hull) miss curve.
+    pub fn hull(&self) -> &MissCurve {
+        &self.hull
+    }
+
+    /// The points of interest: hull vertex capacities in bytes.
+    pub fn points_of_interest(&self) -> &[f64] {
+        self.hull.capacities()
+    }
+
+    /// Expected misses at `target` bytes under Talus (the hull value) —
+    /// always ≤ the raw curve's value.
+    pub fn expected_misses(&self, target: f64) -> f64 {
+        self.hull.at(target)
+    }
+
+    /// Computes the shadow-partition plan realizing `target` bytes.
+    ///
+    /// Targets at or below the first PoI, or at or above the last, use a
+    /// single partition (`hi_fraction` 0 or 1).
+    pub fn plan(&self, target: f64) -> ShadowPlan {
+        let pois = self.hull.capacities();
+        let first = pois[0];
+        let last = pois[pois.len() - 1];
+        if target <= first {
+            return ShadowPlan {
+                lo_bytes: target.max(0.0),
+                hi_bytes: 0.0,
+                hi_fraction: 0.0,
+                expected_misses: self.hull.at(target),
+            };
+        }
+        if target >= last {
+            return ShadowPlan {
+                lo_bytes: 0.0,
+                hi_bytes: target,
+                hi_fraction: 1.0,
+                expected_misses: self.hull.at(target),
+            };
+        }
+        let k = pois.partition_point(|&c| c <= target);
+        let (s_lo, s_hi) = (pois[k - 1], pois[k]);
+        let rho = (target - s_lo) / (s_hi - s_lo);
+        ShadowPlan {
+            lo_bytes: (1.0 - rho) * s_lo,
+            hi_bytes: rho * s_hi,
+            hi_fraction: rho,
+            expected_misses: self.hull.at(target),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// mcf-like cliff: ~flat until 1.5 MB, then nearly perfect (Figure 2).
+    fn mcf_like() -> MissCurve {
+        let kb = 1024.0;
+        MissCurve::new(vec![
+            (128.0 * kb, 1000.0),
+            (256.0 * kb, 995.0),
+            (512.0 * kb, 990.0),
+            (768.0 * kb, 985.0),
+            (1024.0 * kb, 980.0),
+            (1280.0 * kb, 975.0),
+            (1536.0 * kb, 20.0),
+            (1792.0 * kb, 15.0),
+            (2048.0 * kb, 10.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn hull_removes_the_cliff() {
+        let talus = Talus::new(mcf_like());
+        assert!(talus.hull().is_convex(1e-9));
+        // Mid-plateau allocations now buy proportional benefit.
+        let kb = 1024.0;
+        let mid = talus.expected_misses(832.0 * kb);
+        assert!(
+            mid < 700.0,
+            "Talus at 832 kB should be far below the raw plateau, got {mid}"
+        );
+        assert!(mid > 20.0);
+        // And never worse than raw anywhere.
+        for k in 4..64 {
+            let cap = k as f64 * 32.0 * kb;
+            assert!(talus.expected_misses(cap) <= talus.raw().at(cap) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn plan_sizes_sum_to_target_and_bracket_pois() {
+        let talus = Talus::new(mcf_like());
+        let kb = 1024.0;
+        let target = 1000.0 * kb;
+        let plan = talus.plan(target);
+        assert!((plan.total_bytes() - target).abs() < 1e-6);
+        assert!(plan.hi_fraction > 0.0 && plan.hi_fraction < 1.0);
+        // Expected misses interpolate between the bracketing PoIs.
+        let pois = talus.points_of_interest();
+        let k = pois.partition_point(|&c| c <= target);
+        let (s_lo, s_hi) = (pois[k - 1], pois[k]);
+        let (m_lo, m_hi) = (talus.hull().at(s_lo), talus.hull().at(s_hi));
+        let rho = (target - s_lo) / (s_hi - s_lo);
+        let expect = (1.0 - rho) * m_lo + rho * m_hi;
+        assert!((plan.expected_misses - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn plan_degenerates_at_extremes() {
+        let talus = Talus::new(mcf_like());
+        let kb = 1024.0;
+        let small = talus.plan(64.0 * kb);
+        assert_eq!(small.hi_fraction, 0.0);
+        assert_eq!(small.hi_bytes, 0.0);
+        let big = talus.plan(4096.0 * kb);
+        assert_eq!(big.hi_fraction, 1.0);
+        assert_eq!(big.lo_bytes, 0.0);
+    }
+
+    #[test]
+    fn concave_curve_passes_through_unchanged() {
+        let vpr_like = MissCurve::new(vec![
+            (128.0, 800.0),
+            (256.0, 500.0),
+            (512.0, 320.0),
+            (1024.0, 200.0),
+            (2048.0, 150.0),
+        ])
+        .unwrap();
+        let talus = Talus::new(vpr_like.clone());
+        assert_eq!(talus.hull(), &vpr_like);
+        // Any exact PoI target is a single partition boundary case.
+        let plan = talus.plan(512.0);
+        assert!((plan.total_bytes() - 512.0).abs() < 1e-9);
+        assert!((plan.expected_misses - 320.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effective_curve_is_continuous() {
+        // Sample densely across the cliff; consecutive expected-miss values
+        // must change smoothly (no jump bigger than the local hull slope
+        // allows).
+        let talus = Talus::new(mcf_like());
+        let kb = 1024.0;
+        let mut prev = talus.expected_misses(128.0 * kb);
+        for k in 1..=192 {
+            let cap = 128.0 * kb + k as f64 * 10.0 * kb;
+            let cur = talus.expected_misses(cap);
+            assert!(cur <= prev + 1e-9, "must be non-increasing");
+            assert!(
+                prev - cur < 15.0 * 10.0,
+                "jump too large near {cap}: {prev} → {cur}"
+            );
+            prev = cur;
+        }
+    }
+}

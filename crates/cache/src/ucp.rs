@@ -1,0 +1,202 @@
+//! Utility-based Cache Partitioning (UCP) — Qureshi & Patt, MICRO 2006.
+//!
+//! UCP is the canonical *single-resource* allocator the paper's
+//! introduction contrasts with coordinated multi-resource allocation:
+//! given each application's miss curve (from the same UMON monitors this
+//! crate provides), the **lookahead algorithm** hands out ways greedily,
+//! but looks past plateaus by considering, for every application, the best
+//! miss reduction *per way* over any number of additional ways — so a
+//! cliff 4 ways ahead still attracts allocation.
+//!
+//! The `rebudget-core` crate wraps this into an "uncoordinated" baseline
+//! mechanism (UCP for cache + equal power split) to reproduce the paper's
+//! motivating claim that single-resource allocation is suboptimal.
+
+use crate::config::CacheError;
+use crate::Result;
+
+/// Partitions `total_ways` among applications using the UCP lookahead
+/// algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use rebudget_cache::ucp::ucp_lookahead;
+///
+/// # fn main() -> Result<(), rebudget_cache::CacheError> {
+/// // App 0 needs 6 ways before any benefit; app 1 gains smoothly.
+/// let cliff: Vec<f64> = (0..=8).map(|w| if w >= 6 { 10.0 } else { 1000.0 }).collect();
+/// let smooth: Vec<f64> = (0..=8).map(|w| 100.0 * 0.9f64.powi(w)).collect();
+/// let alloc = ucp_lookahead(&[cliff, smooth], 8, 1)?;
+/// assert!(alloc[0] >= 6, "lookahead jumps the plateau");
+/// assert_eq!(alloc.iter().sum::<usize>(), 8);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// `miss_curves[i][w]` is application `i`'s miss count when granted `w`
+/// ways (`w = 0..=total_ways`; index 0 is the zero-allocation miss count).
+/// Every application is first granted `min_ways`; the remainder is
+/// assigned by lookahead. Returns the per-application way counts (summing
+/// to `total_ways`).
+///
+/// # Errors
+///
+/// Returns [`CacheError::InvalidConfig`] if there are no applications, a
+/// curve is shorter than `total_ways + 1`, a curve increases with extra
+/// ways beyond floating-point slack, or the minimum grants alone exceed
+/// `total_ways`.
+pub fn ucp_lookahead(
+    miss_curves: &[Vec<f64>],
+    total_ways: usize,
+    min_ways: usize,
+) -> Result<Vec<usize>> {
+    let n = miss_curves.len();
+    if n == 0 {
+        return Err(CacheError::InvalidConfig {
+            reason: "no applications to partition among".into(),
+        });
+    }
+    for (i, curve) in miss_curves.iter().enumerate() {
+        if curve.len() < total_ways + 1 {
+            return Err(CacheError::InvalidConfig {
+                reason: format!(
+                    "application {i}: curve has {} points, need {}",
+                    curve.len(),
+                    total_ways + 1
+                ),
+            });
+        }
+        if curve.windows(2).any(|w| w[1] > w[0] + 1e-6) {
+            return Err(CacheError::InvalidConfig {
+                reason: format!("application {i}: miss curve increases with ways"),
+            });
+        }
+    }
+    if n * min_ways > total_ways {
+        return Err(CacheError::InvalidConfig {
+            reason: format!(
+                "minimum grant {min_ways}×{n} exceeds {total_ways} ways"
+            ),
+        });
+    }
+
+    let mut alloc = vec![min_ways; n];
+    let mut remaining = total_ways - n * min_ways;
+    while remaining > 0 {
+        // For each app, the maximum marginal utility per way over any
+        // feasible lookahead span.
+        let mut best_app = usize::MAX;
+        let mut best_rate = -1.0;
+        let mut best_span = 0usize;
+        for (i, curve) in miss_curves.iter().enumerate() {
+            let cur = alloc[i];
+            let max_span = remaining.min(total_ways - cur);
+            for span in 1..=max_span {
+                let rate = (curve[cur] - curve[cur + span]) / span as f64;
+                if rate > best_rate {
+                    best_rate = rate;
+                    best_app = i;
+                    best_span = span;
+                }
+            }
+        }
+        if best_app == usize::MAX || best_rate <= 0.0 {
+            // No one benefits: split the remainder round-robin.
+            let mut i = 0;
+            while remaining > 0 {
+                if alloc[i] < total_ways {
+                    alloc[i] += 1;
+                    remaining -= 1;
+                }
+                i = (i + 1) % n;
+            }
+            break;
+        }
+        alloc[best_app] += best_span;
+        remaining -= best_span;
+    }
+    Ok(alloc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Flat-then-cliff curve: `high` misses until `cliff_at` ways, then
+    /// `low`.
+    fn cliff_curve(ways: usize, high: f64, low: f64, cliff_at: usize) -> Vec<f64> {
+        (0..=ways)
+            .map(|w| if w >= cliff_at { low } else { high })
+            .collect()
+    }
+
+    /// Geometric decay curve.
+    fn smooth_curve(ways: usize, base: f64, factor: f64) -> Vec<f64> {
+        (0..=ways).map(|w| base * factor.powi(w as i32)).collect()
+    }
+
+    #[test]
+    fn lookahead_sees_past_plateaus() {
+        // App 0 needs exactly 6 ways before any benefit (a cliff); app 1
+        // gains slightly per way. Naive greedy would starve app 0; UCP
+        // lookahead must jump the plateau.
+        let curves = vec![
+            cliff_curve(8, 1000.0, 10.0, 6),
+            smooth_curve(8, 100.0, 0.9),
+        ];
+        let alloc = ucp_lookahead(&curves, 8, 1).unwrap();
+        assert!(alloc[0] >= 6, "cliff app got only {} ways", alloc[0]);
+        assert_eq!(alloc.iter().sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn smooth_apps_split_by_marginal_utility() {
+        // Identical smooth apps split evenly.
+        let curves = vec![smooth_curve(8, 100.0, 0.8), smooth_curve(8, 100.0, 0.8)];
+        let alloc = ucp_lookahead(&curves, 8, 0).unwrap();
+        assert_eq!(alloc[0], 4);
+        assert_eq!(alloc[1], 4);
+    }
+
+    #[test]
+    fn hungrier_app_gets_more() {
+        let curves = vec![smooth_curve(8, 1000.0, 0.7), smooth_curve(8, 100.0, 0.95)];
+        let alloc = ucp_lookahead(&curves, 8, 1).unwrap();
+        assert!(alloc[0] > alloc[1]);
+        assert_eq!(alloc.iter().sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn insensitive_apps_round_robin_leftovers() {
+        let curves = vec![vec![50.0; 9], vec![50.0; 9]];
+        let alloc = ucp_lookahead(&curves, 8, 1).unwrap();
+        assert_eq!(alloc.iter().sum::<usize>(), 8);
+        assert!(alloc.iter().all(|&w| w >= 1));
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(ucp_lookahead(&[], 8, 0).is_err());
+        assert!(ucp_lookahead(&[vec![1.0; 4]], 8, 0).is_err(), "short curve");
+        assert!(
+            ucp_lookahead(&[vec![1.0, 2.0, 3.0]], 2, 0).is_err(),
+            "increasing curve"
+        );
+        assert!(
+            ucp_lookahead(&[vec![1.0; 9], vec![1.0; 9]], 8, 5).is_err(),
+            "minimums exceed capacity"
+        );
+    }
+
+    #[test]
+    fn respects_minimum_grants() {
+        let curves = vec![
+            smooth_curve(8, 1000.0, 0.5),
+            cliff_curve(8, 10.0, 10.0, 9), // useless cache
+        ];
+        let alloc = ucp_lookahead(&curves, 8, 1).unwrap();
+        assert!(alloc[1] >= 1);
+        assert!(alloc[0] >= 6, "hungry app should take the rest");
+    }
+}

@@ -1,0 +1,237 @@
+//! UMON-style utility monitors (Qureshi & Patt, MICRO 2006).
+//!
+//! UMON attaches *shadow tags* — an auxiliary LRU tag directory with no
+//! data — to a sampled subset of cache sets. Hits at each LRU stack
+//! position are counted, which (by the Mattson property, see
+//! [`crate::stack`]) yields the miss count the application would suffer at
+//! every cache size up to the shadow associativity.
+//!
+//! The paper's configuration (§5): stack distance limited to 16 (so sizes
+//! from one 128 kB region up to 2 MB can be estimated), dynamic set
+//! sampling with rate 32, costing 3.6 kB per core — under 1% of the L2.
+
+use crate::config::CacheError;
+use crate::miss_curve::MissCurve;
+use crate::stack::StackProfiler;
+use crate::Result;
+
+/// Set-sampled shadow-tag monitor producing per-application miss curves.
+#[derive(Debug, Clone)]
+pub struct UmonShadowTags {
+    sets: usize,
+    sampling: usize,
+    line_bytes: u64,
+    /// Bytes represented by one tracked way across *all* sets (sampled
+    /// counts are scaled back up by the sampling rate).
+    way_bytes: f64,
+    profiler: StackProfiler,
+    total_accesses: u64,
+}
+
+impl UmonShadowTags {
+    /// Creates a monitor for a cache with `sets` sets of `line_bytes`
+    /// lines, sampling one in `sampling` sets and tracking `max_ways` stack
+    /// positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidConfig`] if any parameter is zero, the
+    /// line size is not a power of two, or fewer than one set would be
+    /// sampled.
+    pub fn new(sets: usize, line_bytes: u64, sampling: usize, max_ways: usize) -> Result<Self> {
+        if sets == 0 || sampling == 0 || max_ways == 0 {
+            return Err(CacheError::InvalidConfig {
+                reason: "sets, sampling, and max_ways must be non-zero".into(),
+            });
+        }
+        if !line_bytes.is_power_of_two() {
+            return Err(CacheError::InvalidConfig {
+                reason: "line size must be a power of two".into(),
+            });
+        }
+        let sampled_sets = sets / sampling;
+        if sampled_sets == 0 {
+            return Err(CacheError::InvalidConfig {
+                reason: format!("sampling rate {sampling} leaves no sets out of {sets}"),
+            });
+        }
+        Ok(Self {
+            sets,
+            sampling,
+            line_bytes,
+            way_bytes: (sets as u64 * line_bytes) as f64,
+            profiler: StackProfiler::new(sampled_sets, line_bytes, max_ways),
+            total_accesses: 0,
+        })
+    }
+
+    /// Paper configuration for a given cache geometry: sampling rate 32,
+    /// stack distance 16.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`UmonShadowTags::new`].
+    pub fn paper_config(sets: usize, line_bytes: u64) -> Result<Self> {
+        Self::new(sets, line_bytes, 32, 16)
+    }
+
+    /// Observes one access to byte address `addr`. Only accesses mapping
+    /// to sampled sets update the shadow tags; all are counted for scaling.
+    pub fn observe(&mut self, addr: u64) {
+        self.total_accesses += 1;
+        let line = addr / self.line_bytes;
+        let set = (line % self.sets as u64) as usize;
+        if !set.is_multiple_of(self.sampling) {
+            return;
+        }
+        // Re-index into the sampled directory: tag bits must include the
+        // original set bits we dropped, so fold the set index into the tag
+        // by passing the line address of the *sampled* space.
+        let sampled_set = set / self.sampling;
+        let tag = line / self.sets as u64;
+        let pseudo_line = tag * (self.sets / self.sampling) as u64 + sampled_set as u64;
+        self.profiler.record(pseudo_line * self.line_bytes);
+    }
+
+    /// Total accesses observed (sampled or not).
+    pub fn accesses(&self) -> u64 {
+        self.total_accesses
+    }
+
+    /// Starts a fresh measurement epoch: counters reset, shadow tags kept
+    /// warm (so compulsory warm-up misses from before the reset do not
+    /// bias the new epoch's curve).
+    pub fn reset_counters(&mut self) {
+        self.profiler.reset_counters();
+        self.total_accesses = 0;
+    }
+
+    /// Estimated misses if the application ran alone in a cache of `ways`
+    /// ways, scaled from the sampled sets to the full cache.
+    pub fn estimated_misses_at(&self, ways: usize) -> f64 {
+        let sampled = self.profiler.misses_at(ways) as f64;
+        let sampled_accesses = self.profiler.accesses() as f64;
+        if sampled_accesses == 0.0 {
+            return 0.0;
+        }
+        // Scale by the true access count rather than the nominal sampling
+        // rate: dynamic set sampling is unbiased in expectation but the
+        // realized sample fraction varies by address distribution.
+        sampled * self.total_accesses as f64 / sampled_accesses
+    }
+
+    /// The estimated miss curve over capacities `1..=max_ways` ways,
+    /// expressed in bytes of the full cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidConfig`] only if monotonicity repair
+    /// fails, which cannot happen for profiler output.
+    pub fn miss_curve(&self) -> Result<MissCurve> {
+        let max_ways = self.profiler.miss_profile().len();
+        let mut points = Vec::with_capacity(max_ways);
+        let mut floor = f64::INFINITY;
+        for w in 1..=max_ways {
+            let mut m = self.estimated_misses_at(w);
+            // Guard tiny float noise from scaling.
+            if m > floor {
+                m = floor;
+            }
+            floor = m;
+            points.push((w as f64 * self.way_bytes, m));
+        }
+        MissCurve::new(points)
+    }
+
+    /// Approximate storage overhead of the shadow tags in bytes, assuming
+    /// compact ~2-byte tags per tracked way. With the paper's geometry —
+    /// a per-core monitor covering 2 MB / 16 ways (4096 sets) at sampling
+    /// rate 32 — this is ≈4 kB per core, matching the paper's reported
+    /// 3.6 kB (<1% of the per-core L2 share).
+    pub fn storage_overhead_bytes(&self) -> usize {
+        let sampled_sets = self.sets / self.sampling;
+        let ways = self.profiler.miss_profile().len();
+        sampled_sets * ways * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_stream(n: usize, distinct: u64, line: u64) -> Vec<u64> {
+        let mut x = 987654321u64;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((x >> 32) % distinct) * line
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        assert!(UmonShadowTags::new(0, 32, 32, 16).is_err());
+        assert!(UmonShadowTags::new(64, 32, 0, 16).is_err());
+        assert!(UmonShadowTags::new(64, 48, 2, 16).is_err());
+        assert!(UmonShadowTags::new(16, 32, 32, 16).is_err(), "no sampled sets");
+    }
+
+    #[test]
+    fn sampled_estimate_tracks_exact_profile() {
+        let sets = 1024usize;
+        let line = 32u64;
+        let stream = lcg_stream(200_000, 40_000, line);
+        let mut exact = StackProfiler::new(sets, line, 16);
+        let mut umon = UmonShadowTags::new(sets, line, 32, 16).unwrap();
+        for &a in &stream {
+            exact.record(a);
+            umon.observe(a);
+        }
+        for ways in [1usize, 4, 8, 16] {
+            let truth = exact.misses_at(ways) as f64;
+            let est = umon.estimated_misses_at(ways);
+            let err = (est - truth).abs() / truth.max(1.0);
+            assert!(
+                err < 0.15,
+                "ways {ways}: estimate {est} vs exact {truth} ({:.1}% off)",
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn miss_curve_is_monotone_and_in_bytes() {
+        let sets = 256usize;
+        let line = 32u64;
+        let mut umon = UmonShadowTags::new(sets, line, 8, 16).unwrap();
+        for &a in &lcg_stream(50_000, 5_000, line) {
+            umon.observe(a);
+        }
+        let curve = umon.miss_curve().unwrap();
+        assert_eq!(curve.capacities().len(), 16);
+        assert_eq!(curve.capacities()[0], (sets as u64 * line) as f64);
+        assert!(curve
+            .misses()
+            .windows(2)
+            .all(|w| w[1] <= w[0] + 1e-9));
+    }
+
+    #[test]
+    fn empty_monitor_reports_zero() {
+        let umon = UmonShadowTags::paper_config(4096, 32).unwrap();
+        assert_eq!(umon.estimated_misses_at(4), 0.0);
+        assert_eq!(umon.accesses(), 0);
+    }
+
+    #[test]
+    fn paper_overhead_under_one_percent_of_core_share() {
+        // The per-core monitor covers the 2 MB maximum monitored region:
+        // 2 MB / (16 ways × 32 B) = 4096 sets, sampling rate 32.
+        let umon = UmonShadowTags::paper_config(4096, 32).unwrap();
+        let overhead = umon.storage_overhead_bytes() as f64;
+        // Paper: 3.6 kB per core, <1% of the 512 kB per-core L2 share.
+        assert!(overhead <= 4.5 * 1024.0, "overhead {} bytes", overhead);
+        assert!(overhead / (512.0 * 1024.0) < 0.01);
+    }
+}

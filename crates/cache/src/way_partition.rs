@@ -1,0 +1,197 @@
+//! Strict way partitioning — the coarse-grained scheme Futility Scaling
+//! replaces.
+//!
+//! Classic way partitioning assigns each owner a set of ways in every set;
+//! replacements only evict within the owner's own ways. It is simple and
+//! fully isolating, but its granularity is one way across all sets
+//! (e.g. 256 kB for the paper's 8-core L2) — far coarser than the 128 kB
+//! *cache region* the market trades, and unable to express targets like a
+//! 55%/45% split of an 8-way cache. The paper adopts Futility Scaling
+//! (§4.1.1) precisely to escape this; this module exists as the
+//! comparison point (see the granularity tests here and in the
+//! integration suite).
+
+use crate::config::{CacheConfig, CacheError};
+use crate::set_assoc::OwnerStats;
+use crate::Result;
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    last_use: u64,
+    valid: bool,
+}
+
+impl Line {
+    const EMPTY: Line = Line {
+        tag: 0,
+        last_use: 0,
+        valid: false,
+    };
+}
+
+/// A cache statically partitioned by ways.
+#[derive(Debug, Clone)]
+pub struct WayPartitionedCache {
+    cfg: CacheConfig,
+    /// `way_owner[w]` = partition owning way `w` (same in every set).
+    way_owner: Vec<u16>,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+    stats: Vec<OwnerStats>,
+}
+
+impl WayPartitionedCache {
+    /// Creates a cache with the given per-partition way counts (must sum
+    /// to the associativity; every partition needs at least one way — the
+    /// scheme cannot express less).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidConfig`] for invalid geometry, a way
+    /// count mismatch, or a zero-way partition.
+    pub fn new(cfg: CacheConfig, ways_per_partition: &[usize]) -> Result<Self> {
+        cfg.validate()?;
+        let total: usize = ways_per_partition.iter().sum();
+        if total != cfg.ways {
+            return Err(CacheError::InvalidConfig {
+                reason: format!("way counts sum to {total}, cache has {}", cfg.ways),
+            });
+        }
+        if ways_per_partition.contains(&0) {
+            return Err(CacheError::InvalidConfig {
+                reason: "way partitioning cannot express a zero-way partition".into(),
+            });
+        }
+        let mut way_owner = Vec::with_capacity(cfg.ways);
+        for (p, &w) in ways_per_partition.iter().enumerate() {
+            way_owner.extend(std::iter::repeat_n(p as u16, w));
+        }
+        Ok(Self {
+            cfg,
+            way_owner,
+            sets: vec![vec![Line::EMPTY; cfg.ways]; cfg.sets()],
+            clock: 0,
+            stats: vec![OwnerStats::default(); ways_per_partition.len()],
+        })
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Bytes held by partition `p` (exact, by construction).
+    pub fn partition_bytes(&self, p: usize) -> u64 {
+        let ways = self.way_owner.iter().filter(|&&o| o as usize == p).count();
+        ways as u64 * self.cfg.way_bytes()
+    }
+
+    /// Access statistics for partition `p`.
+    pub fn stats(&self, p: usize) -> OwnerStats {
+        self.stats[p]
+    }
+
+    /// Performs one access by partition `p` to byte address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn access(&mut self, p: usize, addr: u64) -> bool {
+        assert!(p < self.stats.len(), "partition out of range");
+        self.clock += 1;
+        let (idx, tag) = self.cfg.index_and_tag(addr);
+        self.stats[p].accesses += 1;
+        let clock = self.clock;
+        let owner = p as u16;
+        let way_owner = &self.way_owner;
+        let set = &mut self.sets[idx];
+
+        // Hit within own ways only (strict isolation).
+        if let Some(w) = (0..set.len())
+            .find(|&w| way_owner[w] == owner && set[w].valid && set[w].tag == tag)
+        {
+            set[w].last_use = clock;
+            return true;
+        }
+        self.stats[p].misses += 1;
+        // Fill an invalid own way, else evict own LRU.
+        let victim = (0..set.len())
+            .filter(|&w| way_owner[w] == owner)
+            .min_by_key(|&w| if set[w].valid { set[w].last_use } else { 0 })
+            .expect("every partition has at least one way");
+        set[victim] = Line {
+            tag,
+            last_use: clock,
+            valid: true,
+        };
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 64 << 10,
+            ways: 8,
+            line_bytes: 32,
+        }
+    }
+
+    #[test]
+    fn granularity_is_way_sized() {
+        let c = WayPartitionedCache::new(cfg(), &[6, 2]).unwrap();
+        assert_eq!(c.partition_bytes(0), 6 * (64 << 10) / 8);
+        assert_eq!(c.partition_bytes(1), 2 * (64 << 10) / 8);
+        // A 55/45 split of 8 ways is inexpressible: 4.4 ways is not an
+        // integer — the best way partitioning can do is 4/4 or 5/3.
+        assert!(WayPartitionedCache::new(cfg(), &[4, 4]).is_ok());
+        let err = |w: &[usize]| WayPartitionedCache::new(cfg(), w).is_err();
+        assert!(err(&[5, 4]), "over-committed");
+        assert!(err(&[8, 0]), "zero-way partition");
+    }
+
+    #[test]
+    fn partitions_are_fully_isolated() {
+        let mut c = WayPartitionedCache::new(cfg(), &[4, 4]).unwrap();
+        // Partition 1 floods the cache; partition 0's lines survive.
+        for l in 0..16u64 {
+            c.access(0, l * 32);
+        }
+        for l in 0..100_000u64 {
+            c.access(1, (1 << 30) + l * 32);
+        }
+        c.stats[0] = OwnerStats::default();
+        for l in 0..16u64 {
+            assert!(c.access(0, l * 32), "line {l} was evicted by partition 1");
+        }
+    }
+
+    #[test]
+    fn own_partition_too_small_thrashes() {
+        // Partition 1 has 2 ways; a 4-way-per-set working set thrashes in
+        // it even though the cache as a whole could hold it.
+        let mut c = WayPartitionedCache::new(cfg(), &[6, 2]).unwrap();
+        let sets = c.config().sets() as u64;
+        let stride = sets * 32;
+        for _ in 0..10 {
+            for k in 0..4u64 {
+                c.access(1, k * stride);
+            }
+        }
+        let s = c.stats(1);
+        assert_eq!(s.misses, s.accesses, "cyclic 4-tag set in 2 ways thrashes");
+    }
+
+    #[test]
+    fn stats_track_hits() {
+        let mut c = WayPartitionedCache::new(cfg(), &[4, 4]).unwrap();
+        c.access(0, 0);
+        c.access(0, 0);
+        assert_eq!(c.stats(0).accesses, 2);
+        assert_eq!(c.stats(0).misses, 1);
+    }
+}

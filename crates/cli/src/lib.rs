@@ -1,0 +1,322 @@
+#![warn(missing_docs)]
+
+//! Argument handling and command implementations for the `rebudget` CLI.
+//!
+//! The binary (`src/main.rs`) is a thin shell over [`run`], so everything
+//! is unit-testable. Subcommands:
+//!
+//! ```text
+//! rebudget apps                          list the 24 application models
+//! rebudget workloads <CATEGORY> <CORES>  print generated bundles
+//! rebudget solve <CATEGORY|bbpc> <CORES> [MECHANISM] [STEP]
+//! rebudget sweep <CATEGORY|bbpc> <CORES> sweep the ReBudget step knob
+//! rebudget simulate <CATEGORY|bbpc> <CORES> [QUANTA]
+//! rebudget theory <MUR> <MBR>            evaluate the Theorem 1/2 bounds
+//! ```
+
+use std::fmt::Write as _;
+
+use rebudget_apps::classify::{sensitivity, Envelope};
+use rebudget_apps::perf::PerfEnv;
+use rebudget_apps::spec::all_apps;
+use rebudget_core::mechanisms::{
+    Balanced, EqualBudget, EqualShare, MaxEfficiency, Mechanism, ReBudget,
+};
+use rebudget_core::sweep::sweep_steps;
+use rebudget_core::theory::{ef_lower_bound, poa_lower_bound};
+use rebudget_sim::analytic::build_market;
+use rebudget_sim::{run_simulation, DramConfig, SimOptions, SystemConfig};
+use rebudget_workloads::{generate_bundle, paper_bbpc_8core, Bundle, Category};
+
+/// CLI-level error: a message for the user plus the exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Message printed to stderr.
+    pub message: String,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(message: impl Into<String>) -> CliError {
+    CliError {
+        message: message.into(),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+rebudget — market-based multicore resource allocation (ReBudget, ASPLOS'16)
+
+USAGE:
+    rebudget apps
+    rebudget workloads <CATEGORY> <CORES> [SEED]
+    rebudget solve <CATEGORY|bbpc> <CORES> [MECHANISM] [STEP]
+    rebudget sweep <CATEGORY|bbpc> <CORES>
+    rebudget simulate <CATEGORY|bbpc> <CORES> [QUANTA]
+    rebudget theory <MUR> <MBR>
+
+CATEGORY:   CPBN | CCPP | CPBB | BBNN | BBPN | BBCN (case-insensitive)
+MECHANISM:  equalshare | equalbudget | balanced | rebudget | maxefficiency
+";
+
+/// Parses a mechanism name (with an optional ReBudget step).
+pub fn parse_mechanism(name: &str, step: Option<f64>) -> Result<Box<dyn Mechanism>, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "equalshare" => Ok(Box::new(EqualShare)),
+        "equalbudget" => Ok(Box::new(EqualBudget::new(100.0))),
+        "balanced" => Ok(Box::new(Balanced::new(100.0))),
+        "rebudget" => Ok(Box::new(ReBudget::with_step(100.0, step.unwrap_or(20.0)))),
+        "maxefficiency" => Ok(Box::new(MaxEfficiency::default())),
+        other => Err(err(format!("unknown mechanism '{other}'"))),
+    }
+}
+
+fn parse_bundle(category: &str, cores: usize, seed: u64) -> Result<Bundle, CliError> {
+    if category.eq_ignore_ascii_case("bbpc") {
+        if cores != 8 {
+            return Err(err("the paper's bbpc case-study bundle is 8-core"));
+        }
+        return Ok(paper_bbpc_8core());
+    }
+    let cat = Category::from_name(category)
+        .ok_or_else(|| err(format!("unknown category '{category}'")))?;
+    generate_bundle(cat, cores, 0, seed).map_err(|e| err(e.to_string()))
+}
+
+fn system_for(cores: usize) -> (SystemConfig, DramConfig) {
+    let sys = match cores {
+        8 => SystemConfig::paper_8core(),
+        64 => SystemConfig::paper_64core(),
+        n => SystemConfig::scaled(n),
+    };
+    (sys, DramConfig::ddr3_1600())
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, CliError> {
+    s.parse()
+        .map_err(|_| err(format!("invalid {what}: '{s}'")))
+}
+
+/// Runs the CLI with `args` (excluding the program name); returns the
+/// text to print on stdout.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a user-facing message for bad input.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let mut out = String::new();
+    match args.first().map(String::as_str) {
+        Some("apps") => {
+            writeln!(
+                out,
+                "{:<12} {:<14} {:<6} {:>10} {:>11} {:>9}",
+                "name", "suite", "class", "cache-gain", "power-gain", "activity"
+            )
+            .expect("writing to String cannot fail");
+            for app in all_apps() {
+                let s = sensitivity(app, &PerfEnv::paper(), &Envelope::paper());
+                writeln!(
+                    out,
+                    "{:<12} {:<14} {:<6} {:>10.3} {:>11.3} {:>9.2}",
+                    app.name,
+                    format!("{:?}", app.suite),
+                    app.class.letter(),
+                    s.cache_gain,
+                    s.power_gain,
+                    app.activity
+                )
+                .expect("writing to String cannot fail");
+            }
+            Ok(out)
+        }
+        Some("workloads") => {
+            let category = args.get(1).ok_or_else(|| err(USAGE))?;
+            let cores: usize = parse(args.get(2).ok_or_else(|| err(USAGE))?, "core count")?;
+            let seed: u64 = args.get(3).map(|s| parse(s, "seed")).transpose()?.unwrap_or(1);
+            let cat = Category::from_name(category)
+                .ok_or_else(|| err(format!("unknown category '{category}'")))?;
+            for index in 0..5 {
+                let b = generate_bundle(cat, cores, index, seed).map_err(|e| err(e.to_string()))?;
+                writeln!(out, "{}: {}", b.label(), b.app_names().join(" "))
+                    .expect("writing to String cannot fail");
+            }
+            Ok(out)
+        }
+        Some("solve") => {
+            let category = args.get(1).ok_or_else(|| err(USAGE))?;
+            let cores: usize = parse(args.get(2).ok_or_else(|| err(USAGE))?, "core count")?;
+            let step: Option<f64> = args.get(4).map(|s| parse(s, "step")).transpose()?;
+            let mech = parse_mechanism(args.get(3).map(String::as_str).unwrap_or("rebudget"), step)?;
+            let bundle = parse_bundle(category, cores, 1)?;
+            let (sys, dram) = system_for(cores);
+            let market =
+                build_market(&bundle, &sys, &dram, 100.0).map_err(|e| err(e.to_string()))?;
+            let o = mech.allocate(&market).map_err(|e| err(e.to_string()))?;
+            writeln!(out, "bundle      {}", bundle.label()).expect("infallible");
+            writeln!(out, "mechanism   {}", o.mechanism).expect("infallible");
+            writeln!(out, "efficiency  {:.4} (weighted speedup, max {})", o.efficiency, cores)
+                .expect("infallible");
+            writeln!(out, "envy-free   {:.4}", o.envy_freeness).expect("infallible");
+            if let (Some(mur), Some(mbr)) = (o.mur, o.mbr) {
+                writeln!(out, "MUR         {mur:.4}  (PoA floor {:.4})", poa_lower_bound(mur))
+                    .expect("infallible");
+                writeln!(out, "MBR         {mbr:.4}  (EF floor {:.4})", ef_lower_bound(mbr))
+                    .expect("infallible");
+                writeln!(out, "rounds      {} ({} iterations)", o.equilibrium_rounds, o.total_iterations)
+                    .expect("infallible");
+            }
+            Ok(out)
+        }
+        Some("sweep") => {
+            let category = args.get(1).ok_or_else(|| err(USAGE))?;
+            let cores: usize = parse(args.get(2).ok_or_else(|| err(USAGE))?, "core count")?;
+            let bundle = parse_bundle(category, cores, 1)?;
+            let (sys, dram) = system_for(cores);
+            let market =
+                build_market(&bundle, &sys, &dram, 100.0).map_err(|e| err(e.to_string()))?;
+            let pts = sweep_steps(&market, 100.0, &[0.0, 5.0, 10.0, 20.0, 40.0, 80.0], true)
+                .map_err(|e| err(e.to_string()))?;
+            writeln!(
+                out,
+                "{:>6} {:>10} {:>10} {:>8} {:>8} {:>10}",
+                "step", "eff/OPT", "envy-free", "MUR", "MBR", "EF-floor"
+            )
+            .expect("infallible");
+            for p in pts {
+                writeln!(
+                    out,
+                    "{:>6.0} {:>10.3} {:>10.3} {:>8.3} {:>8.3} {:>10.3}",
+                    p.step,
+                    p.normalized_efficiency.unwrap_or(f64::NAN),
+                    p.envy_freeness,
+                    p.mur,
+                    p.mbr,
+                    p.ef_floor
+                )
+                .expect("infallible");
+            }
+            Ok(out)
+        }
+        Some("simulate") => {
+            let category = args.get(1).ok_or_else(|| err(USAGE))?;
+            let cores: usize = parse(args.get(2).ok_or_else(|| err(USAGE))?, "core count")?;
+            let quanta: usize = args
+                .get(3)
+                .map(|s| parse(s, "quanta"))
+                .transpose()?
+                .unwrap_or(5);
+            let bundle = parse_bundle(category, cores, 1)?;
+            let (sys, dram) = system_for(cores);
+            let opts = SimOptions {
+                quanta,
+                accesses_per_quantum: 10_000,
+                budget: 100.0,
+                use_monitors: true,
+                seed: 1,
+        ..SimOptions::default()
+            };
+            writeln!(
+                out,
+                "{:<14} {:>14} {:>10}",
+                "mechanism", "weighted-speedup", "envy-free"
+            )
+            .expect("infallible");
+            for mech_name in ["equalshare", "equalbudget", "rebudget", "maxefficiency"] {
+                let mech = parse_mechanism(mech_name, Some(40.0))?;
+                let r = run_simulation(&sys, &dram, &bundle, mech.as_ref(), &opts)
+                    .map_err(|e| err(e.to_string()))?;
+                writeln!(out, "{:<14} {:>14.3} {:>10.3}", r.mechanism, r.efficiency, r.envy_freeness)
+                    .expect("infallible");
+            }
+            Ok(out)
+        }
+        Some("theory") => {
+            let mur: f64 = parse(args.get(1).ok_or_else(|| err(USAGE))?, "MUR")?;
+            let mbr: f64 = parse(args.get(2).ok_or_else(|| err(USAGE))?, "MBR")?;
+            writeln!(out, "PoA >= {:.4}  (Theorem 1 at MUR {mur:.3})", poa_lower_bound(mur))
+                .expect("infallible");
+            writeln!(out, "EF  >= {:.4}  (Theorem 2 at MBR {mbr:.3})", ef_lower_bound(mbr))
+                .expect("infallible");
+            Ok(out)
+        }
+        Some("help") | Some("--help") | Some("-h") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(err(format!("unknown command '{other}'\n\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ok(args: &[&str]) -> String {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&v).expect("command succeeds")
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run_ok(&[]).contains("USAGE"));
+        assert!(run_ok(&["help"]).contains("USAGE"));
+        let e = run(&["frobnicate".to_string()]).unwrap_err();
+        assert!(e.message.contains("unknown command"));
+    }
+
+    #[test]
+    fn apps_lists_24() {
+        let out = run_ok(&["apps"]);
+        assert_eq!(out.lines().count(), 25, "header + 24 apps");
+        assert!(out.contains("mcf"));
+        assert!(out.contains("sixtrack"));
+    }
+
+    #[test]
+    fn workloads_prints_bundles() {
+        let out = run_ok(&["workloads", "cpbn", "8"]);
+        assert_eq!(out.lines().count(), 5);
+        assert!(out.contains("CPBN#00"));
+        assert!(run(&["workloads".into(), "zzz".into(), "8".into()]).is_err());
+        assert!(run(&["workloads".into(), "cpbn".into(), "7".into()]).is_err());
+    }
+
+    #[test]
+    fn solve_reports_metrics() {
+        let out = run_ok(&["solve", "bbpc", "8", "rebudget", "20"]);
+        assert!(out.contains("ReBudget-20"));
+        assert!(out.contains("MUR"));
+        assert!(out.contains("PoA floor"));
+        let out = run_ok(&["solve", "bbpc", "8", "equalshare"]);
+        assert!(out.contains("EqualShare"));
+        assert!(!out.contains("MUR"), "no market metrics without a market");
+    }
+
+    #[test]
+    fn sweep_produces_six_rows() {
+        let out = run_ok(&["sweep", "bbpc", "8"]);
+        assert_eq!(out.lines().count(), 7, "header + 6 steps");
+    }
+
+    #[test]
+    fn theory_evaluates_bounds() {
+        let out = run_ok(&["theory", "1.0", "1.0"]);
+        assert!(out.contains("0.7500"));
+        assert!(out.contains("0.8284"));
+    }
+
+    #[test]
+    fn mechanism_parsing() {
+        assert!(parse_mechanism("balanced", None).is_ok());
+        assert!(parse_mechanism("REBUDGET", Some(40.0)).is_ok());
+        assert!(parse_mechanism("magic", None).is_err());
+    }
+
+    #[test]
+    fn bbpc_requires_8_cores() {
+        assert!(run(&["solve".into(), "bbpc".into(), "64".into()]).is_err());
+    }
+}

@@ -1,0 +1,13 @@
+//! The `rebudget` command-line tool. All logic lives in the library so it
+//! can be unit-tested; see [`rebudget_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match rebudget_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

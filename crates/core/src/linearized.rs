@@ -1,0 +1,158 @@
+//! Numerical machinery from the paper's Appendix A (proof of Theorem 1).
+//!
+//! The proof linearizes each player's utility at the equilibrium
+//! allocation — `W_i(r) = Σ_j α_ij·r_ij` with `α_ij = ∂U_i/∂r_ij(rⁿ)` —
+//! and shows:
+//!
+//! 1. the equilibrium of `U` is also an equilibrium of `W`;
+//! 2. `Nash(U)/OPT(U) ≥ Nash(W)/OPT(W)` (concavity);
+//! 3. `OPT(W) = Σ_j C_j · max_i α_ij` (give each resource wholly to its
+//!    top valuer);
+//! 4. `Nash(W)/OPT(W) ≥ 1 − 1/(4·MUR)` for `MUR ≥ ½`, else `≥ MUR`.
+//!
+//! This module computes every quantity in that chain for an *observed*
+//! equilibrium, so the inequality can be checked numerically on real
+//! markets — a mechanically verified re-derivation of the proof, and a
+//! useful diagnostic for how tight the bound is in practice.
+
+use rebudget_market::equilibrium::EquilibriumOutcome;
+use rebudget_market::{metrics, Market};
+
+use crate::theory::poa_lower_bound;
+
+/// The linearized-welfare quantities of Appendix A at one equilibrium.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearizedCheck {
+    /// `Nash(W) = Σ_ij α_ij · rⁿ_ij` — linearized welfare at equilibrium.
+    pub nash_w: f64,
+    /// `OPT(W) = Σ_j C_j · max_i α_ij` — linearized optimal welfare.
+    pub opt_w: f64,
+    /// `Nash(W) / OPT(W)`.
+    pub ratio: f64,
+    /// Market Utility Range measured at the equilibrium.
+    pub mur: f64,
+    /// The Theorem-1 floor `poa_lower_bound(mur)`.
+    pub floor: f64,
+    /// Whether `ratio ≥ floor` (up to `tolerance`).
+    pub holds: bool,
+}
+
+/// Evaluates the Appendix-A chain at an observed equilibrium.
+///
+/// `tolerance` absorbs the approximation error of the iterative
+/// equilibrium (the proof assumes exact best responses).
+pub fn linearized_check(
+    market: &Market,
+    outcome: &EquilibriumOutcome,
+    tolerance: f64,
+) -> LinearizedCheck {
+    let n = market.len();
+    let m = market.resources().len();
+    let capacities = market.resources().capacities();
+
+    // α_ij = ∂U_i/∂r_ij at the equilibrium allocation.
+    let mut alphas = vec![vec![0.0; m]; n];
+    for (i, p) in market.players().iter().enumerate() {
+        let r = outcome.allocation.row(i);
+        for j in 0..m {
+            alphas[i][j] = p.utility().marginal(r, j).max(0.0);
+        }
+    }
+
+    let mut nash_w = 0.0;
+    for i in 0..n {
+        for j in 0..m {
+            nash_w += alphas[i][j] * outcome.allocation.get(i, j);
+        }
+    }
+    let opt_w: f64 = (0..m)
+        .map(|j| {
+            let top = (0..n).map(|i| alphas[i][j]).fold(0.0_f64, f64::max);
+            capacities[j] * top
+        })
+        .sum();
+
+    let mur = metrics::mur(&outcome.lambdas);
+    let floor = poa_lower_bound(mur);
+    let ratio = if opt_w > 0.0 { nash_w / opt_w } else { 1.0 };
+    LinearizedCheck {
+        nash_w,
+        opt_w,
+        ratio,
+        mur,
+        floor,
+        holds: ratio >= floor - tolerance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebudget_market::equilibrium::EquilibriumOptions;
+    use rebudget_market::utility::SeparableUtility;
+    use rebudget_market::{Player, ResourceSpace};
+    use std::sync::Arc;
+
+    fn market(weights: &[[f64; 2]], caps: [f64; 2]) -> Market {
+        let players = weights
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                Player::new(
+                    format!("p{i}"),
+                    100.0,
+                    Arc::new(SeparableUtility::proportional(w, &caps).unwrap())
+                        as Arc<dyn rebudget_market::Utility>,
+                )
+            })
+            .collect();
+        Market::new(ResourceSpace::new(caps.to_vec()).unwrap(), players).unwrap()
+    }
+
+    #[test]
+    fn appendix_a_chain_holds_at_equilibrium() {
+        let m = market(
+            &[[0.9, 0.1], [0.5, 0.5], [0.1, 0.9], [0.05, 0.95]],
+            [16.0, 80.0],
+        );
+        let eq = m.equilibrium(&EquilibriumOptions::precise()).unwrap();
+        let check = linearized_check(&m, &eq, 0.1);
+        assert!(check.opt_w > 0.0);
+        assert!(check.nash_w > 0.0);
+        assert!(check.nash_w <= check.opt_w + 1e-9, "Nash(W) cannot exceed OPT(W)");
+        assert!(
+            check.holds,
+            "Appendix-A inequality violated: ratio {:.3} < floor {:.3} (MUR {:.3})",
+            check.ratio, check.floor, check.mur
+        );
+    }
+
+    #[test]
+    fn unequal_budgets_lower_mur_but_chain_still_holds() {
+        let m = market(&[[0.8, 0.2], [0.3, 0.7], [0.5, 0.5]], [20.0, 60.0]);
+        let eq = m
+            .equilibrium_with_budgets(&[100.0, 40.0, 70.0], &EquilibriumOptions::precise())
+            .unwrap();
+        let check = linearized_check(&m, &eq, 0.1);
+        assert!(check.holds, "{check:?}");
+        assert!(check.mur <= 1.0);
+    }
+
+    #[test]
+    fn degenerate_zero_marginals_ratio_one() {
+        // Saturated players (flat utilities) produce zero αs; the check
+        // degrades gracefully.
+        use rebudget_market::utility::LinearUtility;
+        let players = vec![
+            Player::new("a", 10.0, Arc::new(LinearUtility::new(vec![0.0, 0.0]).unwrap())
+                as Arc<dyn rebudget_market::Utility>),
+            Player::new("b", 10.0, Arc::new(LinearUtility::new(vec![0.0, 0.0]).unwrap())
+                as Arc<dyn rebudget_market::Utility>),
+        ];
+        let m = Market::new(ResourceSpace::new(vec![4.0, 4.0]).unwrap(), players).unwrap();
+        let eq = m.equilibrium(&EquilibriumOptions::default()).unwrap();
+        let check = linearized_check(&m, &eq, 0.0);
+        assert_eq!(check.ratio, 1.0);
+        assert!(check.holds);
+    }
+}

@@ -1,0 +1,133 @@
+//! Sweeping the ReBudget aggressiveness knob.
+//!
+//! §6.2 of the paper concludes that "system designers and administrators
+//! can use the *step* as a 'knob' to trade off" efficiency for fairness.
+//! This module tabulates that knob: it runs `ReBudget-step` across a set of
+//! step values (plus the `EqualBudget` endpoint at step 0) and reports
+//! efficiency — optionally normalized to the `MaxEfficiency` oracle — next
+//! to measured envy-freeness and the Theorem-2 floor.
+
+use rebudget_market::{Market, Result};
+
+use crate::mechanisms::{EqualBudget, MaxEfficiency, Mechanism, ReBudget};
+use crate::theory::ef_lower_bound;
+
+/// One point of a knob sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The first-round budget cut (0 = EqualBudget).
+    pub step: f64,
+    /// Absolute efficiency `Σ_i U_i`.
+    pub efficiency: f64,
+    /// Efficiency normalized to the MaxEfficiency oracle, if requested.
+    pub normalized_efficiency: Option<f64>,
+    /// Measured envy-freeness.
+    pub envy_freeness: f64,
+    /// Measured Market Utility Range.
+    pub mur: f64,
+    /// Measured Market Budget Range.
+    pub mbr: f64,
+    /// Worst-case envy-freeness floor from Theorem 2 at the measured MBR.
+    pub ef_floor: f64,
+}
+
+/// Sweeps `ReBudget-step` over `steps` on `market`.
+///
+/// A step of exactly `0.0` runs plain `EqualBudget`. When `normalize` is
+/// true, the `MaxEfficiency` oracle runs once and every point reports
+/// `efficiency / OPT`.
+///
+/// # Errors
+///
+/// Propagates mechanism errors (degenerate markets).
+pub fn sweep_steps(
+    market: &Market,
+    base_budget: f64,
+    steps: &[f64],
+    normalize: bool,
+) -> Result<Vec<SweepPoint>> {
+    let opt = if normalize {
+        Some(MaxEfficiency::default().allocate(market)?.efficiency)
+    } else {
+        None
+    };
+    let mut points = Vec::with_capacity(steps.len());
+    for &step in steps {
+        let out = if step <= 0.0 {
+            EqualBudget::new(base_budget).allocate(market)?
+        } else {
+            ReBudget::with_step(base_budget, step).allocate(market)?
+        };
+        let mbr = out.mbr.unwrap_or(1.0);
+        points.push(SweepPoint {
+            step,
+            efficiency: out.efficiency,
+            normalized_efficiency: opt.map(|o| if o > 0.0 { out.efficiency / o } else { 1.0 }),
+            envy_freeness: out.envy_freeness,
+            mur: out.mur.unwrap_or(1.0),
+            mbr,
+            ef_floor: ef_lower_bound(mbr),
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebudget_market::utility::SeparableUtility;
+    use rebudget_market::{Player, ResourceSpace};
+    use std::sync::Arc;
+
+    fn market() -> Market {
+        let caps = [16.0, 80.0];
+        Market::new(
+            ResourceSpace::new(caps.to_vec()).unwrap(),
+            vec![
+                Player::new(
+                    "a",
+                    100.0,
+                    Arc::new(SeparableUtility::proportional(&[0.9, 0.1], &caps).unwrap()),
+                ),
+                Player::new(
+                    "b",
+                    100.0,
+                    Arc::new(SeparableUtility::proportional(&[0.5, 0.5], &caps).unwrap()),
+                ),
+                Player::new(
+                    "c",
+                    100.0,
+                    Arc::new(SeparableUtility::proportional(&[0.1, 0.9], &caps).unwrap()),
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_step() {
+        let pts = sweep_steps(&market(), 100.0, &[0.0, 20.0, 40.0], true).unwrap();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].step, 0.0);
+        assert_eq!(pts[0].mbr, 1.0);
+        for p in &pts {
+            assert!(p.normalized_efficiency.unwrap() <= 1.0 + 1e-6);
+            assert!(p.ef_floor <= 0.8285);
+            // Theorem 2 must hold: measured EF at or above the floor.
+            assert!(
+                p.envy_freeness >= p.ef_floor - 1e-9,
+                "step {}: EF {} below floor {}",
+                p.step,
+                p.envy_freeness,
+                p.ef_floor
+            );
+        }
+    }
+
+    #[test]
+    fn more_aggressive_steps_never_raise_mbr() {
+        let pts = sweep_steps(&market(), 100.0, &[0.0, 10.0, 40.0], false).unwrap();
+        assert!(pts[0].normalized_efficiency.is_none());
+        assert!(pts.windows(2).all(|w| w[1].mbr <= w[0].mbr + 1e-9));
+    }
+}

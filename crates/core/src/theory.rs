@@ -1,0 +1,181 @@
+//! The paper's theoretical bounds (Theorems 1 and 2, Figure 1).
+//!
+//! * **Theorem 1 (efficiency).** With Market Utility Range
+//!   `MUR = min_i λ_i / max_i λ_i`, any market equilibrium satisfies
+//!   `PoA ≥ 1 − 1/(4·MUR)` when `MUR ≥ ½` (hence at least 50% of optimal),
+//!   and `PoA ≥ MUR` when `MUR < ½`.
+//! * **Theorem 2 (fairness).** With Market Budget Range
+//!   `MBR = min_i B_i / max_i B_i`, any market equilibrium is
+//!   `(2·√(1 + MBR) − 2)`-approximate envy-free.
+//!
+//! Both bounds are *worst-case floors*: the observed efficiency and
+//! envy-freeness in §6 of the paper sit well above them, but no equilibrium
+//! may fall below (the paper verifies "none of the bundles violates the
+//! theoretic guarantee").
+
+/// Price-of-Anarchy lower bound as a function of MUR (Theorem 1).
+///
+/// The input is clamped to `[0, 1]`.
+///
+/// ```
+/// use rebudget_core::theory::poa_lower_bound;
+/// assert_eq!(poa_lower_bound(1.0), 0.75);
+/// assert_eq!(poa_lower_bound(0.5), 0.5);
+/// assert_eq!(poa_lower_bound(0.25), 0.25);
+/// ```
+pub fn poa_lower_bound(mur: f64) -> f64 {
+    let mur = mur.clamp(0.0, 1.0);
+    if mur >= 0.5 {
+        1.0 - 1.0 / (4.0 * mur)
+    } else {
+        mur
+    }
+}
+
+/// Approximate envy-freeness lower bound as a function of MBR (Theorem 2):
+/// `2·√(1 + MBR) − 2`.
+///
+/// The input is clamped to `[0, 1]`. At `MBR = 1` (equal budgets) this
+/// recovers Zhang's 0.828 bound (Lemma 3 of the paper).
+///
+/// ```
+/// use rebudget_core::theory::ef_lower_bound;
+/// assert!((ef_lower_bound(1.0) - 0.8284271247461903).abs() < 1e-12);
+/// assert_eq!(ef_lower_bound(0.0), 0.0);
+/// ```
+pub fn ef_lower_bound(mbr: f64) -> f64 {
+    let mbr = mbr.clamp(0.0, 1.0);
+    2.0 * (1.0 + mbr).sqrt() - 2.0
+}
+
+/// The largest envy-freeness floor any budget assignment can guarantee
+/// through Theorem 2 (attained at `MBR = 1`): `2·√2 − 2 ≈ 0.828`.
+pub const MAX_GUARANTEED_EF: f64 = 0.828_427_124_746_190_3;
+
+/// Inverts Theorem 2: the minimum MBR that guarantees at least
+/// `target_ef`-approximate envy-freeness. This is how ReBudget converts an
+/// administrator's fairness floor into a budget-range constraint (§4.2:
+/// "the system administrator can set a lowest acceptable envy-freeness
+/// level, and using Theorem 2, the minimum MBR can be computed").
+///
+/// Returns `None` if `target_ef` is negative or exceeds
+/// [`MAX_GUARANTEED_EF`] (no budget range can guarantee more than 0.828).
+///
+/// ```
+/// use rebudget_core::theory::{ef_lower_bound, min_mbr_for_ef};
+/// let mbr = min_mbr_for_ef(0.5).unwrap();
+/// assert!((ef_lower_bound(mbr) - 0.5).abs() < 1e-12);
+/// assert!(min_mbr_for_ef(0.9).is_none());
+/// ```
+pub fn min_mbr_for_ef(target_ef: f64) -> Option<f64> {
+    if !(0.0..=MAX_GUARANTEED_EF).contains(&target_ef) {
+        return None;
+    }
+    let root = (target_ef + 2.0) / 2.0;
+    Some((root * root - 1.0).clamp(0.0, 1.0))
+}
+
+/// A sampled theory curve, e.g. for regenerating Figure 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TheoryCurve {
+    /// The metric values on the x axis (MUR or MBR).
+    pub x: Vec<f64>,
+    /// The corresponding bound values.
+    pub y: Vec<f64>,
+}
+
+/// Samples `PoA ≥ f(MUR)` over `[0, 1]` (left panel of Figure 1).
+pub fn poa_curve(samples: usize) -> TheoryCurve {
+    sample_curve(samples, poa_lower_bound)
+}
+
+/// Samples `EF ≥ 2√(1+MBR) − 2` over `[0, 1]` (right panel of Figure 1).
+pub fn ef_curve(samples: usize) -> TheoryCurve {
+    sample_curve(samples, ef_lower_bound)
+}
+
+fn sample_curve(samples: usize, f: impl Fn(f64) -> f64) -> TheoryCurve {
+    let samples = samples.max(2);
+    let x: Vec<f64> = (0..samples)
+        .map(|k| k as f64 / (samples - 1) as f64)
+        .collect();
+    let y = x.iter().map(|&v| f(v)).collect();
+    TheoryCurve { x, y }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem1_continuous_at_half() {
+        let below = poa_lower_bound(0.5 - 1e-9);
+        let at = poa_lower_bound(0.5);
+        assert!((below - at).abs() < 1e-6);
+        assert_eq!(at, 0.5);
+    }
+
+    #[test]
+    fn theorem1_monotone_nondecreasing() {
+        let mut prev = -1.0;
+        for k in 0..=100 {
+            let v = poa_lower_bound(k as f64 / 100.0);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn theorem1_guarantees_half_above_half() {
+        for k in 50..=100 {
+            assert!(poa_lower_bound(k as f64 / 100.0) >= 0.5);
+        }
+    }
+
+    #[test]
+    fn theorem1_clamps_out_of_range() {
+        assert_eq!(poa_lower_bound(-0.5), 0.0);
+        assert_eq!(poa_lower_bound(2.0), 0.75);
+    }
+
+    #[test]
+    fn theorem2_matches_zhang_at_equal_budget() {
+        assert!((ef_lower_bound(1.0) - MAX_GUARANTEED_EF).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem2_paper_rebudget_floors() {
+        // §6.2: ReBudget-20 has a theoretical floor of 0.53 (min budget
+        // 61.25/100) and ReBudget-40 of 0.19 (min budget ~20/100).
+        assert!((ef_lower_bound(0.6125) - 0.53).abs() < 0.01);
+        assert!((ef_lower_bound(0.20) - 0.19).abs() < 0.005);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for k in 0..=82 {
+            let ef = k as f64 / 100.0;
+            let mbr = min_mbr_for_ef(ef).expect("within range");
+            assert!((ef_lower_bound(mbr) - ef).abs() < 1e-9, "ef={ef}");
+        }
+    }
+
+    #[test]
+    fn inverse_rejects_out_of_range() {
+        assert!(min_mbr_for_ef(-0.1).is_none());
+        assert!(min_mbr_for_ef(0.83).is_none());
+        assert!(min_mbr_for_ef(f64::NAN).is_none());
+    }
+
+    #[test]
+    fn curves_span_unit_interval() {
+        let c = poa_curve(101);
+        assert_eq!(c.x.len(), 101);
+        assert_eq!(c.x[0], 0.0);
+        assert_eq!(*c.x.last().unwrap(), 1.0);
+        assert_eq!(c.y[0], 0.0);
+        assert_eq!(*c.y.last().unwrap(), 0.75);
+        let e = ef_curve(3);
+        assert_eq!(e.x, vec![0.0, 0.5, 1.0]);
+    }
+}

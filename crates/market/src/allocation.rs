@@ -1,0 +1,147 @@
+//! Dense `N × M` allocation matrices.
+
+use crate::{MarketError, Result};
+
+/// The resource allocation of `N` players over `M` resources, stored
+/// row-major (`alloc[i * m + j]` is the amount of resource `j` held by
+/// player `i`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocationMatrix {
+    n: usize,
+    m: usize,
+    alloc: Vec<f64>,
+}
+
+impl AllocationMatrix {
+    /// Creates an all-zero allocation for `n` players and `m` resources.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarketError::Empty`] if `n` or `m` is zero.
+    pub fn zeros(n: usize, m: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(MarketError::Empty { what: "players" });
+        }
+        if m == 0 {
+            return Err(MarketError::Empty { what: "resources" });
+        }
+        Ok(Self {
+            n,
+            m,
+            alloc: vec![0.0; n * m],
+        })
+    }
+
+    /// An equal split of `capacities` across `n` players — the *EqualShare*
+    /// baseline of the paper's evaluation (§6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarketError::Empty`] if `n` is zero or `capacities` is empty.
+    pub fn equal_share(n: usize, capacities: &[f64]) -> Result<Self> {
+        let mut a = Self::zeros(n, capacities.len())?;
+        for i in 0..n {
+            for (j, &c) in capacities.iter().enumerate() {
+                a.set(i, j, c / n as f64);
+            }
+        }
+        Ok(a)
+    }
+
+    /// Number of players `N`.
+    pub fn players(&self) -> usize {
+        self.n
+    }
+
+    /// Number of resources `M`.
+    pub fn resources(&self) -> usize {
+        self.m
+    }
+
+    /// Amount of resource `j` held by player `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.m, "allocation index out of range");
+        self.alloc[i * self.m + j]
+    }
+
+    /// Sets the amount of resource `j` held by player `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn set(&mut self, i: usize, j: usize, amount: f64) {
+        assert!(i < self.n && j < self.m, "allocation index out of range");
+        self.alloc[i * self.m + j] = amount;
+    }
+
+    /// The allocation row (bundle) of player `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.n, "player index out of range");
+        &self.alloc[i * self.m..(i + 1) * self.m]
+    }
+
+    /// Overwrites the allocation row of player `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `row.len() != self.resources()`.
+    pub fn set_row(&mut self, i: usize, row: &[f64]) {
+        assert!(i < self.n, "player index out of range");
+        assert_eq!(row.len(), self.m, "row length mismatch");
+        self.alloc[i * self.m..(i + 1) * self.m].copy_from_slice(row);
+    }
+
+    /// Total amount of resource `j` handed out.
+    pub fn column_sum(&self, j: usize) -> f64 {
+        (0..self.n).map(|i| self.get(i, j)).sum()
+    }
+
+    /// Checks that each column sums to the corresponding capacity within
+    /// `tol` (relative), i.e. the allocation is feasible and exhaustive.
+    pub fn is_exhaustive(&self, capacities: &[f64], tol: f64) -> bool {
+        capacities.len() == self.m
+            && (0..self.m).all(|j| {
+                let s = self.column_sum(j);
+                (s - capacities[j]).abs() <= tol * capacities[j].max(1.0)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_share_is_exhaustive() {
+        let a = AllocationMatrix::equal_share(4, &[16.0, 80.0]).unwrap();
+        assert_eq!(a.get(0, 0), 4.0);
+        assert_eq!(a.get(3, 1), 20.0);
+        assert!(a.is_exhaustive(&[16.0, 80.0], 1e-12));
+        assert!(!a.is_exhaustive(&[17.0, 80.0], 1e-12));
+    }
+
+    #[test]
+    fn rows_and_columns() {
+        let mut a = AllocationMatrix::zeros(2, 2).unwrap();
+        a.set_row(0, &[1.0, 2.0]);
+        a.set(1, 0, 3.0);
+        assert_eq!(a.row(0), &[1.0, 2.0]);
+        assert_eq!(a.column_sum(0), 4.0);
+        assert_eq!(a.column_sum(1), 2.0);
+    }
+
+    #[test]
+    fn zero_dimensions_rejected() {
+        assert!(AllocationMatrix::zeros(0, 1).is_err());
+        assert!(AllocationMatrix::zeros(1, 0).is_err());
+        assert!(AllocationMatrix::equal_share(0, &[1.0]).is_err());
+    }
+}

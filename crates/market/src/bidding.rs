@@ -1,0 +1,298 @@
+//! The budget-constrained hill-climbing bidder of §4.1.2.
+//!
+//! Given the sum of the other players' bids `y_ij` on each resource (held
+//! fixed for the duration of the response, per §2 of the paper), a player
+//! predicts its allocation as `r_ij = b_ij / (b_ij + y_ij) · C_j` (Eq. 2) and
+//! climbs toward the bid vector that maximizes its utility subject to its
+//! budget:
+//!
+//! 1. split the budget into equal bids; set the shift amount `S` to half a
+//!    bid;
+//! 2. compute the marginal utility of money `λ_ij = ∂U_i/∂b_ij` for every
+//!    resource; move `S` from the resource with the lowest `λ` to the one
+//!    with the highest;
+//! 3. halve `S` and repeat until the `λ`s agree within 5% or `S` drops below
+//!    1% of the budget.
+//!
+//! At the optimum, Eq. 4 of the paper holds: all resources with non-zero
+//! bids share a common `λ_i`, and zero-bid resources have smaller `λ`.
+
+use crate::pricing::predicted_share;
+use crate::Utility;
+
+/// Tuning knobs for the hill-climbing bidder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiddingOptions {
+    /// Stop when `(λ_max − λ_min) / λ_max` falls below this (paper: 5%).
+    pub lambda_tolerance: f64,
+    /// Stop when the shift amount `S` falls below this fraction of the
+    /// budget (paper: 1%).
+    pub min_step_fraction: f64,
+}
+
+impl Default for BiddingOptions {
+    fn default() -> Self {
+        Self {
+            lambda_tolerance: 0.05,
+            min_step_fraction: 0.01,
+        }
+    }
+}
+
+/// The outcome of one best-response computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BestResponse {
+    /// The chosen bid per resource; sums to the budget.
+    pub bids: Vec<f64>,
+    /// The marginal utility of money `λ_ij` per resource at those bids.
+    pub lambdas: Vec<f64>,
+    /// Number of shift moves performed.
+    pub moves: usize,
+}
+
+impl BestResponse {
+    /// The player's marginal utility of additional budget: the largest
+    /// `λ_ij` across resources. This is the per-player `λ_i` that MUR and
+    /// the ReBudget re-assignment rule consume (§3.1, §4.2).
+    pub fn lambda(&self) -> f64 {
+        self.lambdas.iter().fold(0.0_f64, |a, &b| a.max(b))
+    }
+}
+
+/// Marginal utility of money on resource `j`:
+/// `λ_ij = ∂U/∂r_ij · ∂r_ij/∂b_ij` where
+/// `∂r_ij/∂b_ij = y_ij · C_j / (b_ij + y_ij)²` (see Eq. 7 in the paper's
+/// appendix).
+fn lambda_of(
+    utility: &dyn Utility,
+    allocation: &[f64],
+    bid: f64,
+    others: f64,
+    capacity: f64,
+    j: usize,
+) -> f64 {
+    let denom = (bid + others).max(1e-12);
+    let dr_db = others * capacity / (denom * denom);
+    utility.marginal(allocation, j) * dr_db
+}
+
+/// Computes a player's best response to the rest of the market.
+///
+/// `others` holds `y_ij` — the total bids of everyone else per resource —
+/// and `capacities` the resource capacities `C_j`. The returned bids always
+/// sum to `budget` (a zero budget yields all-zero bids).
+///
+/// This is exactly the exponential-back-off hill climb of §4.1.2; it takes
+/// `O(log(1/min_step_fraction))` moves.
+///
+/// # Examples
+///
+/// ```
+/// use rebudget_market::bidding::{best_response, BiddingOptions};
+/// use rebudget_market::utility::SeparableUtility;
+///
+/// # fn main() -> Result<(), rebudget_market::MarketError> {
+/// let caps = [16.0, 80.0];
+/// // A player who cares mostly about resource 0...
+/// let u = SeparableUtility::proportional(&[0.9, 0.1], &caps)?;
+/// let r = best_response(&u, 100.0, &[40.0, 40.0], &caps, &BiddingOptions::default());
+/// // ...skews its money there.
+/// assert!(r.bids[0] > r.bids[1]);
+/// assert!((r.bids.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn best_response(
+    utility: &dyn Utility,
+    budget: f64,
+    others: &[f64],
+    capacities: &[f64],
+    options: &BiddingOptions,
+) -> BestResponse {
+    let m = capacities.len();
+    debug_assert_eq!(others.len(), m, "others/capacities length mismatch");
+
+    if budget <= 0.0 || m == 0 {
+        return BestResponse {
+            bids: vec![0.0; m],
+            lambdas: vec![0.0; m],
+            moves: 0,
+        };
+    }
+
+    // Step 1: equal split; S = half of one bid.
+    let mut bids = vec![budget / m as f64; m];
+    let mut step = budget / (2.0 * m as f64);
+    let min_step = options.min_step_fraction * budget;
+    let mut moves = 0;
+
+    let eval_lambdas = |bids: &[f64]| -> Vec<f64> {
+        let allocation: Vec<f64> = (0..m)
+            .map(|j| predicted_share(bids[j], others[j], capacities[j]))
+            .collect();
+        (0..m)
+            .map(|j| lambda_of(utility, &allocation, bids[j], others[j], capacities[j], j))
+            .collect()
+    };
+
+    let mut lambdas = eval_lambdas(&bids);
+    if m == 1 {
+        // A single resource leaves nothing to re-balance.
+        return BestResponse {
+            bids,
+            lambdas,
+            moves,
+        };
+    }
+
+    while step >= min_step {
+        // Step 2: move S from the lowest-λ resource with money to the
+        // highest-λ resource.
+        let (mut lo, mut hi) = (usize::MAX, 0usize);
+        let (mut lo_l, mut hi_l) = (f64::INFINITY, f64::NEG_INFINITY);
+        for j in 0..m {
+            if lambdas[j] > hi_l {
+                hi_l = lambdas[j];
+                hi = j;
+            }
+            if bids[j] > 0.0 && lambdas[j] < lo_l {
+                lo_l = lambdas[j];
+                lo = j;
+            }
+        }
+        if lo == usize::MAX || lo == hi {
+            break;
+        }
+        // Condition (a): λs already agree within tolerance.
+        if hi_l <= 0.0 || (hi_l - lo_l) <= options.lambda_tolerance * hi_l {
+            break;
+        }
+        let amount = step.min(bids[lo]);
+        bids[lo] -= amount;
+        bids[hi] += amount;
+        moves += 1;
+        let new_lambdas = eval_lambdas(&bids);
+        // A move past the optimum would lower the top λ ordering; the
+        // shrinking step recovers, exactly as in the paper.
+        lambdas = new_lambdas;
+        // Step 3: halve S.
+        step *= 0.5;
+    }
+
+    BestResponse {
+        bids,
+        lambdas,
+        moves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::{LinearUtility, SeparableUtility};
+
+    #[test]
+    fn zero_budget_bids_nothing() {
+        let u = LinearUtility::new(vec![1.0, 1.0]).unwrap();
+        let r = best_response(&u, 0.0, &[5.0, 5.0], &[10.0, 10.0], &BiddingOptions::default());
+        assert_eq!(r.bids, vec![0.0, 0.0]);
+        assert_eq!(r.lambda(), 0.0);
+    }
+
+    #[test]
+    fn bids_always_sum_to_budget() {
+        let u = SeparableUtility::proportional(&[0.7, 0.3], &[16.0, 80.0]).unwrap();
+        for budget in [1.0, 50.0, 100.0, 1000.0] {
+            let r = best_response(
+                &u,
+                budget,
+                &[40.0, 10.0],
+                &[16.0, 80.0],
+                &BiddingOptions::default(),
+            );
+            let total: f64 = r.bids.iter().sum();
+            assert!(
+                (total - budget).abs() < 1e-9,
+                "budget {budget} produced total {total}"
+            );
+            assert!(r.bids.iter().all(|&b| b >= 0.0));
+        }
+    }
+
+    #[test]
+    fn skews_toward_preferred_resource() {
+        // Player cares almost only about resource 0.
+        let u = SeparableUtility::proportional(&[0.95, 0.05], &[10.0, 10.0]).unwrap();
+        let r = best_response(
+            &u,
+            100.0,
+            &[50.0, 50.0],
+            &[10.0, 10.0],
+            &BiddingOptions::default(),
+        );
+        assert!(
+            r.bids[0] > 2.0 * r.bids[1],
+            "expected skew toward resource 0, got {:?}",
+            r.bids
+        );
+    }
+
+    #[test]
+    fn improves_on_equal_split() {
+        let caps = [16.0, 80.0];
+        let others = [30.0, 70.0];
+        let u = SeparableUtility::proportional(&[0.9, 0.1], &caps).unwrap();
+        let value_at = |bids: &[f64]| {
+            let alloc: Vec<f64> = (0..2)
+                .map(|j| predicted_share(bids[j], others[j], caps[j]))
+                .collect();
+            crate::Utility::value(&u, &alloc)
+        };
+        let equal = value_at(&[50.0, 50.0]);
+        let r = best_response(&u, 100.0, &others, &caps, &BiddingOptions::default());
+        assert!(
+            value_at(&r.bids) >= equal - 1e-12,
+            "best response must not be worse than equal split"
+        );
+    }
+
+    #[test]
+    fn lambdas_nearly_equal_at_optimum() {
+        let caps = [16.0, 80.0];
+        let u = SeparableUtility::proportional(&[0.5, 0.5], &caps).unwrap();
+        let opts = BiddingOptions {
+            lambda_tolerance: 0.05,
+            min_step_fraction: 0.0005,
+        };
+        let r = best_response(&u, 100.0, &[60.0, 40.0], &caps, &opts);
+        let (lo, hi) = (
+            r.lambdas.iter().cloned().fold(f64::INFINITY, f64::min),
+            r.lambda(),
+        );
+        assert!(
+            (hi - lo) / hi < 0.10,
+            "λ spread too large: {:?} (bids {:?})",
+            r.lambdas,
+            r.bids
+        );
+    }
+
+    #[test]
+    fn single_resource_spends_everything() {
+        let u = LinearUtility::new(vec![1.0]).unwrap();
+        let r = best_response(&u, 25.0, &[10.0], &[5.0], &BiddingOptions::default());
+        assert_eq!(r.bids, vec![25.0]);
+        assert_eq!(r.moves, 0);
+    }
+
+    #[test]
+    fn sole_bidder_lambda_is_zero() {
+        // With y_ij = 0 the player already owns the whole resource; extra
+        // money there is worthless.
+        let u = LinearUtility::new(vec![1.0, 1.0]).unwrap();
+        let r = best_response(&u, 10.0, &[0.0, 5.0], &[4.0, 4.0], &BiddingOptions::default());
+        assert_eq!(r.lambdas[0], 0.0);
+        // Money should drift toward the contested resource.
+        assert!(r.bids[1] > r.bids[0]);
+    }
+}

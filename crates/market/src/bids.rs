@@ -1,0 +1,194 @@
+//! Dense `N × M` bid matrices.
+
+use crate::{MarketError, Result};
+
+/// Bids of `N` players over `M` resources, stored row-major
+/// (`bids[i * m + j]` is player `i`'s bid on resource `j`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BidMatrix {
+    n: usize,
+    m: usize,
+    bids: Vec<f64>,
+}
+
+impl BidMatrix {
+    /// Creates an all-zero bid matrix for `n` players and `m` resources.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarketError::Empty`] if `n` or `m` is zero.
+    pub fn zeros(n: usize, m: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(MarketError::Empty { what: "players" });
+        }
+        if m == 0 {
+            return Err(MarketError::Empty { what: "resources" });
+        }
+        Ok(Self {
+            n,
+            m,
+            bids: vec![0.0; n * m],
+        })
+    }
+
+    /// Creates a matrix where each player `i` splits `budgets[i]` equally
+    /// across all resources — the initial bids of the hill-climbing bidder
+    /// (§4.1.2 step 1 of the paper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarketError::Empty`] on zero dimensions, or
+    /// [`MarketError::InvalidValue`] for a negative or non-finite budget.
+    pub fn equal_split(budgets: &[f64], m: usize) -> Result<Self> {
+        let mut mat = Self::zeros(budgets.len(), m)?;
+        for (i, &b) in budgets.iter().enumerate() {
+            if !b.is_finite() || b < 0.0 {
+                return Err(MarketError::InvalidValue {
+                    what: "budget",
+                    value: b,
+                });
+            }
+            for j in 0..m {
+                mat.set(i, j, b / m as f64);
+            }
+        }
+        Ok(mat)
+    }
+
+    /// Number of players `N`.
+    pub fn players(&self) -> usize {
+        self.n
+    }
+
+    /// Number of resources `M`.
+    pub fn resources(&self) -> usize {
+        self.m
+    }
+
+    /// Bid of player `i` on resource `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.m, "bid index out of range");
+        self.bids[i * self.m + j]
+    }
+
+    /// Sets the bid of player `i` on resource `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn set(&mut self, i: usize, j: usize, bid: f64) {
+        assert!(i < self.n && j < self.m, "bid index out of range");
+        self.bids[i * self.m + j] = bid;
+    }
+
+    /// The bid row of player `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.n, "player index out of range");
+        &self.bids[i * self.m..(i + 1) * self.m]
+    }
+
+    /// Overwrites the bid row of player `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `row.len() != self.resources()`.
+    pub fn set_row(&mut self, i: usize, row: &[f64]) {
+        assert!(i < self.n, "player index out of range");
+        assert_eq!(row.len(), self.m, "row length mismatch");
+        self.bids[i * self.m..(i + 1) * self.m].copy_from_slice(row);
+    }
+
+    /// Total money player `i` has committed across all resources.
+    pub fn total_for_player(&self, i: usize) -> f64 {
+        self.row(i).iter().sum()
+    }
+
+    /// Sum of all bids on resource `j` (`Σ_i b_ij`).
+    pub fn column_sum(&self, j: usize) -> f64 {
+        (0..self.n).map(|i| self.get(i, j)).sum()
+    }
+
+    /// Sum of bids on resource `j` excluding player `i` — the `y_ij` of
+    /// Eq. 2 in the paper.
+    pub fn others_sum(&self, i: usize, j: usize) -> f64 {
+        self.column_sum(j) - self.get(i, j)
+    }
+
+    /// Returns `true` if every resource receives non-zero bids from at least
+    /// two players — Zhang's *strongly competitive* condition under which an
+    /// equilibrium is guaranteed to exist (Lemma 1 of the paper).
+    pub fn is_strongly_competitive(&self) -> bool {
+        (0..self.m).all(|j| (0..self.n).filter(|&i| self.get(i, j) > 0.0).count() >= 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_dimensions() {
+        let b = BidMatrix::zeros(3, 2).unwrap();
+        assert_eq!(b.players(), 3);
+        assert_eq!(b.resources(), 2);
+        assert_eq!(b.column_sum(0), 0.0);
+        assert!(BidMatrix::zeros(0, 2).is_err());
+        assert!(BidMatrix::zeros(2, 0).is_err());
+    }
+
+    #[test]
+    fn equal_split_respects_budgets() {
+        let b = BidMatrix::equal_split(&[100.0, 60.0], 4).unwrap();
+        assert_eq!(b.get(0, 0), 25.0);
+        assert_eq!(b.get(1, 3), 15.0);
+        assert!((b.total_for_player(0) - 100.0).abs() < 1e-12);
+        assert!((b.total_for_player(1) - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_split_rejects_negative_budget() {
+        assert!(BidMatrix::equal_split(&[-1.0], 2).is_err());
+        assert!(BidMatrix::equal_split(&[f64::NAN], 2).is_err());
+    }
+
+    #[test]
+    fn others_sum_excludes_player() {
+        let mut b = BidMatrix::zeros(3, 1).unwrap();
+        b.set(0, 0, 10.0);
+        b.set(1, 0, 20.0);
+        b.set(2, 0, 30.0);
+        assert_eq!(b.column_sum(0), 60.0);
+        assert_eq!(b.others_sum(1, 0), 40.0);
+    }
+
+    #[test]
+    fn row_accessors() {
+        let mut b = BidMatrix::zeros(2, 3).unwrap();
+        b.set_row(1, &[1.0, 2.0, 3.0]);
+        assert_eq!(b.row(1), &[1.0, 2.0, 3.0]);
+        assert_eq!(b.row(0), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn strongly_competitive_detection() {
+        let mut b = BidMatrix::equal_split(&[10.0, 10.0], 2).unwrap();
+        assert!(b.is_strongly_competitive());
+        b.set(0, 1, 0.0);
+        assert!(!b.is_strongly_competitive());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_panics_out_of_range() {
+        let b = BidMatrix::zeros(2, 2).unwrap();
+        let _ = b.get(2, 0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Iterative bidding–pricing equilibrium search (§2.1 and §6.4).
+//!
+//! The market repeatedly (1) broadcasts the current prices and (2) lets each
+//! player adjust its bids with the hill climber in [`crate::bidding`]. The
+//! process stops when prices fluctuate by less than
+//! [`EquilibriumOptions::price_tolerance`] between consecutive iterations
+//! (the paper monitors prices and assumes convergence "when they fluctuate
+//! within 1%"), or when the
+//! [`EquilibriumOptions::max_iterations`] fail-safe trips (the paper
+//! "simply terminate\[s\] the equilibrium finding algorithm after 30
+//! iterations").
+
+use crate::bidding::{best_response, BiddingOptions};
+use crate::pricing;
+use crate::{AllocationMatrix, BidMatrix, Market, Result};
+
+/// Options for the equilibrium search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquilibriumOptions {
+    /// Fail-safe iteration cap (paper: 30).
+    pub max_iterations: usize,
+    /// Relative price-fluctuation threshold for convergence (paper: 1%).
+    pub price_tolerance: f64,
+    /// Options forwarded to each player's hill-climbing best response.
+    pub bidding: BiddingOptions,
+    /// Record the price vector after every iteration in
+    /// [`EquilibriumOutcome::price_history`] (for convergence studies).
+    pub record_history: bool,
+}
+
+impl Default for EquilibriumOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 30,
+            price_tolerance: 0.01,
+            bidding: BiddingOptions::default(),
+            record_history: false,
+        }
+    }
+}
+
+impl EquilibriumOptions {
+    /// A high-precision variant used by the analytical evaluation phase:
+    /// finer bid steps and a tighter price tolerance than the defaults.
+    pub fn precise() -> Self {
+        Self {
+            max_iterations: 60,
+            price_tolerance: 0.002,
+            bidding: BiddingOptions {
+                lambda_tolerance: 0.02,
+                min_step_fraction: 0.001,
+            },
+            record_history: false,
+        }
+    }
+}
+
+/// The result of an equilibrium search.
+#[derive(Debug, Clone)]
+pub struct EquilibriumOutcome {
+    /// Final bids.
+    pub bids: BidMatrix,
+    /// Final proportional prices.
+    pub prices: Vec<f64>,
+    /// Final allocation (exhaustive: columns sum to capacities).
+    pub allocation: AllocationMatrix,
+    /// Per-player utility at the final allocation.
+    pub utilities: Vec<f64>,
+    /// Per-player marginal utility of money `λ_i` at the final bids.
+    pub lambdas: Vec<f64>,
+    /// Bidding–pricing iterations executed.
+    pub iterations: usize,
+    /// Whether prices met the fluctuation threshold before the fail-safe.
+    pub converged: bool,
+    /// Per-iteration price vectors (only populated when
+    /// [`EquilibriumOptions::record_history`] is set).
+    pub price_history: Vec<Vec<f64>>,
+}
+
+impl EquilibriumOutcome {
+    /// System efficiency (social welfare) at this equilibrium:
+    /// `Σ_i U_i(r_i)` — Definition 1 of the paper. When utilities are
+    /// normalized IPC this is exactly *weighted speedup* (Eq. 5).
+    pub fn efficiency(&self) -> f64 {
+        self.utilities.iter().sum()
+    }
+}
+
+pub(crate) fn find_equilibrium(
+    market: &Market,
+    budgets: &[f64],
+    options: &EquilibriumOptions,
+) -> Result<EquilibriumOutcome> {
+    let n = market.len();
+    let m = market.resources().len();
+    let capacities = market.resources().capacities();
+
+    let mut bids = BidMatrix::equal_split(budgets, m)?;
+    let mut prices = pricing::prices(&bids, market.resources());
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut price_history = Vec::new();
+
+    while iterations < options.max_iterations {
+        iterations += 1;
+        // Step 2: every player best-responds. Updates are applied in place
+        // (Gauss–Seidel), which converges faster than simultaneous updates
+        // and mirrors players reacting to the freshest observable prices.
+        for i in 0..n {
+            let others: Vec<f64> = (0..m).map(|j| bids.others_sum(i, j)).collect();
+            let response = best_response(
+                market.players()[i].utility().as_ref(),
+                budgets[i],
+                &others,
+                capacities,
+                &options.bidding,
+            );
+            bids.set_row(i, &response.bids);
+        }
+        let new_prices = pricing::prices(&bids, market.resources());
+        let fluctuation = prices
+            .iter()
+            .zip(&new_prices)
+            .map(|(&old, &new)| (new - old).abs() / old.abs().max(new.abs()).max(1e-12))
+            .fold(0.0_f64, f64::max);
+        prices = new_prices;
+        if options.record_history {
+            price_history.push(prices.clone());
+        }
+        if fluctuation <= options.price_tolerance {
+            converged = true;
+            break;
+        }
+    }
+
+    let allocation = pricing::allocate(&bids, market.resources());
+    let utilities: Vec<f64> = (0..n)
+        .map(|i| market.players()[i].utility_of(allocation.row(i)))
+        .collect();
+    let lambdas: Vec<f64> = (0..n).map(|i| lambda_at(market, &bids, i, capacities)).collect();
+
+    Ok(EquilibriumOutcome {
+        bids,
+        prices,
+        allocation,
+        utilities,
+        lambdas,
+        iterations,
+        converged,
+        price_history,
+    })
+}
+
+/// Marginal utility of money for player `i` at the current bids: the best
+/// rate `∂U_i/∂b_ij` available across resources (Eq. 4 / Eq. 7).
+pub fn lambda_at(market: &Market, bids: &BidMatrix, i: usize, capacities: &[f64]) -> f64 {
+    let m = capacities.len();
+    let allocation: Vec<f64> = (0..m)
+        .map(|j| {
+            let y = bids.others_sum(i, j);
+            crate::pricing::predicted_share(bids.get(i, j), y, capacities[j])
+        })
+        .collect();
+    let utility = market.players()[i].utility();
+    (0..m)
+        .map(|j| {
+            let b = bids.get(i, j);
+            let y = bids.others_sum(i, j);
+            let denom = (b + y).max(1e-12);
+            let dr_db = y * capacities[j] / (denom * denom);
+            utility.marginal(&allocation, j) * dr_db
+        })
+        .fold(0.0_f64, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::SeparableUtility;
+    use crate::{Player, ResourceSpace};
+    use std::sync::Arc;
+
+    fn two_player_market(w0: [f64; 2], w1: [f64; 2]) -> Market {
+        let caps = [16.0, 80.0];
+        let resources = ResourceSpace::new(caps.to_vec()).unwrap();
+        Market::new(
+            resources,
+            vec![
+                Player::new(
+                    "a",
+                    100.0,
+                    Arc::new(SeparableUtility::proportional(&w0, &caps).unwrap()),
+                ),
+                Player::new(
+                    "b",
+                    100.0,
+                    Arc::new(SeparableUtility::proportional(&w1, &caps).unwrap()),
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn converges_and_exhausts_resources() {
+        let market = two_player_market([0.8, 0.2], [0.2, 0.8]);
+        let out = market.equilibrium(&EquilibriumOptions::default()).unwrap();
+        assert!(out.converged, "took {} iterations", out.iterations);
+        assert!(out.iterations <= 30);
+        assert!(out
+            .allocation
+            .is_exhaustive(market.resources().capacities(), 1e-9));
+        assert_eq!(out.utilities.len(), 2);
+        assert!(out.efficiency() > 0.0);
+    }
+
+    #[test]
+    fn complementary_players_get_their_preferred_resource() {
+        let market = two_player_market([0.9, 0.1], [0.1, 0.9]);
+        let out = market.equilibrium(&EquilibriumOptions::precise()).unwrap();
+        // Player a should end up with most of resource 0, player b with most
+        // of resource 1.
+        assert!(out.allocation.get(0, 0) > out.allocation.get(1, 0));
+        assert!(out.allocation.get(1, 1) > out.allocation.get(0, 1));
+    }
+
+    #[test]
+    fn symmetric_players_split_evenly() {
+        let market = two_player_market([0.5, 0.5], [0.5, 0.5]);
+        let out = market.equilibrium(&EquilibriumOptions::precise()).unwrap();
+        for j in 0..2 {
+            let a = out.allocation.get(0, j);
+            let b = out.allocation.get(1, j);
+            assert!(
+                (a - b).abs() / (a + b) < 0.05,
+                "resource {j}: {a} vs {b} not symmetric"
+            );
+        }
+        // Symmetric market ⇒ λs agree ⇒ MUR ≈ 1.
+        let (lo, hi) = (
+            out.lambdas.iter().cloned().fold(f64::INFINITY, f64::min),
+            out.lambdas.iter().cloned().fold(0.0_f64, f64::max),
+        );
+        assert!(lo / hi > 0.9, "λs {:?}", out.lambdas);
+    }
+
+    #[test]
+    fn budget_override_shifts_allocation() {
+        let market = two_player_market([0.5, 0.5], [0.5, 0.5]);
+        let out = market
+            .equilibrium_with_budgets(&[150.0, 50.0], &EquilibriumOptions::precise())
+            .unwrap();
+        // The richer symmetric player gets more of everything.
+        assert!(out.allocation.get(0, 0) > out.allocation.get(1, 0));
+        assert!(out.allocation.get(0, 1) > out.allocation.get(1, 1));
+    }
+
+    #[test]
+    fn price_history_recorded_on_request() {
+        let market = two_player_market([0.8, 0.2], [0.2, 0.8]);
+        let mut opts = EquilibriumOptions::default();
+        assert!(market.equilibrium(&opts).unwrap().price_history.is_empty());
+        opts.record_history = true;
+        let out = market.equilibrium(&opts).unwrap();
+        assert_eq!(out.price_history.len(), out.iterations);
+        assert_eq!(out.price_history.last().unwrap(), &out.prices);
+    }
+
+    #[test]
+    fn prices_reflect_contention() {
+        // Both players want resource 0 badly; its price should exceed the
+        // price of the unloved resource 1 (per unit).
+        let market = two_player_market([0.9, 0.1], [0.9, 0.1]);
+        let out = market.equilibrium(&EquilibriumOptions::default()).unwrap();
+        assert!(out.prices[0] > out.prices[1]);
+    }
+
+    #[test]
+    fn zero_budget_player_gets_only_free_leftovers() {
+        let caps = [16.0, 80.0];
+        let resources = ResourceSpace::new(caps.to_vec()).unwrap();
+        let market = Market::new(
+            resources,
+            vec![
+                Player::new(
+                    "rich",
+                    100.0,
+                    Arc::new(SeparableUtility::proportional(&[0.5, 0.5], &caps).unwrap()),
+                ),
+                Player::new(
+                    "broke",
+                    0.0,
+                    Arc::new(SeparableUtility::proportional(&[0.5, 0.5], &caps).unwrap()),
+                ),
+            ],
+        )
+        .unwrap();
+        let out = market.equilibrium(&EquilibriumOptions::default()).unwrap();
+        assert!(out.allocation.get(1, 0) < 1e-9);
+        assert!((out.allocation.get(0, 0) - caps[0]).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,90 @@
+use std::fmt;
+
+/// Errors returned by market construction and equilibrium search.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MarketError {
+    /// The market has no players or no resources.
+    Empty {
+        /// What was empty: `"players"` or `"resources"`.
+        what: &'static str,
+    },
+    /// Two collections that must agree in length did not.
+    DimensionMismatch {
+        /// Description of the mismatching quantity.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A capacity, budget, weight, or bid was non-finite or out of range.
+    InvalidValue {
+        /// Description of the offending quantity.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A utility model's construction data violated its invariants
+    /// (e.g. a non-monotone piecewise-linear curve).
+    InvalidUtility {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MarketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarketError::Empty { what } => write!(f, "market has no {what}"),
+            MarketError::DimensionMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what}: expected length {expected}, got {actual}"),
+            MarketError::InvalidValue { what, value } => {
+                write!(f, "invalid {what}: {value}")
+            }
+            MarketError::InvalidUtility { reason } => {
+                write!(f, "invalid utility model: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MarketError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            MarketError::Empty { what: "players" },
+            MarketError::DimensionMismatch {
+                what: "budgets",
+                expected: 4,
+                actual: 2,
+            },
+            MarketError::InvalidValue {
+                what: "capacity",
+                value: -1.0,
+            },
+            MarketError::InvalidUtility {
+                reason: "utility must be non-decreasing".into(),
+            },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MarketError>();
+    }
+}

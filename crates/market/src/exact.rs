@@ -1,0 +1,205 @@
+//! Exact best response for separable concave utilities, via water-filling.
+//!
+//! The paper's bidder (§4.1.2, [`crate::bidding`]) is a fast exponential
+//! back-off heuristic. For *separable* concave utilities the optimal bids
+//! can instead be computed to arbitrary precision from the KKT conditions
+//! of Eq. 3/4: there is a player constant `λ` such that every resource
+//! with a positive bid has marginal utility of money exactly `λ`, and
+//! total spend equals the budget. Both relations are monotone, so two
+//! nested bisections solve the problem. This module exists to *validate*
+//! the heuristic (see the `bidder_matches_exact_solution` tests and the
+//! bidding ablation), exactly as one would check a hardware-friendly
+//! approximation against its mathematical ideal.
+
+use crate::pricing::predicted_share;
+use crate::utility::SeparableUtility;
+
+/// λ as a function of the bid on one resource:
+/// `λ_j(b) = u_j'(r_j(b)) · y_j C_j / (b + y_j)²` — strictly decreasing in
+/// `b` for concave `u_j`.
+fn lambda_of_bid(utility: &SeparableUtility, j: usize, bid: f64, others: f64, capacity: f64) -> f64 {
+    let r = predicted_share(bid, others, capacity);
+    let denom = (bid + others).max(1e-12);
+    utility.terms()[j].slope(r) * others * capacity / (denom * denom)
+}
+
+/// The bid on resource `j` at which the marginal utility of money equals
+/// `lambda` (0 if even the first unit of money is worth less than
+/// `lambda`), found by bisection over `[0, budget]`.
+fn bid_for_lambda(
+    utility: &SeparableUtility,
+    j: usize,
+    lambda: f64,
+    others: f64,
+    capacity: f64,
+    budget: f64,
+) -> f64 {
+    if lambda_of_bid(utility, j, 0.0, others, capacity) <= lambda {
+        return 0.0;
+    }
+    if lambda_of_bid(utility, j, budget, others, capacity) >= lambda {
+        return budget;
+    }
+    let (mut lo, mut hi) = (0.0, budget);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if lambda_of_bid(utility, j, mid, others, capacity) > lambda {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Computes the exact utility-maximizing bids for a separable concave
+/// utility under a budget, given the other players' bids per resource.
+///
+/// Returns bids summing to `budget` (all-zero for a zero budget).
+///
+/// # Examples
+///
+/// ```
+/// use rebudget_market::exact::exact_best_response;
+/// use rebudget_market::utility::SeparableUtility;
+///
+/// # fn main() -> Result<(), rebudget_market::MarketError> {
+/// let caps = [16.0, 80.0];
+/// let u = SeparableUtility::proportional(&[0.5, 0.5], &caps)?;
+/// let bids = exact_best_response(&u, 100.0, &[30.0, 70.0], &caps);
+/// assert!((bids.iter().sum::<f64>() - 100.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn exact_best_response(
+    utility: &SeparableUtility,
+    budget: f64,
+    others: &[f64],
+    capacities: &[f64],
+) -> Vec<f64> {
+    let m = capacities.len();
+    if budget <= 0.0 || m == 0 {
+        return vec![0.0; m];
+    }
+    // Outer bisection over λ: total spend Σ_j b_j(λ) is decreasing in λ.
+    let spend = |lambda: f64| -> f64 {
+        (0..m)
+            .map(|j| bid_for_lambda(utility, j, lambda, others[j], capacities[j], budget))
+            .sum()
+    };
+    // Bracket λ.
+    let mut hi = (0..m)
+        .map(|j| lambda_of_bid(utility, j, 0.0, others[j], capacities[j]))
+        .fold(0.0_f64, f64::max)
+        .max(1e-12);
+    let mut lo = 0.0;
+    if spend(hi) > budget {
+        // Degenerate (shouldn't happen): λ above every initial marginal
+        // still can't absorb the budget; spend it proportionally.
+        return vec![budget / m as f64; m];
+    }
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if spend(mid) > budget {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let lambda = 0.5 * (lo + hi);
+    let mut bids: Vec<f64> = (0..m)
+        .map(|j| bid_for_lambda(utility, j, lambda, others[j], capacities[j], budget))
+        .collect();
+    // Normalize residual bisection error onto the largest bid so the
+    // budget is spent exactly.
+    let total: f64 = bids.iter().sum();
+    if total > 0.0 {
+        let scale = budget / total;
+        bids.iter_mut().for_each(|b| *b *= scale);
+    } else {
+        bids = vec![budget / m as f64; m];
+    }
+    bids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bidding::{best_response, BiddingOptions};
+    use crate::Utility;
+
+    fn value_at(
+        utility: &SeparableUtility,
+        bids: &[f64],
+        others: &[f64],
+        capacities: &[f64],
+    ) -> f64 {
+        let alloc: Vec<f64> = bids
+            .iter()
+            .zip(others)
+            .zip(capacities)
+            .map(|((&b, &y), &c)| predicted_share(b, y, c))
+            .collect();
+        utility.value(&alloc)
+    }
+
+    #[test]
+    fn exact_bids_sum_to_budget() {
+        let caps = [16.0, 80.0];
+        let u = SeparableUtility::proportional(&[0.7, 0.3], &caps).unwrap();
+        for budget in [1.0, 37.0, 100.0] {
+            let bids = exact_best_response(&u, budget, &[30.0, 50.0], &caps);
+            assert!((bids.iter().sum::<f64>() - budget).abs() < 1e-6);
+            assert!(bids.iter().all(|&b| b >= 0.0));
+        }
+    }
+
+    #[test]
+    fn lambda_equalized_across_funded_resources() {
+        let caps = [16.0, 80.0];
+        let u = SeparableUtility::proportional(&[0.6, 0.4], &caps).unwrap();
+        let others = [40.0, 25.0];
+        let bids = exact_best_response(&u, 100.0, &others, &caps);
+        let l0 = lambda_of_bid(&u, 0, bids[0], others[0], caps[0]);
+        let l1 = lambda_of_bid(&u, 1, bids[1], others[1], caps[1]);
+        assert!(
+            (l0 - l1).abs() / l0.max(l1) < 1e-3,
+            "λ not equalized: {l0} vs {l1}"
+        );
+    }
+
+    #[test]
+    fn heuristic_bidder_is_near_optimal() {
+        // The paper's exponential back-off bidder must land within a small
+        // utility gap of the exact KKT solution.
+        let caps = [16.0, 80.0];
+        let others = [40.0, 25.0];
+        for w0 in [0.2, 0.5, 0.8] {
+            let u = SeparableUtility::proportional(&[w0, 1.0 - w0], &caps).unwrap();
+            let exact = exact_best_response(&u, 100.0, &others, &caps);
+            let heur = best_response(&u, 100.0, &others, &caps, &BiddingOptions::default());
+            let v_exact = value_at(&u, &exact, &others, &caps);
+            let v_heur = value_at(&u, &heur.bids, &others, &caps);
+            assert!(
+                v_heur >= 0.98 * v_exact,
+                "w0={w0}: heuristic {v_heur} vs exact {v_exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn worthless_resource_gets_no_money() {
+        let caps = [16.0, 80.0];
+        let u = SeparableUtility::proportional(&[1.0, 0.0], &caps).unwrap();
+        let bids = exact_best_response(&u, 50.0, &[10.0, 10.0], &caps);
+        assert!(bids[1] < 1e-6, "bids {bids:?}");
+        assert!((bids[0] - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_budget_is_all_zero() {
+        let caps = [4.0];
+        let u = SeparableUtility::proportional(&[1.0], &caps).unwrap();
+        assert_eq!(exact_best_response(&u, 0.0, &[1.0], &caps), vec![0.0]);
+    }
+}

@@ -1,0 +1,268 @@
+//! Cobb–Douglas curve fitting.
+//!
+//! Zahedi & Lee's *Resource Elasticity Fairness* (REF / "elasticities
+//! proportional", ASPLOS 2014) — one of the mechanisms the paper compares
+//! against — assumes every application's utility "can be accurately
+//! curve-fitted to a Cobb-Douglas function, where the coefficients are
+//! used as the 'elasticities' of resources" (§1 of the paper). This module
+//! performs that fit: given samples of an arbitrary utility, it finds the
+//! least-squares Cobb–Douglas approximation in log space,
+//!
+//! `log U = log s + Σ_j e_j · log r_j`,
+//!
+//! which is ordinary linear regression on `(log r, log U)`.
+
+use crate::utility::{CobbDouglas, Utility};
+use crate::{MarketError, Result};
+
+/// The result of a Cobb–Douglas fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CobbDouglasFit {
+    /// The fitted function.
+    pub fitted: CobbDouglas,
+    /// Root-mean-square error of `log U` over the samples (0 = perfect
+    /// fit; large values mean the utility is *not* Cobb–Douglas shaped,
+    /// the failure mode the paper warns about).
+    pub log_rmse: f64,
+}
+
+/// Fits a Cobb–Douglas function to `(allocation, utility)` samples.
+///
+/// Samples with non-positive utility or allocations are skipped (they have
+/// no log); at least `M + 2` usable samples are required.
+///
+/// # Examples
+///
+/// ```
+/// use rebudget_market::fit::{fit_cobb_douglas, sample_utility};
+/// use rebudget_market::utility::CobbDouglas;
+///
+/// # fn main() -> Result<(), rebudget_market::MarketError> {
+/// let truth = CobbDouglas::new(1.0, vec![0.3, 0.7])?;
+/// let samples = sample_utility(&truth, &[(1.0, 64.0), (1.0, 64.0)], 5);
+/// let fit = fit_cobb_douglas(&samples)?;
+/// assert!(fit.log_rmse < 1e-9); // exact family → perfect recovery
+/// assert!((fit.fitted.elasticities()[1] - 0.7).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`MarketError::InvalidUtility`] if too few usable samples
+/// remain or the regression is singular (e.g. all samples share one
+/// allocation), and [`MarketError::DimensionMismatch`] on ragged input.
+pub fn fit_cobb_douglas(samples: &[(Vec<f64>, f64)]) -> Result<CobbDouglasFit> {
+    let m = samples
+        .first()
+        .map(|(r, _)| r.len())
+        .ok_or_else(|| MarketError::InvalidUtility {
+            reason: "no samples to fit".into(),
+        })?;
+    for (r, _) in samples {
+        if r.len() != m {
+            return Err(MarketError::DimensionMismatch {
+                what: "fit sample",
+                expected: m,
+                actual: r.len(),
+            });
+        }
+    }
+    // Design matrix rows: [1, log r_1, …, log r_m]; target: log U.
+    let rows: Vec<(Vec<f64>, f64)> = samples
+        .iter()
+        .filter(|(r, u)| *u > 0.0 && r.iter().all(|&x| x > 0.0))
+        .map(|(r, u)| {
+            let mut row = Vec::with_capacity(m + 1);
+            row.push(1.0);
+            row.extend(r.iter().map(|&x| x.ln()));
+            (row, u.ln())
+        })
+        .collect();
+    let dims = m + 1;
+    if rows.len() < dims + 1 {
+        return Err(MarketError::InvalidUtility {
+            reason: format!("need at least {} positive samples, got {}", dims + 1, rows.len()),
+        });
+    }
+
+    // Normal equations AᵀA x = Aᵀb, solved by Gaussian elimination with
+    // partial pivoting (dims is tiny: M + 1).
+    let mut ata = vec![vec![0.0; dims]; dims];
+    let mut atb = vec![0.0; dims];
+    for (row, y) in &rows {
+        for i in 0..dims {
+            atb[i] += row[i] * y;
+            for j in 0..dims {
+                ata[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    let coeffs = solve(&mut ata, &mut atb).ok_or_else(|| MarketError::InvalidUtility {
+        reason: "singular fit (degenerate samples)".into(),
+    })?;
+
+    let scale = coeffs[0].exp();
+    // Clamp tiny negative elasticities from noise to zero.
+    let elasticities: Vec<f64> = coeffs[1..].iter().map(|&e| e.max(0.0)).collect();
+    let fitted = CobbDouglas::new(scale.max(1e-12), elasticities)?;
+
+    let mut sse = 0.0;
+    for (r, u) in samples.iter().filter(|(r, u)| *u > 0.0 && r.iter().all(|&x| x > 0.0)) {
+        let err = fitted.value(r).max(1e-300).ln() - u.ln();
+        sse += err * err;
+    }
+    let log_rmse = (sse / rows.len() as f64).sqrt();
+    Ok(CobbDouglasFit { fitted, log_rmse })
+}
+
+/// Gaussian elimination with partial pivoting; returns `None` if singular.
+fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite matrix")
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in (col + 1)..n {
+            let f = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back-substitute.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// Samples a [`Utility`] on a log-spaced grid over `(lo_j, hi_j)` ranges,
+/// convenient input for [`fit_cobb_douglas`].
+pub fn sample_utility(
+    utility: &dyn Utility,
+    ranges: &[(f64, f64)],
+    points_per_axis: usize,
+) -> Vec<(Vec<f64>, f64)> {
+    let m = ranges.len();
+    let p = points_per_axis.max(2);
+    let axis: Vec<Vec<f64>> = ranges
+        .iter()
+        .map(|&(lo, hi)| {
+            let lo = lo.max(1e-9);
+            (0..p)
+                .map(|k| lo * (hi / lo).powf(k as f64 / (p - 1) as f64))
+                .collect()
+        })
+        .collect();
+    let total = p.pow(m as u32);
+    let mut samples = Vec::with_capacity(total);
+    for idx in 0..total {
+        let mut rem = idx;
+        let mut r = Vec::with_capacity(m);
+        for ax in &axis {
+            r.push(ax[rem % p]);
+            rem /= p;
+        }
+        let u = utility.value(&r);
+        samples.push((r, u));
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::{GridUtility, SeparableUtility};
+
+    #[test]
+    fn recovers_exact_cobb_douglas() {
+        let truth = CobbDouglas::new(2.0, vec![0.3, 0.6]).unwrap();
+        let samples = sample_utility(&truth, &[(1.0, 100.0), (1.0, 50.0)], 5);
+        let fit = fit_cobb_douglas(&samples).unwrap();
+        assert!(fit.log_rmse < 1e-9, "rmse {}", fit.log_rmse);
+        assert!((fit.fitted.elasticities()[0] - 0.3).abs() < 1e-6);
+        assert!((fit.fitted.elasticities()[1] - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fits_separable_sqrt_with_moderate_error() {
+        let caps = [16.0, 80.0];
+        let u = SeparableUtility::proportional(&[0.5, 0.5], &caps).unwrap();
+        let samples = sample_utility(&u, &[(0.5, 16.0), (2.0, 80.0)], 6);
+        let fit = fit_cobb_douglas(&samples).unwrap();
+        // Sum of square roots is not Cobb–Douglas; the fit works but is
+        // imperfect — exactly the paper's point about EP.
+        assert!(fit.log_rmse > 1e-4);
+        assert!(fit.log_rmse < 1.0);
+        assert!(fit.fitted.elasticities().iter().all(|&e| e >= 0.0));
+    }
+
+    #[test]
+    fn cliffy_utility_fits_poorly() {
+        // An mcf-like cliff is the worst case for Cobb–Douglas fitting.
+        let smooth = GridUtility::new(
+            vec![1.0, 8.0, 16.0],
+            vec![1.0, 16.0],
+            vec![0.5, 0.6, 0.55, 0.65, 0.9, 1.0],
+        )
+        .unwrap();
+        let cliffy = GridUtility::new(
+            vec![1.0, 8.0, 16.0],
+            vec![1.0, 16.0],
+            vec![0.2, 0.2, 0.2, 0.2, 1.0, 1.0],
+        )
+        .unwrap();
+        let ranges = [(1.0, 16.0), (1.0, 16.0)];
+        let smooth_fit = fit_cobb_douglas(&sample_utility(&smooth, &ranges, 6)).unwrap();
+        let cliffy_fit = fit_cobb_douglas(&sample_utility(&cliffy, &ranges, 6)).unwrap();
+        assert!(
+            cliffy_fit.log_rmse > smooth_fit.log_rmse,
+            "cliff {} should fit worse than smooth {}",
+            cliffy_fit.log_rmse,
+            smooth_fit.log_rmse
+        );
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        assert!(fit_cobb_douglas(&[]).is_err());
+        // All-zero utilities leave nothing to fit.
+        let zeros = vec![(vec![1.0, 1.0], 0.0); 10];
+        assert!(fit_cobb_douglas(&zeros).is_err());
+        // Ragged samples.
+        let ragged = vec![
+            (vec![1.0, 1.0], 1.0),
+            (vec![1.0], 1.0),
+        ];
+        assert!(fit_cobb_douglas(&ragged).is_err());
+        // Identical allocations are singular.
+        let same = vec![(vec![2.0, 2.0], 1.0); 8];
+        assert!(fit_cobb_douglas(&same).is_err());
+    }
+
+    #[test]
+    fn sampler_covers_grid() {
+        let truth = CobbDouglas::new(1.0, vec![0.5]).unwrap();
+        let s = sample_utility(&truth, &[(1.0, 16.0)], 4);
+        assert_eq!(s.len(), 4);
+        assert!((s[0].0[0] - 1.0).abs() < 1e-9);
+        assert!((s[3].0[0] - 16.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,356 @@
+//! The *MaxEfficiency* oracle: direct social-welfare maximization.
+//!
+//! The paper's evaluation normalizes every mechanism against
+//! `MaxEfficiency`, "the resource allocation maximizing system efficiency …
+//! obtained by running an infeasible very fine-grained hill-climbing search
+//! (recall that all utilities are concave)" (§6). This module implements
+//! that search: an exchange hill climb that repeatedly moves a shrinking
+//! quantum of each resource from the player with the smallest marginal
+//! utility to the player with the largest, accepting only moves that
+//! actually increase welfare.
+//!
+//! For concave utilities the continuous problem has no spurious local
+//! optima, so the exchange climb converges to the global optimum up to the
+//! final step granularity.
+
+use crate::{AllocationMatrix, Market, MarketError, Result};
+
+/// Tuning knobs for the welfare-maximizing search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimalOptions {
+    /// First exchange quantum, as a fraction of each capacity.
+    pub initial_step_fraction: f64,
+    /// Final (finest) exchange quantum, as a fraction of each capacity.
+    pub min_step_fraction: f64,
+    /// Maximum full sweeps over the resources per step level.
+    pub max_passes_per_level: usize,
+    /// Also attempt pairwise cross-resource *swaps* (player A gives δ of
+    /// one resource to player B in exchange for δ' of another). Utilities
+    /// that are concave per axis but not jointly concave (e.g. bilinear
+    /// interpolations of profiled surfaces) stall single-resource exchange
+    /// at non-optimal points; swaps break those deadlocks. O(N²) per pass.
+    pub enable_swaps: bool,
+}
+
+impl Default for OptimalOptions {
+    fn default() -> Self {
+        Self {
+            initial_step_fraction: 0.25,
+            min_step_fraction: 1e-4,
+            max_passes_per_level: 64,
+            enable_swaps: true,
+        }
+    }
+}
+
+/// Result of the welfare-maximizing search.
+#[derive(Debug, Clone)]
+pub struct OptimalOutcome {
+    /// The welfare-maximizing allocation found.
+    pub allocation: AllocationMatrix,
+    /// `Σ_i U_i(r_i)` at that allocation.
+    pub efficiency: f64,
+    /// Number of accepted exchange moves.
+    pub moves: usize,
+}
+
+/// Finds the allocation maximizing `Σ_i U_i(r_i)` subject to
+/// `Σ_i r_ij = C_j`, starting from an equal share.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use rebudget_market::{Market, Player, ResourceSpace};
+/// use rebudget_market::optimal::{max_efficiency, OptimalOptions};
+/// use rebudget_market::utility::LinearUtility;
+///
+/// # fn main() -> Result<(), rebudget_market::MarketError> {
+/// let market = Market::new(
+///     ResourceSpace::new(vec![10.0])?,
+///     vec![
+///         Player::new("low", 1.0, Arc::new(LinearUtility::new(vec![1.0])?)),
+///         Player::new("high", 1.0, Arc::new(LinearUtility::new(vec![3.0])?)),
+///     ],
+/// )?;
+/// let opt = max_efficiency(&market, &OptimalOptions::default())?;
+/// // Linear utilities: the whole resource goes to its top valuer.
+/// assert!(opt.allocation.get(1, 0) > 9.9);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`MarketError::Empty`] only for degenerate markets, which
+/// [`Market::new`] already prevents; the error path exists because the
+/// allocation constructors are fallible.
+pub fn max_efficiency(market: &Market, options: &OptimalOptions) -> Result<OptimalOutcome> {
+    let start = AllocationMatrix::equal_share(market.len(), market.resources().capacities())?;
+    max_efficiency_from(market, options, start)
+}
+
+/// Like [`max_efficiency`], but climbing from an explicit starting
+/// allocation — e.g. to polish a market-equilibrium allocation, since the
+/// optimum is a maximum over *all* allocations and a good warm start can
+/// only raise the result.
+///
+/// # Errors
+///
+/// Returns [`MarketError::DimensionMismatch`] if `start` does not match
+/// the market's shape.
+pub fn max_efficiency_from(
+    market: &Market,
+    options: &OptimalOptions,
+    start: AllocationMatrix,
+) -> Result<OptimalOutcome> {
+    let n = market.len();
+    let m = market.resources().len();
+    if n == 0 {
+        return Err(MarketError::Empty { what: "players" });
+    }
+    if start.players() != n || start.resources() != m {
+        return Err(MarketError::DimensionMismatch {
+            what: "starting allocation",
+            expected: n * m,
+            actual: start.players() * start.resources(),
+        });
+    }
+    let capacities = market.resources().capacities();
+    let mut alloc = start;
+    let mut moves = 0usize;
+
+    let mut frac = options.initial_step_fraction;
+    while frac >= options.min_step_fraction {
+        for _pass in 0..options.max_passes_per_level {
+            let mut accepted_any = false;
+            for j in 0..m {
+                let step = frac * capacities[j];
+                if try_exchange(market, &mut alloc, j, step) {
+                    moves += 1;
+                    accepted_any = true;
+                }
+            }
+            if !accepted_any {
+                break;
+            }
+        }
+        if options.enable_swaps && m >= 2 && frac >= options.min_step_fraction * 8.0 {
+            moves += swap_pass(market, &mut alloc, capacities, frac);
+        }
+        frac *= 0.5;
+    }
+
+    let efficiency = crate::metrics::efficiency(market, &alloc);
+    Ok(OptimalOutcome {
+        allocation: alloc,
+        efficiency,
+        moves,
+    })
+}
+
+/// One full pass of pairwise cross-resource swaps at quantum fraction
+/// `frac`: for every ordered player pair `(a, b)` and resource pair
+/// `(j, k)`, try trading `frac·C_j` of `j` (a→b) for `frac·C_k` of `k`
+/// (b→a), keeping only welfare-improving trades. Returns accepted swaps.
+fn swap_pass(
+    market: &Market,
+    alloc: &mut AllocationMatrix,
+    capacities: &[f64],
+    frac: f64,
+) -> usize {
+    let n = market.len();
+    let m = capacities.len();
+    let mut accepted = 0usize;
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            for j in 0..m {
+                for k in 0..m {
+                    if j == k {
+                        continue;
+                    }
+                    let dj = (frac * capacities[j]).min(alloc.get(a, j));
+                    let dk = (frac * capacities[k]).min(alloc.get(b, k));
+                    if dj <= 0.0 || dk <= 0.0 {
+                        continue;
+                    }
+                    let ua0 = market.players()[a].utility_of(alloc.row(a));
+                    let ub0 = market.players()[b].utility_of(alloc.row(b));
+                    alloc.set(a, j, alloc.get(a, j) - dj);
+                    alloc.set(b, j, alloc.get(b, j) + dj);
+                    alloc.set(b, k, alloc.get(b, k) - dk);
+                    alloc.set(a, k, alloc.get(a, k) + dk);
+                    let ua1 = market.players()[a].utility_of(alloc.row(a));
+                    let ub1 = market.players()[b].utility_of(alloc.row(b));
+                    if ua1 + ub1 > ua0 + ub0 {
+                        accepted += 1;
+                    } else {
+                        // Revert.
+                        alloc.set(a, j, alloc.get(a, j) + dj);
+                        alloc.set(b, j, alloc.get(b, j) - dj);
+                        alloc.set(b, k, alloc.get(b, k) + dk);
+                        alloc.set(a, k, alloc.get(a, k) - dk);
+                    }
+                }
+            }
+        }
+    }
+    accepted
+}
+
+/// Attempts one exchange of `step` units of resource `j` from the player
+/// with the smallest marginal utility (that still holds at least some of
+/// `j`) to the player with the largest. Returns whether the move was
+/// accepted (i.e. it strictly improved welfare).
+fn try_exchange(market: &Market, alloc: &mut AllocationMatrix, j: usize, step: f64) -> bool {
+    let n = market.len();
+    let mut hi = 0usize;
+    let mut hi_m = f64::NEG_INFINITY;
+    let mut lo = usize::MAX;
+    let mut lo_m = f64::INFINITY;
+    for i in 0..n {
+        let marginal = market.players()[i].utility().marginal(alloc.row(i), j);
+        if marginal > hi_m {
+            hi_m = marginal;
+            hi = i;
+        }
+        if alloc.get(i, j) > 0.0 && marginal < lo_m {
+            lo_m = marginal;
+            lo = i;
+        }
+    }
+    if lo == usize::MAX || lo == hi || hi_m <= lo_m {
+        return false;
+    }
+    let amount = step.min(alloc.get(lo, j));
+    if amount <= 0.0 {
+        return false;
+    }
+
+    let u_lo_before = market.players()[lo].utility_of(alloc.row(lo));
+    let u_hi_before = market.players()[hi].utility_of(alloc.row(hi));
+    alloc.set(lo, j, alloc.get(lo, j) - amount);
+    alloc.set(hi, j, alloc.get(hi, j) + amount);
+    let u_lo_after = market.players()[lo].utility_of(alloc.row(lo));
+    let u_hi_after = market.players()[hi].utility_of(alloc.row(hi));
+
+    let delta = (u_lo_after - u_lo_before) + (u_hi_after - u_hi_before);
+    if delta > 0.0 {
+        true
+    } else {
+        // Revert a non-improving move.
+        alloc.set(lo, j, alloc.get(lo, j) + amount);
+        alloc.set(hi, j, alloc.get(hi, j) - amount);
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::{LinearUtility, SeparableUtility};
+    use crate::{Player, ResourceSpace};
+    use std::sync::Arc;
+
+    #[test]
+    fn linear_utilities_winner_takes_all() {
+        // OPT for linear utilities gives each resource wholly to the player
+        // valuing it most (see the proof of Theorem 1 in the appendix).
+        let caps = [10.0, 10.0];
+        let resources = ResourceSpace::new(caps.to_vec()).unwrap();
+        let market = Market::new(
+            resources,
+            vec![
+                Player::new("a", 1.0, Arc::new(LinearUtility::new(vec![3.0, 1.0]).unwrap())),
+                Player::new("b", 1.0, Arc::new(LinearUtility::new(vec![1.0, 2.0]).unwrap())),
+            ],
+        )
+        .unwrap();
+        let out = max_efficiency(&market, &OptimalOptions::default()).unwrap();
+        assert!(
+            (out.efficiency - (30.0 + 20.0)).abs() / 50.0 < 0.01,
+            "efficiency {} should approach 50",
+            out.efficiency
+        );
+        assert!(out.allocation.get(0, 0) > 9.9);
+        assert!(out.allocation.get(1, 1) > 9.9);
+    }
+
+    #[test]
+    fn symmetric_concave_stays_balanced() {
+        let caps = [8.0];
+        let resources = ResourceSpace::new(caps.to_vec()).unwrap();
+        let u = || Arc::new(SeparableUtility::proportional(&[1.0], &caps).unwrap());
+        let market = Market::new(
+            resources,
+            vec![
+                Player::new("a", 1.0, u()),
+                Player::new("b", 1.0, u()),
+            ],
+        )
+        .unwrap();
+        let out = max_efficiency(&market, &OptimalOptions::default()).unwrap();
+        // sqrt is strictly concave: equal split is optimal.
+        assert!((out.allocation.get(0, 0) - 4.0).abs() < 0.1);
+        assert!((out.allocation.get(1, 0) - 4.0).abs() < 0.1);
+        assert!((out.efficiency - 2.0 * (0.5f64).sqrt()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn allocation_remains_exhaustive() {
+        let caps = [16.0, 80.0];
+        let resources = ResourceSpace::new(caps.to_vec()).unwrap();
+        let market = Market::new(
+            resources,
+            vec![
+                Player::new(
+                    "a",
+                    1.0,
+                    Arc::new(SeparableUtility::proportional(&[0.9, 0.1], &caps).unwrap()),
+                ),
+                Player::new(
+                    "b",
+                    1.0,
+                    Arc::new(SeparableUtility::proportional(&[0.2, 0.8], &caps).unwrap()),
+                ),
+                Player::new(
+                    "c",
+                    1.0,
+                    Arc::new(SeparableUtility::proportional(&[0.5, 0.5], &caps).unwrap()),
+                ),
+            ],
+        )
+        .unwrap();
+        let out = max_efficiency(&market, &OptimalOptions::default()).unwrap();
+        assert!(out.allocation.is_exhaustive(&caps, 1e-9));
+    }
+
+    #[test]
+    fn beats_equal_share_for_asymmetric_tastes() {
+        let caps = [16.0, 80.0];
+        let resources = ResourceSpace::new(caps.to_vec()).unwrap();
+        let market = Market::new(
+            resources,
+            vec![
+                Player::new(
+                    "a",
+                    1.0,
+                    Arc::new(SeparableUtility::proportional(&[1.0, 0.0], &caps).unwrap()),
+                ),
+                Player::new(
+                    "b",
+                    1.0,
+                    Arc::new(SeparableUtility::proportional(&[0.0, 1.0], &caps).unwrap()),
+                ),
+            ],
+        )
+        .unwrap();
+        let equal = AllocationMatrix::equal_share(2, &caps).unwrap();
+        let equal_eff = crate::metrics::efficiency(&market, &equal);
+        let out = max_efficiency(&market, &OptimalOptions::default()).unwrap();
+        assert!(out.efficiency > equal_eff);
+    }
+}

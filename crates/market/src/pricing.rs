@@ -1,0 +1,103 @@
+//! Proportional pricing and allocation (Eq. 1 of the paper).
+
+use crate::{AllocationMatrix, BidMatrix, ResourceSpace};
+
+/// Computes the per-resource prices `p_j = Σ_i b_ij / C_j`.
+pub fn prices(bids: &BidMatrix, resources: &ResourceSpace) -> Vec<f64> {
+    (0..resources.len())
+        .map(|j| bids.column_sum(j) / resources.capacity(j))
+        .collect()
+}
+
+/// Computes the proportional allocation `r_ij = b_ij / p_j`.
+///
+/// With proportional prices this hands out the entire capacity of every
+/// resource that received any bid (`Σ_i r_ij = C_j`). A resource nobody bid
+/// on has price zero; its capacity is split equally so that the allocation
+/// remains exhaustive ("the remaining resources will be entirely
+/// distributed", §5 of the paper).
+pub fn allocate(bids: &BidMatrix, resources: &ResourceSpace) -> AllocationMatrix {
+    let n = bids.players();
+    let m = bids.resources();
+    let p = prices(bids, resources);
+    let mut alloc = AllocationMatrix::zeros(n, m).expect("bids matrix is non-degenerate");
+    for j in 0..m {
+        if p[j] > 0.0 {
+            for i in 0..n {
+                alloc.set(i, j, bids.get(i, j) / p[j]);
+            }
+        } else {
+            let share = resources.capacity(j) / n as f64;
+            for i in 0..n {
+                alloc.set(i, j, share);
+            }
+        }
+    }
+    alloc
+}
+
+/// Predicted amount of resource a player receives if it bids `bid` while
+/// the others' bids on that resource total `others` (Eq. 2 of the paper):
+/// `r = bid / (bid + others) · capacity`.
+///
+/// When both `bid` and `others` are zero the prediction is an equal share of
+/// nothing — we return 0 to keep the bidder conservative.
+pub fn predicted_share(bid: f64, others: f64, capacity: f64) -> f64 {
+    let total = bid + others;
+    if total <= 0.0 {
+        0.0
+    } else {
+        bid / total * capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prices_match_eq1() {
+        let resources = ResourceSpace::new(vec![4.0, 10.0]).unwrap();
+        let mut bids = BidMatrix::zeros(2, 2).unwrap();
+        bids.set(0, 0, 6.0);
+        bids.set(1, 0, 2.0);
+        bids.set(0, 1, 5.0);
+        bids.set(1, 1, 5.0);
+        let p = prices(&bids, &resources);
+        assert_eq!(p, vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn allocation_is_proportional_and_exhaustive() {
+        let resources = ResourceSpace::new(vec![4.0, 10.0]).unwrap();
+        let mut bids = BidMatrix::zeros(2, 2).unwrap();
+        bids.set(0, 0, 6.0);
+        bids.set(1, 0, 2.0);
+        bids.set(0, 1, 5.0);
+        bids.set(1, 1, 5.0);
+        let a = allocate(&bids, &resources);
+        assert!((a.get(0, 0) - 3.0).abs() < 1e-12);
+        assert!((a.get(1, 0) - 1.0).abs() < 1e-12);
+        assert!(a.is_exhaustive(resources.capacities(), 1e-12));
+    }
+
+    #[test]
+    fn unbid_resource_split_equally() {
+        let resources = ResourceSpace::new(vec![4.0, 10.0]).unwrap();
+        let mut bids = BidMatrix::zeros(2, 2).unwrap();
+        bids.set(0, 0, 1.0);
+        bids.set(1, 0, 1.0);
+        // Nobody bids on resource 1.
+        let a = allocate(&bids, &resources);
+        assert_eq!(a.get(0, 1), 5.0);
+        assert_eq!(a.get(1, 1), 5.0);
+        assert!(a.is_exhaustive(resources.capacities(), 1e-12));
+    }
+
+    #[test]
+    fn predicted_share_matches_eq2() {
+        assert!((predicted_share(2.0, 6.0, 16.0) - 4.0).abs() < 1e-12);
+        assert_eq!(predicted_share(0.0, 0.0, 16.0), 0.0);
+        assert_eq!(predicted_share(3.0, 0.0, 16.0), 16.0);
+    }
+}

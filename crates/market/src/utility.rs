@@ -1,0 +1,755 @@
+//! Utility models: concave, non-decreasing, continuous player utilities.
+//!
+//! The theory of the paper (§2) assumes each player's utility `U_i(r_i)` is
+//! concave, non-decreasing, and continuous in the allocation vector. This
+//! module provides:
+//!
+//! * the [`Utility`] trait, with a numeric [`Utility::marginal`] default;
+//! * closed-form families: [`LinearUtility`], [`CobbDouglas`],
+//!   [`SeparableUtility`] (sums of concave one-dimensional terms);
+//! * [`PiecewiseLinear`] one-dimensional curves with an
+//!   [upper concave hull](PiecewiseLinear::upper_concave_hull) operation —
+//!   the same convexification that Talus (Beckmann & Sanchez, HPCA 2015)
+//!   applies to cache miss curves, used here for utility curves (§4.1.1);
+//! * [`GridUtility`], a bilinear interpolation over a tabulated
+//!   `(resource 0, resource 1)` utility surface, which is how profiled
+//!   multicore utilities enter the market in the paper's analytical phase
+//!   (§6, "we sample 90 cache+power configuration points").
+
+use crate::{MarketError, Result};
+
+/// A player's utility function over an allocation vector.
+///
+/// Implementations must be non-decreasing and continuous; the theoretical
+/// guarantees of the paper additionally require concavity (see §2). The
+/// multicore utility in the paper is IPC normalized to the stand-alone IPC,
+/// hence values typically fall in `[0, 1]`, but nothing in the market
+/// requires that.
+pub trait Utility: Send + Sync {
+    /// Utility of the allocation `r` (one entry per resource).
+    fn value(&self, r: &[f64]) -> f64;
+
+    /// Marginal utility `∂U/∂r_j` at `r`.
+    ///
+    /// The default implementation uses a central finite difference with a
+    /// step proportional to `r[j]`, clamped so the lower probe never goes
+    /// negative. Override when a closed form exists.
+    fn marginal(&self, r: &[f64], j: usize) -> f64 {
+        let h = (r[j].abs() * 1e-4).max(1e-6);
+        let mut hi = r.to_vec();
+        hi[j] += h;
+        let mut lo = r.to_vec();
+        lo[j] = (r[j] - h).max(0.0);
+        let dx = hi[j] - lo[j];
+        (self.value(&hi) - self.value(&lo)) / dx
+    }
+}
+
+impl<U: Utility + ?Sized> Utility for &U {
+    fn value(&self, r: &[f64]) -> f64 {
+        (**self).value(r)
+    }
+    fn marginal(&self, r: &[f64], j: usize) -> f64 {
+        (**self).marginal(r, j)
+    }
+}
+
+impl<U: Utility + ?Sized> Utility for std::sync::Arc<U> {
+    fn value(&self, r: &[f64]) -> f64 {
+        (**self).value(r)
+    }
+    fn marginal(&self, r: &[f64], j: usize) -> f64 {
+        (**self).marginal(r, j)
+    }
+}
+
+/// `U(r) = Σ_j w_j · r_j` — linear (hence concave) utility.
+///
+/// # Examples
+///
+/// ```
+/// use rebudget_market::utility::{LinearUtility, Utility};
+/// # fn main() -> Result<(), rebudget_market::MarketError> {
+/// let u = LinearUtility::new(vec![2.0, 0.5])?;
+/// assert_eq!(u.value(&[1.0, 4.0]), 4.0);
+/// assert_eq!(u.marginal(&[1.0, 4.0], 0), 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearUtility {
+    weights: Vec<f64>,
+}
+
+impl LinearUtility {
+    /// Creates a linear utility with the given non-negative weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarketError::InvalidValue`] if any weight is negative or
+    /// non-finite, and [`MarketError::Empty`] if `weights` is empty.
+    pub fn new(weights: Vec<f64>) -> Result<Self> {
+        if weights.is_empty() {
+            return Err(MarketError::Empty { what: "resources" });
+        }
+        for &w in &weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(MarketError::InvalidValue {
+                    what: "linear utility weight",
+                    value: w,
+                });
+            }
+        }
+        Ok(Self { weights })
+    }
+
+    /// The per-resource weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl Utility for LinearUtility {
+    fn value(&self, r: &[f64]) -> f64 {
+        self.weights.iter().zip(r).map(|(w, x)| w * x).sum()
+    }
+
+    fn marginal(&self, _r: &[f64], j: usize) -> f64 {
+        self.weights[j]
+    }
+}
+
+/// Cobb–Douglas utility `U(r) = scale · Π_j r_j^{e_j}`, the family that the
+/// *elasticities proportional* mechanism of Zahedi & Lee (ASPLOS 2014)
+/// curve-fits applications to. Concave whenever `Σ_j e_j ≤ 1`.
+///
+/// # Examples
+///
+/// ```
+/// use rebudget_market::utility::{CobbDouglas, Utility};
+/// # fn main() -> Result<(), rebudget_market::MarketError> {
+/// let u = CobbDouglas::new(1.0, vec![0.5, 0.5])?;
+/// assert!((u.value(&[4.0, 9.0]) - 6.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CobbDouglas {
+    scale: f64,
+    elasticities: Vec<f64>,
+}
+
+impl CobbDouglas {
+    /// Creates a Cobb–Douglas utility.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarketError::InvalidValue`] if `scale` is non-positive or
+    /// any elasticity is negative or non-finite, and [`MarketError::Empty`]
+    /// if `elasticities` is empty.
+    pub fn new(scale: f64, elasticities: Vec<f64>) -> Result<Self> {
+        if elasticities.is_empty() {
+            return Err(MarketError::Empty { what: "resources" });
+        }
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(MarketError::InvalidValue {
+                what: "Cobb-Douglas scale",
+                value: scale,
+            });
+        }
+        for &e in &elasticities {
+            if !e.is_finite() || e < 0.0 {
+                return Err(MarketError::InvalidValue {
+                    what: "Cobb-Douglas elasticity",
+                    value: e,
+                });
+            }
+        }
+        Ok(Self {
+            scale,
+            elasticities,
+        })
+    }
+
+    /// The per-resource elasticities.
+    pub fn elasticities(&self) -> &[f64] {
+        &self.elasticities
+    }
+}
+
+impl Utility for CobbDouglas {
+    fn value(&self, r: &[f64]) -> f64 {
+        self.scale
+            * self
+                .elasticities
+                .iter()
+                .zip(r)
+                .map(|(&e, &x)| x.max(0.0).powf(e))
+                .product::<f64>()
+    }
+
+    fn marginal(&self, r: &[f64], j: usize) -> f64 {
+        let x = r[j].max(1e-12);
+        self.elasticities[j] * self.value(r) / x
+    }
+}
+
+/// A one-dimensional concave term usable inside [`SeparableUtility`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Concave1d {
+    /// `w · x`.
+    Linear {
+        /// Slope `w ≥ 0`.
+        slope: f64,
+    },
+    /// `scale · x^exponent`, concave for `exponent ∈ (0, 1]`.
+    Power {
+        /// Multiplier.
+        scale: f64,
+        /// Exponent in `(0, 1]`.
+        exponent: f64,
+    },
+    /// `scale · ln(1 + x)`.
+    Log {
+        /// Multiplier.
+        scale: f64,
+    },
+    /// An arbitrary non-decreasing piecewise-linear curve.
+    Curve(PiecewiseLinear),
+}
+
+impl Concave1d {
+    /// Value of the term at `x ≥ 0`.
+    pub fn value(&self, x: f64) -> f64 {
+        match self {
+            Concave1d::Linear { slope } => slope * x,
+            Concave1d::Power { scale, exponent } => scale * x.max(0.0).powf(*exponent),
+            Concave1d::Log { scale } => scale * (1.0 + x.max(0.0)).ln(),
+            Concave1d::Curve(c) => c.value(x),
+        }
+    }
+
+    /// Derivative of the term at `x`.
+    pub fn slope(&self, x: f64) -> f64 {
+        match self {
+            Concave1d::Linear { slope } => *slope,
+            Concave1d::Power { scale, exponent } => {
+                scale * exponent * x.max(1e-12).powf(exponent - 1.0)
+            }
+            Concave1d::Log { scale } => scale / (1.0 + x.max(0.0)),
+            Concave1d::Curve(c) => c.slope_at(x),
+        }
+    }
+}
+
+/// `U(r) = Σ_j term_j(r_j)` — a separable sum of concave one-dimensional
+/// terms. Convenient for synthetic markets and tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeparableUtility {
+    terms: Vec<Concave1d>,
+}
+
+impl SeparableUtility {
+    /// Creates a separable utility from per-resource terms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarketError::Empty`] if `terms` is empty, or
+    /// [`MarketError::InvalidValue`] if any parameter is out of range
+    /// (negative slope/scale, exponent outside `(0, 1]`).
+    pub fn new(terms: Vec<Concave1d>) -> Result<Self> {
+        if terms.is_empty() {
+            return Err(MarketError::Empty { what: "resources" });
+        }
+        for t in &terms {
+            match t {
+                Concave1d::Linear { slope } if !slope.is_finite() || *slope < 0.0 => {
+                    return Err(MarketError::InvalidValue {
+                        what: "separable term slope",
+                        value: *slope,
+                    });
+                }
+                Concave1d::Power { scale, exponent } => {
+                    if !scale.is_finite() || *scale < 0.0 {
+                        return Err(MarketError::InvalidValue {
+                            what: "separable term scale",
+                            value: *scale,
+                        });
+                    }
+                    if !exponent.is_finite() || *exponent <= 0.0 || *exponent > 1.0 {
+                        return Err(MarketError::InvalidValue {
+                            what: "separable term exponent",
+                            value: *exponent,
+                        });
+                    }
+                }
+                Concave1d::Log { scale } if !scale.is_finite() || *scale < 0.0 => {
+                    return Err(MarketError::InvalidValue {
+                        what: "separable term scale",
+                        value: *scale,
+                    });
+                }
+                _ => {}
+            }
+        }
+        Ok(Self { terms })
+    }
+
+    /// Builds `U(r) = Σ_j w_j · sqrt(r_j / C_j)`: a concave utility whose
+    /// maximum over the capacities `C` equals `Σ_j w_j`. With weights summing
+    /// to 1 this matches the paper's normalized-IPC convention (`U ∈ [0,1]`,
+    /// maximum utility 1 when owning everything; §2.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarketError::DimensionMismatch`] if `weights` and
+    /// `capacities` differ in length, or [`MarketError::InvalidValue`] for
+    /// negative weights or non-positive capacities.
+    pub fn proportional(weights: &[f64], capacities: &[f64]) -> Result<Self> {
+        if weights.len() != capacities.len() {
+            return Err(MarketError::DimensionMismatch {
+                what: "proportional utility weights",
+                expected: capacities.len(),
+                actual: weights.len(),
+            });
+        }
+        let mut terms = Vec::with_capacity(weights.len());
+        for (&w, &c) in weights.iter().zip(capacities) {
+            if !c.is_finite() || c <= 0.0 {
+                return Err(MarketError::InvalidValue {
+                    what: "capacity",
+                    value: c,
+                });
+            }
+            terms.push(Concave1d::Power {
+                scale: w / c.sqrt(),
+                exponent: 0.5,
+            });
+        }
+        Self::new(terms)
+    }
+
+    /// The per-resource terms.
+    pub fn terms(&self) -> &[Concave1d] {
+        &self.terms
+    }
+}
+
+impl Utility for SeparableUtility {
+    fn value(&self, r: &[f64]) -> f64 {
+        self.terms.iter().zip(r).map(|(t, &x)| t.value(x)).sum()
+    }
+
+    fn marginal(&self, r: &[f64], j: usize) -> f64 {
+        self.terms[j].slope(r[j])
+    }
+}
+
+/// A non-decreasing piecewise-linear curve `y(x)` over `[x_0, x_last]`,
+/// extended flat beyond both ends.
+///
+/// Used both as a one-dimensional utility term and as the representation of
+/// profiled utility/miss curves. The
+/// [`upper_concave_hull`](PiecewiseLinear::upper_concave_hull) operation
+/// convexifies a curve the way Talus does for cache utilities (§4.1.1,
+/// Figure 2 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLinear {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl PiecewiseLinear {
+    /// Creates a curve from `(x, y)` points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarketError::InvalidUtility`] unless there are at least two
+    /// points, the `x` values are strictly increasing, all values are finite,
+    /// and the `y` values are non-decreasing.
+    pub fn new(points: Vec<(f64, f64)>) -> Result<Self> {
+        if points.len() < 2 {
+            return Err(MarketError::InvalidUtility {
+                reason: "piecewise-linear curve needs at least two points".into(),
+            });
+        }
+        for w in points.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(MarketError::InvalidUtility {
+                    reason: format!("x values must be strictly increasing ({} then {})", w[0].0, w[1].0),
+                });
+            }
+            if w[1].1 < w[0].1 - 1e-12 {
+                return Err(MarketError::InvalidUtility {
+                    reason: format!("y values must be non-decreasing ({} then {})", w[0].1, w[1].1),
+                });
+            }
+        }
+        for &(x, y) in &points {
+            if !x.is_finite() || !y.is_finite() {
+                return Err(MarketError::InvalidUtility {
+                    reason: "curve contains non-finite values".into(),
+                });
+            }
+        }
+        let (xs, ys) = points.into_iter().unzip();
+        Ok(Self { xs, ys })
+    }
+
+    /// The breakpoint `x` coordinates.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The breakpoint `y` coordinates.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Interpolated value at `x`; clamped flat outside the breakpoint range.
+    pub fn value(&self, x: f64) -> f64 {
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        let last = self.xs.len() - 1;
+        if x >= self.xs[last] {
+            return self.ys[last];
+        }
+        // Binary search for the segment containing x.
+        let k = match self
+            .xs
+            .binary_search_by(|probe| probe.partial_cmp(&x).expect("finite"))
+        {
+            Ok(idx) => return self.ys[idx],
+            Err(idx) => idx, // xs[idx-1] < x < xs[idx]
+        };
+        let (x0, x1) = (self.xs[k - 1], self.xs[k]);
+        let (y0, y1) = (self.ys[k - 1], self.ys[k]);
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// Slope of the segment containing `x` (zero outside the range; at a
+    /// breakpoint, the slope of the segment to its right).
+    pub fn slope_at(&self, x: f64) -> f64 {
+        let last = self.xs.len() - 1;
+        if x < self.xs[0] || x >= self.xs[last] {
+            return 0.0;
+        }
+        let k = self
+            .xs
+            .partition_point(|&p| p <= x)
+            .clamp(1, last);
+        (self.ys[k] - self.ys[k - 1]) / (self.xs[k] - self.xs[k - 1])
+    }
+
+    /// Returns `true` if segment slopes are non-increasing within `tol`.
+    pub fn is_concave(&self, tol: f64) -> bool {
+        let mut prev = f64::INFINITY;
+        for w in self.xs.windows(2).zip(self.ys.windows(2)) {
+            let slope = (w.1[1] - w.1[0]) / (w.0[1] - w.0[0]);
+            if slope > prev + tol {
+                return false;
+            }
+            prev = slope;
+        }
+        true
+    }
+
+    /// The upper concave hull of the curve: the least concave curve lying on
+    /// or above the original through a subset of its points.
+    ///
+    /// This is the convexification step of Talus (§4.1.1 of the paper); the
+    /// retained breakpoints are the "points of interest" between which the
+    /// cache controller interpolates with shadow partitions.
+    pub fn upper_concave_hull(&self) -> PiecewiseLinear {
+        let n = self.xs.len();
+        let mut hull: Vec<usize> = Vec::with_capacity(n);
+        for i in 0..n {
+            while hull.len() >= 2 {
+                let a = hull[hull.len() - 2];
+                let b = hull[hull.len() - 1];
+                // Keep b only if it lies strictly above chord a->i.
+                let cross = (self.xs[b] - self.xs[a]) * (self.ys[i] - self.ys[a])
+                    - (self.ys[b] - self.ys[a]) * (self.xs[i] - self.xs[a]);
+                if cross >= -1e-12 {
+                    hull.pop();
+                } else {
+                    break;
+                }
+            }
+            hull.push(i);
+        }
+        let points = hull
+            .into_iter()
+            .map(|i| (self.xs[i], self.ys[i]))
+            .collect();
+        PiecewiseLinear::new(points).expect("hull of a valid curve is valid")
+    }
+}
+
+/// Bilinear interpolation over a tabulated two-resource utility surface.
+///
+/// Axes must be strictly increasing; evaluation clamps (saturates) outside
+/// the tabulated range, matching the paper's assumption that allocations
+/// beyond the profiled range yield no additional utility (§5, footnote 3).
+///
+/// # Examples
+///
+/// ```
+/// use rebudget_market::utility::{GridUtility, Utility};
+/// # fn main() -> Result<(), rebudget_market::MarketError> {
+/// let u = GridUtility::new(
+///     vec![0.0, 1.0],
+///     vec![0.0, 2.0],
+///     vec![0.0, 0.5, 0.5, 1.0], // row-major: [x0y0, x0y1, x1y0, x1y1]
+/// )?;
+/// assert!((u.value(&[0.5, 1.0]) - 0.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridUtility {
+    axis0: Vec<f64>,
+    axis1: Vec<f64>,
+    /// Row-major: `values[i0 * axis1.len() + i1]`.
+    values: Vec<f64>,
+}
+
+impl GridUtility {
+    /// Creates a grid utility.
+    ///
+    /// `values` is row-major over `(axis0, axis1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarketError::InvalidUtility`] if either axis has fewer than
+    /// two points or is not strictly increasing, or
+    /// [`MarketError::DimensionMismatch`] if `values.len() != axis0.len() *
+    /// axis1.len()`.
+    pub fn new(axis0: Vec<f64>, axis1: Vec<f64>, values: Vec<f64>) -> Result<Self> {
+        for axis in [&axis0, &axis1] {
+            if axis.len() < 2 {
+                return Err(MarketError::InvalidUtility {
+                    reason: "grid axes need at least two points".into(),
+                });
+            }
+            if axis.windows(2).any(|w| w[1] <= w[0]) {
+                return Err(MarketError::InvalidUtility {
+                    reason: "grid axes must be strictly increasing".into(),
+                });
+            }
+        }
+        if values.len() != axis0.len() * axis1.len() {
+            return Err(MarketError::DimensionMismatch {
+                what: "grid values",
+                expected: axis0.len() * axis1.len(),
+                actual: values.len(),
+            });
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(MarketError::InvalidUtility {
+                reason: "grid contains non-finite values".into(),
+            });
+        }
+        Ok(Self {
+            axis0,
+            axis1,
+            values,
+        })
+    }
+
+    fn locate(axis: &[f64], x: f64) -> (usize, f64) {
+        // Returns (lower index k, fraction t) with x ≈ axis[k]*(1-t)+axis[k+1]*t,
+        // clamped to the axis range.
+        let last = axis.len() - 1;
+        if x <= axis[0] {
+            return (0, 0.0);
+        }
+        if x >= axis[last] {
+            return (last - 1, 1.0);
+        }
+        let k = axis.partition_point(|&p| p <= x).clamp(1, last) - 1;
+        let t = (x - axis[k]) / (axis[k + 1] - axis[k]);
+        (k, t)
+    }
+
+    fn at(&self, i0: usize, i1: usize) -> f64 {
+        self.values[i0 * self.axis1.len() + i1]
+    }
+
+    /// The first axis (resource 0 sample points).
+    pub fn axis0(&self) -> &[f64] {
+        &self.axis0
+    }
+
+    /// The second axis (resource 1 sample points).
+    pub fn axis1(&self) -> &[f64] {
+        &self.axis1
+    }
+}
+
+impl Utility for GridUtility {
+    fn value(&self, r: &[f64]) -> f64 {
+        let (i, t) = Self::locate(&self.axis0, r[0]);
+        let (j, s) = Self::locate(&self.axis1, r[1]);
+        let v00 = self.at(i, j);
+        let v01 = self.at(i, j + 1);
+        let v10 = self.at(i + 1, j);
+        let v11 = self.at(i + 1, j + 1);
+        v00 * (1.0 - t) * (1.0 - s) + v10 * t * (1.0 - s) + v01 * (1.0 - t) * s + v11 * t * s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_value_and_marginal() {
+        let u = LinearUtility::new(vec![2.0, 0.5]).unwrap();
+        assert_eq!(u.value(&[3.0, 4.0]), 8.0);
+        assert_eq!(u.marginal(&[3.0, 4.0], 1), 0.5);
+        assert_eq!(u.weights(), &[2.0, 0.5]);
+    }
+
+    #[test]
+    fn linear_rejects_negative_weight() {
+        assert!(LinearUtility::new(vec![1.0, -0.1]).is_err());
+        assert!(LinearUtility::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn cobb_douglas_value_and_analytic_marginal() {
+        let u = CobbDouglas::new(2.0, vec![0.25, 0.75]).unwrap();
+        let r = [16.0, 81.0];
+        let v = u.value(&r);
+        assert!((v - 2.0 * 2.0 * 27.0).abs() < 1e-9);
+        // Analytic marginal must agree with the default numeric one.
+        let numeric = {
+            struct Wrap<'a>(&'a CobbDouglas);
+            impl Utility for Wrap<'_> {
+                fn value(&self, r: &[f64]) -> f64 {
+                    self.0.value(r)
+                }
+            }
+            Wrap(&u).marginal(&r, 0)
+        };
+        assert!((u.marginal(&r, 0) - numeric).abs() / numeric < 1e-3);
+    }
+
+    #[test]
+    fn cobb_douglas_rejects_bad_params() {
+        assert!(CobbDouglas::new(0.0, vec![0.5]).is_err());
+        assert!(CobbDouglas::new(1.0, vec![-0.5]).is_err());
+        assert!(CobbDouglas::new(1.0, vec![]).is_err());
+    }
+
+    #[test]
+    fn separable_proportional_maxes_at_weight_sum() {
+        let caps = [16.0, 80.0];
+        let u = SeparableUtility::proportional(&[0.6, 0.4], &caps).unwrap();
+        assert!((u.value(&caps) - 1.0).abs() < 1e-9);
+        assert!(u.value(&[0.0, 0.0]).abs() < 1e-9);
+        // Marginal decreasing in allocation (concavity).
+        assert!(u.marginal(&[1.0, 1.0], 0) > u.marginal(&[10.0, 1.0], 0));
+    }
+
+    #[test]
+    fn separable_rejects_bad_terms() {
+        assert!(SeparableUtility::new(vec![]).is_err());
+        assert!(SeparableUtility::new(vec![Concave1d::Power {
+            scale: 1.0,
+            exponent: 1.5,
+        }])
+        .is_err());
+        assert!(SeparableUtility::new(vec![Concave1d::Linear { slope: -1.0 }]).is_err());
+        assert!(SeparableUtility::proportional(&[0.5], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn piecewise_interpolates_and_clamps() {
+        let c = PiecewiseLinear::new(vec![(1.0, 0.2), (3.0, 0.6), (5.0, 1.0)]).unwrap();
+        assert_eq!(c.value(0.0), 0.2);
+        assert_eq!(c.value(1.0), 0.2);
+        assert!((c.value(2.0) - 0.4).abs() < 1e-12);
+        assert!((c.value(4.0) - 0.8).abs() < 1e-12);
+        assert_eq!(c.value(9.0), 1.0);
+        assert!((c.slope_at(2.0) - 0.2).abs() < 1e-12);
+        assert_eq!(c.slope_at(6.0), 0.0);
+    }
+
+    #[test]
+    fn piecewise_rejects_invalid() {
+        assert!(PiecewiseLinear::new(vec![(0.0, 0.0)]).is_err());
+        assert!(PiecewiseLinear::new(vec![(0.0, 0.0), (0.0, 1.0)]).is_err());
+        assert!(PiecewiseLinear::new(vec![(0.0, 1.0), (1.0, 0.5)]).is_err());
+        assert!(PiecewiseLinear::new(vec![(0.0, 0.0), (1.0, f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn hull_convexifies_mcf_like_cliff() {
+        // mcf-like: flat at 0.2 until a cliff at 12 ways, then 1.0 (Figure 2).
+        let points: Vec<(f64, f64)> = (1..=16)
+            .map(|w| {
+                let y = if w < 12 { 0.2 } else { 1.0 };
+                (w as f64, y)
+            })
+            .collect();
+        let c = PiecewiseLinear::new(points).unwrap();
+        assert!(!c.is_concave(1e-9));
+        let hull = c.upper_concave_hull();
+        assert!(hull.is_concave(1e-9));
+        // Hull dominates the original curve.
+        for w in 1..=16 {
+            let x = w as f64;
+            assert!(hull.value(x) >= c.value(x) - 1e-12, "at x={x}");
+        }
+        // End points preserved.
+        assert_eq!(hull.value(1.0), 0.2);
+        assert_eq!(hull.value(16.0), 1.0);
+        // Interior now linear between (1, 0.2) and (12, 1.0).
+        let expect = 0.2 + 0.8 * (6.0 - 1.0) / (11.0);
+        assert!((hull.value(6.0) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hull_of_concave_curve_is_identity() {
+        let c = PiecewiseLinear::new(vec![(0.0, 0.0), (1.0, 0.5), (2.0, 0.8), (3.0, 0.9)]).unwrap();
+        let hull = c.upper_concave_hull();
+        assert_eq!(hull, c);
+    }
+
+    #[test]
+    fn grid_exact_at_nodes_and_clamped() {
+        let u = GridUtility::new(
+            vec![0.0, 1.0, 2.0],
+            vec![0.0, 10.0],
+            vec![0.0, 1.0, 0.5, 1.5, 1.0, 2.0],
+        )
+        .unwrap();
+        assert_eq!(u.value(&[0.0, 0.0]), 0.0);
+        assert_eq!(u.value(&[2.0, 10.0]), 2.0);
+        assert_eq!(u.value(&[1.0, 10.0]), 1.5);
+        // Saturates beyond range.
+        assert_eq!(u.value(&[5.0, 20.0]), 2.0);
+        assert_eq!(u.value(&[-1.0, -1.0]), 0.0);
+        // Bilinear midpoint.
+        assert!((u.value(&[0.5, 5.0]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_rejects_invalid() {
+        assert!(GridUtility::new(vec![0.0], vec![0.0, 1.0], vec![0.0, 1.0]).is_err());
+        assert!(GridUtility::new(vec![0.0, 0.0], vec![0.0, 1.0], vec![0.0; 4]).is_err());
+        assert!(GridUtility::new(vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0; 3]).is_err());
+        assert!(GridUtility::new(vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0, 0.0, 0.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn trait_objects_and_arcs_work() {
+        use std::sync::Arc;
+        let u: Arc<dyn Utility> = Arc::new(LinearUtility::new(vec![1.0]).unwrap());
+        assert_eq!(u.value(&[2.0]), 2.0);
+        assert_eq!(u.marginal(&[2.0], 0), 1.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! The chip-level power budget (RAPL-style enforcement, §5).
+//!
+//! The paper gives each `p`-core chip a TDP of `p × 10 W`. Every core gets
+//! the power to run at 800 MHz for free; the rest is *discretionary* and is
+//! what the market actually sells. This module converts between the two
+//! views and applies a Watt allocation to a set of cores.
+
+use crate::model::CorePowerModel;
+use crate::Result;
+
+/// The chip power budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBudget {
+    /// Total chip budget in Watts.
+    pub total_watts: f64,
+}
+
+impl PowerBudget {
+    /// The paper's TDP: 10 W per core (Table 1 footnote).
+    pub fn paper(cores: usize) -> Self {
+        Self {
+            total_watts: cores as f64 * 10.0,
+        }
+    }
+
+    /// The discretionary budget after reserving each core's 800 MHz floor
+    /// at the given per-core temperatures: `total − Σ_i floor_i`.
+    ///
+    /// Clamped at zero if the floors alone exceed the budget.
+    pub fn discretionary_watts(&self, models: &[CorePowerModel], temps_k: &[f64]) -> f64 {
+        let floors: f64 = models
+            .iter()
+            .zip(temps_k)
+            .map(|(m, &t)| m.floor_power(t))
+            .sum();
+        (self.total_watts - floors).max(0.0)
+    }
+
+    /// Applies a discretionary Watt allocation: core `i` receives its floor
+    /// plus `extra_watts[i]`, and runs at the highest frequency that fits.
+    /// Returns the per-core frequencies in GHz.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::PowerError`] from the inversion (cannot occur
+    /// when allocations are non-negative, since each core's floor is
+    /// included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree.
+    pub fn apply(
+        &self,
+        models: &[CorePowerModel],
+        temps_k: &[f64],
+        extra_watts: &[f64],
+    ) -> Result<Vec<f64>> {
+        assert_eq!(models.len(), temps_k.len(), "temps length mismatch");
+        assert_eq!(models.len(), extra_watts.len(), "allocation length mismatch");
+        models
+            .iter()
+            .zip(temps_k)
+            .zip(extra_watts)
+            .map(|((m, &t), &extra)| {
+                let budget = m.floor_power(t) + extra.max(0.0);
+                m.frequency_for_power(budget, t)
+            })
+            .collect()
+    }
+
+    /// Total power actually drawn when the cores run at `freqs_ghz`.
+    pub fn drawn_watts(
+        &self,
+        models: &[CorePowerModel],
+        temps_k: &[f64],
+        freqs_ghz: &[f64],
+    ) -> f64 {
+        models
+            .iter()
+            .zip(temps_k)
+            .zip(freqs_ghz)
+            .map(|((m, &t), &f)| m.total_power(f, t))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_tdp_scales_with_cores() {
+        assert_eq!(PowerBudget::paper(8).total_watts, 80.0);
+        assert_eq!(PowerBudget::paper(64).total_watts, 640.0);
+    }
+
+    #[test]
+    fn discretionary_excludes_floors() {
+        let models = vec![CorePowerModel::paper(1.0); 8];
+        let temps = vec![330.0; 8];
+        let b = PowerBudget::paper(8);
+        let disc = b.discretionary_watts(&models, &temps);
+        let floor_sum: f64 = models.iter().map(|m| m.floor_power(330.0)).sum();
+        assert!((disc - (80.0 - floor_sum)).abs() < 1e-9);
+        assert!(disc > 0.0 && disc < 80.0);
+    }
+
+    #[test]
+    fn apply_respects_budget_and_monotonicity() {
+        let models = vec![CorePowerModel::paper(1.0); 4];
+        let temps = vec![330.0; 4];
+        let b = PowerBudget::paper(4);
+        // Unequal discretionary allocation: the bigger share must yield the
+        // higher frequency.
+        let freqs = b.apply(&models, &temps, &[0.0, 2.0, 4.0, 8.0]).unwrap();
+        assert!((freqs[0] - 0.8).abs() < 1e-6, "no extra power → f_min");
+        assert!(freqs[1] < freqs[2] && freqs[2] < freqs[3]);
+        // Total drawn never exceeds floor + extras.
+        let drawn = b.drawn_watts(&models, &temps, &freqs);
+        let granted: f64 = models
+            .iter()
+            .map(|m| m.floor_power(330.0))
+            .sum::<f64>()
+            + 14.0;
+        assert!(drawn <= granted + 1e-6);
+    }
+
+    #[test]
+    fn exhausting_discretionary_stays_within_tdp() {
+        let models = vec![CorePowerModel::paper(1.0); 8];
+        let temps = vec![335.0; 8];
+        let b = PowerBudget::paper(8);
+        let disc = b.discretionary_watts(&models, &temps);
+        let share = vec![disc / 8.0; 8];
+        let freqs = b.apply(&models, &temps, &share).unwrap();
+        let drawn = b.drawn_watts(&models, &temps, &freqs);
+        assert!(
+            drawn <= b.total_watts + 1e-6,
+            "drawn {drawn} exceeds TDP {}",
+            b.total_watts
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! The DVFS operating range of Table 1: 0.8–4.0 GHz at 0.8–1.2 V.
+
+/// A continuous DVFS range with voltage scaling linearly in frequency.
+///
+/// The paper's cores run anywhere in 0.8–4.0 GHz; RAPL-style control is
+/// fine-grained enough (0.125 W steps) that both frequency and power are
+/// treated as continuous (§4.1.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DvfsRange {
+    /// Minimum frequency in GHz.
+    pub f_min: f64,
+    /// Maximum frequency in GHz.
+    pub f_max: f64,
+    /// Voltage at `f_min`, in Volts.
+    pub v_min: f64,
+    /// Voltage at `f_max`, in Volts.
+    pub v_max: f64,
+}
+
+impl DvfsRange {
+    /// The paper's range: 0.8–4.0 GHz, 0.8–1.2 V (Table 1).
+    pub fn paper() -> Self {
+        Self {
+            f_min: 0.8,
+            f_max: 4.0,
+            v_min: 0.8,
+            v_max: 1.2,
+        }
+    }
+
+    /// Clamps a frequency into the range.
+    pub fn clamp(&self, f_ghz: f64) -> f64 {
+        f_ghz.clamp(self.f_min, self.f_max)
+    }
+
+    /// Supply voltage at frequency `f_ghz` (clamped), interpolated linearly
+    /// between the endpoints.
+    pub fn voltage(&self, f_ghz: f64) -> f64 {
+        let f = self.clamp(f_ghz);
+        let t = (f - self.f_min) / (self.f_max - self.f_min);
+        self.v_min + t * (self.v_max - self.v_min)
+    }
+
+    /// The discrete profiling grid of §6: `{0.8, 1.2, 1.6, …, 4.0}` GHz
+    /// (9 points for the paper range).
+    pub fn profiling_grid(&self, step_ghz: f64) -> Vec<f64> {
+        let mut grid = Vec::new();
+        let mut f = self.f_min;
+        while f <= self.f_max + 1e-9 {
+            grid.push(f.min(self.f_max));
+            f += step_ghz;
+        }
+        grid
+    }
+}
+
+impl Default for DvfsRange {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_range_endpoints() {
+        let d = DvfsRange::paper();
+        assert_eq!(d.voltage(0.8), 0.8);
+        assert_eq!(d.voltage(4.0), 1.2);
+        assert!((d.voltage(2.4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamping() {
+        let d = DvfsRange::paper();
+        assert_eq!(d.clamp(0.1), 0.8);
+        assert_eq!(d.clamp(9.0), 4.0);
+        assert_eq!(d.voltage(9.0), 1.2);
+    }
+
+    #[test]
+    fn profiling_grid_matches_paper() {
+        let grid = DvfsRange::paper().profiling_grid(0.4);
+        assert_eq!(grid.len(), 9, "paper samples 9 frequency points");
+        assert_eq!(grid[0], 0.8);
+        assert!((grid[8] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn voltage_monotone_in_frequency() {
+        let d = DvfsRange::paper();
+        let g = d.profiling_grid(0.1);
+        assert!(g.windows(2).all(|w| d.voltage(w[1]) >= d.voltage(w[0])));
+    }
+}

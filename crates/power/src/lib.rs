@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Power substrate for the ReBudget reproduction.
+//!
+//! The paper's second market resource is the chip power budget, regulated
+//! through per-core DVFS "similar to Intel's RAPL technique" (§5). This
+//! crate models the pieces the paper cites:
+//!
+//! * [`dvfs`] — the 0.8–4.0 GHz / 0.8–1.2 V operating range of Table 1,
+//!   with fine-grained (RAPL-style, 0.125 W) continuous control;
+//! * [`model`] — Wattch-style dynamic power (`C_eff · V² · f · activity`)
+//!   plus Sandy-Bridge-style static power that grows exponentially with
+//!   temperature;
+//! * [`thermal`] — a lumped-RC HotSpot-lite per-core thermal node;
+//! * [`budget`] — the chip-level power budget (10 W per core in the
+//!   paper) and the power→frequency inversion each core performs when the
+//!   market hands it a Watt allocation.
+
+pub mod budget;
+pub mod dvfs;
+pub mod model;
+pub mod thermal;
+pub mod thermal_grid;
+
+pub use budget::PowerBudget;
+pub use dvfs::DvfsRange;
+pub use model::{CorePowerModel, PowerError};
+pub use thermal::ThermalNode;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, PowerError>;

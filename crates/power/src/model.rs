@@ -1,0 +1,265 @@
+//! Core power models: Wattch-style dynamic power and temperature-dependent
+//! static power.
+//!
+//! * Dynamic: `P_dyn = C_eff · V² · f · activity` (Wattch; Brooks et al.,
+//!   ISCA 2000). With the linear V(f) of [`crate::dvfs`], `P_dyn` grows
+//!   roughly cubically in `f`, so the inverse `f(P)` is concave — the
+//!   property the market theory requires of the power resource (§4.1.1:
+//!   "power is known to be concave").
+//! * Static: the paper approximates leakage "as a fraction of the dynamic
+//!   power that is exponentially dependent on the system temperature"
+//!   (Intel Sandy Bridge power management; Chaparro et al.). We model
+//!   `P_static = base · exp(k · (T − T_ref))`.
+
+use std::fmt;
+
+use crate::dvfs::DvfsRange;
+
+/// Errors from power-model configuration or inversion.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PowerError {
+    /// A model parameter was out of range.
+    InvalidParameter {
+        /// Description of the parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The requested power is below the minimum achievable at `f_min`.
+    BudgetBelowFloor {
+        /// Requested Watts.
+        requested: f64,
+        /// Minimum Watts at the lowest operating point.
+        floor: f64,
+    },
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::InvalidParameter { what, value } => {
+                write!(f, "invalid {what}: {value}")
+            }
+            PowerError::BudgetBelowFloor { requested, floor } => {
+                write!(f, "power budget {requested} W below floor {floor} W")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PowerError {}
+
+/// Per-core power model.
+///
+/// # Examples
+///
+/// ```
+/// use rebudget_power::CorePowerModel;
+///
+/// # fn main() -> Result<(), rebudget_power::PowerError> {
+/// let core = CorePowerModel::paper(0.8);
+/// let watts = core.total_power(2.4, 330.0);
+/// // Inverting the model recovers the frequency (RAPL-style enforcement).
+/// let f = core.frequency_for_power(watts, 330.0)?;
+/// assert!((f - 2.4).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorePowerModel {
+    /// DVFS range.
+    pub dvfs: DvfsRange,
+    /// Effective switched capacitance (W / (V²·GHz)); calibrated so a
+    /// fully-active core at 4 GHz/1.2 V draws ≈8 W dynamic.
+    pub c_eff: f64,
+    /// Activity factor in `[0, 1]` — application-dependent.
+    pub activity: f64,
+    /// Static power at the reference temperature, in Watts.
+    pub static_base: f64,
+    /// Exponential temperature coefficient of leakage (1/K).
+    pub static_temp_coeff: f64,
+    /// Reference temperature for `static_base`, in Kelvin.
+    pub ref_temp: f64,
+}
+
+impl CorePowerModel {
+    /// A calibrated 65 nm-flavoured core. At 4 GHz a fully active core
+    /// draws ≈21 W — far beyond its 10 W TDP share (65 nm parts at these
+    /// frequencies were exactly this hungry) — while a half-active core
+    /// draws ≈11 W. The sum of what the cores could usefully burn
+    /// therefore always exceeds the chip budget, making power genuinely
+    /// scarce and worth trading (the whole point of the market). The
+    /// 800 MHz floor costs ≈2–3 W.
+    pub fn paper(activity: f64) -> Self {
+        Self {
+            dvfs: DvfsRange::paper(),
+            c_eff: 3.5,
+            activity: activity.clamp(0.0, 1.0),
+            static_base: 1.25,
+            static_temp_coeff: 0.017,
+            ref_temp: 330.0,
+        }
+    }
+
+    /// Dynamic power at frequency `f_ghz` (clamped into the DVFS range).
+    pub fn dynamic_power(&self, f_ghz: f64) -> f64 {
+        let f = self.dvfs.clamp(f_ghz);
+        let v = self.dvfs.voltage(f);
+        self.c_eff * v * v * f * self.activity.max(0.05)
+    }
+
+    /// Static (leakage) power at absolute temperature `temp_k`.
+    pub fn static_power(&self, temp_k: f64) -> f64 {
+        self.static_base * (self.static_temp_coeff * (temp_k - self.ref_temp)).exp()
+    }
+
+    /// Total core power at frequency `f_ghz` and temperature `temp_k`.
+    pub fn total_power(&self, f_ghz: f64, temp_k: f64) -> f64 {
+        self.dynamic_power(f_ghz) + self.static_power(temp_k)
+    }
+
+    /// Minimum total power (at `f_min`) for the given temperature — the
+    /// "free" floor every core receives in the paper (§4.1: enough power
+    /// to run at 800 MHz).
+    pub fn floor_power(&self, temp_k: f64) -> f64 {
+        self.total_power(self.dvfs.f_min, temp_k)
+    }
+
+    /// Maximum total power (at `f_max`).
+    pub fn peak_power(&self, temp_k: f64) -> f64 {
+        self.total_power(self.dvfs.f_max, temp_k)
+    }
+
+    /// Inverts the power model: the highest frequency whose total power
+    /// fits within `watts` at temperature `temp_k`. Monotone bisection;
+    /// result is clamped into the DVFS range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::BudgetBelowFloor`] if even `f_min` exceeds the
+    /// budget.
+    pub fn frequency_for_power(&self, watts: f64, temp_k: f64) -> crate::Result<f64> {
+        let floor = self.floor_power(temp_k);
+        if watts + 1e-9 < floor {
+            return Err(PowerError::BudgetBelowFloor {
+                requested: watts,
+                floor,
+            });
+        }
+        if watts >= self.peak_power(temp_k) {
+            return Ok(self.dvfs.f_max);
+        }
+        let (mut lo, mut hi) = (self.dvfs.f_min, self.dvfs.f_max);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if self.total_power(mid, temp_k) <= watts {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_makes_tdp_scarce() {
+        // A fully active core at 4 GHz must exceed its 10 W TDP share
+        // (otherwise the power market has nothing to arbitrate), while a
+        // typical-activity core sits near it.
+        let hot = CorePowerModel::paper(1.0);
+        let peak = hot.total_power(4.0, 330.0);
+        assert!(
+            (18.0..=24.0).contains(&peak),
+            "full-activity peak {peak} should far exceed the 10 W TDP share"
+        );
+        let typical = CorePowerModel::paper(0.5).total_power(4.0, 330.0);
+        assert!(
+            (9.0..=13.0).contains(&typical),
+            "half-activity peak {typical} should be near the TDP share"
+        );
+        let floor = hot.floor_power(330.0);
+        assert!(floor < 3.5, "floor {floor} should be small");
+        assert!(floor > 0.5);
+    }
+
+    #[test]
+    fn dynamic_power_superlinear_in_frequency() {
+        let m = CorePowerModel::paper(1.0);
+        // P(2f) > 2·P(f): convex growth makes f(P) concave.
+        assert!(m.dynamic_power(3.2) > 2.0 * m.dynamic_power(1.6));
+        let mut prev = 0.0;
+        for k in 0..=16 {
+            let f = 0.8 + k as f64 * 0.2;
+            let p = m.dynamic_power(f);
+            assert!(p > prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn frequency_inverse_of_power_is_concave() {
+        let m = CorePowerModel::paper(0.8);
+        let t = 330.0;
+        let f = |w: f64| m.frequency_for_power(w, t).unwrap();
+        // Concavity: midpoint frequency above the chord.
+        let (w0, w1) = (3.0, 12.0);
+        let mid = f(0.5 * (w0 + w1));
+        let chord = 0.5 * (f(w0) + f(w1));
+        assert!(
+            mid >= chord - 1e-6,
+            "f(P) not concave: mid {mid} vs chord {chord}"
+        );
+    }
+
+    #[test]
+    fn frequency_for_power_round_trips() {
+        let m = CorePowerModel::paper(0.6);
+        let t = 335.0;
+        for f_target in [0.9, 1.6, 2.4, 3.3, 4.0] {
+            let w = m.total_power(f_target, t);
+            let f = m.frequency_for_power(w, t).unwrap();
+            assert!(
+                (f - f_target).abs() < 1e-6,
+                "round trip {f_target} → {w} W → {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_below_floor_errors() {
+        let m = CorePowerModel::paper(1.0);
+        let err = m.frequency_for_power(0.1, 330.0).unwrap_err();
+        assert!(matches!(err, PowerError::BudgetBelowFloor { .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn generous_budget_saturates_at_fmax() {
+        let m = CorePowerModel::paper(1.0);
+        assert_eq!(m.frequency_for_power(50.0, 330.0).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn static_power_grows_exponentially_with_temperature() {
+        let m = CorePowerModel::paper(1.0);
+        let p0 = m.static_power(330.0);
+        let p10 = m.static_power(340.0);
+        let p20 = m.static_power(350.0);
+        assert!((p10 / p0 - p20 / p10).abs() < 1e-9, "constant ratio per 10 K");
+        assert!(p10 > p0);
+    }
+
+    #[test]
+    fn activity_scales_dynamic_power_only() {
+        let hot = CorePowerModel::paper(1.0);
+        let cool = CorePowerModel::paper(0.5);
+        assert!((hot.dynamic_power(2.0) / cool.dynamic_power(2.0) - 2.0).abs() < 1e-9);
+        assert_eq!(hot.static_power(330.0), cool.static_power(330.0));
+    }
+}

@@ -1,0 +1,118 @@
+//! A lumped-RC thermal node (HotSpot-lite).
+//!
+//! The paper estimates run-time chip temperature with HotSpot integrated
+//! into SESC (§5); the static-power model consumes that temperature. A
+//! first-order RC node per core captures the feedback loop that matters to
+//! the market — hotter cores leak more, which eats into their frequency at
+//! a given Watt allocation:
+//!
+//! `dT/dt = (P · R_th − (T − T_amb)) / τ`
+
+/// First-order thermal model of one core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalNode {
+    /// Ambient temperature in Kelvin.
+    pub ambient_k: f64,
+    /// Junction-to-ambient thermal resistance in K/W.
+    pub r_th: f64,
+    /// Thermal time constant in seconds.
+    pub tau_s: f64,
+    temp_k: f64,
+}
+
+impl ThermalNode {
+    /// A node representative of a 65 nm core: ambient 318 K (45 °C chassis),
+    /// 3 K/W to ambient, 50 ms time constant.
+    pub fn paper() -> Self {
+        Self {
+            ambient_k: 318.0,
+            r_th: 3.0,
+            tau_s: 0.05,
+            temp_k: 318.0,
+        }
+    }
+
+    /// Current junction temperature in Kelvin.
+    pub fn temperature(&self) -> f64 {
+        self.temp_k
+    }
+
+    /// Steady-state temperature under constant power `watts`.
+    pub fn steady_state(&self, watts: f64) -> f64 {
+        self.ambient_k + watts * self.r_th
+    }
+
+    /// Advances the node by `dt_s` seconds under dissipation `watts`,
+    /// returning the new temperature. Uses the exact exponential solution
+    /// of the first-order ODE, so arbitrarily large steps are stable.
+    pub fn step(&mut self, watts: f64, dt_s: f64) -> f64 {
+        let target = self.steady_state(watts);
+        let alpha = (-dt_s / self.tau_s).exp();
+        self.temp_k = target + (self.temp_k - target) * alpha;
+        self.temp_k
+    }
+
+    /// Resets the node to ambient.
+    pub fn reset(&mut self) {
+        self.temp_k = self.ambient_k;
+    }
+
+    /// Sets the junction temperature directly (initialization, or thermal
+    /// coupling models that exchange heat between nodes).
+    pub fn set_temperature(&mut self, temp_k: f64) {
+        self.temp_k = temp_k;
+    }
+}
+
+impl Default for ThermalNode {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_steady_state() {
+        let mut n = ThermalNode::paper();
+        for _ in 0..100 {
+            n.step(10.0, 0.01);
+        }
+        let ss = n.steady_state(10.0);
+        assert!((n.temperature() - ss).abs() < 0.1, "{} vs {}", n.temperature(), ss);
+        assert_eq!(ss, 318.0 + 30.0);
+    }
+
+    #[test]
+    fn heats_monotonically_from_ambient() {
+        let mut n = ThermalNode::paper();
+        let mut prev = n.temperature();
+        for _ in 0..20 {
+            let t = n.step(8.0, 0.005);
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn cools_when_power_drops() {
+        let mut n = ThermalNode::paper();
+        for _ in 0..100 {
+            n.step(10.0, 0.01);
+        }
+        let hot = n.temperature();
+        n.step(1.0, 0.05);
+        assert!(n.temperature() < hot);
+    }
+
+    #[test]
+    fn large_steps_are_stable() {
+        let mut n = ThermalNode::paper();
+        let t = n.step(10.0, 1e9);
+        assert!((t - n.steady_state(10.0)).abs() < 1e-6);
+        n.reset();
+        assert_eq!(n.temperature(), 318.0);
+    }
+}

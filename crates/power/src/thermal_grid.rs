@@ -1,0 +1,162 @@
+//! A 2-D mesh of thermally coupled cores (HotSpot-lite, lateral spread).
+//!
+//! [`crate::thermal::ThermalNode`] treats every core as thermally
+//! isolated. Real dies conduct laterally: a core surrounded by hot
+//! neighbours runs hotter — and leaks more — than an identical core at the
+//! die edge. This module arranges per-core RC nodes in a rectangular mesh
+//! with nearest-neighbour conductances:
+//!
+//! `τ·dT_i/dt = P_i·R_th − (T_i − T_amb) − κ·Σ_{j∈N(i)} (T_i − T_j)`
+
+use crate::thermal::ThermalNode;
+
+/// A rectangular mesh of coupled thermal nodes.
+#[derive(Debug, Clone)]
+pub struct ThermalGrid {
+    nodes: Vec<ThermalNode>,
+    width: usize,
+    height: usize,
+    /// Dimensionless lateral coupling strength `κ` (0 = isolated nodes).
+    coupling: f64,
+}
+
+impl ThermalGrid {
+    /// Creates a `width × height` mesh of [`ThermalNode::paper`] nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or `coupling` is negative.
+    pub fn new(width: usize, height: usize, coupling: f64) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be non-zero");
+        assert!(coupling >= 0.0, "coupling must be non-negative");
+        Self {
+            nodes: vec![ThermalNode::paper(); width * height],
+            width,
+            height,
+            coupling,
+        }
+    }
+
+    /// A mesh sized for `cores` cores (near-square layout), with the
+    /// default lateral coupling 0.5.
+    pub fn for_cores(cores: usize) -> Self {
+        let width = (cores as f64).sqrt().ceil() as usize;
+        let height = cores.div_ceil(width);
+        Self::new(width, height, 0.5)
+    }
+
+    /// Number of nodes in the mesh.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the mesh is empty (never true; for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Temperature of node `i` in Kelvin.
+    pub fn temperature(&self, i: usize) -> f64 {
+        self.nodes[i].temperature()
+    }
+
+    fn neighbours(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        let (x, y) = (i % self.width, i / self.width);
+        let (w, h) = (self.width, self.height);
+        [
+            (x > 0).then(|| i - 1),
+            (x + 1 < w).then(|| i + 1),
+            (y > 0).then(|| i - w),
+            (y + 1 < h && i + w < self.nodes.len()).then(|| i + w),
+        ]
+        .into_iter()
+        .flatten()
+        .filter(move |&j| j < self.nodes.len())
+    }
+
+    /// Advances the mesh by `dt_s` seconds under per-node dissipation
+    /// `watts` (only the first `min(len, watts.len())` nodes are driven).
+    /// Uses sub-stepped explicit Euler for the coupling term on top of
+    /// each node's exact RC response.
+    pub fn step(&mut self, watts: &[f64], dt_s: f64) {
+        // Individual RC responses.
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let p = watts.get(i).copied().unwrap_or(0.0);
+            node.step(p, dt_s);
+        }
+        if self.coupling == 0.0 {
+            return;
+        }
+        // Lateral exchange: relax each pair toward the mean by a factor
+        // proportional to κ·dt/τ (clamped for stability).
+        let temps: Vec<f64> = self.nodes.iter().map(|n| n.temperature()).collect();
+        let tau = self.nodes[0].tau_s;
+        let alpha = (self.coupling * dt_s / tau).min(0.2);
+        for i in 0..self.nodes.len() {
+            let mut delta = 0.0;
+            for j in self.neighbours(i) {
+                delta += temps[j] - temps[i];
+            }
+            self.nodes[i].set_temperature(temps[i] + alpha * delta);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_geometry() {
+        let g = ThermalGrid::for_cores(8);
+        assert!(g.len() >= 8);
+        assert!(!g.is_empty());
+        let g64 = ThermalGrid::for_cores(64);
+        assert_eq!(g64.len(), 64);
+    }
+
+    #[test]
+    fn uniform_power_stays_uniform() {
+        let mut g = ThermalGrid::new(4, 4, 0.5);
+        for _ in 0..200 {
+            g.step(&[8.0; 16], 0.005);
+        }
+        let t0 = g.temperature(0);
+        for i in 0..16 {
+            assert!((g.temperature(i) - t0).abs() < 0.5, "node {i}");
+        }
+        assert!(t0 > 330.0, "should heat well above ambient: {t0}");
+    }
+
+    #[test]
+    fn hot_cluster_heats_its_neighbourhood() {
+        // Drive only the 2×2 top-left corner; the adjacent node must run
+        // hotter than the far corner.
+        let mut g = ThermalGrid::new(4, 4, 0.5);
+        let mut watts = [0.0; 16];
+        for &i in &[0usize, 1, 4, 5] {
+            watts[i] = 15.0;
+        }
+        for _ in 0..200 {
+            g.step(&watts, 0.005);
+        }
+        let near = g.temperature(2); // adjacent to the hot cluster
+        let far = g.temperature(15); // opposite corner
+        assert!(
+            near > far + 0.5,
+            "lateral conduction missing: near {near} vs far {far}"
+        );
+    }
+
+    #[test]
+    fn zero_coupling_isolates_nodes() {
+        let mut g = ThermalGrid::new(2, 2, 0.0);
+        let watts = [20.0, 0.0, 0.0, 0.0];
+        for _ in 0..100 {
+            g.step(&watts, 0.01);
+        }
+        assert!(g.temperature(0) > g.temperature(1) + 10.0);
+        let idle = ThermalNode::paper();
+        assert!((g.temperature(1) - idle.ambient_k).abs() < 0.5);
+    }
+}

@@ -1,0 +1,17 @@
+//! Debug helper: print the monitored MPKI curve for one app.
+use rebudget_apps::spec::app_by_name;
+use rebudget_sim::monitor::CoreMonitor;
+use rebudget_sim::SystemConfig;
+
+fn main() {
+    let sys = SystemConfig::paper_8core();
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mcf".to_string());
+    let app = app_by_name(&name).unwrap();
+    let mut m = CoreMonitor::new(app, &sys, 0, 99);
+    m.warm_up(300_000);
+    m.observe_quantum(300_000);
+    let c = m.mpki_curve().unwrap();
+    for (cap, miss) in c.capacities().iter().zip(c.misses()) {
+        println!("{:>8.0} kB  mpki {:.2}  (analytic {:.2})", cap / 1024.0, miss, app.mpki_at(*cap));
+    }
+}

@@ -1,0 +1,214 @@
+//! The leading-loads critical-path predictor (Miftakhutdinov, Ebrahimi &
+//! Patt, MICRO 2012 — cited in §4.1.1 of the paper).
+//!
+//! To know how an application's execution time scales with frequency, the
+//! paper's monitor splits time into a *compute phase* (scales with `f`)
+//! and a *memory phase* (bounded by DRAM, frequency-independent): "the
+//! length of the memory phase under different cache allocations is
+//! estimated using UMON shadow tags and a critical path predictor". The
+//! leading-loads technique measures the memory phase online: the stall
+//! time of the *leading* (first outstanding) miss in each overlap burst is
+//! charged to the memory phase; everything else is compute.
+//!
+//! [`LeadingLoadsPredictor`] consumes per-quantum observations (elapsed
+//! time, frequency, misses, effective latency, overlap) and predicts the
+//! quantum's duration at any other frequency — the `T(f') = T_comp·f/f' +
+//! T_mem` model the utility surfaces are built on.
+
+/// One quantum's observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantumObservation {
+    /// Wall-clock duration of the quantum (ns).
+    pub elapsed_ns: f64,
+    /// Core frequency during the quantum (GHz).
+    pub freq_ghz: f64,
+    /// L2 misses observed.
+    pub misses: f64,
+    /// Effective per-miss latency (ns).
+    pub miss_latency_ns: f64,
+    /// Memory-level parallelism: misses overlapping a leading load.
+    pub mlp: f64,
+}
+
+/// Online estimate of the compute/memory phase split.
+///
+/// # Examples
+///
+/// ```
+/// use rebudget_sim::critical_path::{LeadingLoadsPredictor, QuantumObservation};
+///
+/// let mut p = LeadingLoadsPredictor::new();
+/// // 1 ms quantum at 2 GHz: 0.4 ms of leading-load stalls.
+/// p.observe(&QuantumObservation {
+///     elapsed_ns: 1e6,
+///     freq_ghz: 2.0,
+///     misses: 10_000.0,
+///     miss_latency_ns: 80.0,
+///     mlp: 2.0,
+/// });
+/// // Doubling frequency halves only the compute phase.
+/// let at_4ghz = p.predict_ns(4.0);
+/// assert!((at_4ghz - (0.6e6 / 2.0 + 0.4e6)).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LeadingLoadsPredictor {
+    total_compute_cycles: f64, // GHz·ns = cycles
+    total_memory_ns: f64,
+    total_observed_ns: f64,
+}
+
+impl LeadingLoadsPredictor {
+    /// Creates an empty predictor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one quantum's measurements.
+    ///
+    /// The leading-loads rule: memory time = misses × latency / MLP
+    /// (only the leading miss of each overlap group stalls the pipeline);
+    /// whatever remains is compute and is converted to cycles so it can
+    /// be re-scaled to other frequencies.
+    pub fn observe(&mut self, obs: &QuantumObservation) {
+        let memory_ns = (obs.misses * obs.miss_latency_ns / obs.mlp.max(0.1))
+            .min(obs.elapsed_ns);
+        let compute_ns = obs.elapsed_ns - memory_ns;
+        self.total_compute_cycles += compute_ns * obs.freq_ghz;
+        self.total_memory_ns += memory_ns;
+        self.total_observed_ns += obs.elapsed_ns;
+    }
+
+    /// Total observed time (ns).
+    pub fn observed_ns(&self) -> f64 {
+        self.total_observed_ns
+    }
+
+    /// Fraction of observed time attributed to the memory phase.
+    pub fn memory_fraction(&self) -> f64 {
+        if self.total_observed_ns <= 0.0 {
+            0.0
+        } else {
+            self.total_memory_ns / self.total_observed_ns
+        }
+    }
+
+    /// Predicted duration (ns) of the observed work at frequency
+    /// `freq_ghz`: compute cycles re-scaled, memory phase unchanged.
+    pub fn predict_ns(&self, freq_ghz: f64) -> f64 {
+        self.total_compute_cycles / freq_ghz.max(1e-3) + self.total_memory_ns
+    }
+
+    /// Predicted speedup of running at `to_ghz` instead of `from_ghz`
+    /// (ratio of durations; > 1 means faster).
+    pub fn predicted_speedup(&self, from_ghz: f64, to_ghz: f64) -> f64 {
+        let from = self.predict_ns(from_ghz);
+        let to = self.predict_ns(to_ghz);
+        if to <= 0.0 {
+            1.0
+        } else {
+            from / to
+        }
+    }
+
+    /// Resets all accumulated state (new epoch).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebudget_apps::perf::{time_per_kilo_instruction, PerfEnv};
+    use rebudget_apps::spec::app_by_name;
+
+    /// Synthesizes a ground-truth observation for `app` running one
+    /// million instructions at (cache, f).
+    fn observe_app(app: &rebudget_apps::AppProfile, cache: f64, f: f64) -> QuantumObservation {
+        let env = PerfEnv::paper();
+        let t_kilo = time_per_kilo_instruction(app, &env, cache, f);
+        QuantumObservation {
+            elapsed_ns: t_kilo * 1000.0, // 1M instructions
+            freq_ghz: f,
+            misses: app.mpki_at(cache) * 1000.0,
+            miss_latency_ns: env.mem_latency_ns,
+            mlp: app.mlp,
+        }
+    }
+
+    #[test]
+    fn predicts_dvfs_scaling_exactly_for_the_phase_model() {
+        // The predictor observes at 2 GHz and must predict the 4 GHz and
+        // 0.8 GHz durations of the same work — which the phase model
+        // defines exactly.
+        let env = PerfEnv::paper();
+        for name in ["mcf", "sixtrack", "swim", "libquantum"] {
+            let app = app_by_name(name).expect("exists");
+            let cache = 1e6;
+            let mut p = LeadingLoadsPredictor::new();
+            p.observe(&observe_app(app, cache, 2.0));
+            for target in [0.8, 4.0] {
+                let predicted = p.predict_ns(target);
+                let truth = time_per_kilo_instruction(app, &env, cache, target) * 1000.0;
+                let err = (predicted - truth).abs() / truth;
+                assert!(
+                    err < 1e-9,
+                    "{name} at {target} GHz: predicted {predicted} vs truth {truth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memory_fraction_separates_app_classes() {
+        let mut compute = LeadingLoadsPredictor::new();
+        compute.observe(&observe_app(app_by_name("sixtrack").expect("exists"), 1e6, 2.0));
+        let mut memory = LeadingLoadsPredictor::new();
+        memory.observe(&observe_app(app_by_name("libquantum").expect("exists"), 1e6, 2.0));
+        assert!(compute.memory_fraction() < 0.1, "{}", compute.memory_fraction());
+        assert!(memory.memory_fraction() > 0.6, "{}", memory.memory_fraction());
+    }
+
+    #[test]
+    fn speedup_is_sublinear_for_memory_bound_work() {
+        let app = app_by_name("mcf").expect("exists");
+        let mut p = LeadingLoadsPredictor::new();
+        p.observe(&observe_app(app, 256.0 * 1024.0, 0.8)); // cache-starved
+        let s = p.predicted_speedup(0.8, 4.0);
+        assert!(
+            s < 2.0,
+            "memory-bound mcf should not enjoy the full 5× frequency: {s}"
+        );
+        let mut c = LeadingLoadsPredictor::new();
+        c.observe(&observe_app(app_by_name("eon").expect("exists"), 1e6, 0.8));
+        let s = c.predicted_speedup(0.8, 4.0);
+        assert!(s > 4.5, "compute-bound eon should scale nearly 5×: {s}");
+    }
+
+    #[test]
+    fn accumulates_across_quanta_and_resets() {
+        let app = app_by_name("vpr").expect("exists");
+        let mut p = LeadingLoadsPredictor::new();
+        p.observe(&observe_app(app, 1e6, 2.0));
+        let one = p.observed_ns();
+        p.observe(&observe_app(app, 1e6, 2.0));
+        assert!((p.observed_ns() - 2.0 * one).abs() < 1e-6);
+        p.reset();
+        assert_eq!(p.observed_ns(), 0.0);
+        assert_eq!(p.memory_fraction(), 0.0);
+    }
+
+    #[test]
+    fn memory_time_is_clamped_to_elapsed() {
+        let mut p = LeadingLoadsPredictor::new();
+        p.observe(&QuantumObservation {
+            elapsed_ns: 100.0,
+            freq_ghz: 2.0,
+            misses: 1e9, // absurd
+            miss_latency_ns: 80.0,
+            mlp: 1.0,
+        });
+        assert!(p.memory_fraction() <= 1.0);
+        assert!(p.predict_ns(4.0) >= 100.0 - 1e-9);
+    }
+}

@@ -1,0 +1,129 @@
+//! Micron DDR3-1600 timing (§5: "we also faithfully model Micron's
+//! DDR3-1600 DRAM timing").
+//!
+//! The phase-decomposition performance model consumes one number — the
+//! effective L2-miss latency — so this module derives it from the actual
+//! DDR3-1600 datasheet parameters (MT41J256M8, -125 speed grade) plus a
+//! simple bank-conflict/queueing correction driven by channel load.
+
+/// DDR3 timing parameters, in memory-clock cycles unless noted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramConfig {
+    /// Memory clock period in nanoseconds (DDR3-1600: 800 MHz → 1.25 ns).
+    pub tck_ns: f64,
+    /// CAS latency.
+    pub cl: u32,
+    /// RAS-to-CAS delay.
+    pub trcd: u32,
+    /// Row precharge time.
+    pub trp: u32,
+    /// Row active time.
+    pub tras: u32,
+    /// Burst length (transfers per access).
+    pub burst: u32,
+    /// Fixed on-chip overhead per L2 miss (tag check, NoC, controller) in
+    /// nanoseconds.
+    pub onchip_overhead_ns: f64,
+}
+
+impl DramConfig {
+    /// Micron MT41J256M8DA-125: DDR3-1600, 11-11-11 at 1.25 ns clock.
+    pub fn ddr3_1600() -> Self {
+        Self {
+            tck_ns: 1.25,
+            cl: 11,
+            trcd: 11,
+            trp: 11,
+            tras: 28,
+            burst: 8,
+            onchip_overhead_ns: 22.0,
+        }
+    }
+
+    /// Latency of a row-buffer hit: `CL + BL/2` cycles plus overhead.
+    pub fn row_hit_ns(&self) -> f64 {
+        (self.cl + self.burst / 2) as f64 * self.tck_ns + self.onchip_overhead_ns
+    }
+
+    /// Latency of a row-buffer miss (closed row): `tRCD + CL + BL/2`.
+    pub fn row_miss_ns(&self) -> f64 {
+        (self.trcd + self.cl + self.burst / 2) as f64 * self.tck_ns + self.onchip_overhead_ns
+    }
+
+    /// Latency of a row-buffer conflict (must precharge first):
+    /// `tRP + tRCD + CL + BL/2`.
+    pub fn row_conflict_ns(&self) -> f64 {
+        (self.trp + self.trcd + self.cl + self.burst / 2) as f64 * self.tck_ns
+            + self.onchip_overhead_ns
+    }
+
+    /// Effective average miss latency given a row-hit rate and a channel
+    /// utilization in `[0, 1)`. Queueing inflates latency by
+    /// `1 / (1 − utilization)` (M/M/1 flavour), capped at 3×.
+    pub fn effective_latency_ns(&self, row_hit_rate: f64, channel_utilization: f64) -> f64 {
+        let h = row_hit_rate.clamp(0.0, 1.0);
+        // Remaining accesses split between closed rows and conflicts.
+        let base = h * self.row_hit_ns() + (1.0 - h) * 0.5 * (self.row_miss_ns() + self.row_conflict_ns());
+        let u = channel_utilization.clamp(0.0, 0.95);
+        let queueing = (1.0 / (1.0 - u)).min(3.0);
+        base * queueing
+    }
+
+    /// The latency fed to [`rebudget_apps::perf::PerfEnv`]: a typical mix
+    /// (60% row hits, 40% channel load) lands near the 80 ns the reference
+    /// environment assumes.
+    pub fn reference_latency_ns(&self) -> f64 {
+        self.effective_latency_ns(0.6, 0.4)
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self::ddr3_1600()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr3_1600_datasheet_arithmetic() {
+        let d = DramConfig::ddr3_1600();
+        // CL 11 + BL/2 = 15 cycles × 1.25 ns = 18.75 ns + overhead.
+        assert!((d.row_hit_ns() - (18.75 + 22.0)).abs() < 1e-9);
+        assert!(d.row_miss_ns() > d.row_hit_ns());
+        assert!(d.row_conflict_ns() > d.row_miss_ns());
+    }
+
+    #[test]
+    fn effective_latency_monotone_in_load() {
+        let d = DramConfig::ddr3_1600();
+        let l0 = d.effective_latency_ns(0.6, 0.0);
+        let l5 = d.effective_latency_ns(0.6, 0.5);
+        let l9 = d.effective_latency_ns(0.6, 0.9);
+        assert!(l0 < l5 && l5 < l9);
+    }
+
+    #[test]
+    fn effective_latency_monotone_in_row_misses() {
+        let d = DramConfig::ddr3_1600();
+        assert!(d.effective_latency_ns(0.2, 0.4) > d.effective_latency_ns(0.8, 0.4));
+    }
+
+    #[test]
+    fn reference_latency_near_80ns() {
+        let l = DramConfig::ddr3_1600().reference_latency_ns();
+        assert!(
+            (65.0..=95.0).contains(&l),
+            "reference latency {l} should be near the 80 ns the perf model assumes"
+        );
+    }
+
+    #[test]
+    fn queueing_is_capped() {
+        let d = DramConfig::ddr3_1600();
+        let l = d.effective_latency_ns(0.6, 0.9999);
+        assert!(l <= 3.0 * d.effective_latency_ns(0.6, 0.0) + 1e-9);
+    }
+}

@@ -1,0 +1,226 @@
+//! Application-granularity allocation for multithreaded workloads.
+//!
+//! §5 of the paper: "For multithreading workloads, we can still allocate
+//! the resources at thread granularity if each thread is running on a
+//! different core. Another choice is to allocate resources at the
+//! granularity of applications. All the threads of one application may
+//! share the same resources, which is a reasonable assumption, because
+//! the demand of the threads tend to be similar across threads of a
+//! parallel application."
+//!
+//! This module implements the second choice: a *thread group* is one
+//! market player whose allocation is split evenly among its threads and
+//! whose utility is the group's weighted speedup contribution
+//! (`threads × U_app(allocation / threads)`), so system efficiency remains
+//! per-core weighted speedup. Budgets aggregate per thread (each core
+//! brings its per-core budget into the group's purse).
+
+use std::sync::Arc;
+
+use rebudget_apps::AppProfile;
+use rebudget_market::{Market, Player, ResourceSpace, Result, Utility};
+
+use crate::analytic::discretionary_watts;
+use crate::config::SystemConfig;
+use crate::dram::DramConfig;
+use crate::utility_model::{app_utility_grid, core_power_model, NOMINAL_TEMP_K};
+use rebudget_workloads::Bundle;
+
+/// A multithreaded application occupying `threads` cores.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadGroup {
+    /// The application model (all threads behave alike, per the paper).
+    pub app: &'static AppProfile,
+    /// Number of threads (= cores).
+    pub threads: usize,
+}
+
+/// A workload of thread groups covering all cores.
+#[derive(Debug, Clone)]
+pub struct MultithreadedBundle {
+    /// The groups, in placement order.
+    pub groups: Vec<ThreadGroup>,
+}
+
+impl MultithreadedBundle {
+    /// Total cores occupied.
+    pub fn cores(&self) -> usize {
+        self.groups.iter().map(|g| g.threads).sum()
+    }
+
+    /// Treats a per-core [`Bundle`] as single-thread groups.
+    pub fn from_singlethreaded(bundle: &Bundle) -> Self {
+        Self {
+            groups: bundle
+                .apps
+                .iter()
+                .map(|app| ThreadGroup { app, threads: 1 })
+                .collect(),
+        }
+    }
+}
+
+/// Group utility: `threads × U_app(r / threads)` over the group's shared
+/// allocation — its weighted-speedup contribution over its cores.
+struct GroupUtility {
+    inner: Arc<dyn Utility>,
+    threads: f64,
+}
+
+impl Utility for GroupUtility {
+    fn value(&self, r: &[f64]) -> f64 {
+        let per_thread: Vec<f64> = r.iter().map(|x| x / self.threads).collect();
+        self.threads * self.inner.value(&per_thread)
+    }
+
+    fn marginal(&self, r: &[f64], j: usize) -> f64 {
+        // d/dr_j [t · U(r/t)] = U'_j(r/t).
+        let per_thread: Vec<f64> = r.iter().map(|x| x / self.threads).collect();
+        self.inner.marginal(&per_thread, j)
+    }
+}
+
+/// Builds an application-granularity market: one player per thread group,
+/// group budgets of `per_core_budget × threads`.
+///
+/// # Errors
+///
+/// Propagates market-construction errors; the thread-group floors (one
+/// cache region and the 800 MHz power floor *per thread*) are accounted
+/// exactly like the per-core market's.
+pub fn build_group_market(
+    bundle: &MultithreadedBundle,
+    sys: &SystemConfig,
+    dram: &DramConfig,
+    per_core_budget: f64,
+) -> Result<Market> {
+    // Discretionary pools are identical to the per-core market's: every
+    // thread still gets its free region and 800 MHz floor.
+    let as_cores = Bundle {
+        category: rebudget_workloads::Category::Cpbn, // label only
+        index: 0,
+        apps: bundle
+            .groups
+            .iter()
+            .flat_map(|g| std::iter::repeat_n(g.app, g.threads))
+            .collect(),
+    };
+    let resources = ResourceSpace::with_names(vec![
+        (
+            "cache-regions".to_string(),
+            sys.discretionary_regions() as f64,
+        ),
+        ("watts".to_string(), discretionary_watts(&as_cores, sys)),
+    ])?;
+
+    let players = bundle
+        .groups
+        .iter()
+        .enumerate()
+        .map(|(k, g)| {
+            let inner: Arc<dyn Utility> = Arc::new(app_utility_grid(g.app, sys, dram));
+            Player::new(
+                format!("{}x{}#{k}", g.app.name, g.threads),
+                per_core_budget * g.threads as f64,
+                Arc::new(GroupUtility {
+                    inner,
+                    threads: g.threads as f64,
+                }) as Arc<dyn Utility>,
+            )
+        })
+        .collect();
+    Market::new(resources, players)
+}
+
+/// The free power floor a group's threads consume (for reporting).
+pub fn group_floor_watts(group: &ThreadGroup) -> f64 {
+    core_power_model(group.app).floor_power(NOMINAL_TEMP_K) * group.threads as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebudget_apps::spec::app_by_name;
+    use rebudget_core::mechanisms::{EqualBudget, Mechanism};
+
+    fn mt_bundle() -> MultithreadedBundle {
+        MultithreadedBundle {
+            groups: vec![
+                ThreadGroup {
+                    app: app_by_name("swim").unwrap(),
+                    threads: 4,
+                },
+                ThreadGroup {
+                    app: app_by_name("mcf").unwrap(),
+                    threads: 2,
+                },
+                ThreadGroup {
+                    app: app_by_name("sixtrack").unwrap(),
+                    threads: 1,
+                },
+                ThreadGroup {
+                    app: app_by_name("gzip").unwrap(),
+                    threads: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn cores_add_up() {
+        assert_eq!(mt_bundle().cores(), 8);
+    }
+
+    #[test]
+    fn group_market_allocates_and_scales_with_threads() {
+        let sys = SystemConfig::paper_8core();
+        let dram = DramConfig::ddr3_1600();
+        let market = build_group_market(&mt_bundle(), &sys, &dram, 100.0).unwrap();
+        assert_eq!(market.len(), 4);
+        assert_eq!(market.budgets(), vec![400.0, 200.0, 100.0, 100.0]);
+        let out = EqualBudget::new(100.0).allocate(&market); // equal budgets override
+        assert!(out.is_ok());
+
+        // With thread-proportional budgets, the 4-thread group outbids the
+        // 1-thread group of comparable per-thread demand.
+        let eq = market
+            .equilibrium(&rebudget_market::equilibrium::EquilibriumOptions::default())
+            .unwrap();
+        assert!(eq
+            .allocation
+            .is_exhaustive(market.resources().capacities(), 1e-6));
+        // Group utilities are thread-weighted: efficiency ≤ total cores.
+        let eff: f64 = eq.utilities.iter().sum();
+        assert!(eff > 0.0 && eff <= 8.0 + 1e-6, "efficiency {eff}");
+    }
+
+    #[test]
+    fn group_utility_matches_per_thread_semantics() {
+        let sys = SystemConfig::paper_8core();
+        let dram = DramConfig::ddr3_1600();
+        let app = app_by_name("swim").unwrap();
+        let inner: Arc<dyn Utility> = Arc::new(app_utility_grid(app, &sys, &dram));
+        let single = GroupUtility {
+            inner: inner.clone(),
+            threads: 1.0,
+        };
+        let quad = GroupUtility {
+            inner,
+            threads: 4.0,
+        };
+        // 4 threads with 4× the resources do exactly 4× the single-thread
+        // utility.
+        let r1 = [3.0, 5.0];
+        let r4 = [12.0, 20.0];
+        assert!((quad.value(&r4) - 4.0 * single.value(&r1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singlethreaded_conversion_round_trips() {
+        let bundle = rebudget_workloads::paper_bbpc_8core();
+        let mt = MultithreadedBundle::from_singlethreaded(&bundle);
+        assert_eq!(mt.cores(), 8);
+        assert!(mt.groups.iter().all(|g| g.threads == 1));
+        assert!(group_floor_watts(&mt.groups[0]) > 0.0);
+    }
+}

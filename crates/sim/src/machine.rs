@@ -1,0 +1,292 @@
+//! The multicore machine: enforcement and execution of one allocation
+//! quantum.
+//!
+//! Given a per-core allocation (discretionary cache regions, discretionary
+//! Watts), the machine
+//!
+//! 1. converts Watts to a frequency through each core's power model (the
+//!    RAPL-style enforcement of §5),
+//! 2. realizes the cache allocation at its Talus-convexified miss rate
+//!    (Futility Scaling holds the partition at line granularity, Talus
+//!    makes the effective miss curve equal its convex hull — §4.1.1),
+//! 3. advances each application by the instructions it retires in the
+//!    quantum, and
+//! 4. steps the per-core thermal nodes under the drawn power.
+
+use rebudget_cache::talus::Talus;
+use rebudget_power::thermal_grid::ThermalGrid;
+use rebudget_power::CorePowerModel;
+use rebudget_workloads::Bundle;
+
+use crate::config::{SystemConfig, QUANTUM_SECONDS};
+use crate::dram::DramConfig;
+use crate::utility_model::{analytic_mpki_curve, core_power_model};
+
+/// Execution state of one core.
+#[derive(Debug, Clone)]
+pub struct CoreState {
+    /// The application pinned to the core.
+    pub app: &'static rebudget_apps::AppProfile,
+    /// Power model (activity-scaled).
+    pub power_model: CorePowerModel,
+    /// Talus controller over the application's miss curve — the effective
+    /// (convexified) miss behaviour the hardware realizes.
+    pub talus: Talus,
+    /// Instructions retired so far.
+    pub instructions: f64,
+    /// Frequency set in the last quantum (GHz).
+    pub freq_ghz: f64,
+    /// Energy consumed so far (Joules).
+    pub energy_j: f64,
+}
+
+/// Per-quantum telemetry.
+#[derive(Debug, Clone)]
+pub struct QuantumStats {
+    /// Frequencies the cores ran at (GHz).
+    pub freqs_ghz: Vec<f64>,
+    /// Power drawn per core (W).
+    pub watts: Vec<f64>,
+    /// Temperatures at quantum end (K).
+    pub temps_k: Vec<f64>,
+    /// Instructions retired this quantum, per core.
+    pub instructions: Vec<f64>,
+}
+
+/// The machine: system config + per-core execution state.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    sys: SystemConfig,
+    dram: DramConfig,
+    cores: Vec<CoreState>,
+    /// Laterally coupled per-core thermal mesh.
+    thermal: ThermalGrid,
+    elapsed_s: f64,
+}
+
+impl Machine {
+    /// Builds a machine running `bundle` (one app per core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundle size differs from the configured core count.
+    pub fn new(sys: SystemConfig, dram: DramConfig, bundle: &Bundle) -> Self {
+        assert_eq!(
+            bundle.cores(),
+            sys.cores,
+            "bundle size must match core count"
+        );
+        let cores: Vec<CoreState> = bundle
+            .apps
+            .iter()
+            .map(|app| CoreState {
+                app,
+                power_model: core_power_model(app),
+                talus: Talus::new(analytic_mpki_curve(app, &sys)),
+                instructions: 0.0,
+                freq_ghz: sys.dvfs.f_min,
+                energy_j: 0.0,
+            })
+            .collect();
+        let thermal = ThermalGrid::for_cores(cores.len());
+        Self {
+            sys,
+            dram,
+            cores,
+            thermal,
+            elapsed_s: 0.0,
+        }
+    }
+
+    /// The system configuration.
+    pub fn system(&self) -> &SystemConfig {
+        &self.sys
+    }
+
+    /// Per-core state.
+    pub fn cores(&self) -> &[CoreState] {
+        &self.cores
+    }
+
+    /// Wall-clock seconds simulated so far.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.elapsed_s
+    }
+
+    /// Junction temperature of core `i` in Kelvin.
+    pub fn temperature(&self, i: usize) -> f64 {
+        self.thermal.temperature(i)
+    }
+
+    /// Total chip energy consumed so far (Joules).
+    pub fn total_energy_joules(&self) -> f64 {
+        self.cores.iter().map(|c| c.energy_j).sum()
+    }
+
+    /// Chip-level energy-delay product so far (J·s) — a common composite
+    /// figure of merit for DVFS studies.
+    pub fn energy_delay_product(&self) -> f64 {
+        self.total_energy_joules() * self.elapsed_s
+    }
+
+    /// Executes one 1 ms quantum under the given allocation.
+    ///
+    /// `cache_regions[i]` is core `i`'s discretionary regions and
+    /// `extra_watts[i]` its discretionary power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ from the core count.
+    pub fn run_quantum(&mut self, cache_regions: &[f64], extra_watts: &[f64]) -> QuantumStats {
+        assert_eq!(cache_regions.len(), self.cores.len());
+        assert_eq!(extra_watts.len(), self.cores.len());
+        let mem_ns = self.dram.reference_latency_ns();
+        let mut stats = QuantumStats {
+            freqs_ghz: Vec::with_capacity(self.cores.len()),
+            watts: Vec::with_capacity(self.cores.len()),
+            temps_k: Vec::with_capacity(self.cores.len()),
+            instructions: Vec::with_capacity(self.cores.len()),
+        };
+        let mut drawn_watts = Vec::with_capacity(self.cores.len());
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            let temp = self.thermal.temperature(i);
+            // RAPL enforcement: floor + discretionary → highest frequency
+            // that fits.
+            let budget = core.power_model.floor_power(temp) + extra_watts[i].max(0.0);
+            let freq = core
+                .power_model
+                .frequency_for_power(budget, temp)
+                .unwrap_or(self.sys.dvfs.f_min);
+            // Talus-effective miss rate at the allocated partition size.
+            let cache_bytes = self.sys.core_cache_bytes(cache_regions[i]);
+            let mpki = core.talus.expected_misses(cache_bytes);
+            let t_kilo_ns =
+                1000.0 * core.app.base_cpi / freq + mpki * mem_ns / core.app.mlp.max(0.1);
+            let retired = QUANTUM_SECONDS * 1e12 / t_kilo_ns; // instr this quantum
+            core.instructions += retired;
+            core.freq_ghz = freq;
+            let drawn = core.power_model.total_power(freq, temp);
+            core.energy_j += drawn * QUANTUM_SECONDS;
+            drawn_watts.push(drawn);
+            stats.freqs_ghz.push(freq);
+            stats.watts.push(drawn);
+            stats.instructions.push(retired);
+        }
+        self.thermal.step(&drawn_watts, QUANTUM_SECONDS);
+        stats.temps_k = (0..self.cores.len()).map(|i| self.thermal.temperature(i)).collect();
+        self.elapsed_s += QUANTUM_SECONDS;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebudget_workloads::paper_bbpc_8core;
+
+    fn machine() -> Machine {
+        Machine::new(
+            SystemConfig::paper_8core(),
+            DramConfig::ddr3_1600(),
+            &paper_bbpc_8core(),
+        )
+    }
+
+    #[test]
+    fn quantum_advances_time_and_instructions() {
+        let mut m = machine();
+        let regions = vec![3.0; 8];
+        let watts = vec![5.0; 8];
+        let stats = m.run_quantum(&regions, &watts);
+        assert!((m.elapsed_seconds() - 1e-3).abs() < 1e-12);
+        assert!(stats.instructions.iter().all(|&i| i > 0.0));
+        assert!(m.cores()[0].instructions > 0.0);
+    }
+
+    #[test]
+    fn more_watts_more_frequency_more_instructions() {
+        let mut poor = machine();
+        let mut rich = machine();
+        let regions = vec![2.0; 8];
+        let p = poor.run_quantum(&regions, &[0.5; 8]);
+        let r = rich.run_quantum(&regions, &[8.0; 8]);
+        for i in 0..8 {
+            assert!(r.freqs_ghz[i] > p.freqs_ghz[i]);
+            assert!(r.instructions[i] > p.instructions[i]);
+        }
+    }
+
+    #[test]
+    fn more_cache_helps_cache_sensitive_core() {
+        // Core 4 runs mcf in the paper bundle.
+        let mut small = machine();
+        let mut big = machine();
+        let watts = vec![4.0; 8];
+        let mut r_small = vec![1.0; 8];
+        let mut r_big = vec![1.0; 8];
+        r_small[4] = 1.0;
+        r_big[4] = 13.0; // past the 1.5 MB cliff
+        let s = small.run_quantum(&r_small, &watts);
+        let b = big.run_quantum(&r_big, &watts);
+        assert!(
+            b.instructions[4] > 1.5 * s.instructions[4],
+            "mcf past its cliff should speed up a lot: {} vs {}",
+            s.instructions[4],
+            b.instructions[4]
+        );
+    }
+
+    #[test]
+    fn energy_accounting_respects_tdp() {
+        let mut m = machine();
+        for _ in 0..10 {
+            m.run_quantum(&[2.0; 8], &[7.0; 8]);
+        }
+        let energy = m.total_energy_joules();
+        // 10 ms at ≤80 W chip TDP-equivalent draw: bounded by budget.
+        assert!(energy > 0.0);
+        assert!(
+            energy <= 80.0 * 0.010 * 1.3,
+            "energy {energy} J over 10 ms exceeds plausible draw"
+        );
+        assert!((m.energy_delay_product() - energy * 0.010).abs() < 1e-9);
+    }
+
+    #[test]
+    fn temperatures_rise_under_load() {
+        let mut m = machine();
+        let ambient = m.temperature(0);
+        for _ in 0..50 {
+            m.run_quantum(&[2.0; 8], &[8.0; 8]);
+        }
+        assert!(m.temperature(0) > ambient + 1.0);
+    }
+
+    #[test]
+    fn unloaded_core_warms_from_hot_neighbours() {
+        // Core 7 gets no discretionary power; its neighbours run hot.
+        let mut m = machine();
+        let ambient = m.temperature(7);
+        let mut watts = [9.0; 8];
+        watts[7] = 0.0;
+        for _ in 0..100 {
+            m.run_quantum(&[2.0; 8], &watts);
+        }
+        assert!(
+            m.temperature(7) > ambient + 0.5,
+            "lateral coupling should warm the idle core: {} vs ambient {}",
+            m.temperature(7),
+            ambient
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bundle size")]
+    fn bundle_size_mismatch_panics() {
+        let _ = Machine::new(
+            SystemConfig::paper_64core(),
+            DramConfig::ddr3_1600(),
+            &paper_bbpc_8core(),
+        );
+    }
+}

@@ -1,0 +1,415 @@
+//! The phase-2 simulation loop (§6.3): monitor → market → enforce →
+//! execute, once per 1 ms quantum.
+
+use std::fmt;
+use std::sync::Arc;
+
+use rebudget_core::mechanisms::{Mechanism, MechanismOutcome};
+use rebudget_market::{metrics, Market, MarketError, Player, Utility};
+use rebudget_workloads::Bundle;
+
+use crate::analytic::resource_space;
+use crate::config::SystemConfig;
+use crate::dram::DramConfig;
+use crate::machine::Machine;
+use crate::monitor::CoreMonitor;
+use crate::utility_model::{
+    alone_instruction_rate, app_utility_grid, utility_grid_from_mpki,
+};
+
+/// Errors from the simulation driver.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The underlying market failed (degenerate inputs).
+    Market(MarketError),
+    /// The bundle does not match the system's core count.
+    BundleMismatch {
+        /// Cores in the system.
+        cores: usize,
+        /// Applications in the bundle.
+        apps: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Market(e) => write!(f, "market error: {e}"),
+            SimError::BundleMismatch { cores, apps } => {
+                write!(f, "bundle has {apps} apps for {cores} cores")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<MarketError> for SimError {
+    fn from(e: MarketError) -> Self {
+        SimError::Market(e)
+    }
+}
+
+/// How allocations are realized and executed each quantum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionModel {
+    /// Analytic timing over the Talus hull of each app's miss curve
+    /// (fast; the default).
+    #[default]
+    Analytic,
+    /// Drive a real Futility-Scaling shared cache with each core's
+    /// synthetic address stream and time cores by their *measured* miss
+    /// rates (see [`crate::trace_machine`]). Slower but captures
+    /// enforcement transients and inter-core contention.
+    TraceDriven,
+}
+
+/// Simulation options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOptions {
+    /// Number of 1 ms quanta to simulate.
+    pub quanta: usize,
+    /// Synthetic L2 references observed per core per quantum (drives the
+    /// UMON monitors, and the shared cache in trace-driven mode).
+    pub accesses_per_quantum: usize,
+    /// Per-player budget handed to market mechanisms.
+    pub budget: f64,
+    /// When `true` (phase 2), utilities are rebuilt every quantum from the
+    /// UMON monitors; when `false`, the analytic (phase 1) surfaces are
+    /// used throughout.
+    pub use_monitors: bool,
+    /// RNG seed for the synthetic traces.
+    pub seed: u64,
+    /// Execution model (see [`ExecutionModel`]).
+    pub execution: ExecutionModel,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            quanta: 10,
+            accesses_per_quantum: 20_000,
+            budget: 100.0,
+            use_monitors: true,
+            seed: 1,
+            execution: ExecutionModel::Analytic,
+        }
+    }
+}
+
+/// The result of simulating one bundle under one mechanism.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Mechanism display name.
+    pub mechanism: String,
+    /// Measured system efficiency: `Σ_i (IPS_i / IPS_i^alone)` over the
+    /// whole run — weighted speedup (Eq. 5 of the paper).
+    pub efficiency: f64,
+    /// Envy-freeness of the final allocation, evaluated with the final
+    /// monitored utility surfaces.
+    pub envy_freeness: f64,
+    /// Measured per-core normalized performance.
+    pub utilities: Vec<f64>,
+    /// Quanta simulated.
+    pub quanta: usize,
+    /// Mean market-equilibrium solves per quantum.
+    pub avg_equilibrium_rounds: f64,
+    /// Mean bidding–pricing iterations per quantum.
+    pub avg_iterations: f64,
+    /// Whether every quantum's market converged before the fail-safe.
+    pub always_converged: bool,
+    /// Instantaneous weighted speedup per quantum (the efficiency
+    /// trajectory — useful for phase-change and warm-up studies).
+    pub efficiency_history: Vec<f64>,
+}
+
+fn build_quantum_market(
+    bundle: &Bundle,
+    sys: &SystemConfig,
+    dram: &DramConfig,
+    monitors: &[CoreMonitor],
+    opts: &SimOptions,
+) -> Result<Market, MarketError> {
+    let resources = resource_space(bundle, sys)?;
+    let players: Vec<Player> = bundle
+        .apps
+        .iter()
+        .enumerate()
+        .map(|(core, app)| {
+            let grid = if opts.use_monitors {
+                match monitors[core].mpki_curve() {
+                    Some(curve) => utility_grid_from_mpki(
+                        &curve,
+                        app.base_cpi,
+                        app.mlp,
+                        app.activity,
+                        sys,
+                        dram,
+                    ),
+                    None => app_utility_grid(app, sys, dram),
+                }
+            } else {
+                app_utility_grid(app, sys, dram)
+            };
+            Player::new(
+                format!("{}#{core}", app.name),
+                opts.budget,
+                Arc::new(grid) as Arc<dyn Utility>,
+            )
+        })
+        .collect();
+    Market::new(resources, players)
+}
+
+/// Runs a bundle under a mechanism for `opts.quanta` quanta and reports
+/// measured efficiency and fairness.
+///
+/// # Errors
+///
+/// Returns [`SimError::BundleMismatch`] if the bundle size differs from
+/// the configured cores, or propagates market errors.
+pub fn run_simulation(
+    sys: &SystemConfig,
+    dram: &DramConfig,
+    bundle: &Bundle,
+    mechanism: &dyn Mechanism,
+    opts: &SimOptions,
+) -> Result<SimResult, SimError> {
+    if bundle.cores() != sys.cores {
+        return Err(SimError::BundleMismatch {
+            cores: sys.cores,
+            apps: bundle.cores(),
+        });
+    }
+    enum Exec {
+        Analytic(Machine),
+        Trace(Box<crate::trace_machine::TraceDrivenMachine>),
+    }
+    let mut machine = match opts.execution {
+        ExecutionModel::Analytic => {
+            Exec::Analytic(Machine::new(sys.clone(), *dram, bundle))
+        }
+        ExecutionModel::TraceDriven => Exec::Trace(Box::new(
+            crate::trace_machine::TraceDrivenMachine::new(
+                sys.clone(),
+                *dram,
+                bundle,
+                opts.seed ^ 0xface,
+            )?,
+        )),
+    };
+    let mut monitors: Vec<CoreMonitor> = bundle
+        .apps
+        .iter()
+        .enumerate()
+        .map(|(core, app)| CoreMonitor::new(app, sys, core, opts.seed))
+        .collect();
+    if opts.use_monitors {
+        // One warm-up epoch so quantum 0's curves reflect steady state.
+        for monitor in &mut monitors {
+            monitor.warm_up(opts.accesses_per_quantum);
+        }
+    }
+
+    let n = sys.cores;
+    let alone_rates: Vec<f64> = bundle
+        .apps
+        .iter()
+        .map(|app| alone_instruction_rate(app, sys, dram))
+        .collect();
+    let mut total_rounds = 0usize;
+    let mut total_iterations = 0usize;
+    let mut always_converged = true;
+    let mut efficiency_history = Vec::with_capacity(opts.quanta);
+    let mut last: Option<(Market, MechanismOutcome)> = None;
+
+    for _q in 0..opts.quanta {
+        if opts.use_monitors {
+            for monitor in &mut monitors {
+                monitor.observe_quantum(opts.accesses_per_quantum);
+            }
+        }
+        let market = build_quantum_market(bundle, sys, dram, &monitors, opts)?;
+        let outcome = mechanism.allocate(&market)?;
+        total_rounds += outcome.equilibrium_rounds;
+        total_iterations += outcome.total_iterations;
+        always_converged &= outcome.converged;
+
+        let regions: Vec<f64> = (0..n).map(|i| outcome.allocation.get(i, 0)).collect();
+        let watts: Vec<f64> = (0..n).map(|i| outcome.allocation.get(i, 1)).collect();
+        let stats = match &mut machine {
+            Exec::Analytic(m) => m.run_quantum(&regions, &watts),
+            Exec::Trace(m) => m.run_quantum(&regions, &watts, opts.accesses_per_quantum),
+        };
+        let quantum_eff: f64 = stats
+            .instructions
+            .iter()
+            .zip(&alone_rates)
+            .map(|(&instr, &alone)| (instr / crate::config::QUANTUM_SECONDS) / alone)
+            .sum();
+        efficiency_history.push(quantum_eff);
+        last = Some((market, outcome));
+    }
+
+    let (last_market, last_outcome) = last.expect("at least one quantum");
+    let (elapsed, per_core_instructions): (f64, Vec<f64>) = match &machine {
+        Exec::Analytic(m) => (
+            m.elapsed_seconds(),
+            m.cores().iter().map(|c| c.instructions).collect(),
+        ),
+        Exec::Trace(m) => (
+            m.elapsed_seconds(),
+            (0..n).map(|i| m.instructions(i)).collect(),
+        ),
+    };
+    let utilities: Vec<f64> = alone_rates
+        .iter()
+        .zip(&per_core_instructions)
+        .map(|(&alone, &instr)| (instr / elapsed) / alone)
+        .collect();
+    let efficiency = utilities.iter().sum();
+    let envy_freeness = metrics::envy_freeness(&last_market, &last_outcome.allocation);
+
+    Ok(SimResult {
+        mechanism: mechanism.name(),
+        efficiency,
+        envy_freeness,
+        utilities,
+        quanta: opts.quanta,
+        avg_equilibrium_rounds: total_rounds as f64 / opts.quanta as f64,
+        avg_iterations: total_iterations as f64 / opts.quanta as f64,
+        always_converged,
+        efficiency_history,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebudget_core::mechanisms::{EqualBudget, EqualShare, MaxEfficiency, ReBudget};
+    use rebudget_workloads::paper_bbpc_8core;
+
+    fn fast_opts() -> SimOptions {
+        SimOptions {
+            quanta: 4,
+            accesses_per_quantum: 8_000,
+            budget: 100.0,
+            use_monitors: true,
+            seed: 11,
+        ..SimOptions::default()
+        }
+    }
+
+    #[test]
+    fn bundle_mismatch_is_an_error() {
+        let sys = SystemConfig::paper_64core();
+        let dram = DramConfig::ddr3_1600();
+        let err = run_simulation(
+            &sys,
+            &dram,
+            &paper_bbpc_8core(),
+            &EqualShare,
+            &fast_opts(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::BundleMismatch { .. }));
+    }
+
+    #[test]
+    fn equal_budget_simulation_runs_and_is_sane() {
+        let sys = SystemConfig::paper_8core();
+        let dram = DramConfig::ddr3_1600();
+        let r = run_simulation(
+            &sys,
+            &dram,
+            &paper_bbpc_8core(),
+            &EqualBudget::new(100.0),
+            &fast_opts(),
+        )
+        .unwrap();
+        assert_eq!(r.utilities.len(), 8);
+        assert!(r.efficiency > 0.0 && r.efficiency <= 8.0 + 1e-6);
+        assert!(r.utilities.iter().all(|&u| u > 0.0 && u <= 1.0 + 1e-6));
+        assert!(r.avg_equilibrium_rounds >= 1.0);
+        // The efficiency trajectory averages to the reported efficiency.
+        assert_eq!(r.efficiency_history.len(), r.quanta);
+        let mean: f64 = r.efficiency_history.iter().sum::<f64>() / r.quanta as f64;
+        assert!((mean - r.efficiency).abs() < 1e-6, "{mean} vs {}", r.efficiency);
+    }
+
+    #[test]
+    fn mechanism_ordering_matches_paper() {
+        // MaxEfficiency ≥ ReBudget-40 ≥ EqualBudget in efficiency;
+        // EqualBudget ≥ ReBudget-40 in envy-freeness (§6.3).
+        let sys = SystemConfig::paper_8core();
+        let dram = DramConfig::ddr3_1600();
+        let opts = fast_opts();
+        let bundle = paper_bbpc_8core();
+        let eq = run_simulation(&sys, &dram, &bundle, &EqualBudget::new(100.0), &opts).unwrap();
+        let rb = run_simulation(&sys, &dram, &bundle, &ReBudget::with_step(100.0, 40.0), &opts)
+            .unwrap();
+        let opt = run_simulation(&sys, &dram, &bundle, &MaxEfficiency::default(), &opts).unwrap();
+        assert!(
+            opt.efficiency >= rb.efficiency - 0.05,
+            "oracle {} vs ReBudget {}",
+            opt.efficiency,
+            rb.efficiency
+        );
+        assert!(
+            rb.efficiency >= eq.efficiency - 0.05,
+            "ReBudget {} vs EqualBudget {}",
+            rb.efficiency,
+            eq.efficiency
+        );
+        assert!(
+            eq.envy_freeness >= rb.envy_freeness - 0.05,
+            "EqualBudget EF {} vs ReBudget EF {}",
+            eq.envy_freeness,
+            rb.envy_freeness
+        );
+    }
+
+    #[test]
+    fn trace_driven_mode_tracks_analytic_mode() {
+        let sys = SystemConfig::scaled(4);
+        let dram = DramConfig::ddr3_1600();
+        let bundle = rebudget_workloads::generate_bundle(
+            rebudget_workloads::Category::Cpbn,
+            4,
+            0,
+            5,
+        )
+        .expect("4 cores");
+        let mut opts = fast_opts();
+        opts.quanta = 6;
+        let analytic =
+            run_simulation(&sys, &dram, &bundle, &EqualBudget::new(100.0), &opts).unwrap();
+        opts.execution = ExecutionModel::TraceDriven;
+        let traced =
+            run_simulation(&sys, &dram, &bundle, &EqualBudget::new(100.0), &opts).unwrap();
+        assert!(traced.efficiency > 0.0);
+        // Trace-driven execution pays for enforcement transients and real
+        // contention; it must stay in the same ballpark, below-or-near the
+        // analytic ideal.
+        let ratio = traced.efficiency / analytic.efficiency;
+        assert!(
+            (0.4..=1.15).contains(&ratio),
+            "trace-driven {} vs analytic {} (ratio {ratio})",
+            traced.efficiency,
+            analytic.efficiency
+        );
+    }
+
+    #[test]
+    fn analytic_mode_skips_monitors() {
+        let sys = SystemConfig::paper_8core();
+        let dram = DramConfig::ddr3_1600();
+        let mut opts = fast_opts();
+        opts.use_monitors = false;
+        opts.accesses_per_quantum = 0;
+        let r = run_simulation(&sys, &dram, &paper_bbpc_8core(), &EqualBudget::new(100.0), &opts)
+            .unwrap();
+        assert!(r.efficiency > 0.0);
+    }
+}

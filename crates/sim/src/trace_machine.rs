@@ -1,0 +1,283 @@
+//! Trace-driven execution: the high-fidelity machine mode.
+//!
+//! [`crate::machine::Machine`] realizes cache allocations analytically
+//! (Talus hull of the profile's miss curve). This module instead drives a
+//! real [`FutilityPartitionedCache`] with each core's synthetic address
+//! stream every quantum: partition targets are set from the market's
+//! allocation, the controller's feedback loop converges occupancy, and the
+//! *measured* per-core miss rates feed the timing model. Enforcement
+//! imperfections — partitions still converging after a re-allocation,
+//! inter-core conflict — appear naturally, as they would in hardware.
+
+use rebudget_apps::trace::TraceGenerator;
+use rebudget_cache::futility::FutilityPartitionedCache;
+use rebudget_power::{CorePowerModel, ThermalNode};
+use rebudget_workloads::Bundle;
+
+use crate::config::{SystemConfig, QUANTUM_SECONDS};
+use crate::dram::DramConfig;
+use crate::machine::QuantumStats;
+use crate::simulation::SimError;
+use crate::utility_model::core_power_model;
+
+struct TraceCore {
+    app: &'static rebudget_apps::AppProfile,
+    power_model: CorePowerModel,
+    thermal: ThermalNode,
+    trace: TraceGenerator,
+    instructions: f64,
+    last_accesses: u64,
+    last_misses: u64,
+}
+
+/// The trace-driven machine.
+pub struct TraceDrivenMachine {
+    sys: SystemConfig,
+    dram: DramConfig,
+    cache: FutilityPartitionedCache,
+    cores: Vec<TraceCore>,
+    elapsed_s: f64,
+}
+
+impl TraceDrivenMachine {
+    /// Builds the machine: one Futility-Scaling partition per core over
+    /// the shared L2 of `sys`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BundleMismatch`] if the bundle size differs
+    /// from the configured cores; cache-geometry errors cannot occur for
+    /// the paper configurations.
+    pub fn new(
+        sys: SystemConfig,
+        dram: DramConfig,
+        bundle: &Bundle,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        if bundle.cores() != sys.cores {
+            return Err(SimError::BundleMismatch {
+                cores: sys.cores,
+                apps: bundle.cores(),
+            });
+        }
+        let cache = FutilityPartitionedCache::new(sys.l2, sys.cores)
+            .expect("paper cache geometries are valid");
+        let cores = bundle
+            .apps
+            .iter()
+            .enumerate()
+            .map(|(i, app)| TraceCore {
+                app,
+                power_model: core_power_model(app),
+                thermal: ThermalNode::paper(),
+                trace: TraceGenerator::from_profile(
+                    app,
+                    seed ^ ((i as u64) << 32),
+                    (i as u64) << 44,
+                    sys.l2.line_bytes,
+                ),
+                instructions: 0.0,
+                last_accesses: 0,
+                last_misses: 0,
+            })
+            .collect();
+        Ok(Self {
+            sys,
+            dram,
+            cache,
+            cores,
+            elapsed_s: 0.0,
+        })
+    }
+
+    /// Wall-clock seconds simulated.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.elapsed_s
+    }
+
+    /// Total instructions retired by core `i`.
+    pub fn instructions(&self, i: usize) -> f64 {
+        self.cores[i].instructions
+    }
+
+    /// Current cache occupancy of core `i` in lines.
+    pub fn occupancy_lines(&self, i: usize) -> u64 {
+        self.cache.occupancy(i)
+    }
+
+    /// Executes one quantum: sets partition targets, streams
+    /// frequency-weighted accesses through the shared cache, and times
+    /// each core by its *measured* miss rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ from the core count.
+    pub fn run_quantum(
+        &mut self,
+        cache_regions: &[f64],
+        extra_watts: &[f64],
+        accesses_per_core: usize,
+    ) -> QuantumStats {
+        let n = self.cores.len();
+        assert_eq!(cache_regions.len(), n);
+        assert_eq!(extra_watts.len(), n);
+        let mem_ns = self.dram.reference_latency_ns();
+
+        // 1. Partition targets from the allocation.
+        for (i, &regions) in cache_regions.iter().enumerate() {
+            let bytes = self.sys.core_cache_bytes(regions);
+            self.cache
+                .set_target_bytes(i, bytes)
+                .expect("targets within geometry");
+        }
+
+        // 2. DVFS from the Watt allocation.
+        let freqs: Vec<f64> = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let temp = c.thermal.temperature();
+                let budget = c.power_model.floor_power(temp) + extra_watts[i].max(0.0);
+                c.power_model
+                    .frequency_for_power(budget, temp)
+                    .unwrap_or(self.sys.dvfs.f_min)
+            })
+            .collect();
+
+        // 3. Stream accesses, interleaved round-robin and weighted by
+        //    frequency (faster cores issue proportionally more traffic).
+        let f_max = self.sys.dvfs.f_max;
+        let quanta_per_core: Vec<usize> = freqs
+            .iter()
+            .map(|&f| ((accesses_per_core as f64) * f / f_max).ceil() as usize)
+            .collect();
+        let rounds = quanta_per_core.iter().copied().max().unwrap_or(0);
+        let before: Vec<(u64, u64)> = (0..n)
+            .map(|i| {
+                let s = self.cache.stats(i);
+                (s.accesses, s.misses)
+            })
+            .collect();
+        for r in 0..rounds {
+            for i in 0..n {
+                if r < quanta_per_core[i] {
+                    let addr = self.cores[i].trace.next_address();
+                    self.cache.access(i, addr);
+                }
+            }
+        }
+
+        // 4. Measured MPKI → timing → retired instructions; 5. thermals.
+        let mut stats = QuantumStats {
+            freqs_ghz: Vec::with_capacity(n),
+            watts: Vec::with_capacity(n),
+            temps_k: Vec::with_capacity(n),
+            instructions: Vec::with_capacity(n),
+        };
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            let s = self.cache.stats(i);
+            let d_acc = s.accesses - before[i].0;
+            let d_miss = s.misses - before[i].1;
+            core.last_accesses = d_acc;
+            core.last_misses = d_miss;
+            let kilo_instr = d_acc as f64 / core.app.apki;
+            let mpki = if kilo_instr > 0.0 {
+                d_miss as f64 / kilo_instr
+            } else {
+                core.app.mpki_at(self.sys.core_cache_bytes(cache_regions[i]))
+            };
+            let f = freqs[i];
+            let t_kilo_ns = 1000.0 * core.app.base_cpi / f + mpki * mem_ns / core.app.mlp.max(0.1);
+            let retired = QUANTUM_SECONDS * 1e12 / t_kilo_ns;
+            core.instructions += retired;
+            let temp = core.thermal.temperature();
+            let drawn = core.power_model.total_power(f, temp);
+            let t_after = core.thermal.step(drawn, QUANTUM_SECONDS);
+            stats.freqs_ghz.push(f);
+            stats.watts.push(drawn);
+            stats.temps_k.push(t_after);
+            stats.instructions.push(retired);
+        }
+        self.elapsed_s += QUANTUM_SECONDS;
+        stats
+    }
+
+    /// The miss rate core `i` experienced in the last quantum.
+    pub fn last_miss_rate(&self, i: usize) -> f64 {
+        let c = &self.cores[i];
+        if c.last_accesses == 0 {
+            0.0
+        } else {
+            c.last_misses as f64 / c.last_accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebudget_workloads::generate_bundle;
+    use rebudget_workloads::Category;
+
+    fn machine() -> TraceDrivenMachine {
+        let sys = SystemConfig::scaled(4);
+        let bundle = generate_bundle(Category::Cpbn, 4, 0, 7).expect("4 cores");
+        TraceDrivenMachine::new(sys, DramConfig::ddr3_1600(), &bundle, 3).expect("builds")
+    }
+
+    #[test]
+    fn bundle_mismatch_is_an_error() {
+        let sys = SystemConfig::scaled(8);
+        let bundle = generate_bundle(Category::Cpbn, 4, 0, 7).expect("4 cores");
+        assert!(TraceDrivenMachine::new(sys, DramConfig::ddr3_1600(), &bundle, 3).is_err());
+    }
+
+    #[test]
+    fn quantum_retires_instructions_and_tracks_time() {
+        let mut m = machine();
+        let stats = m.run_quantum(&[2.0; 4], &[4.0; 4], 5_000);
+        assert!((m.elapsed_seconds() - 1e-3).abs() < 1e-12);
+        assert!(stats.instructions.iter().all(|&x| x > 0.0));
+        assert!(m.instructions(0) > 0.0);
+    }
+
+    #[test]
+    fn partition_targets_converge_under_streaming() {
+        let mut m = machine();
+        // Skew cache hard toward core 0.
+        let regions = [9.0, 1.0, 1.0, 1.0];
+        for _ in 0..30 {
+            m.run_quantum(&regions, &[4.0; 4], 8_000);
+        }
+        let lines_per_region = (128.0 * 1024.0 / 32.0) as u64;
+        let target0 = 10 * lines_per_region; // 9 discretionary + 1 free
+        let occ0 = m.occupancy_lines(0);
+        assert!(
+            occ0 as f64 > 0.6 * target0 as f64,
+            "core 0 occupancy {occ0} of target {target0}"
+        );
+        assert!(occ0 > m.occupancy_lines(1));
+    }
+
+    #[test]
+    fn faster_cores_issue_more_traffic() {
+        let mut m = machine();
+        m.run_quantum(&[2.0; 4], &[0.0, 0.0, 12.0, 12.0], 5_000);
+        let slow = m.cores[0].last_accesses;
+        let fast = m.cores[2].last_accesses;
+        assert!(fast > slow, "fast core {fast} vs slow core {slow}");
+    }
+
+    #[test]
+    fn measured_miss_rate_is_sane() {
+        let mut m = machine();
+        for _ in 0..5 {
+            m.run_quantum(&[3.0; 4], &[4.0; 4], 8_000);
+        }
+        for i in 0..4 {
+            let r = m.last_miss_rate(i);
+            assert!((0.0..=1.0).contains(&r), "core {i} miss rate {r}");
+        }
+    }
+}

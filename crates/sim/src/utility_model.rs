@@ -1,0 +1,265 @@
+//! Building market utilities from application behaviour (§4.1.1, §6).
+//!
+//! The paper profiles "90 cache+power configuration points, with
+//! {1–6, 8, 10, 12, 16} cache regions (10 possible allocations) and
+//! {0.8, 1.2, …, 4.0} GHz (9 possible allocations)", derives the convex
+//! hull of the cache utility (Talus, Figure 2), and treats power as
+//! continuous. The resulting surface — normalized IPC over (discretionary
+//! cache regions, discretionary Watts) — is the player's utility function
+//! in the market.
+
+use rebudget_apps::perf::{performance, PerfEnv};
+use rebudget_apps::AppProfile;
+use rebudget_cache::MissCurve;
+use rebudget_market::utility::{GridUtility, PiecewiseLinear};
+use rebudget_power::CorePowerModel;
+
+use crate::config::{SystemConfig, CACHE_REGION_BYTES};
+use crate::dram::DramConfig;
+
+/// Nominal junction temperature (K) used when building utility surfaces.
+pub const NOMINAL_TEMP_K: f64 = 330.0;
+
+/// The paper's 10-point cache profiling grid, in total regions.
+pub const CACHE_REGION_GRID: [usize; 10] = [1, 2, 3, 4, 5, 6, 8, 10, 12, 16];
+
+/// The per-core power model for an application (activity-scaled).
+pub fn core_power_model(app: &AppProfile) -> CorePowerModel {
+    CorePowerModel::paper(app.activity)
+}
+
+/// Discretionary Watts consumed at frequency `f` (total minus the free
+/// 800 MHz floor), at nominal temperature.
+pub fn discretionary_watts_at(model: &CorePowerModel, f_ghz: f64) -> f64 {
+    (model.total_power(f_ghz, NOMINAL_TEMP_K) - model.floor_power(NOMINAL_TEMP_K)).max(0.0)
+}
+
+/// Samples an application's analytic MPKI curve at the profiling grid.
+pub fn analytic_mpki_curve(app: &AppProfile, sys: &SystemConfig) -> MissCurve {
+    let caps: Vec<f64> = CACHE_REGION_GRID
+        .iter()
+        .take_while(|&&r| r <= sys.max_regions_per_core)
+        .map(|&r| r as f64 * CACHE_REGION_BYTES)
+        .collect();
+    app.miss_curve(&caps)
+}
+
+/// Builds the market utility surface from an MPKI curve plus the compute
+/// parameters. The curve is convexified (Talus) before use; each frequency
+/// column of the utility surface is then replaced by its concave hull over
+/// the cache axis, exactly as Figure 2 does.
+///
+/// Axis 0 is **discretionary cache regions** (0 = just the free region);
+/// axis 1 is **discretionary Watts** (0 = just the 800 MHz floor). Utility
+/// is performance normalized to the stand-alone configuration (16 regions,
+/// 4 GHz).
+pub fn utility_grid_from_mpki(
+    mpki: &MissCurve,
+    base_cpi: f64,
+    mlp: f64,
+    activity: f64,
+    sys: &SystemConfig,
+    dram: &DramConfig,
+) -> GridUtility {
+    utility_grid_from_mpki_with(mpki, base_cpi, mlp, activity, sys, dram, true)
+}
+
+/// Like [`utility_grid_from_mpki`], with convexification switchable —
+/// `convexify: false` skips both the Talus miss-curve hull and the
+/// per-column utility hull, yielding the raw (possibly cliffy) surface.
+/// Used by the Talus ablation study (the paper's footnote 4 notes that
+/// convexifying utilities improves the original XChange baselines).
+pub fn utility_grid_from_mpki_with(
+    mpki: &MissCurve,
+    base_cpi: f64,
+    mlp: f64,
+    activity: f64,
+    sys: &SystemConfig,
+    dram: &DramConfig,
+    convexify: bool,
+) -> GridUtility {
+    let hulled = if convexify {
+        mpki.convex_hull()
+    } else {
+        mpki.clone()
+    };
+    let mem_ns = dram.reference_latency_ns();
+    let model = CorePowerModel::paper(activity);
+
+    let freqs = sys.dvfs.profiling_grid(0.4);
+    let regions: Vec<usize> = CACHE_REGION_GRID
+        .iter()
+        .copied()
+        .take_while(|&r| r <= sys.max_regions_per_core)
+        .collect();
+
+    let time_per_kilo = |cache_bytes: f64, f: f64| -> f64 {
+        1000.0 * base_cpi / f.max(1e-3) + hulled.at(cache_bytes) * mem_ns / mlp.max(0.1)
+    };
+    let alone = 1.0
+        / time_per_kilo(
+            sys.max_regions_per_core as f64 * CACHE_REGION_BYTES,
+            sys.dvfs.f_max,
+        );
+
+    // Axis values.
+    let axis0: Vec<f64> = regions
+        .iter()
+        .map(|&r| (r - sys.free_regions_per_core) as f64)
+        .collect();
+    let axis1: Vec<f64> = freqs
+        .iter()
+        .map(|&f| discretionary_watts_at(&model, f))
+        .collect();
+
+    // Raw utility samples, then per-frequency concave hull on the cache
+    // axis (Talus / Figure 2).
+    let mut values = vec![0.0; axis0.len() * axis1.len()];
+    for (j, &f) in freqs.iter().enumerate() {
+        let column: Vec<(f64, f64)> = regions
+            .iter()
+            .zip(&axis0)
+            .map(|(&r, &x)| {
+                let u = (1.0 / time_per_kilo(r as f64 * CACHE_REGION_BYTES, f)) / alone;
+                (x, u)
+            })
+            .collect();
+        let curve = PiecewiseLinear::new(column)
+            .expect("utility columns are monotone by construction");
+        let curve = if convexify {
+            curve.upper_concave_hull()
+        } else {
+            curve
+        };
+        for (i, &x) in axis0.iter().enumerate() {
+            values[i * axis1.len() + j] = curve.value(x);
+        }
+    }
+
+    GridUtility::new(axis0, axis1, values).expect("profiling grid is valid")
+}
+
+/// Builds the analytic (phase-1) utility surface for an application.
+pub fn app_utility_grid(app: &AppProfile, sys: &SystemConfig, dram: &DramConfig) -> GridUtility {
+    app_utility_grid_with(app, sys, dram, true)
+}
+
+/// Analytic utility surface with convexification switchable (see
+/// [`utility_grid_from_mpki_with`]).
+pub fn app_utility_grid_with(
+    app: &AppProfile,
+    sys: &SystemConfig,
+    dram: &DramConfig,
+    convexify: bool,
+) -> GridUtility {
+    let mpki = analytic_mpki_curve(app, sys);
+    utility_grid_from_mpki_with(&mpki, app.base_cpi, app.mlp, app.activity, sys, dram, convexify)
+}
+
+/// Stand-alone instruction rate (instructions/second) — the normalization
+/// baseline `IPC_alone` of §4.1.1, with full cache and maximum frequency.
+pub fn alone_instruction_rate(app: &AppProfile, sys: &SystemConfig, dram: &DramConfig) -> f64 {
+    let env = PerfEnv {
+        mem_latency_ns: dram.reference_latency_ns(),
+        alone_cache_bytes: sys.max_regions_per_core as f64 * CACHE_REGION_BYTES,
+        alone_freq_ghz: sys.dvfs.f_max,
+    };
+    // performance() is kilo-instructions per nanosecond → ×1e12 for instr/s.
+    performance(app, &env, env.alone_cache_bytes, env.alone_freq_ghz) * 1e12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rebudget_apps::spec::app_by_name;
+    use rebudget_market::Utility;
+
+    fn setup() -> (SystemConfig, DramConfig) {
+        (SystemConfig::paper_8core(), DramConfig::ddr3_1600())
+    }
+
+    #[test]
+    fn grid_axes_match_paper_profiling() {
+        let (sys, dram) = setup();
+        let g = app_utility_grid(app_by_name("vpr").unwrap(), &sys, &dram);
+        assert_eq!(g.axis0().len(), 10, "10 cache allocations");
+        assert_eq!(g.axis1().len(), 9, "9 frequency allocations");
+        assert_eq!(g.axis0()[0], 0.0);
+        assert_eq!(g.axis0()[9], 15.0);
+        assert_eq!(g.axis1()[0], 0.0, "800 MHz floor costs no discretionary Watts");
+    }
+
+    #[test]
+    fn utility_normalized_to_alone() {
+        let (sys, dram) = setup();
+        for name in ["mcf", "swim", "sixtrack", "gzip"] {
+            let g = app_utility_grid(app_by_name(name).unwrap(), &sys, &dram);
+            let top = g.value(&[15.0, g.axis1()[8]]);
+            assert!(
+                (top - 1.0).abs() < 1e-9,
+                "{name}: utility at full allocation is {top}"
+            );
+            let bottom = g.value(&[0.0, 0.0]);
+            assert!(bottom > 0.0 && bottom < 1.0, "{name}: floor utility {bottom}");
+        }
+    }
+
+    #[test]
+    fn utility_monotone_along_both_axes() {
+        let (sys, dram) = setup();
+        let g = app_utility_grid(app_by_name("swim").unwrap(), &sys, &dram);
+        for j in 0..9 {
+            let w = g.axis1()[j];
+            let mut prev = -1.0;
+            for i in 0..10 {
+                let u = g.value(&[g.axis0()[i], w]);
+                assert!(u >= prev - 1e-9);
+                prev = u;
+            }
+        }
+        for i in 0..10 {
+            let x = g.axis0()[i];
+            let mut prev = -1.0;
+            for j in 0..9 {
+                let u = g.value(&[x, g.axis1()[j]]);
+                assert!(u >= prev - 1e-9);
+                prev = u;
+            }
+        }
+    }
+
+    #[test]
+    fn mcf_cache_column_is_convexified() {
+        // The raw mcf utility has a cliff at 12 regions; the hull must rise
+        // linearly through the plateau (Figure 2 of the paper).
+        let (sys, dram) = setup();
+        let g = app_utility_grid(app_by_name("mcf").unwrap(), &sys, &dram);
+        let w_max = g.axis1()[8];
+        let u0 = g.value(&[0.0, w_max]);
+        let u5 = g.value(&[5.0, w_max]);
+        let u11 = g.value(&[11.0, w_max]);
+        // Strictly increasing through the former plateau.
+        assert!(u5 > u0 + 0.05, "hull flat: {u0} → {u5}");
+        assert!(u11 > u5 + 0.05, "hull flat: {u5} → {u11}");
+        // And concave: the per-region marginal gain does not grow.
+        assert!((u5 - u0) / 5.0 >= (u11 - u5) / 6.0 - 1e-9);
+    }
+
+    #[test]
+    fn discretionary_watts_zero_at_fmin() {
+        let model = core_power_model(app_by_name("sixtrack").unwrap());
+        assert!(discretionary_watts_at(&model, 0.8).abs() < 1e-12);
+        assert!(discretionary_watts_at(&model, 4.0) > 5.0);
+    }
+
+    #[test]
+    fn alone_rate_positive_and_ordered() {
+        let (sys, dram) = setup();
+        // A compute-light app at 4 GHz retires instructions faster than a
+        // latency-bound one.
+        let fast = alone_instruction_rate(app_by_name("sixtrack").unwrap(), &sys, &dram);
+        let slow = alone_instruction_rate(app_by_name("mcf").unwrap(), &sys, &dram);
+        assert!(fast > slow);
+        assert!(slow > 1e8, "even mcf retires >0.1 GIPS alone: {slow}");
+    }
+}

@@ -1,0 +1,94 @@
+//! The six bundle categories.
+
+use rebudget_apps::AppClass;
+
+/// A workload category: four letters, each naming the class from which one
+/// quarter of the cores draw applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// One quarter each of C, P, B, and N.
+    Cpbn,
+    /// Half C, half P.
+    Ccpp,
+    /// Quarter C, quarter P, half B (the paper also calls a sample of this
+    /// category "BBPC" in §6.1.1).
+    Cpbb,
+    /// Half B, half N.
+    Bbnn,
+    /// Half B, quarter P, quarter N.
+    Bbpn,
+    /// Half B, quarter C, quarter N.
+    Bbcn,
+}
+
+impl Category {
+    /// All six categories, in the paper's order.
+    pub const ALL: [Category; 6] = [
+        Category::Cpbn,
+        Category::Ccpp,
+        Category::Cpbb,
+        Category::Bbnn,
+        Category::Bbpn,
+        Category::Bbcn,
+    ];
+
+    /// The category's display name (e.g. `"CPBN"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Cpbn => "CPBN",
+            Category::Ccpp => "CCPP",
+            Category::Cpbb => "CPBB",
+            Category::Bbnn => "BBNN",
+            Category::Bbpn => "BBPN",
+            Category::Bbcn => "BBCN",
+        }
+    }
+
+    /// The four per-quarter classes.
+    pub fn quarters(self) -> [AppClass; 4] {
+        let classes: Vec<AppClass> = self
+            .name()
+            .chars()
+            .map(|c| AppClass::from_letter(c).expect("category names are valid"))
+            .collect();
+        [classes[0], classes[1], classes[2], classes[3]]
+    }
+
+    /// Parses a category name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Self> {
+        let upper = name.to_ascii_uppercase();
+        Category::ALL.into_iter().find(|c| c.name() == upper)
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_categories_with_valid_quarters() {
+        assert_eq!(Category::ALL.len(), 6);
+        for c in Category::ALL {
+            let q = c.quarters();
+            assert_eq!(q.len(), 4);
+            let name: String = q.iter().map(|cl| cl.letter()).collect();
+            assert_eq!(name, c.name());
+        }
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for c in Category::ALL {
+            assert_eq!(Category::from_name(c.name()), Some(c));
+            assert_eq!(Category::from_name(&c.name().to_lowercase()), Some(c));
+        }
+        assert_eq!(Category::from_name("XXXX"), None);
+        assert_eq!(format!("{}", Category::Cpbb), "CPBB");
+    }
+}

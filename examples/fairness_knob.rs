@@ -1,0 +1,50 @@
+//! The administrator's knob: set a lowest acceptable envy-freeness, let
+//! ReBudget derive the budget-range constraint from Theorem 2, and watch
+//! the efficiency/fairness trade-off move (§4.2 of the paper).
+//!
+//! Run with: `cargo run -p rebudget-examples --bin fairness_knob`
+
+use std::error::Error;
+
+use rebudget_core::mechanisms::{MaxEfficiency, Mechanism, ReBudget};
+use rebudget_core::theory::{min_mbr_for_ef, MAX_GUARANTEED_EF};
+use rebudget_sim::analytic::build_market;
+use rebudget_sim::{DramConfig, SystemConfig};
+use rebudget_workloads::paper_bbpc_8core;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let sys = SystemConfig::paper_8core();
+    let dram = DramConfig::ddr3_1600();
+    let bundle = paper_bbpc_8core();
+    println!("Bundle: {:?} (the paper's Figure-3 case study)", bundle.app_names());
+
+    let market = build_market(&bundle, &sys, &dram, 100.0)?;
+    let oracle = MaxEfficiency::default().allocate(&market)?;
+
+    println!();
+    println!(
+        "{:>9} {:>8} {:>8} {:>10} {:>12} {:>12}",
+        "EF-floor", "min-MBR", "step", "eff/OPT", "measured-EF", "floor-held?"
+    );
+    for floor in [0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1] {
+        let mech = ReBudget::with_fairness_floor(100.0, floor)?;
+        let out = mech.allocate(&market)?;
+        let mbr = min_mbr_for_ef(floor).expect("floor within range");
+        println!(
+            "{floor:>9.2} {mbr:>8.3} {:>8.2} {:>10.3} {:>12.3} {:>12}",
+            mech.initial_step,
+            out.efficiency / oracle.efficiency,
+            out.envy_freeness,
+            if out.envy_freeness >= floor - 1e-9 { "yes" } else { "NO" },
+        );
+    }
+
+    println!();
+    println!(
+        "No budget assignment can guarantee more than {MAX_GUARANTEED_EF:.3}-approximate"
+    );
+    println!("envy-freeness (Theorem 2 at MBR = 1); asking for more is an error:");
+    println!("  ReBudget::with_fairness_floor(100.0, 0.9) -> {:?}",
+        ReBudget::with_fairness_floor(100.0, 0.9).err().map(|e| e.to_string()));
+    Ok(())
+}

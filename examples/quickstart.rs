@@ -1,0 +1,78 @@
+//! Quickstart: a four-player, two-resource market, allocated by every
+//! mechanism the paper compares, with the paper's metrics printed.
+//!
+//! Run with: `cargo run -p rebudget-examples --bin quickstart`
+
+use std::error::Error;
+use std::sync::Arc;
+
+use rebudget_core::mechanisms::{
+    Balanced, EqualBudget, EqualShare, MaxEfficiency, Mechanism, ReBudget,
+};
+use rebudget_core::theory::{ef_lower_bound, poa_lower_bound};
+use rebudget_market::utility::SeparableUtility;
+use rebudget_market::{Market, Player, ResourceSpace};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // Two divisible resources: 24 cache regions, 56 discretionary Watts.
+    let caps = [24.0, 56.0];
+    let resources = ResourceSpace::with_names(vec![
+        ("cache-regions".to_string(), caps[0]),
+        ("watts".to_string(), caps[1]),
+    ])?;
+
+    // Four players with different concave tastes (weights sum to 1, so
+    // utilities are normalized like the paper's normalized IPC).
+    let tastes: [(&str, [f64; 2]); 4] = [
+        ("cache-lover", [0.9, 0.1]),
+        ("power-lover", [0.1, 0.9]),
+        ("balanced", [0.5, 0.5]),
+        ("indifferent", [0.05, 0.05]),
+    ];
+    let players = tastes
+        .iter()
+        .map(|(name, w)| -> Result<Player, Box<dyn Error>> {
+            Ok(Player::new(
+                *name,
+                100.0,
+                Arc::new(SeparableUtility::proportional(w, &caps)?)
+                    as Arc<dyn rebudget_market::Utility>,
+            ))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let market = Market::new(resources, players)?;
+
+    let mechanisms: Vec<Box<dyn Mechanism>> = vec![
+        Box::new(EqualShare),
+        Box::new(EqualBudget::new(100.0)),
+        Box::new(Balanced::new(100.0)),
+        Box::new(ReBudget::with_step(100.0, 20.0)),
+        Box::new(ReBudget::with_step(100.0, 40.0)),
+        Box::new(MaxEfficiency::default()),
+    ];
+
+    println!(
+        "{:<14} {:>10} {:>10} {:>8} {:>8} {:>10} {:>10}",
+        "mechanism", "efficiency", "envy-free", "MUR", "MBR", "PoA-floor", "EF-floor"
+    );
+    for mech in mechanisms {
+        let out = mech.allocate(&market)?;
+        let poa_floor = out.mur.map_or(f64::NAN, poa_lower_bound);
+        let ef_floor = out.mbr.map_or(f64::NAN, ef_lower_bound);
+        println!(
+            "{:<14} {:>10.3} {:>10.3} {:>8.3} {:>8.3} {:>10.3} {:>10.3}",
+            out.mechanism,
+            out.efficiency,
+            out.envy_freeness,
+            out.mur.unwrap_or(f64::NAN),
+            out.mbr.unwrap_or(f64::NAN),
+            poa_floor,
+            ef_floor,
+        );
+    }
+    println!();
+    println!("Reading the table: ReBudget trades envy-freeness for efficiency as its");
+    println!("step grows; MUR/MBR are the paper's two range metrics, and the floors are");
+    println!("the worst-case guarantees of Theorems 1 and 2 at those measured ranges.");
+    Ok(())
+}

@@ -1,0 +1,3 @@
+//! Placeholder library target; the substance of this package is its
+//! integration tests under `tests/`, which exercise the ReBudget
+//! reproduction across crate boundaries (theory ↔ market ↔ simulator).

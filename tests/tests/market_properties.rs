@@ -1,0 +1,142 @@
+//! Property-based tests (proptest) over the market substrate: invariants
+//! that must hold for *any* valid inputs, not just the paper's scenarios.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rebudget_market::equilibrium::EquilibriumOptions;
+use rebudget_market::metrics;
+use rebudget_market::utility::{PiecewiseLinear, SeparableUtility};
+use rebudget_market::{Market, Player, ResourceSpace};
+
+fn market_strategy() -> impl Strategy<Value = (Market, Vec<f64>)> {
+    // 2–6 players, 2 resources, random normalized weights and budgets.
+    (2usize..=6).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0.05f64..1.0, n),
+            proptest::collection::vec(1.0f64..100.0, n),
+            10.0f64..60.0,
+            20.0f64..120.0,
+        )
+            .prop_map(move |(w0s, budgets, cap0, cap1)| {
+                let caps = [cap0, cap1];
+                let players = w0s
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &w0)| {
+                        let w = [w0, 1.0 - w0.min(0.95)];
+                        Player::new(
+                            format!("p{i}"),
+                            100.0,
+                            Arc::new(
+                                SeparableUtility::proportional(&w, &caps)
+                                    .expect("weights valid"),
+                            ) as Arc<dyn rebudget_market::Utility>,
+                        )
+                    })
+                    .collect();
+                let market = Market::new(
+                    ResourceSpace::new(caps.to_vec()).expect("caps valid"),
+                    players,
+                )
+                .expect("market valid");
+                (market, budgets)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn equilibrium_allocations_are_exhaustive_and_nonnegative(
+        (market, budgets) in market_strategy()
+    ) {
+        let out = market
+            .equilibrium_with_budgets(&budgets, &EquilibriumOptions::default())
+            .expect("equilibrium runs");
+        let caps = market.resources().capacities();
+        prop_assert!(out.allocation.is_exhaustive(caps, 1e-6));
+        for i in 0..market.len() {
+            for j in 0..caps.len() {
+                prop_assert!(out.allocation.get(i, j) >= -1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn bids_never_exceed_budgets((market, budgets) in market_strategy()) {
+        let out = market
+            .equilibrium_with_budgets(&budgets, &EquilibriumOptions::default())
+            .expect("equilibrium runs");
+        for i in 0..market.len() {
+            prop_assert!(
+                out.bids.total_for_player(i) <= budgets[i] + 1e-9,
+                "player {} spent {} of {}",
+                i,
+                out.bids.total_for_player(i),
+                budgets[i]
+            );
+        }
+    }
+
+    #[test]
+    fn richer_player_never_gets_less_utility(
+        (market, _) in market_strategy(),
+        low in 10.0f64..50.0,
+        extra in 1.0f64..50.0,
+    ) {
+        // Give player 0 two different budgets, everyone else fixed: more
+        // money can only help (its best-response set only grows).
+        let n = market.len();
+        let mut poor = vec![60.0; n];
+        poor[0] = low;
+        let mut rich = poor.clone();
+        rich[0] = low + extra;
+        let opts = EquilibriumOptions::precise();
+        let a = market.equilibrium_with_budgets(&poor, &opts).expect("runs");
+        let b = market.equilibrium_with_budgets(&rich, &opts).expect("runs");
+        prop_assert!(
+            b.utilities[0] >= a.utilities[0] - 0.03,
+            "budget {} → {}, utility {} → {}",
+            low, low + extra, a.utilities[0], b.utilities[0]
+        );
+    }
+
+    #[test]
+    fn mur_and_mbr_stay_in_unit_interval((market, budgets) in market_strategy()) {
+        let out = market
+            .equilibrium_with_budgets(&budgets, &EquilibriumOptions::default())
+            .expect("equilibrium runs");
+        let mur = metrics::mur(&out.lambdas);
+        let mbr = metrics::mbr(&budgets);
+        prop_assert!((0.0..=1.0).contains(&mur));
+        prop_assert!((0.0..=1.0).contains(&mbr));
+    }
+
+    #[test]
+    fn concave_hull_dominates_and_is_concave(
+        ys in proptest::collection::vec(0.0f64..1.0, 3..12)
+    ) {
+        // Build a monotone curve from random increments, hull it.
+        let mut acc = 0.0;
+        let points: Vec<(f64, f64)> = ys
+            .iter()
+            .enumerate()
+            .map(|(i, &dy)| {
+                acc += dy;
+                (i as f64 + 1.0, acc)
+            })
+            .collect();
+        let curve = PiecewiseLinear::new(points.clone()).expect("monotone");
+        let hull = curve.upper_concave_hull();
+        prop_assert!(hull.is_concave(1e-9));
+        for &(x, y) in &points {
+            prop_assert!(hull.value(x) >= y - 1e-9);
+        }
+        // Hull endpoints coincide with the curve's.
+        prop_assert!((hull.value(1.0) - curve.value(1.0)).abs() < 1e-9);
+        let last = points.len() as f64;
+        prop_assert!((hull.value(last) - curve.value(last)).abs() < 1e-9);
+    }
+}

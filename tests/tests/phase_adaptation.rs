@@ -1,0 +1,100 @@
+//! Phase-change adaptation: §4.3 of the paper re-runs the budget
+//! re-assignment every 1 ms "to handle the changing resource demands due
+//! to context switches and application phase changes". These tests drive
+//! a market across a phase change and verify the allocation follows the
+//! demand.
+
+use std::sync::Arc;
+
+use rebudget_apps::phase::PhasedApp;
+use rebudget_apps::profile::MpkiShape;
+use rebudget_apps::spec::app_by_name;
+use rebudget_core::mechanisms::{EqualBudget, Mechanism};
+use rebudget_market::{Market, Player, Utility};
+use rebudget_sim::analytic::resource_space;
+use rebudget_sim::utility_model::{app_utility_grid, utility_grid_from_mpki};
+use rebudget_sim::{DramConfig, SystemConfig};
+use rebudget_workloads::paper_bbpc_8core;
+
+/// Builds the BBPC market but with core 0 running the phased app's
+/// profile for quantum `q`.
+fn market_at_quantum(phased: &PhasedApp, q: usize) -> Market {
+    let sys = SystemConfig::paper_8core();
+    let dram = DramConfig::ddr3_1600();
+    let bundle = paper_bbpc_8core();
+    let resources = resource_space(&bundle, &sys).expect("valid");
+    let players: Vec<Player> = bundle
+        .apps
+        .iter()
+        .enumerate()
+        .map(|(core, app)| {
+            let grid = if core == 0 {
+                let p = phased.profile_at(q);
+                let caps: Vec<f64> = (1..=16).map(|r| r as f64 * 128.0 * 1024.0).collect();
+                utility_grid_from_mpki(
+                    &p.miss_curve(&caps),
+                    p.base_cpi,
+                    p.mlp,
+                    p.activity,
+                    &sys,
+                    &dram,
+                )
+            } else {
+                app_utility_grid(app, &sys, &dram)
+            };
+            Player::new(
+                format!("{}#{core}", app.name),
+                100.0,
+                Arc::new(grid) as Arc<dyn Utility>,
+            )
+        })
+        .collect();
+    Market::new(resources, players).expect("valid market")
+}
+
+#[test]
+fn allocation_follows_a_cache_to_compute_phase_change() {
+    // Core 0 alternates between an mcf-like cache-hungry phase and a
+    // compute-bound phase (5 quanta each).
+    let phased = PhasedApp::new(
+        *app_by_name("mcf").unwrap(),
+        MpkiShape::Flat { mpki: 0.4 },
+        0.95,
+        10,
+        0.5,
+    );
+    let mech = EqualBudget::new(100.0);
+
+    // Quantum 0: cache phase.
+    let out_cache = mech.allocate(&market_at_quantum(&phased, 0)).expect("runs");
+    // Quantum 7: compute phase.
+    let out_compute = mech.allocate(&market_at_quantum(&phased, 7)).expect("runs");
+
+    let cache_alloc_a = out_cache.allocation.get(0, 0);
+    let cache_alloc_b = out_compute.allocation.get(0, 0);
+    let watts_a = out_cache.allocation.get(0, 1);
+    let watts_b = out_compute.allocation.get(0, 1);
+
+    assert!(
+        cache_alloc_a > 1.5 * cache_alloc_b,
+        "cache phase should hold much more cache: {cache_alloc_a} vs {cache_alloc_b}"
+    );
+    assert!(
+        watts_b > watts_a,
+        "compute phase should buy more power: {watts_a} -> {watts_b}"
+    );
+}
+
+#[test]
+fn phase_schedule_is_periodic_across_many_quanta() {
+    let phased = PhasedApp::new(
+        *app_by_name("mcf").unwrap(),
+        MpkiShape::Flat { mpki: 0.4 },
+        0.95,
+        8,
+        0.5,
+    );
+    for q in 0..32 {
+        assert_eq!(phased.in_phase_a(q), phased.in_phase_a(q + 8));
+    }
+}

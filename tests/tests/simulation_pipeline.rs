@@ -1,0 +1,101 @@
+//! Integration tests for the execution-driven (phase-2) pipeline: online
+//! UMON monitoring feeding the market every quantum while the machine
+//! executes, as in §6.3 of the paper.
+
+use rebudget_core::mechanisms::{EqualBudget, EqualShare, MaxEfficiency, ReBudget};
+use rebudget_sim::{run_simulation, DramConfig, SimOptions, SystemConfig};
+use rebudget_workloads::{generate_bundle, paper_bbpc_8core, Category};
+
+fn opts() -> SimOptions {
+    SimOptions {
+        quanta: 5,
+        accesses_per_quantum: 10_000,
+        budget: 100.0,
+        use_monitors: true,
+        seed: 21,
+        ..SimOptions::default()
+    }
+}
+
+#[test]
+fn simulated_ranking_matches_paper_on_case_study() {
+    let sys = SystemConfig::paper_8core();
+    let dram = DramConfig::ddr3_1600();
+    let bundle = paper_bbpc_8core();
+    let o = opts();
+    let share = run_simulation(&sys, &dram, &bundle, &EqualShare, &o).expect("runs");
+    let eq = run_simulation(&sys, &dram, &bundle, &EqualBudget::new(100.0), &o).expect("runs");
+    let rb40 =
+        run_simulation(&sys, &dram, &bundle, &ReBudget::with_step(100.0, 40.0), &o).expect("runs");
+    let oracle = run_simulation(&sys, &dram, &bundle, &MaxEfficiency::default(), &o).expect("runs");
+
+    // §6.3 ordering: oracle ≥ ReBudget ≥ EqualBudget in efficiency.
+    assert!(oracle.efficiency >= rb40.efficiency - 0.1);
+    assert!(rb40.efficiency >= eq.efficiency - 0.1);
+    // The market never loses badly to static equal sharing here.
+    assert!(eq.efficiency >= share.efficiency - 0.3);
+    // EqualBudget keeps fairness highest; the oracle is worst.
+    assert!(eq.envy_freeness >= oracle.envy_freeness - 0.05);
+}
+
+#[test]
+fn online_monitoring_tracks_analytic_utilities() {
+    // Phase-2 (monitored) efficiency should land near the phase-1
+    // (analytic) efficiency for the same mechanism — the paper uses the
+    // simulation phase to "validate our first phase evaluation".
+    let sys = SystemConfig::paper_8core();
+    let dram = DramConfig::ddr3_1600();
+    let bundle = paper_bbpc_8core();
+    let monitored = run_simulation(&sys, &dram, &bundle, &EqualBudget::new(100.0), &opts())
+        .expect("runs");
+    let mut analytic_opts = opts();
+    analytic_opts.use_monitors = false;
+    analytic_opts.accesses_per_quantum = 0;
+    let analytic = run_simulation(&sys, &dram, &bundle, &EqualBudget::new(100.0), &analytic_opts)
+        .expect("runs");
+    let gap = (monitored.efficiency - analytic.efficiency).abs() / analytic.efficiency;
+    assert!(
+        gap < 0.20,
+        "monitored {} vs analytic {} ({}% apart)",
+        monitored.efficiency,
+        analytic.efficiency,
+        (gap * 100.0) as i32
+    );
+}
+
+#[test]
+fn every_category_simulates_cleanly_at_8_cores() {
+    let sys = SystemConfig::paper_8core();
+    let dram = DramConfig::ddr3_1600();
+    let mut o = opts();
+    o.quanta = 3;
+    for category in Category::ALL {
+        let bundle = generate_bundle(category, 8, 0, 13).expect("8 cores");
+        let r = run_simulation(&sys, &dram, &bundle, &EqualBudget::new(100.0), &o)
+            .expect("simulation runs");
+        assert!(r.efficiency > 0.0, "{}", bundle.label());
+        assert!(
+            r.utilities.iter().all(|&u| u.is_finite() && u > 0.0),
+            "{}: {:?}",
+            bundle.label(),
+            r.utilities
+        );
+    }
+}
+
+#[test]
+fn convergence_statistics_are_reported() {
+    let sys = SystemConfig::paper_8core();
+    let dram = DramConfig::ddr3_1600();
+    let r = run_simulation(
+        &sys,
+        &dram,
+        &paper_bbpc_8core(),
+        &ReBudget::with_step(100.0, 20.0),
+        &opts(),
+    )
+    .expect("runs");
+    // ReBudget re-converges once per budget step: several rounds/quantum.
+    assert!(r.avg_equilibrium_rounds > 1.0);
+    assert!(r.avg_iterations >= r.avg_equilibrium_rounds);
+}

@@ -1,0 +1,114 @@
+//! Cross-substrate consistency: the cache monitors, trace generators, and
+//! partitioning hardware must agree with the analytic application models
+//! they stand in for.
+
+use rebudget_apps::spec::{all_apps, app_by_name};
+use rebudget_apps::trace::TraceGenerator;
+use rebudget_cache::futility::FutilityPartitionedCache;
+use rebudget_cache::CacheConfig;
+use rebudget_sim::monitor::CoreMonitor;
+use rebudget_sim::utility_model::analytic_mpki_curve;
+use rebudget_sim::SystemConfig;
+
+#[test]
+fn monitored_mpki_tracks_analytic_mpki_for_representative_apps() {
+    let sys = SystemConfig::paper_8core();
+    for name in ["mcf", "vpr", "swim", "libquantum", "sixtrack"] {
+        let app = app_by_name(name).expect("app exists");
+        let mut monitor = CoreMonitor::new(app, &sys, 0, 99);
+        monitor.warm_up(300_000);
+        monitor.observe_quantum(300_000);
+        let measured = monitor.mpki_curve().expect("curve available");
+        let analytic = analytic_mpki_curve(app, &sys);
+        // At small capacities the monitored level must match tightly. At
+        // the deepest capacity LRU physics makes the trace pessimistic:
+        // a stream with a compulsory-miss component cannot retain a large,
+        // rarely-retouched working set the way the analytic curve assumes,
+        // so we only require the right order of magnitude there (and never
+        // an *under*-estimate of the floor).
+        let small = 128.0 * 1024.0;
+        let m = measured.at(small);
+        let a = analytic.at(small);
+        assert!(
+            (m - a).abs() / a.max(1.0) < 0.5,
+            "{name} at 128 kB: measured {m:.1} vs analytic {a:.1}"
+        );
+        let deep = 2.0 * 1024.0 * 1024.0;
+        let m = measured.at(deep);
+        let a = analytic.at(deep);
+        assert!(
+            m >= 0.5 * a - 0.5 && m <= 2.5 * a + 1.0,
+            "{name} at 2 MB: measured {m:.1} vs analytic {a:.1}"
+        );
+    }
+}
+
+#[test]
+fn futility_scaling_enforces_market_style_allocations_on_app_traces() {
+    // Two apps with very different demands share a cache; Futility Scaling
+    // must hold a 3:1 split at line granularity.
+    let cfg = CacheConfig {
+        size_bytes: 512 << 10,
+        ways: 16,
+        line_bytes: 32,
+    };
+    let lines = cfg.lines() as f64;
+    let mut cache = FutilityPartitionedCache::new(cfg, 2).expect("valid");
+    cache.set_target_lines(0, 0.75 * lines).expect("valid");
+    cache.set_target_lines(1, 0.25 * lines).expect("valid");
+
+    let mcf = app_by_name("mcf").expect("exists");
+    let swim = app_by_name("swim").expect("exists");
+    let mut t0 = TraceGenerator::from_profile(mcf, 1, 0, 32);
+    let mut t1 = TraceGenerator::from_profile(swim, 2, 1 << 44, 32);
+    for _ in 0..300_000 {
+        cache.access(0, t0.next_address());
+        cache.access(1, t1.next_address());
+    }
+    let o0 = cache.occupancy(0) as f64 / lines;
+    let o1 = cache.occupancy(1) as f64 / lines;
+    assert!(
+        (o0 - 0.75).abs() < 0.12,
+        "mcf partition at {o0:.2}, want 0.75"
+    );
+    assert!(
+        (o1 - 0.25).abs() < 0.12,
+        "swim partition at {o1:.2}, want 0.25"
+    );
+}
+
+#[test]
+fn all_apps_produce_valid_monitored_curves() {
+    let sys = SystemConfig::paper_8core();
+    for (k, app) in all_apps().iter().enumerate() {
+        let mut monitor = CoreMonitor::new(app, &sys, k, 5);
+        monitor.observe_quantum(40_000);
+        let curve = monitor
+            .mpki_curve()
+            .unwrap_or_else(|| panic!("{}: no curve", app.name));
+        assert_eq!(curve.capacities().len(), 16, "{}", app.name);
+        assert!(
+            curve.misses().iter().all(|m| m.is_finite() && *m >= 0.0),
+            "{}",
+            app.name
+        );
+        // Monotone non-increasing by construction.
+        assert!(
+            curve.misses().windows(2).all(|w| w[1] <= w[0] + 1e-9),
+            "{}",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn traces_from_different_cores_do_not_alias() {
+    let mcf = app_by_name("mcf").expect("exists");
+    let mut a = TraceGenerator::from_profile(mcf, 1, 0, 32);
+    let mut b = TraceGenerator::from_profile(mcf, 1, 1 << 44, 32);
+    let xs = a.take_addresses(10_000);
+    let ys = b.take_addresses(10_000);
+    let max_a = xs.iter().max().expect("non-empty");
+    let min_b = ys.iter().min().expect("non-empty");
+    assert!(max_a < min_b, "address ranges overlap: {max_a:#x} vs {min_b:#x}");
+}
