@@ -1,7 +1,6 @@
 //! The set of divisible resources traded in a market.
 
 use crate::{MarketError, Result};
-use serde::{Deserialize, Serialize};
 
 /// A fixed set of `M` divisible resources, each with a finite positive
 /// capacity `C_j`.
@@ -24,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResourceSpace {
     names: Vec<String>,
     capacities: Vec<f64>,
@@ -155,15 +154,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn debug_repr_exposes_fields() {
         let s = ResourceSpace::new(vec![4.0, 2.0]).unwrap();
-        let json = serde_json_like(&s);
-        assert!(json.contains("capacities"));
-    }
-
-    // serde_json is not a dependency; exercise Serialize via the
-    // serde::Serialize impl through a minimal shim.
-    fn serde_json_like(s: &ResourceSpace) -> String {
-        format!("{s:?}").to_lowercase()
+        let repr = format!("{s:?}").to_lowercase();
+        assert!(repr.contains("capacities"));
     }
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-1eca54abfd560baa.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-1eca54abfd560baa: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-492d4e9ca1f5d8d3.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-492d4e9ca1f5d8d3: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

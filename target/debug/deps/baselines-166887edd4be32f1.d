@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-166887edd4be32f1.d: crates/bench/src/bin/baselines.rs
+
+/root/repo/target/debug/deps/baselines-166887edd4be32f1: crates/bench/src/bin/baselines.rs
+
+crates/bench/src/bin/baselines.rs:

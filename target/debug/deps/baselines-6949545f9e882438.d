@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-6949545f9e882438.d: crates/bench/src/bin/baselines.rs
+
+/root/repo/target/debug/deps/baselines-6949545f9e882438: crates/bench/src/bin/baselines.rs
+
+crates/bench/src/bin/baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/convergence-199c5cf68fd7ce6a.d: crates/bench/src/bin/convergence.rs
+
+/root/repo/target/debug/deps/convergence-199c5cf68fd7ce6a: crates/bench/src/bin/convergence.rs
+
+crates/bench/src/bin/convergence.rs:

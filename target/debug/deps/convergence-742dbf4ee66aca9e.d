@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/convergence-742dbf4ee66aca9e.d: crates/bench/src/bin/convergence.rs
+
+/root/repo/target/debug/deps/convergence-742dbf4ee66aca9e: crates/bench/src/bin/convergence.rs
+
+crates/bench/src/bin/convergence.rs:

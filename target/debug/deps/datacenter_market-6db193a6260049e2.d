@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datacenter_market-6db193a6260049e2.d: examples/datacenter_market.rs
+
+/root/repo/target/debug/deps/datacenter_market-6db193a6260049e2: examples/datacenter_market.rs
+
+examples/datacenter_market.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-52b14a2dc01ec182.d: tests/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-52b14a2dc01ec182: tests/tests/end_to_end.rs
+
+tests/tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-ead6e3681ce7e2a5.d: tests/tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-ead6e3681ce7e2a5: tests/tests/extensions.rs
+
+tests/tests/extensions.rs:

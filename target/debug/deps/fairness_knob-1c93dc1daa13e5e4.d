@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fairness_knob-1c93dc1daa13e5e4.d: examples/fairness_knob.rs
+
+/root/repo/target/debug/deps/fairness_knob-1c93dc1daa13e5e4: examples/fairness_knob.rs
+
+examples/fairness_knob.rs:

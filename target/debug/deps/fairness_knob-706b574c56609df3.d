@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fairness_knob-706b574c56609df3.d: examples/fairness_knob.rs
+
+/root/repo/target/debug/deps/fairness_knob-706b574c56609df3: examples/fairness_knob.rs
+
+examples/fairness_knob.rs:

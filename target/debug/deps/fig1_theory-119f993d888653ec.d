@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_theory-119f993d888653ec.d: crates/bench/src/bin/fig1_theory.rs
+
+/root/repo/target/debug/deps/fig1_theory-119f993d888653ec: crates/bench/src/bin/fig1_theory.rs
+
+crates/bench/src/bin/fig1_theory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_theory-ad3c6762a91ed576.d: crates/bench/src/bin/fig1_theory.rs
+
+/root/repo/target/debug/deps/fig1_theory-ad3c6762a91ed576: crates/bench/src/bin/fig1_theory.rs
+
+crates/bench/src/bin/fig1_theory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_cache_utility-9c0c9b7a4673be76.d: crates/bench/src/bin/fig2_cache_utility.rs
+
+/root/repo/target/debug/deps/fig2_cache_utility-9c0c9b7a4673be76: crates/bench/src/bin/fig2_cache_utility.rs
+
+crates/bench/src/bin/fig2_cache_utility.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_cache_utility-ef2b3133ae60f353.d: crates/bench/src/bin/fig2_cache_utility.rs
+
+/root/repo/target/debug/deps/fig2_cache_utility-ef2b3133ae60f353: crates/bench/src/bin/fig2_cache_utility.rs
+
+crates/bench/src/bin/fig2_cache_utility.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_lambda-639ec078b96c128f.d: crates/bench/src/bin/fig3_lambda.rs
+
+/root/repo/target/debug/deps/fig3_lambda-639ec078b96c128f: crates/bench/src/bin/fig3_lambda.rs
+
+crates/bench/src/bin/fig3_lambda.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_lambda-c6adb299be07bad6.d: crates/bench/src/bin/fig3_lambda.rs
+
+/root/repo/target/debug/deps/fig3_lambda-c6adb299be07bad6: crates/bench/src/bin/fig3_lambda.rs
+
+crates/bench/src/bin/fig3_lambda.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_analytical-5a3405dd1feb3f1d.d: crates/bench/src/bin/fig4_analytical.rs
+
+/root/repo/target/debug/deps/fig4_analytical-5a3405dd1feb3f1d: crates/bench/src/bin/fig4_analytical.rs
+
+crates/bench/src/bin/fig4_analytical.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_analytical-8cc8ac3b1162574d.d: crates/bench/src/bin/fig4_analytical.rs
+
+/root/repo/target/debug/deps/fig4_analytical-8cc8ac3b1162574d: crates/bench/src/bin/fig4_analytical.rs
+
+crates/bench/src/bin/fig4_analytical.rs:

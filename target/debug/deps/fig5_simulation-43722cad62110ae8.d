@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_simulation-43722cad62110ae8.d: crates/bench/src/bin/fig5_simulation.rs
+
+/root/repo/target/debug/deps/fig5_simulation-43722cad62110ae8: crates/bench/src/bin/fig5_simulation.rs
+
+crates/bench/src/bin/fig5_simulation.rs:

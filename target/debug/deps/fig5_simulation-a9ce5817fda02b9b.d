@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_simulation-a9ce5817fda02b9b.d: crates/bench/src/bin/fig5_simulation.rs
+
+/root/repo/target/debug/deps/fig5_simulation-a9ce5817fda02b9b: crates/bench/src/bin/fig5_simulation.rs
+
+crates/bench/src/bin/fig5_simulation.rs:

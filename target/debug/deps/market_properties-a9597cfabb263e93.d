@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/market_properties-a9597cfabb263e93.d: tests/tests/market_properties.rs
+
+/root/repo/target/debug/deps/market_properties-a9597cfabb263e93: tests/tests/market_properties.rs
+
+tests/tests/market_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multicore_simulation-32ce6c61c3d41755.d: examples/multicore_simulation.rs
+
+/root/repo/target/debug/deps/multicore_simulation-32ce6c61c3d41755: examples/multicore_simulation.rs
+
+examples/multicore_simulation.rs:

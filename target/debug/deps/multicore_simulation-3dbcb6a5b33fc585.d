@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multicore_simulation-3dbcb6a5b33fc585.d: examples/multicore_simulation.rs
+
+/root/repo/target/debug/deps/multicore_simulation-3dbcb6a5b33fc585: examples/multicore_simulation.rs
+
+examples/multicore_simulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multithreaded-0c3dd7734bbb8240.d: examples/multithreaded.rs
+
+/root/repo/target/debug/deps/multithreaded-0c3dd7734bbb8240: examples/multithreaded.rs
+
+examples/multithreaded.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multithreaded-ef0304a2af15b591.d: examples/multithreaded.rs
+
+/root/repo/target/debug/deps/multithreaded-ef0304a2af15b591: examples/multithreaded.rs
+
+examples/multithreaded.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phase_adaptation-ccb6ad38ed213a6e.d: tests/tests/phase_adaptation.rs
+
+/root/repo/target/debug/deps/phase_adaptation-ccb6ad38ed213a6e: tests/tests/phase_adaptation.rs
+
+tests/tests/phase_adaptation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-64ea14bd4c46e727.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-64ea14bd4c46e727: examples/quickstart.rs
+
+examples/quickstart.rs:

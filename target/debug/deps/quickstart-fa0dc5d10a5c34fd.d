@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-fa0dc5d10a5c34fd.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-fa0dc5d10a5c34fd: examples/quickstart.rs
+
+examples/quickstart.rs:

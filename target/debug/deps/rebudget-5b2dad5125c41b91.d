@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rebudget-5b2dad5125c41b91.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/rebudget-5b2dad5125c41b91: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

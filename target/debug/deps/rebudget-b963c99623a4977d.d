@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rebudget-b963c99623a4977d.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/rebudget-b963c99623a4977d: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

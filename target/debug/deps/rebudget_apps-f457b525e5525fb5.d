@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rebudget_apps-f457b525e5525fb5.d: crates/apps/src/lib.rs crates/apps/src/classify.rs crates/apps/src/perf.rs crates/apps/src/phase.rs crates/apps/src/profile.rs crates/apps/src/spec.rs crates/apps/src/trace.rs
+
+/root/repo/target/debug/deps/librebudget_apps-f457b525e5525fb5.rlib: crates/apps/src/lib.rs crates/apps/src/classify.rs crates/apps/src/perf.rs crates/apps/src/phase.rs crates/apps/src/profile.rs crates/apps/src/spec.rs crates/apps/src/trace.rs
+
+/root/repo/target/debug/deps/librebudget_apps-f457b525e5525fb5.rmeta: crates/apps/src/lib.rs crates/apps/src/classify.rs crates/apps/src/perf.rs crates/apps/src/phase.rs crates/apps/src/profile.rs crates/apps/src/spec.rs crates/apps/src/trace.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/classify.rs:
+crates/apps/src/perf.rs:
+crates/apps/src/phase.rs:
+crates/apps/src/profile.rs:
+crates/apps/src/spec.rs:
+crates/apps/src/trace.rs:

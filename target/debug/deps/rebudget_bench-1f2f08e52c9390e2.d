@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rebudget_bench-1f2f08e52c9390e2.d: crates/bench/src/lib.rs crates/bench/src/export.rs
+
+/root/repo/target/debug/deps/librebudget_bench-1f2f08e52c9390e2.rlib: crates/bench/src/lib.rs crates/bench/src/export.rs
+
+/root/repo/target/debug/deps/librebudget_bench-1f2f08e52c9390e2.rmeta: crates/bench/src/lib.rs crates/bench/src/export.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/export.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/rebudget_bench-7052bf13fd723bb1.d: crates/bench/src/lib.rs crates/bench/src/export.rs
+
+/root/repo/target/debug/deps/rebudget_bench-7052bf13fd723bb1: crates/bench/src/lib.rs crates/bench/src/export.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/export.rs:

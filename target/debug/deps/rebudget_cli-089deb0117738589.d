@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rebudget_cli-089deb0117738589.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/librebudget_cli-089deb0117738589.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/librebudget_cli-089deb0117738589.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

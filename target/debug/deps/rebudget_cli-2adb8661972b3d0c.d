@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rebudget_cli-2adb8661972b3d0c.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/rebudget_cli-2adb8661972b3d0c: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

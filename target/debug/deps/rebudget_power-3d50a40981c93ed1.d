@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rebudget_power-3d50a40981c93ed1.d: crates/power/src/lib.rs crates/power/src/budget.rs crates/power/src/dvfs.rs crates/power/src/model.rs crates/power/src/thermal.rs crates/power/src/thermal_grid.rs
+
+/root/repo/target/debug/deps/librebudget_power-3d50a40981c93ed1.rlib: crates/power/src/lib.rs crates/power/src/budget.rs crates/power/src/dvfs.rs crates/power/src/model.rs crates/power/src/thermal.rs crates/power/src/thermal_grid.rs
+
+/root/repo/target/debug/deps/librebudget_power-3d50a40981c93ed1.rmeta: crates/power/src/lib.rs crates/power/src/budget.rs crates/power/src/dvfs.rs crates/power/src/model.rs crates/power/src/thermal.rs crates/power/src/thermal_grid.rs
+
+crates/power/src/lib.rs:
+crates/power/src/budget.rs:
+crates/power/src/dvfs.rs:
+crates/power/src/model.rs:
+crates/power/src/thermal.rs:
+crates/power/src/thermal_grid.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rebudget_power-c64bd722a692d55c.d: crates/power/src/lib.rs crates/power/src/budget.rs crates/power/src/dvfs.rs crates/power/src/model.rs crates/power/src/thermal.rs crates/power/src/thermal_grid.rs
+
+/root/repo/target/debug/deps/rebudget_power-c64bd722a692d55c: crates/power/src/lib.rs crates/power/src/budget.rs crates/power/src/dvfs.rs crates/power/src/model.rs crates/power/src/thermal.rs crates/power/src/thermal_grid.rs
+
+crates/power/src/lib.rs:
+crates/power/src/budget.rs:
+crates/power/src/dvfs.rs:
+crates/power/src/model.rs:
+crates/power/src/thermal.rs:
+crates/power/src/thermal_grid.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rebudget_tests-1117897c96c131f2.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/librebudget_tests-1117897c96c131f2.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/librebudget_tests-1117897c96c131f2.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rebudget_tests-9eb47ef3765cd3e4.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/rebudget_tests-9eb47ef3765cd3e4: tests/src/lib.rs
+
+tests/src/lib.rs:

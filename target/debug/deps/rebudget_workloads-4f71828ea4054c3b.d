@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rebudget_workloads-4f71828ea4054c3b.d: crates/workloads/src/lib.rs crates/workloads/src/bundle.rs crates/workloads/src/category.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/rebudget_workloads-4f71828ea4054c3b: crates/workloads/src/lib.rs crates/workloads/src/bundle.rs crates/workloads/src/category.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/bundle.rs:
+crates/workloads/src/category.rs:
+crates/workloads/src/suite.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rebudget_workloads-c476791766129251.d: crates/workloads/src/lib.rs crates/workloads/src/bundle.rs crates/workloads/src/category.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/librebudget_workloads-c476791766129251.rlib: crates/workloads/src/lib.rs crates/workloads/src/bundle.rs crates/workloads/src/category.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/librebudget_workloads-c476791766129251.rmeta: crates/workloads/src/lib.rs crates/workloads/src/bundle.rs crates/workloads/src/category.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/bundle.rs:
+crates/workloads/src/category.rs:
+crates/workloads/src/suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-5c752e0559551a11.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/debug/deps/scalability-5c752e0559551a11: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-fc6ea17e7e78a167.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/debug/deps/scalability-fc6ea17e7e78a167: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

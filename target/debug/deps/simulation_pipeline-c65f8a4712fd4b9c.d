@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation_pipeline-c65f8a4712fd4b9c.d: tests/tests/simulation_pipeline.rs
+
+/root/repo/target/debug/deps/simulation_pipeline-c65f8a4712fd4b9c: tests/tests/simulation_pipeline.rs
+
+tests/tests/simulation_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_consistency-08532b4a529d4601.d: tests/tests/substrate_consistency.rs
+
+/root/repo/target/debug/deps/substrate_consistency-08532b4a529d4601: tests/tests/substrate_consistency.rs
+
+tests/tests/substrate_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_properties-a09e89b33ff999f6.d: tests/tests/substrate_properties.rs
+
+/root/repo/target/debug/deps/substrate_properties-a09e89b33ff999f6: tests/tests/substrate_properties.rs
+
+tests/tests/substrate_properties.rs:

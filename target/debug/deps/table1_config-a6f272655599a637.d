@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_config-a6f272655599a637.d: crates/bench/src/bin/table1_config.rs
+
+/root/repo/target/debug/deps/table1_config-a6f272655599a637: crates/bench/src/bin/table1_config.rs
+
+crates/bench/src/bin/table1_config.rs:

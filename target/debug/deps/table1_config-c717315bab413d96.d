@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_config-c717315bab413d96.d: crates/bench/src/bin/table1_config.rs
+
+/root/repo/target/debug/deps/table1_config-c717315bab413d96: crates/bench/src/bin/table1_config.rs
+
+crates/bench/src/bin/table1_config.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theory_bounds-ed2a4e54e281bbae.d: tests/tests/theory_bounds.rs
+
+/root/repo/target/debug/deps/theory_bounds-ed2a4e54e281bbae: tests/tests/theory_bounds.rs
+
+tests/tests/theory_bounds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg_monitor-ad950bf687cfb30b.d: crates/sim/examples/dbg_monitor.rs
+
+/root/repo/target/debug/examples/dbg_monitor-ad950bf687cfb30b: crates/sim/examples/dbg_monitor.rs
+
+crates/sim/examples/dbg_monitor.rs:

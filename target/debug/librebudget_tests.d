@@ -1,0 +1,1 @@
+/root/repo/target/debug/librebudget_tests.rlib: /root/repo/tests/src/lib.rs

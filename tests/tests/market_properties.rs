@@ -1,91 +1,88 @@
-//! Property-based tests (proptest) over the market substrate: invariants
-//! that must hold for *any* valid inputs, not just the paper's scenarios.
+//! Randomized property tests over the market substrate: invariants that
+//! must hold for *any* valid inputs, not just the paper's scenarios.
+//!
+//! Each test draws a fixed number of cases from a seeded generator (the
+//! workspace builds offline, so the vendored `rand` replaces proptest's
+//! shrinking machinery; failures print the case seed for replay).
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rebudget_market::equilibrium::EquilibriumOptions;
 use rebudget_market::metrics;
 use rebudget_market::utility::{PiecewiseLinear, SeparableUtility};
 use rebudget_market::{Market, Player, ResourceSpace};
 
-fn market_strategy() -> impl Strategy<Value = (Market, Vec<f64>)> {
-    // 2–6 players, 2 resources, random normalized weights and budgets.
-    (2usize..=6).prop_flat_map(|n| {
-        (
-            proptest::collection::vec(0.05f64..1.0, n),
-            proptest::collection::vec(1.0f64..100.0, n),
-            10.0f64..60.0,
-            20.0f64..120.0,
-        )
-            .prop_map(move |(w0s, budgets, cap0, cap1)| {
-                let caps = [cap0, cap1];
-                let players = w0s
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &w0)| {
-                        let w = [w0, 1.0 - w0.min(0.95)];
-                        Player::new(
-                            format!("p{i}"),
-                            100.0,
-                            Arc::new(
-                                SeparableUtility::proportional(&w, &caps)
-                                    .expect("weights valid"),
-                            ) as Arc<dyn rebudget_market::Utility>,
-                        )
-                    })
-                    .collect();
-                let market = Market::new(
-                    ResourceSpace::new(caps.to_vec()).expect("caps valid"),
-                    players,
-                )
-                .expect("market valid");
-                (market, budgets)
-            })
-    })
+const CASES: u64 = 24;
+
+/// A random market of 2–6 players over 2 resources, with random normalized
+/// weights, plus a random budget vector.
+fn random_market(rng: &mut StdRng) -> (Market, Vec<f64>) {
+    let n: usize = rng.random_range(2..=6);
+    let caps = [rng.random_range(10.0..60.0), rng.random_range(20.0..120.0)];
+    let players = (0..n)
+        .map(|i| {
+            let w0: f64 = rng.random_range(0.05..1.0);
+            let w = [w0, 1.0 - w0.min(0.95)];
+            Player::new(
+                format!("p{i}"),
+                100.0,
+                Arc::new(SeparableUtility::proportional(&w, &caps).expect("weights valid"))
+                    as Arc<dyn rebudget_market::Utility>,
+            )
+        })
+        .collect();
+    let market = Market::new(ResourceSpace::new(caps.to_vec()).expect("caps valid"), players)
+        .expect("market valid");
+    let budgets = (0..n).map(|_| rng.random_range(1.0..100.0)).collect();
+    (market, budgets)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn equilibrium_allocations_are_exhaustive_and_nonnegative(
-        (market, budgets) in market_strategy()
-    ) {
+#[test]
+fn equilibrium_allocations_are_exhaustive_and_nonnegative() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xA110_C000 + case);
+        let (market, budgets) = random_market(&mut rng);
         let out = market
             .equilibrium_with_budgets(&budgets, &EquilibriumOptions::default())
             .expect("equilibrium runs");
         let caps = market.resources().capacities();
-        prop_assert!(out.allocation.is_exhaustive(caps, 1e-6));
+        assert!(out.allocation.is_exhaustive(caps, 1e-6), "case {case}");
         for i in 0..market.len() {
             for j in 0..caps.len() {
-                prop_assert!(out.allocation.get(i, j) >= -1e-12);
+                assert!(out.allocation.get(i, j) >= -1e-12, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn bids_never_exceed_budgets((market, budgets) in market_strategy()) {
+#[test]
+fn bids_never_exceed_budgets() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xB1D5 + case);
+        let (market, budgets) = random_market(&mut rng);
         let out = market
             .equilibrium_with_budgets(&budgets, &EquilibriumOptions::default())
             .expect("equilibrium runs");
         for i in 0..market.len() {
-            prop_assert!(
+            assert!(
                 out.bids.total_for_player(i) <= budgets[i] + 1e-9,
-                "player {} spent {} of {}",
-                i,
+                "case {case}: player {i} spent {} of {}",
                 out.bids.total_for_player(i),
                 budgets[i]
             );
         }
     }
+}
 
-    #[test]
-    fn richer_player_never_gets_less_utility(
-        (market, _) in market_strategy(),
-        low in 10.0f64..50.0,
-        extra in 1.0f64..50.0,
-    ) {
+#[test]
+fn richer_player_never_gets_less_utility() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x61C4 + case);
+        let (market, _) = random_market(&mut rng);
+        let low: f64 = rng.random_range(10.0..50.0);
+        let extra: f64 = rng.random_range(1.0..50.0);
         // Give player 0 two different budgets, everyone else fixed: more
         // money can only help (its best-response set only grows).
         let n = market.len();
@@ -96,47 +93,54 @@ proptest! {
         let opts = EquilibriumOptions::precise();
         let a = market.equilibrium_with_budgets(&poor, &opts).expect("runs");
         let b = market.equilibrium_with_budgets(&rich, &opts).expect("runs");
-        prop_assert!(
+        assert!(
             b.utilities[0] >= a.utilities[0] - 0.03,
-            "budget {} → {}, utility {} → {}",
-            low, low + extra, a.utilities[0], b.utilities[0]
+            "case {case}: budget {} → {}, utility {} → {}",
+            low,
+            low + extra,
+            a.utilities[0],
+            b.utilities[0]
         );
     }
+}
 
-    #[test]
-    fn mur_and_mbr_stay_in_unit_interval((market, budgets) in market_strategy()) {
+#[test]
+fn mur_and_mbr_stay_in_unit_interval() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x3A5E + case);
+        let (market, budgets) = random_market(&mut rng);
         let out = market
             .equilibrium_with_budgets(&budgets, &EquilibriumOptions::default())
             .expect("equilibrium runs");
         let mur = metrics::mur(&out.lambdas);
         let mbr = metrics::mbr(&budgets);
-        prop_assert!((0.0..=1.0).contains(&mur));
-        prop_assert!((0.0..=1.0).contains(&mbr));
+        assert!((0.0..=1.0).contains(&mur), "case {case}: MUR {mur}");
+        assert!((0.0..=1.0).contains(&mbr), "case {case}: MBR {mbr}");
     }
+}
 
-    #[test]
-    fn concave_hull_dominates_and_is_concave(
-        ys in proptest::collection::vec(0.0f64..1.0, 3..12)
-    ) {
+#[test]
+fn concave_hull_dominates_and_is_concave() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC0CA + case);
+        let len: usize = rng.random_range(3..12);
         // Build a monotone curve from random increments, hull it.
         let mut acc = 0.0;
-        let points: Vec<(f64, f64)> = ys
-            .iter()
-            .enumerate()
-            .map(|(i, &dy)| {
-                acc += dy;
+        let points: Vec<(f64, f64)> = (0..len)
+            .map(|i| {
+                acc += rng.random_range(0.0..1.0);
                 (i as f64 + 1.0, acc)
             })
             .collect();
         let curve = PiecewiseLinear::new(points.clone()).expect("monotone");
         let hull = curve.upper_concave_hull();
-        prop_assert!(hull.is_concave(1e-9));
+        assert!(hull.is_concave(1e-9), "case {case}");
         for &(x, y) in &points {
-            prop_assert!(hull.value(x) >= y - 1e-9);
+            assert!(hull.value(x) >= y - 1e-9, "case {case}");
         }
         // Hull endpoints coincide with the curve's.
-        prop_assert!((hull.value(1.0) - curve.value(1.0)).abs() < 1e-9);
+        assert!((hull.value(1.0) - curve.value(1.0)).abs() < 1e-9, "case {case}");
         let last = points.len() as f64;
-        prop_assert!((hull.value(last) - curve.value(last)).abs() < 1e-9);
+        assert!((hull.value(last) - curve.value(last)).abs() < 1e-9, "case {case}");
     }
 }

@@ -1,91 +1,113 @@
-//! Property-based tests over the hardware substrates: invariants that
-//! must hold for arbitrary (valid) inputs.
+//! Randomized property tests over the hardware substrates: invariants
+//! that must hold for arbitrary (valid) inputs.
+//!
+//! Each test draws a fixed number of cases from a seeded generator (the
+//! workspace builds offline, so the vendored `rand` replaces proptest's
+//! shrinking machinery; failures print the case seed for replay).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rebudget_cache::talus::Talus;
 use rebudget_cache::ucp::ucp_lookahead;
 use rebudget_cache::MissCurve;
 use rebudget_power::CorePowerModel;
 
-/// Strategy: a monotone non-increasing miss curve over increasing
-/// capacities.
-fn miss_curve_strategy() -> impl Strategy<Value = MissCurve> {
-    proptest::collection::vec(0.0f64..100.0, 2..12).prop_map(|drops| {
-        let mut misses = 1000.0;
-        let points: Vec<(f64, f64)> = drops
-            .iter()
-            .enumerate()
-            .map(|(k, &d)| {
-                let p = ((k + 1) as f64 * 128.0 * 1024.0, misses);
-                misses = (misses - d).max(0.0);
-                p
-            })
-            .collect();
-        MissCurve::new(points).expect("constructed monotone")
-    })
+const CASES: u64 = 48;
+
+/// A random monotone non-increasing miss curve over increasing capacities.
+fn random_miss_curve(rng: &mut StdRng) -> MissCurve {
+    let len: usize = rng.random_range(2..12);
+    let mut misses = 1000.0;
+    let points: Vec<(f64, f64)> = (0..len)
+        .map(|k| {
+            let p = ((k + 1) as f64 * 128.0 * 1024.0, misses);
+            misses = (misses - rng.random_range(0.0..100.0)).max(0.0);
+            p
+        })
+        .collect();
+    MissCurve::new(points).expect("constructed monotone")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn talus_plans_always_sum_to_target(curve in miss_curve_strategy(), frac in 0.0f64..1.2) {
+#[test]
+fn talus_plans_always_sum_to_target() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x7A105 + case);
+        let curve = random_miss_curve(&mut rng);
+        let frac: f64 = rng.random_range(0.0..1.2);
         let talus = Talus::new(curve.clone());
         let lo = curve.capacities()[0];
         let hi = *curve.capacities().last().expect("non-empty");
         let target = lo + frac * (hi - lo);
         let plan = talus.plan(target);
-        prop_assert!((plan.total_bytes() - target).abs() < 1e-6);
-        prop_assert!((0.0..=1.0).contains(&plan.hi_fraction));
+        assert!((plan.total_bytes() - target).abs() < 1e-6, "case {case}");
+        assert!((0.0..=1.0).contains(&plan.hi_fraction), "case {case}");
         // Hull dominance: expected misses never exceed the raw curve.
-        prop_assert!(plan.expected_misses <= curve.at(target) + 1e-9);
+        assert!(plan.expected_misses <= curve.at(target) + 1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn talus_hull_is_monotone_and_convex(curve in miss_curve_strategy()) {
-        let talus = Talus::new(curve);
+#[test]
+fn talus_hull_is_monotone_and_convex() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x4011 + case);
+        let talus = Talus::new(random_miss_curve(&mut rng));
         let hull = talus.hull();
-        prop_assert!(hull.is_convex(1e-9));
-        prop_assert!(hull.misses().windows(2).all(|w| w[1] <= w[0] + 1e-9));
+        assert!(hull.is_convex(1e-9), "case {case}");
+        assert!(
+            hull.misses().windows(2).all(|w| w[1] <= w[0] + 1e-9),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn ucp_allocations_are_exhaustive_and_minimum_respecting(
-        seeds in proptest::collection::vec(0.5f64..0.99, 2..5),
-        total_ways in 4usize..24,
-    ) {
+#[test]
+fn ucp_allocations_are_exhaustive_and_minimum_respecting() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x0C9 + case);
+        let n: usize = rng.random_range(2..5);
+        let total_ways: usize = rng.random_range(4..24);
+        if n > total_ways {
+            continue;
+        }
         // Geometric decay curves per app.
-        let curves: Vec<Vec<f64>> = seeds
-            .iter()
-            .map(|&f| (0..=total_ways).map(|w| 1000.0 * f.powi(w as i32)).collect())
+        let curves: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                let f: f64 = rng.random_range(0.5..0.99);
+                (0..=total_ways).map(|w| 1000.0 * f.powi(w as i32)).collect()
+            })
             .collect();
-        let n = curves.len();
-        prop_assume!(n <= total_ways);
         let alloc = ucp_lookahead(&curves, total_ways, 1).expect("valid input");
-        prop_assert_eq!(alloc.iter().sum::<usize>(), total_ways);
-        prop_assert!(alloc.iter().all(|&w| w >= 1));
+        assert_eq!(alloc.iter().sum::<usize>(), total_ways, "case {case}");
+        assert!(alloc.iter().all(|&w| w >= 1), "case {case}");
     }
+}
 
-    #[test]
-    fn power_inversion_round_trips_for_any_activity(
-        activity in 0.05f64..1.0,
-        f_target in 0.8f64..4.0,
-        temp in 310.0f64..360.0,
-    ) {
+#[test]
+fn power_inversion_round_trips_for_any_activity() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x90E7 + case);
+        let activity: f64 = rng.random_range(0.05..1.0);
+        let f_target: f64 = rng.random_range(0.8..4.0);
+        let temp: f64 = rng.random_range(310.0..360.0);
         let m = CorePowerModel::paper(activity);
         let w = m.total_power(f_target, temp);
         let f = m.frequency_for_power(w, temp).expect("above floor");
-        prop_assert!((f - f_target).abs() < 1e-5, "{f} vs {f_target}");
+        assert!((f - f_target).abs() < 1e-5, "case {case}: {f} vs {f_target}");
     }
+}
 
-    #[test]
-    fn power_is_monotone_in_frequency(activity in 0.05f64..1.0, temp in 310.0f64..360.0) {
+#[test]
+fn power_is_monotone_in_frequency() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x11070 + case);
+        let activity: f64 = rng.random_range(0.05..1.0);
+        let temp: f64 = rng.random_range(310.0..360.0);
         let m = CorePowerModel::paper(activity);
         let mut prev = 0.0;
         for k in 0..=32 {
             let f = 0.8 + (4.0 - 0.8) * k as f64 / 32.0;
             let p = m.total_power(f, temp);
-            prop_assert!(p >= prev);
+            assert!(p >= prev, "case {case}");
             prev = p;
         }
     }

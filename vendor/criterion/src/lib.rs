@@ -1,0 +1,228 @@
+//! Vendored stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! This workspace builds in offline environments with no crates.io access,
+//! so the external `criterion` dev-dependency is replaced by this path
+//! crate. It implements the API subset the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], the
+//! [`criterion_group!`]/[`criterion_main!`] macros, and `Bencher::iter` —
+//! with a calibrated wall-clock measurement loop instead of criterion's
+//! statistical machinery:
+//!
+//! 1. warm up for ≥ `WARMUP` (default 200 ms),
+//! 2. size a batch so one batch runs ≥ `BATCH_TARGET` (default 10 ms),
+//! 3. time `SAMPLES` (default 15) batches,
+//! 4. report **min / median / mean** time per iteration.
+//!
+//! Min and median are the robust statistics (immune to scheduler noise in
+//! one direction); mean matches what simple timing scripts report.
+//! Environment knobs: `BENCH_SAMPLES`, `BENCH_BATCH_MS`, `BENCH_WARMUP_MS`
+//! (useful to shorten CI runs).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn env_ms(key: &str, default_ms: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(key)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default_ms),
+    )
+}
+
+fn env_n(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// Times a closure over calibrated batches; see the crate docs.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Measures `routine`, retaining per-batch timings for the report.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let warmup = env_ms("BENCH_WARMUP_MS", 200);
+        let batch_target = env_ms("BENCH_BATCH_MS", 10);
+        let n_samples = env_n("BENCH_SAMPLES", 15);
+
+        // Warm up and estimate the per-iteration cost.
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < warmup || iters < 3 {
+            black_box(routine());
+            iters += 1;
+        }
+        let per_iter = start.elapsed().div_f64(iters as f64);
+
+        let batch: u64 = (batch_target.as_secs_f64() / per_iter.as_secs_f64().max(1e-12))
+            .ceil()
+            .max(1.0) as u64;
+        self.iters_per_sample = batch;
+        self.samples.clear();
+        for _ in 0..n_samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<44} (no samples)");
+            return;
+        }
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_secs_f64() / self.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(f64::total_cmp);
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{name:<44} min {:>12} med {:>12} mean {:>12} ({} samples x {} iters)",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            per_iter.len(),
+            self.iters_per_sample,
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Identifies one benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id carrying just a parameter value (e.g. a player count).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id with a function name and a parameter value.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The benchmark manager, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a free-standing benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("## {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark inside the group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+fn run_one(name: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    bencher.report(name);
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            // cargo-bench passes harness flags like `--bench`; this simple
+            // harness runs everything unconditionally, so just ignore them.
+            $( $group(); )+
+        }
+    };
+}

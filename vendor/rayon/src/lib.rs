@@ -1,0 +1,240 @@
+//! Vendored stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! This workspace builds in offline environments with no crates.io access,
+//! so the external `rayon` dependency is replaced by this path crate. It
+//! implements the data-parallel API subset the workspace uses —
+//! `par_iter().map(..).collect()`, `into_par_iter()` over ranges,
+//! `par_chunks_mut(..).enumerate().for_each_init(..)`, thread pools with
+//! [`ThreadPool::install`], and [`current_num_threads`] — with real
+//! multi-threaded execution on `std::thread::scope`.
+//!
+//! # Execution model (and how it differs from real rayon)
+//!
+//! Work is split into **contiguous index bands**, one per worker thread,
+//! instead of rayon's work-stealing splits. Two consequences:
+//!
+//! * **Determinism**: every element is evaluated by the same pure closure
+//!   regardless of thread count, and results are reassembled in index
+//!   order, so output is bit-identical across 1, 2, or `k` threads.
+//! * **No stealing**: a badly skewed workload will not rebalance. The
+//!   allocation workloads here fan out near-uniform best responses, where
+//!   contiguous banding is within noise of work stealing.
+//!
+//! Threads are spawned per parallel call rather than pooled. On Linux a
+//! spawn is ~20–50 µs; every hot call site in this workspace amortizes
+//! that over milliseconds of per-band work (and serial fallbacks below the
+//! [`ParallelPolicy`](https://docs.rs/rayon) thresholds never spawn at all).
+//!
+//! Thread-count resolution, in priority order: an enclosing
+//! [`ThreadPool::install`] scope, the `RAYON_NUM_THREADS` environment
+//! variable, then [`std::thread::available_parallelism`].
+
+use std::cell::Cell;
+use std::ops::Range;
+
+pub mod iter;
+pub mod slice;
+
+/// The customary glob import, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator};
+    pub use crate::slice::ParallelSliceMut;
+}
+
+thread_local! {
+    static POOL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel calls on this thread will use.
+///
+/// Mirrors `rayon::current_num_threads`: the enclosing
+/// [`ThreadPool::install`] scope wins, then `RAYON_NUM_THREADS`, then the
+/// machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Error building a [`ThreadPool`]; kept for API parity (building the
+/// band-execution "pool" cannot actually fail).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default (auto) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pins the worker-thread count.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails; the `Result` mirrors the real crate's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(n) if n > 0 => n,
+            _ => current_num_threads(),
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A logical thread pool: parallel calls made inside [`ThreadPool::install`]
+/// use this pool's thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count governing every parallel
+    /// call it makes (on this thread).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_OVERRIDE.with(|c| c.replace(Some(self.num_threads)));
+        let result = f();
+        POOL_OVERRIDE.with(|c| c.set(prev));
+        result
+    }
+
+    /// This pool's worker-thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Splits `0..len` into at most `threads` contiguous, near-equal bands.
+pub(crate) fn bands(len: usize, threads: usize) -> Vec<Range<usize>> {
+    let threads = threads.clamp(1, len.max(1));
+    let base = len / threads;
+    let extra = len % threads;
+    let mut out = Vec::with_capacity(threads);
+    let mut start = 0;
+    for t in 0..threads {
+        let size = base + usize::from(t < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Evaluates `f` on every index in `0..len` across the current thread
+/// count, returning results in index order. The workhorse behind every
+/// combinator in [`iter`] and [`slice`].
+pub(crate) fn run_indexed<R: Send>(len: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let threads = current_num_threads();
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let bands = bands(len, threads);
+    let mut out: Vec<R> = Vec::with_capacity(len);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = bands
+            .into_iter()
+            .map(|band| scope.spawn(|| band.map(&f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("worker thread panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0usize..37).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 37);
+        assert_eq!(squares[6], 36);
+    }
+
+    #[test]
+    fn chunks_mut_for_each_init_touches_every_chunk_once() {
+        let mut data = vec![0i64; 12 * 3];
+        data.par_chunks_mut(3)
+            .enumerate()
+            .for_each_init(|| 100i64, |init, (i, chunk)| {
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    *slot = *init + (i * 3 + k) as i64;
+                }
+            });
+        let expect: Vec<i64> = (0..36).map(|k| 100 + k).collect();
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(crate::current_num_threads), 3);
+        let nested = crate::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| {
+            assert_eq!(nested.install(crate::current_num_threads), 1);
+            assert_eq!(crate::current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let xs: Vec<f64> = (0..257).map(|i| i as f64 * 0.37).collect();
+        let eval = || -> Vec<f64> { xs.par_iter().map(|&x| (x.sin() * 1e6).sqrt()).collect() };
+        let serial = crate::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let four = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let a = serial.install(eval);
+        let b = four.install(eval);
+        let c = eval();
+        assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert!(a.iter().zip(&c).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn bands_cover_exactly() {
+        for (len, threads) in [(10, 3), (3, 10), (0, 4), (16, 4), (1, 1)] {
+            let bands = crate::bands(len, threads);
+            let mut covered = 0;
+            for (k, b) in bands.iter().enumerate() {
+                assert_eq!(b.start, covered, "band {k} not contiguous");
+                covered = b.end;
+            }
+            assert_eq!(covered, len);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Parallel operations on mutable slices: the
+//! `par_chunks_mut(..).enumerate().for_each_init(..)` shape used by the
+//! equilibrium engine to fan independent bid rows out across threads,
+//! mirroring `rayon::slice`.
+
+/// `par_chunks_mut()` on mutable slices, mirroring
+/// `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits `self` into non-overlapping mutable chunks of `chunk_size`
+    /// (the last chunk may be shorter), processable in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunksMut {
+            slice: self,
+            size: chunk_size,
+        }
+    }
+}
+
+/// Parallel iterator over mutable chunks.
+#[derive(Debug)]
+pub struct ChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ChunksMut<'a, T> {
+    /// Pairs every chunk with its index.
+    pub fn enumerate(self) -> EnumerateChunksMut<'a, T> {
+        EnumerateChunksMut {
+            slice: self.slice,
+            size: self.size,
+        }
+    }
+}
+
+/// Enumerated parallel iterator over mutable chunks.
+#[derive(Debug)]
+pub struct EnumerateChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<T: Send> EnumerateChunksMut<'_, T> {
+    /// Applies `op` to every `(index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, op: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        self.for_each_init(|| (), |(), pair| op(pair));
+    }
+
+    /// Applies `op` to every `(index, chunk)` pair in parallel, threading a
+    /// per-worker state created by `init` — e.g. a scratch buffer reused
+    /// across every chunk a worker processes. Mirrors rayon's
+    /// `for_each_init` (there `init` runs per split; here, per worker
+    /// band — both mean "amortized across many elements").
+    pub fn for_each_init<S, I, F>(self, init: I, op: F)
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, (usize, &mut [T])) + Sync,
+    {
+        let size = self.size;
+        let n_chunks = self.slice.len().div_ceil(size);
+        let threads = crate::current_num_threads();
+        if threads <= 1 || n_chunks <= 1 {
+            let mut state = init();
+            for (i, chunk) in self.slice.chunks_mut(size).enumerate() {
+                op(&mut state, (i, chunk));
+            }
+            return;
+        }
+        let bands = crate::bands(n_chunks, threads);
+        std::thread::scope(|scope| {
+            let mut rest = self.slice;
+            for band in bands {
+                let elems = ((band.end - band.start) * size).min(rest.len());
+                let (mine, tail) = rest.split_at_mut(elems);
+                rest = tail;
+                let op = &op;
+                let init = &init;
+                scope.spawn(move || {
+                    let mut state = init();
+                    for (k, chunk) in mine.chunks_mut(size).enumerate() {
+                        op(&mut state, (band.start + k, chunk));
+                    }
+                });
+            }
+        });
+    }
+}
