@@ -144,9 +144,18 @@ mod tests {
 
     #[test]
     fn class_archetypes() {
-        assert_eq!(classify(crate::spec::app_by_name("mcf").unwrap()), AppClass::Cache);
-        assert_eq!(classify(crate::spec::app_by_name("sixtrack").unwrap()), AppClass::Power);
-        assert_eq!(classify(crate::spec::app_by_name("swim").unwrap()), AppClass::Both);
+        assert_eq!(
+            classify(crate::spec::app_by_name("mcf").unwrap()),
+            AppClass::Cache
+        );
+        assert_eq!(
+            classify(crate::spec::app_by_name("sixtrack").unwrap()),
+            AppClass::Power
+        );
+        assert_eq!(
+            classify(crate::spec::app_by_name("swim").unwrap()),
+            AppClass::Both
+        );
         assert_eq!(
             classify(crate::spec::app_by_name("libquantum").unwrap()),
             AppClass::None

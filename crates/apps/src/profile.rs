@@ -41,7 +41,12 @@ impl AppClass {
     }
 
     /// All four classes in canonical order.
-    pub const ALL: [AppClass; 4] = [AppClass::Cache, AppClass::Power, AppClass::Both, AppClass::None];
+    pub const ALL: [AppClass; 4] = [
+        AppClass::Cache,
+        AppClass::Power,
+        AppClass::Both,
+        AppClass::None,
+    ];
 }
 
 impl std::fmt::Display for AppClass {

@@ -77,7 +77,10 @@ impl TraceGenerator {
     ///
     /// Panics if `line_bytes` is not a power of two.
     pub fn from_profile(app: &AppProfile, seed: u64, base_addr: u64, line_bytes: u64) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let lines_of = |bytes: f64| ((bytes / line_bytes as f64).max(1.0)) as u64;
         let apki = app.apki.max(1e-6);
         let mut components = Vec::new();
@@ -239,7 +242,11 @@ mod tests {
         // Miss *level* matches the profile: ratio ≈ high/apki below the
         // cliff, low/apki above it.
         let total = prof.accesses() as f64;
-        assert!((below / total - 40.0 / 50.0).abs() < 0.08, "{}", below / total);
+        assert!(
+            (below / total - 40.0 / 50.0).abs() < 0.08,
+            "{}",
+            below / total
+        );
         assert!(above / total < 0.12, "{}", above / total);
     }
 

@@ -12,7 +12,9 @@ fn lcg_addresses(n: usize, distinct: u64) -> Vec<u64> {
     let mut x = 0x1234_5678_9abc_def0u64;
     (0..n)
         .map(|_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((x >> 32) % distinct) * 32
         })
         .collect()
@@ -71,7 +73,11 @@ fn bench_talus(c: &mut Criterion) {
     let points: Vec<(f64, f64)> = (1..=16)
         .map(|k| {
             let cap = k as f64 * 131072.0;
-            let misses = if k < 12 { 1000.0 - k as f64 } else { 50.0 - k as f64 };
+            let misses = if k < 12 {
+                1000.0 - k as f64
+            } else {
+                50.0 - k as f64
+            };
             (cap, misses)
         })
         .collect();
@@ -84,5 +90,11 @@ fn bench_talus(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_set_assoc, bench_futility, bench_umon, bench_talus);
+criterion_group!(
+    benches,
+    bench_set_assoc,
+    bench_futility,
+    bench_umon,
+    bench_talus
+);
 criterion_main!(benches);

@@ -24,8 +24,7 @@ fn synthetic_market(n: usize) -> Market {
                 format!("p{i}"),
                 100.0,
                 Arc::new(
-                    SeparableUtility::proportional(&[w0, 1.0 - w0], &caps)
-                        .expect("valid weights"),
+                    SeparableUtility::proportional(&[w0, 1.0 - w0], &caps).expect("valid weights"),
                 ) as Arc<dyn rebudget_market::Utility>,
             )
         })
@@ -67,5 +66,9 @@ fn bench_single_best_response(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_equilibrium_scaling, bench_single_best_response);
+criterion_group!(
+    benches,
+    bench_equilibrium_scaling,
+    bench_single_best_response
+);
 criterion_main!(benches);

@@ -17,7 +17,14 @@ fn bench_mechanisms(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("mechanism_bbpc8");
     group.bench_function("EqualBudget", |b| {
-        b.iter(|| black_box(EqualBudget::new(100.0).allocate(&market).expect("runs").efficiency))
+        b.iter(|| {
+            black_box(
+                EqualBudget::new(100.0)
+                    .allocate(&market)
+                    .expect("runs")
+                    .efficiency,
+            )
+        })
     });
     group.bench_function("ReBudget-20", |b| {
         b.iter(|| {
@@ -40,7 +47,14 @@ fn bench_mechanisms(c: &mut Criterion) {
         })
     });
     group.bench_function("MaxEfficiency", |b| {
-        b.iter(|| black_box(MaxEfficiency::default().allocate(&market).expect("runs").efficiency))
+        b.iter(|| {
+            black_box(
+                MaxEfficiency::default()
+                    .allocate(&market)
+                    .expect("runs")
+                    .efficiency,
+            )
+        })
     });
     group.finish();
 }
@@ -50,7 +64,13 @@ fn bench_market_construction(c: &mut Criterion) {
     let dram = DramConfig::ddr3_1600();
     let bundle = paper_bbpc_8core();
     c.bench_function("build_market_bbpc8", |b| {
-        b.iter(|| black_box(build_market(&bundle, &sys, &dram, 100.0).expect("valid").len()))
+        b.iter(|| {
+            black_box(
+                build_market(&bundle, &sys, &dram, 100.0)
+                    .expect("valid")
+                    .len(),
+            )
+        })
     });
 }
 

@@ -1,0 +1,83 @@
+//! Parallel-vs-serial speedup of the equilibrium engine.
+//!
+//! Solves the same synthetic market under `ParallelPolicy::Serial` and
+//! under a thread-count policy sized to the machine, at 8, 32, 128, and
+//! 256 players. The two configurations produce bit-identical outcomes
+//! (asserted before timing), so any wall-clock difference is pure
+//! execution-strategy overhead or win.
+//!
+//! On machines with fewer than 4 cores only the serial baseline runs —
+//! thread fan-out on a 1–2 core box measures scheduler noise, not the
+//! engine. (The acceptance speedup target applies at ≥4 cores.)
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rebudget_market::equilibrium::EquilibriumOptions;
+use rebudget_market::utility::SeparableUtility;
+use rebudget_market::{Market, ParallelPolicy, Player, ResourceSpace};
+
+fn synthetic_market(n: usize) -> Market {
+    let caps = [3.0 * n as f64, 7.0 * n as f64];
+    let resources = ResourceSpace::new(caps.to_vec()).expect("valid capacities");
+    let players = (0..n)
+        .map(|i| {
+            let w0 = 0.1 + 0.8 * (i as f64 * 0.37).fract();
+            Player::new(
+                format!("p{i}"),
+                100.0,
+                Arc::new(
+                    SeparableUtility::proportional(&[w0, 1.0 - w0], &caps).expect("valid weights"),
+                ) as Arc<dyn rebudget_market::Utility>,
+            )
+        })
+        .collect();
+    Market::new(resources, players).expect("valid market")
+}
+
+fn solve(
+    market: &Market,
+    policy: ParallelPolicy,
+) -> rebudget_market::equilibrium::EquilibriumOutcome {
+    market
+        .equilibrium(&EquilibriumOptions::default().with_parallel(policy))
+        .expect("solvable")
+}
+
+fn bench_speedup(c: &mut Criterion) {
+    let cores = rebudget_market::par::max_threads();
+    let parallel = ParallelPolicy::Threads(cores);
+    let mut group = c.benchmark_group("equilibrium_speedup");
+    for n in [8usize, 32, 128, 256] {
+        let market = synthetic_market(n);
+
+        // Bit-identity guard: the timed configurations must agree exactly.
+        if cores > 1 {
+            let s = solve(&market, ParallelPolicy::Serial);
+            let p = solve(&market, parallel);
+            assert_eq!(s.iterations, p.iterations);
+            assert!(s
+                .bids
+                .as_slice()
+                .iter()
+                .zip(p.bids.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+
+        group.bench_with_input(BenchmarkId::new("serial", n), &market, |b, m| {
+            b.iter(|| black_box(solve(m, ParallelPolicy::Serial).iterations))
+        });
+        if cores >= 4 {
+            group.bench_with_input(
+                BenchmarkId::new(&format!("threads{cores}"), n),
+                &market,
+                |b, m| b.iter(|| black_box(solve(m, parallel).iterations)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_speedup);
+criterion_main!(benches);

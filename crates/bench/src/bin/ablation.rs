@@ -9,13 +9,15 @@
 //! 4. the **price-convergence tolerance** of the equilibrium search
 //!    (paper: 1%).
 //!
-//! Usage: `ablation [cores] [seed]` (defaults: 8, 1).
+//! Usage: `ablation [cores] [seed] [policy]` (defaults: 8, 1, auto;
+//! policy: `auto`, `serial`, or a thread count — the sweep fans step
+//! values out across worker threads).
 
 use std::sync::Arc;
 
-use rebudget_bench::{exit_on_error, system_for, PAPER_BUDGET};
+use rebudget_bench::{exit_on_error, policy_arg, system_for, PAPER_BUDGET};
 use rebudget_core::mechanisms::{EqualBudget, MaxEfficiency, Mechanism, ReBudget};
-use rebudget_core::sweep::sweep_steps;
+use rebudget_core::sweep::sweep_steps_with;
 use rebudget_market::equilibrium::EquilibriumOptions;
 use rebudget_market::{Market, Player, ResourceSpace, Utility};
 use rebudget_sim::analytic::{build_market, resource_space};
@@ -25,6 +27,7 @@ use rebudget_workloads::paper_bbpc_8core;
 fn main() {
     let cores: usize = rebudget_bench::arg_or(1, 8);
     let seed: u64 = rebudget_bench::arg_or(2, 1);
+    let policy = policy_arg(3);
     let (sys, dram) = system_for(8);
     let _ = (cores, seed); // the case-study bundle is fixed at 8 cores
     let bundle = paper_bbpc_8core();
@@ -37,7 +40,13 @@ fn main() {
         "step", "eff/OPT", "envy-free", "MUR", "MBR", "EF-floor"
     );
     let steps = [0.0, 5.0, 10.0, 20.0, 40.0, 80.0];
-    let points = exit_on_error(sweep_steps(&market, PAPER_BUDGET, &steps, true));
+    let points = exit_on_error(sweep_steps_with(
+        &market,
+        PAPER_BUDGET,
+        &steps,
+        true,
+        policy,
+    ));
     for p in &points {
         println!(
             "{:>6.0} {:>10.3} {:>10.3} {:>8.3} {:>8.3} {:>10.3}",
@@ -85,7 +94,10 @@ fn main() {
     // ---- 3. λ threshold of the re-assignment rule ---------------------
     println!();
     println!("# Ablation 3: ReBudget λ threshold (paper: 0.5)");
-    println!("{:>10} {:>10} {:>10} {:>8}", "threshold", "eff/OPT", "envy-free", "rounds");
+    println!(
+        "{:>10} {:>10} {:>10} {:>8}",
+        "threshold", "eff/OPT", "envy-free", "rounds"
+    );
     let opt = exit_on_error(MaxEfficiency::default().allocate(&market));
     for thr in [0.25, 0.5, 0.75, 0.9] {
         let mut mech = ReBudget::with_step(PAPER_BUDGET, 40.0);

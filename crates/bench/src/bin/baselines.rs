@@ -64,7 +64,12 @@ fn main() {
     println!();
     println!("{:<10}", "mean");
     for (k, n) in names.iter().enumerate() {
-        println!("{:<18} mean eff/OPT {:>6.3}   worst EF {:>6.3}", n, sums[k] / count as f64, ef_min[k]);
+        println!(
+            "{:<18} mean eff/OPT {:>6.3}   worst EF {:>6.3}",
+            n,
+            sums[k] / count as f64,
+            ef_min[k]
+        );
     }
     println!();
     println!("# Expected shape (paper §1): the coordinated market beats the");

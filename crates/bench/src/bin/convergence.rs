@@ -6,17 +6,22 @@
 //! iterations for 95% of the bundles. ReBudget spends a few more
 //! iterations, because it needs to re-converge after budget adjustment."
 //!
-//! Usage: `convergence [cores] [bundles_per_category] [seed]`
-//! (defaults: 64, 10, 1).
+//! Usage: `convergence [cores] [bundles_per_category] [seed] [policy]`
+//! (defaults: 64, 10, 1, auto; policy: `auto`, `serial`, or a thread
+//! count for the per-player best-response fan-out).
 
-use rebudget_bench::{exit_on_error, paper_mechanisms, system_for, PAPER_BUDGET};
-use rebudget_sim::analytic::build_market;
+use rebudget_bench::system_for;
+use rebudget_bench::{
+    exit_on_error, paper_mechanisms, paper_mechanisms_with, policy_arg, PAPER_BUDGET,
+};
+use rebudget_sim::analytic::build_market_with;
 use rebudget_workloads::{generate_bundle, Category};
 
 fn main() {
     let cores: usize = rebudget_bench::arg_or(1, 64);
     let per_category: usize = rebudget_bench::arg_or(2, 10);
     let seed: u64 = rebudget_bench::arg_or(3, 1);
+    let policy = policy_arg(4);
     let (sys, dram) = system_for(cores);
 
     // Per-mechanism: iteration counts of the *final* equilibrium solve
@@ -29,12 +34,17 @@ fn main() {
     for category in Category::ALL {
         for index in 0..per_category {
             let bundle = generate_bundle(category, cores, index, seed).expect("valid cores");
-            let market = exit_on_error(build_market(&bundle, &sys, &dram, PAPER_BUDGET));
-            for (k, mech) in paper_mechanisms().iter().enumerate() {
+            let market = exit_on_error(build_market_with(
+                &bundle,
+                &sys,
+                &dram,
+                PAPER_BUDGET,
+                policy,
+            ));
+            for (k, mech) in paper_mechanisms_with(policy).iter().enumerate() {
                 let out = exit_on_error(mech.allocate(&market));
                 if out.equilibrium_rounds > 0 {
-                    per_solve[k]
-                        .push(out.total_iterations as f64 / out.equilibrium_rounds as f64);
+                    per_solve[k].push(out.total_iterations as f64 / out.equilibrium_rounds as f64);
                     rounds[k].push(out.equilibrium_rounds as f64);
                     if !out.converged {
                         failsafe[k] += 1;

@@ -61,7 +61,10 @@ fn main() {
     );
     println!();
     println!("# Final budgets per mechanism:");
-    for (k, mech) in ["EqualBudget", "ReBudget-20", "ReBudget-40"].iter().enumerate() {
+    for (k, mech) in ["EqualBudget", "ReBudget-20", "ReBudget-40"]
+        .iter()
+        .enumerate()
+    {
         let b: Vec<String> = bundle
             .apps
             .iter()

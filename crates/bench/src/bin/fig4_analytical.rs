@@ -63,7 +63,10 @@ fn main() {
     for r in &results {
         print!("{:<10}", r.label);
         for m in &mechanisms[..5] {
-            print!(" {:>12.3}", r.row(m).map_or(f64::NAN, |x| x.normalized_efficiency));
+            print!(
+                " {:>12.3}",
+                r.row(m).map_or(f64::NAN, |x| x.normalized_efficiency)
+            );
         }
         println!();
     }

@@ -4,28 +4,56 @@
 //!
 //! Prints wall-clock time per allocation decision at 8–256 players, for
 //! EqualBudget (one equilibrium) and ReBudget-40 (several), plus the
-//! per-player iteration statistics. The per-decision work grows linearly
-//! in N per iteration, and the iteration count stays flat.
+//! per-player iteration statistics. Each timing reports the **minimum**
+//! (the least-noise estimate of the true cost) and the **median** (the
+//! typical run) over the repeats, and the number of worker threads the
+//! chosen parallel policy resolves to at that player count. The
+//! per-decision work grows linearly in N per iteration, and the iteration
+//! count stays flat.
 //!
-//! Usage: `scalability [max_players] [repeats]` (defaults: 256, 3).
+//! Usage: `scalability [max_players] [repeats] [policy]`
+//! (defaults: 256, 5, auto; policy: `auto`, `serial`, or a thread count).
 
 use std::time::Instant;
 
-use rebudget_bench::{exit_on_error, PAPER_BUDGET};
+use rebudget_bench::{exit_on_error, policy_arg, PAPER_BUDGET};
 use rebudget_core::mechanisms::{EqualBudget, Mechanism, ReBudget};
 use rebudget_sim::analytic::build_market;
 use rebudget_sim::{DramConfig, SystemConfig};
 use rebudget_workloads::{generate_bundle, Category};
 
+/// Times one closure `repeats` times; returns (min ms, median ms).
+fn time_ms(repeats: usize, mut f: impl FnMut()) -> (f64, f64) {
+    let mut samples: Vec<f64> = (0..repeats.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    (samples[0], samples[samples.len() / 2])
+}
+
 fn main() {
     let max_players: usize = rebudget_bench::arg_or(1, 256);
-    let repeats: usize = rebudget_bench::arg_or(2, 3);
+    let repeats: usize = rebudget_bench::arg_or(2, 5);
+    let policy = policy_arg(3);
     let dram = DramConfig::ddr3_1600();
 
-    println!("# Allocation latency vs. player count (mean of {repeats} runs)");
     println!(
-        "{:>8} {:>16} {:>16} {:>12} {:>12}",
-        "players", "EqualBudget(ms)", "ReBudget-40(ms)", "eq-iters", "rb-rounds"
+        "# Allocation latency vs. player count (min/median of {repeats} runs, policy {policy:?})"
+    );
+    println!(
+        "{:>8} {:>8} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "players",
+        "threads",
+        "EqB-min(ms)",
+        "EqB-med(ms)",
+        "RB40-min",
+        "RB40-med",
+        "eq-iters",
+        "rb-rounds"
     );
     let mut n = 8usize;
     while n <= max_players {
@@ -33,30 +61,25 @@ fn main() {
         let bundle = generate_bundle(Category::Cpbn, n, 0, 1).expect("divisible by 4");
         let market = exit_on_error(build_market(&bundle, &sys, &dram, PAPER_BUDGET));
 
-        let mut eq_ms = 0.0;
-        let mut rb_ms = 0.0;
+        let threads = policy.resolved_threads(n);
+        let equal = EqualBudget::new(PAPER_BUDGET).with_parallel(policy);
+        let rebudget = ReBudget::with_step(PAPER_BUDGET, 40.0).with_parallel(policy);
+
         let mut eq_iters = 0usize;
         let mut rb_rounds = 0usize;
-        for _ in 0..repeats {
-            let t = Instant::now();
-            let out = exit_on_error(EqualBudget::new(PAPER_BUDGET).allocate(&market));
-            eq_ms += t.elapsed().as_secs_f64() * 1e3;
-            eq_iters = out.total_iterations;
-
-            let t = Instant::now();
-            let out = exit_on_error(ReBudget::with_step(PAPER_BUDGET, 40.0).allocate(&market));
-            rb_ms += t.elapsed().as_secs_f64() * 1e3;
-            rb_rounds = out.equilibrium_rounds;
-        }
+        let (eq_min, eq_med) = time_ms(repeats, || {
+            eq_iters = exit_on_error(equal.allocate(&market)).total_iterations;
+        });
+        let (rb_min, rb_med) = time_ms(repeats, || {
+            rb_rounds = exit_on_error(rebudget.allocate(&market)).equilibrium_rounds;
+        });
         println!(
-            "{n:>8} {:>16.2} {:>16.2} {eq_iters:>12} {rb_rounds:>12}",
-            eq_ms / repeats as f64,
-            rb_ms / repeats as f64
+            "{n:>8} {threads:>8} {eq_min:>12.2} {eq_med:>12.2} {rb_min:>12.2} {rb_med:>12.2} {eq_iters:>10} {rb_rounds:>10}"
         );
         n *= 2;
     }
     println!();
     println!("# The per-decision cost is dominated by N independent best responses per");
-    println!("# iteration; iteration counts stay flat with N (the distributed-market");
-    println!("# scalability argument of the paper).");
+    println!("# iteration (fanned out across the worker threads above); iteration counts");
+    println!("# stay flat with N (the distributed-market scalability argument of the paper).");
 }

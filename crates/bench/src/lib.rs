@@ -22,7 +22,7 @@ pub mod export;
 use rebudget_core::mechanisms::{
     Balanced, EqualBudget, EqualShare, MaxEfficiency, Mechanism, ReBudget,
 };
-use rebudget_market::{MarketError, Result};
+use rebudget_market::{MarketError, ParallelPolicy, Result};
 use rebudget_sim::analytic::build_market;
 use rebudget_sim::{DramConfig, SystemConfig};
 use rebudget_workloads::Bundle;
@@ -33,13 +33,42 @@ pub const PAPER_BUDGET: f64 = 100.0;
 /// The market mechanisms of Figure 4/5, in the paper's order
 /// (MaxEfficiency is handled separately as the normalizer).
 pub fn paper_mechanisms() -> Vec<Box<dyn Mechanism>> {
+    paper_mechanisms_with(ParallelPolicy::Auto)
+}
+
+/// [`paper_mechanisms`] with an explicit [`ParallelPolicy`] for the inner
+/// equilibrium solves (mechanism outcomes are identical under every
+/// policy; only wall-clock changes).
+pub fn paper_mechanisms_with(policy: ParallelPolicy) -> Vec<Box<dyn Mechanism>> {
     vec![
         Box::new(EqualShare),
-        Box::new(EqualBudget::new(PAPER_BUDGET)),
-        Box::new(Balanced::new(PAPER_BUDGET)),
-        Box::new(ReBudget::with_step(PAPER_BUDGET, 20.0)),
-        Box::new(ReBudget::with_step(PAPER_BUDGET, 40.0)),
+        Box::new(EqualBudget::new(PAPER_BUDGET).with_parallel(policy)),
+        Box::new(Balanced::new(PAPER_BUDGET).with_parallel(policy)),
+        Box::new(ReBudget::with_step(PAPER_BUDGET, 20.0).with_parallel(policy)),
+        Box::new(ReBudget::with_step(PAPER_BUDGET, 40.0).with_parallel(policy)),
     ]
+}
+
+/// Parses a CLI/harness policy spec: `auto`, `serial`, or a thread count
+/// (e.g. `4`). Anything unparseable falls back to `Auto`.
+pub fn parse_policy(spec: &str) -> ParallelPolicy {
+    match spec.to_ascii_lowercase().as_str() {
+        "serial" | "1" => ParallelPolicy::Serial,
+        "auto" | "" => ParallelPolicy::Auto,
+        s => s
+            .parse::<usize>()
+            .map(ParallelPolicy::Threads)
+            .unwrap_or(ParallelPolicy::Auto),
+    }
+}
+
+/// Positional CLI argument `n` parsed as a [`ParallelPolicy`]
+/// (default `Auto`).
+pub fn policy_arg(n: usize) -> ParallelPolicy {
+    std::env::args()
+        .nth(n)
+        .map(|s| parse_policy(&s))
+        .unwrap_or(ParallelPolicy::Auto)
 }
 
 /// One mechanism's result on one bundle.
@@ -242,6 +271,14 @@ mod tests {
         assert!(worst_envy_freeness(&results, "EqualBudget") > 0.5);
         let med = median_envy_freeness(&results, "EqualBudget");
         assert!(med.is_finite());
+    }
+
+    #[test]
+    fn policy_spec_parsing() {
+        assert_eq!(parse_policy("serial"), ParallelPolicy::Serial);
+        assert_eq!(parse_policy("Auto"), ParallelPolicy::Auto);
+        assert_eq!(parse_policy("4"), ParallelPolicy::Threads(4));
+        assert_eq!(parse_policy("bogus"), ParallelPolicy::Auto);
     }
 
     #[test]

@@ -254,7 +254,9 @@ mod tests {
         cache.set_target_lines(1, t1 * lines).unwrap();
         let mut x = 55u64;
         for k in 0..400_000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let p = (k % 2) as usize;
             // Each partition cycles over 4× the whole cache worth of lines,
             // in a disjoint address range.
@@ -289,13 +291,18 @@ mod tests {
         cache.set_target_lines(1, 0.70 * lines).unwrap();
         let mut x = 99u64;
         for k in 0..400_000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let p = (k % 2) as usize;
             let addr = ((x >> 33) % (4 * 4096)) * 32;
             cache.access(p, addr + (p as u64) * (1 << 40));
         }
         let o0 = cache.occupancy(0) as f64 / lines;
-        assert!((o0 - 0.30).abs() < 0.08, "partition 0 at {o0} after retarget");
+        assert!(
+            (o0 - 0.30).abs() < 0.08,
+            "partition 0 at {o0} after retarget"
+        );
     }
 
     #[test]

@@ -131,10 +131,7 @@ impl SetAssocCache {
             };
         }
         // Evict LRU.
-        let victim = set
-            .iter_mut()
-            .min_by_key(|l| l.last_use)
-            .expect("ways > 0");
+        let victim = set.iter_mut().min_by_key(|l| l.last_use).expect("ways > 0");
         let evicted_tag = victim.tag;
         *victim = Line {
             tag,
@@ -159,10 +156,7 @@ impl SetAssocCache {
 
     /// Statistics for `owner` (zeros if it never accessed the cache).
     pub fn stats(&self, owner: u16) -> OwnerStats {
-        self.stats
-            .get(owner as usize)
-            .copied()
-            .unwrap_or_default()
+        self.stats.get(owner as usize).copied().unwrap_or_default()
     }
 
     /// Number of valid lines currently owned by `owner`.
@@ -208,7 +202,7 @@ mod tests {
         let mut c = small();
         let sets = c.config().sets() as u64;
         let stride = sets * 32; // same set, different tag
-        // Fill the 4 ways of set 0.
+                                // Fill the 4 ways of set 0.
         for k in 0..4 {
             assert!(!c.access(0, k * stride).hit);
         }

@@ -163,7 +163,9 @@ mod tests {
         let mut x = 123456789u64;
         let addrs: Vec<u64> = (0..20_000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((x >> 33) % 600) * line
             })
             .collect();

@@ -75,9 +75,7 @@ pub fn ucp_lookahead(
     }
     if n * min_ways > total_ways {
         return Err(CacheError::InvalidConfig {
-            reason: format!(
-                "minimum grant {min_ways}×{n} exceeds {total_ways} ways"
-            ),
+            reason: format!("minimum grant {min_ways}×{n} exceeds {total_ways} ways"),
         });
     }
 
@@ -141,10 +139,7 @@ mod tests {
         // App 0 needs exactly 6 ways before any benefit (a cliff); app 1
         // gains slightly per way. Naive greedy would starve app 0; UCP
         // lookahead must jump the plateau.
-        let curves = vec![
-            cliff_curve(8, 1000.0, 10.0, 6),
-            smooth_curve(8, 100.0, 0.9),
-        ];
+        let curves = vec![cliff_curve(8, 1000.0, 10.0, 6), smooth_curve(8, 100.0, 0.9)];
         let alloc = ucp_lookahead(&curves, 8, 1).unwrap();
         assert!(alloc[0] >= 6, "cliff app got only {} ways", alloc[0]);
         assert_eq!(alloc.iter().sum::<usize>(), 8);

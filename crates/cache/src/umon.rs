@@ -163,7 +163,9 @@ mod tests {
         let mut x = 987654321u64;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((x >> 32) % distinct) * line
             })
             .collect()
@@ -174,7 +176,10 @@ mod tests {
         assert!(UmonShadowTags::new(0, 32, 32, 16).is_err());
         assert!(UmonShadowTags::new(64, 32, 0, 16).is_err());
         assert!(UmonShadowTags::new(64, 48, 2, 16).is_err());
-        assert!(UmonShadowTags::new(16, 32, 32, 16).is_err(), "no sampled sets");
+        assert!(
+            UmonShadowTags::new(16, 32, 32, 16).is_err(),
+            "no sampled sets"
+        );
     }
 
     #[test]
@@ -211,10 +216,7 @@ mod tests {
         let curve = umon.miss_curve().unwrap();
         assert_eq!(curve.capacities().len(), 16);
         assert_eq!(curve.capacities()[0], (sets as u64 * line) as f64);
-        assert!(curve
-            .misses()
-            .windows(2)
-            .all(|w| w[1] <= w[0] + 1e-9));
+        assert!(curve.misses().windows(2).all(|w| w[1] <= w[0] + 1e-9));
     }
 
     #[test]

@@ -108,8 +108,8 @@ impl WayPartitionedCache {
         let set = &mut self.sets[idx];
 
         // Hit within own ways only (strict isolation).
-        if let Some(w) = (0..set.len())
-            .find(|&w| way_owner[w] == owner && set[w].valid && set[w].tag == tag)
+        if let Some(w) =
+            (0..set.len()).find(|&w| way_owner[w] == owner && set[w].valid && set[w].tag == tag)
         {
             set[w].last_use = clock;
             return true;

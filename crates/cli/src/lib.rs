@@ -99,8 +99,7 @@ fn system_for(cores: usize) -> (SystemConfig, DramConfig) {
 }
 
 fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, CliError> {
-    s.parse()
-        .map_err(|_| err(format!("invalid {what}: '{s}'")))
+    s.parse().map_err(|_| err(format!("invalid {what}: '{s}'")))
 }
 
 /// Runs the CLI with `args` (excluding the program name); returns the
@@ -138,7 +137,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("workloads") => {
             let category = args.get(1).ok_or_else(|| err(USAGE))?;
             let cores: usize = parse(args.get(2).ok_or_else(|| err(USAGE))?, "core count")?;
-            let seed: u64 = args.get(3).map(|s| parse(s, "seed")).transpose()?.unwrap_or(1);
+            let seed: u64 = args
+                .get(3)
+                .map(|s| parse(s, "seed"))
+                .transpose()?
+                .unwrap_or(1);
             let cat = Category::from_name(category)
                 .ok_or_else(|| err(format!("unknown category '{category}'")))?;
             for index in 0..5 {
@@ -152,7 +155,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let category = args.get(1).ok_or_else(|| err(USAGE))?;
             let cores: usize = parse(args.get(2).ok_or_else(|| err(USAGE))?, "core count")?;
             let step: Option<f64> = args.get(4).map(|s| parse(s, "step")).transpose()?;
-            let mech = parse_mechanism(args.get(3).map(String::as_str).unwrap_or("rebudget"), step)?;
+            let mech =
+                parse_mechanism(args.get(3).map(String::as_str).unwrap_or("rebudget"), step)?;
             let bundle = parse_bundle(category, cores, 1)?;
             let (sys, dram) = system_for(cores);
             let market =
@@ -160,16 +164,32 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let o = mech.allocate(&market).map_err(|e| err(e.to_string()))?;
             writeln!(out, "bundle      {}", bundle.label()).expect("infallible");
             writeln!(out, "mechanism   {}", o.mechanism).expect("infallible");
-            writeln!(out, "efficiency  {:.4} (weighted speedup, max {})", o.efficiency, cores)
-                .expect("infallible");
+            writeln!(
+                out,
+                "efficiency  {:.4} (weighted speedup, max {})",
+                o.efficiency, cores
+            )
+            .expect("infallible");
             writeln!(out, "envy-free   {:.4}", o.envy_freeness).expect("infallible");
             if let (Some(mur), Some(mbr)) = (o.mur, o.mbr) {
-                writeln!(out, "MUR         {mur:.4}  (PoA floor {:.4})", poa_lower_bound(mur))
-                    .expect("infallible");
-                writeln!(out, "MBR         {mbr:.4}  (EF floor {:.4})", ef_lower_bound(mbr))
-                    .expect("infallible");
-                writeln!(out, "rounds      {} ({} iterations)", o.equilibrium_rounds, o.total_iterations)
-                    .expect("infallible");
+                writeln!(
+                    out,
+                    "MUR         {mur:.4}  (PoA floor {:.4})",
+                    poa_lower_bound(mur)
+                )
+                .expect("infallible");
+                writeln!(
+                    out,
+                    "MBR         {mbr:.4}  (EF floor {:.4})",
+                    ef_lower_bound(mbr)
+                )
+                .expect("infallible");
+                writeln!(
+                    out,
+                    "rounds      {} ({} iterations)",
+                    o.equilibrium_rounds, o.total_iterations
+                )
+                .expect("infallible");
             }
             Ok(out)
         }
@@ -219,7 +239,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 budget: 100.0,
                 use_monitors: true,
                 seed: 1,
-        ..SimOptions::default()
+                ..SimOptions::default()
             };
             writeln!(
                 out,
@@ -231,18 +251,30 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 let mech = parse_mechanism(mech_name, Some(40.0))?;
                 let r = run_simulation(&sys, &dram, &bundle, mech.as_ref(), &opts)
                     .map_err(|e| err(e.to_string()))?;
-                writeln!(out, "{:<14} {:>14.3} {:>10.3}", r.mechanism, r.efficiency, r.envy_freeness)
-                    .expect("infallible");
+                writeln!(
+                    out,
+                    "{:<14} {:>14.3} {:>10.3}",
+                    r.mechanism, r.efficiency, r.envy_freeness
+                )
+                .expect("infallible");
             }
             Ok(out)
         }
         Some("theory") => {
             let mur: f64 = parse(args.get(1).ok_or_else(|| err(USAGE))?, "MUR")?;
             let mbr: f64 = parse(args.get(2).ok_or_else(|| err(USAGE))?, "MBR")?;
-            writeln!(out, "PoA >= {:.4}  (Theorem 1 at MUR {mur:.3})", poa_lower_bound(mur))
-                .expect("infallible");
-            writeln!(out, "EF  >= {:.4}  (Theorem 2 at MBR {mbr:.3})", ef_lower_bound(mbr))
-                .expect("infallible");
+            writeln!(
+                out,
+                "PoA >= {:.4}  (Theorem 1 at MUR {mur:.3})",
+                poa_lower_bound(mur)
+            )
+            .expect("infallible");
+            writeln!(
+                out,
+                "EF  >= {:.4}  (Theorem 2 at MBR {mbr:.3})",
+                ef_lower_bound(mbr)
+            )
+            .expect("infallible");
             Ok(out)
         }
         Some("help") | Some("--help") | Some("-h") | None => Ok(USAGE.to_string()),

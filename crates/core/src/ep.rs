@@ -82,7 +82,11 @@ impl Mechanism for ElasticitiesProportional {
             let es = fit.fitted.elasticities();
             let sum: f64 = es.iter().sum();
             for j in 0..m {
-                shares[i][j] = if sum > 0.0 { es[j] / sum } else { 1.0 / m as f64 };
+                shares[i][j] = if sum > 0.0 {
+                    es[j] / sum
+                } else {
+                    1.0 / m as f64
+                };
             }
         }
         let mut allocation = AllocationMatrix::zeros(n, m)?;
@@ -166,7 +170,9 @@ mod tests {
     #[test]
     fn ep_fit_quality_is_inspectable() {
         let market = cobb_market();
-        let fits = ElasticitiesProportional::new().fit_players(&market).unwrap();
+        let fits = ElasticitiesProportional::new()
+            .fit_players(&market)
+            .unwrap();
         assert_eq!(fits.len(), 2);
         assert!(fits.iter().all(|f| f.log_rmse < 1e-6));
     }

@@ -49,8 +49,8 @@ pub mod theory;
 pub mod uncoordinated;
 
 pub use ep::ElasticitiesProportional;
-pub use uncoordinated::Uncoordinated;
 pub use mechanisms::{
     Balanced, EqualBudget, EqualShare, MaxEfficiency, Mechanism, MechanismOutcome, ReBudget,
 };
 pub use theory::{ef_lower_bound, min_mbr_for_ef, poa_lower_bound};
+pub use uncoordinated::Uncoordinated;

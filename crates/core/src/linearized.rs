@@ -119,7 +119,10 @@ mod tests {
         let check = linearized_check(&m, &eq, 0.1);
         assert!(check.opt_w > 0.0);
         assert!(check.nash_w > 0.0);
-        assert!(check.nash_w <= check.opt_w + 1e-9, "Nash(W) cannot exceed OPT(W)");
+        assert!(
+            check.nash_w <= check.opt_w + 1e-9,
+            "Nash(W) cannot exceed OPT(W)"
+        );
         assert!(
             check.holds,
             "Appendix-A inequality violated: ratio {:.3} < floor {:.3} (MUR {:.3})",
@@ -144,10 +147,18 @@ mod tests {
         // degrades gracefully.
         use rebudget_market::utility::LinearUtility;
         let players = vec![
-            Player::new("a", 10.0, Arc::new(LinearUtility::new(vec![0.0, 0.0]).unwrap())
-                as Arc<dyn rebudget_market::Utility>),
-            Player::new("b", 10.0, Arc::new(LinearUtility::new(vec![0.0, 0.0]).unwrap())
-                as Arc<dyn rebudget_market::Utility>),
+            Player::new(
+                "a",
+                10.0,
+                Arc::new(LinearUtility::new(vec![0.0, 0.0]).unwrap())
+                    as Arc<dyn rebudget_market::Utility>,
+            ),
+            Player::new(
+                "b",
+                10.0,
+                Arc::new(LinearUtility::new(vec![0.0, 0.0]).unwrap())
+                    as Arc<dyn rebudget_market::Utility>,
+            ),
         ];
         let m = Market::new(ResourceSpace::new(vec![4.0, 4.0]).unwrap(), players).unwrap();
         let eq = m.equilibrium(&EquilibriumOptions::default()).unwrap();

@@ -16,7 +16,7 @@
 use rebudget_market::equilibrium::EquilibriumOptions;
 use rebudget_market::metrics;
 use rebudget_market::optimal::{max_efficiency, OptimalOptions};
-use rebudget_market::{AllocationMatrix, Market, MarketError, Result};
+use rebudget_market::{AllocationMatrix, Market, MarketError, ParallelPolicy, Result};
 
 use crate::theory::min_mbr_for_ef;
 
@@ -131,6 +131,13 @@ impl EqualBudget {
             options: EquilibriumOptions::default(),
         }
     }
+
+    /// Sets the parallel policy for the inner equilibrium solves.
+    #[must_use]
+    pub fn with_parallel(mut self, policy: ParallelPolicy) -> Self {
+        self.options.parallel = policy;
+        self
+    }
 }
 
 impl Default for EqualBudget {
@@ -170,6 +177,13 @@ impl Balanced {
             base_budget,
             options: EquilibriumOptions::default(),
         }
+    }
+
+    /// Sets the parallel policy for the inner equilibrium solves.
+    #[must_use]
+    pub fn with_parallel(mut self, policy: ParallelPolicy) -> Self {
+        self.options.parallel = policy;
+        self
     }
 
     /// The budget vector this mechanism would assign on `market`.
@@ -291,6 +305,13 @@ impl ReBudget {
         Ok(this)
     }
 
+    /// Sets the parallel policy for the inner equilibrium solves.
+    #[must_use]
+    pub fn with_parallel(mut self, policy: ParallelPolicy) -> Self {
+        self.options.parallel = policy;
+        self
+    }
+
     /// The guaranteed Market Budget Range of this configuration:
     /// `1 − 2·step₀/B` (or the explicit floor if set).
     pub fn guaranteed_mbr(&self) -> f64 {
@@ -322,7 +343,15 @@ impl Mechanism for ReBudget {
             all_converged &= eq.converged;
 
             if step < min_step {
-                return Ok(finish(self.name(), market, budgets, eq, rounds, total_iterations, all_converged));
+                return Ok(finish(
+                    self.name(),
+                    market,
+                    budgets,
+                    eq,
+                    rounds,
+                    total_iterations,
+                    all_converged,
+                ));
             }
 
             let max_lambda = eq.lambdas.iter().cloned().fold(0.0_f64, f64::max);
@@ -343,7 +372,15 @@ impl Mechanism for ReBudget {
                 }
             }
             if !cut_any {
-                return Ok(finish(self.name(), market, budgets, eq, rounds, total_iterations, all_converged));
+                return Ok(finish(
+                    self.name(),
+                    market,
+                    budgets,
+                    eq,
+                    rounds,
+                    total_iterations,
+                    all_converged,
+                ));
             }
             step *= 0.5;
         }
@@ -397,6 +434,15 @@ fn run_market(
 pub struct MaxEfficiency {
     /// Hill-climb granularity options.
     pub options: OptimalOptions,
+}
+
+impl MaxEfficiency {
+    /// Sets the parallel policy for the marginal-table construction.
+    #[must_use]
+    pub fn with_parallel(mut self, policy: ParallelPolicy) -> Self {
+        self.options.parallel = policy;
+        self
+    }
 }
 
 impl Mechanism for MaxEfficiency {
@@ -601,7 +647,11 @@ mod tests {
         let market = bbpc_market();
         let outs = compare(
             &market,
-            &[&EqualShare, &EqualBudget::new(100.0), &MaxEfficiency::default()],
+            &[
+                &EqualShare,
+                &EqualBudget::new(100.0),
+                &MaxEfficiency::default(),
+            ],
         )
         .unwrap();
         assert_eq!(outs.len(), 3);

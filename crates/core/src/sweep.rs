@@ -6,7 +6,17 @@
 //! step values (plus the `EqualBudget` endpoint at step 0) and reports
 //! efficiency — optionally normalized to the `MaxEfficiency` oracle — next
 //! to measured envy-freeness and the Theorem-2 floor.
+//!
+//! The step values are mutually independent (each runs its own mechanism
+//! from scratch on the shared market), so [`sweep_steps_with`] fans them
+//! out across worker threads. Every mechanism run produces values that are
+//! a pure function of its inputs, so the sweep is bit-identical under any
+//! [`ParallelPolicy`] and points always come back in input order. When the
+//! outer sweep is parallel, the nested equilibrium solves are forced
+//! serial — the coarse-grained fan-out is where the win is, and nesting
+//! thread pools would oversubscribe.
 
+use rebudget_market::par::{self, ParallelPolicy};
 use rebudget_market::{Market, Result};
 
 use crate::mechanisms::{EqualBudget, MaxEfficiency, Mechanism, ReBudget};
@@ -31,11 +41,8 @@ pub struct SweepPoint {
     pub ef_floor: f64,
 }
 
-/// Sweeps `ReBudget-step` over `steps` on `market`.
-///
-/// A step of exactly `0.0` runs plain `EqualBudget`. When `normalize` is
-/// true, the `MaxEfficiency` oracle runs once and every point reports
-/// `efficiency / OPT`.
+/// Sweeps `ReBudget-step` over `steps` on `market`, with
+/// [`ParallelPolicy::Auto`]. See [`sweep_steps_with`].
 ///
 /// # Errors
 ///
@@ -46,20 +53,58 @@ pub fn sweep_steps(
     steps: &[f64],
     normalize: bool,
 ) -> Result<Vec<SweepPoint>> {
+    sweep_steps_with(market, base_budget, steps, normalize, ParallelPolicy::Auto)
+}
+
+/// Sweeps `ReBudget-step` over `steps` on `market` under an explicit
+/// [`ParallelPolicy`].
+///
+/// A step of exactly `0.0` runs plain `EqualBudget`. When `normalize` is
+/// true, the `MaxEfficiency` oracle runs once and every point reports
+/// `efficiency / OPT`. Points are returned in the order of `steps`, and the
+/// values are identical under every policy.
+///
+/// # Errors
+///
+/// Propagates mechanism errors (degenerate markets).
+pub fn sweep_steps_with(
+    market: &Market,
+    base_budget: f64,
+    steps: &[f64],
+    normalize: bool,
+    policy: ParallelPolicy,
+) -> Result<Vec<SweepPoint>> {
+    let threads = policy.resolved_threads_coarse(steps.len());
+    // When the sweep itself is parallel, keep the nested equilibrium solves
+    // serial; their values do not depend on the policy.
+    let inner = if threads > 1 {
+        ParallelPolicy::Serial
+    } else {
+        policy
+    };
     let opt = if normalize {
-        Some(MaxEfficiency::default().allocate(market)?.efficiency)
+        Some(
+            MaxEfficiency::default()
+                .with_parallel(inner)
+                .allocate(market)?
+                .efficiency,
+        )
     } else {
         None
     };
-    let mut points = Vec::with_capacity(steps.len());
-    for &step in steps {
+    let points = par::map_indexed(threads, steps.len(), |k| -> Result<SweepPoint> {
+        let step = steps[k];
         let out = if step <= 0.0 {
-            EqualBudget::new(base_budget).allocate(market)?
+            EqualBudget::new(base_budget)
+                .with_parallel(inner)
+                .allocate(market)?
         } else {
-            ReBudget::with_step(base_budget, step).allocate(market)?
+            ReBudget::with_step(base_budget, step)
+                .with_parallel(inner)
+                .allocate(market)?
         };
         let mbr = out.mbr.unwrap_or(1.0);
-        points.push(SweepPoint {
+        Ok(SweepPoint {
             step,
             efficiency: out.efficiency,
             normalized_efficiency: opt.map(|o| if o > 0.0 { out.efficiency / o } else { 1.0 }),
@@ -67,9 +112,9 @@ pub fn sweep_steps(
             mur: out.mur.unwrap_or(1.0),
             mbr,
             ef_floor: ef_lower_bound(mbr),
-        });
-    }
-    Ok(points)
+        })
+    });
+    points.into_iter().collect()
 }
 
 #[cfg(test)]
@@ -120,6 +165,27 @@ mod tests {
                 p.step,
                 p.envy_freeness,
                 p.ef_floor
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_is_independent_of_parallel_policy() {
+        let m = market();
+        let steps = [0.0, 10.0, 20.0, 40.0];
+        let serial = sweep_steps_with(&m, 100.0, &steps, true, ParallelPolicy::Serial).unwrap();
+        let threaded =
+            sweep_steps_with(&m, 100.0, &steps, true, ParallelPolicy::Threads(4)).unwrap();
+        assert_eq!(serial.len(), threaded.len());
+        for (a, b) in serial.iter().zip(&threaded) {
+            assert_eq!(a.step, b.step);
+            assert_eq!(a.efficiency.to_bits(), b.efficiency.to_bits());
+            assert_eq!(a.envy_freeness.to_bits(), b.envy_freeness.to_bits());
+            assert_eq!(a.mur.to_bits(), b.mur.to_bits());
+            assert_eq!(a.mbr.to_bits(), b.mbr.to_bits());
+            assert_eq!(
+                a.normalized_efficiency.unwrap().to_bits(),
+                b.normalized_efficiency.unwrap().to_bits()
             );
         }
     }

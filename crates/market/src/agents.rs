@@ -252,8 +252,7 @@ mod tests {
                 Player::new(
                     format!("p{i}"),
                     100.0,
-                    Arc::new(SeparableUtility::proportional(w, &caps).unwrap())
-                        as Arc<dyn Utility>,
+                    Arc::new(SeparableUtility::proportional(w, &caps).unwrap()) as Arc<dyn Utility>,
                 )
             })
             .collect();
@@ -295,7 +294,10 @@ mod tests {
             warm.iterations,
             cold.iterations
         );
-        assert!(warm.iterations <= 2, "warm restart should be nearly instant");
+        assert!(
+            warm.iterations <= 2,
+            "warm restart should be nearly instant"
+        );
     }
 
     #[test]

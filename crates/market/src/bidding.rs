@@ -17,7 +17,6 @@
 //! At the optimum, Eq. 4 of the paper holds: all resources with non-zero
 //! bids share a common `λ_i`, and zero-bid resources have smaller `λ`.
 
-use crate::pricing::predicted_share;
 use crate::Utility;
 
 /// Tuning knobs for the hill-climbing bidder.
@@ -62,18 +61,77 @@ impl BestResponse {
 /// Marginal utility of money on resource `j`:
 /// `λ_ij = ∂U/∂r_ij · ∂r_ij/∂b_ij` where
 /// `∂r_ij/∂b_ij = y_ij · C_j / (b_ij + y_ij)²` (see Eq. 7 in the paper's
-/// appendix).
-fn lambda_of(
+/// appendix). `total` is the memoized denominator `b_ij + y_ij`.
+fn lambda_from_total(
     utility: &dyn Utility,
     allocation: &[f64],
-    bid: f64,
+    total: f64,
     others: f64,
     capacity: f64,
     j: usize,
 ) -> f64 {
-    let denom = (bid + others).max(1e-12);
+    let denom = total.max(1e-12);
     let dr_db = others * capacity / (denom * denom);
     utility.marginal(allocation, j) * dr_db
+}
+
+/// Eq. 2's predicted share computed from the memoized total `b_ij + y_ij`
+/// (same value as [`crate::pricing::predicted_share`], denominator hoisted).
+fn share_from_total(bid: f64, total: f64, capacity: f64) -> f64 {
+    if total <= 0.0 {
+        0.0
+    } else {
+        bid / total * capacity
+    }
+}
+
+/// Reusable buffers for repeated best-response computations.
+///
+/// The equilibrium engine calls the bidder `N` times per iteration; with a
+/// fresh scratch per call the hill climb would allocate two vectors per
+/// probe. One `BidScratch` per worker thread makes the whole hot loop
+/// allocation-free: buffers are created once and resized only if the
+/// resource count grows.
+#[derive(Debug, Clone, Default)]
+pub struct BidScratch {
+    /// Predicted allocation `r_ij` at the current bids.
+    allocation: Vec<f64>,
+    /// Marginal utility of money `λ_ij` per resource.
+    lambdas: Vec<f64>,
+    /// Memoized denominators `b_ij + y_ij` (shared by the predicted-share
+    /// and λ expressions, recomputed only for resources whose bid moved).
+    totals: Vec<f64>,
+}
+
+impl BidScratch {
+    /// Creates a scratch sized for `m` resources.
+    pub fn new(m: usize) -> Self {
+        Self {
+            allocation: vec![0.0; m],
+            lambdas: vec![0.0; m],
+            totals: vec![0.0; m],
+        }
+    }
+
+    fn reset(&mut self, m: usize) {
+        self.allocation.clear();
+        self.allocation.resize(m, 0.0);
+        self.lambdas.clear();
+        self.lambdas.resize(m, 0.0);
+        self.totals.clear();
+        self.totals.resize(m, 0.0);
+    }
+
+    /// The `λ_ij` vector left by the last [`best_response_into`] call.
+    pub fn lambdas(&self) -> &[f64] {
+        &self.lambdas
+    }
+
+    /// The per-player `λ_i` (largest `λ_ij`) left by the last
+    /// [`best_response_into`] call.
+    pub fn lambda(&self) -> f64 {
+        self.lambdas.iter().fold(0.0_f64, |a, &b| a.max(b))
+    }
 }
 
 /// Computes a player's best response to the rest of the market.
@@ -110,39 +168,84 @@ pub fn best_response(
     options: &BiddingOptions,
 ) -> BestResponse {
     let m = capacities.len();
+    let mut scratch = BidScratch::new(m);
+    let mut bids = vec![0.0; m];
+    let moves = best_response_into(
+        utility,
+        budget,
+        others,
+        capacities,
+        options,
+        &mut scratch,
+        &mut bids,
+    );
+    BestResponse {
+        bids,
+        lambdas: scratch.lambdas,
+        moves,
+    }
+}
+
+/// Allocation-free variant of [`best_response`]: writes the chosen bids
+/// into `bids_out` and leaves the final `λ_ij` vector in `scratch`
+/// (read it back via [`BidScratch::lambdas`]). Returns the number of
+/// shift moves performed.
+///
+/// The computed values are identical to [`best_response`] — the scratch
+/// only changes *where* intermediates live, not what is computed. Per
+/// hill-climb probe, only the two resources whose bids moved have their
+/// predicted share and memoized `b + y` denominator recomputed; the `λ`s
+/// are re-evaluated for every resource because a (generally non-separable)
+/// utility's marginal at one resource may depend on the whole allocation.
+///
+/// # Panics
+///
+/// Panics if `bids_out.len() != capacities.len()` (debug builds also check
+/// `others`).
+pub fn best_response_into(
+    utility: &dyn Utility,
+    budget: f64,
+    others: &[f64],
+    capacities: &[f64],
+    options: &BiddingOptions,
+    scratch: &mut BidScratch,
+    bids_out: &mut [f64],
+) -> usize {
+    let m = capacities.len();
     debug_assert_eq!(others.len(), m, "others/capacities length mismatch");
+    assert_eq!(bids_out.len(), m, "bids_out/capacities length mismatch");
+    scratch.reset(m);
 
     if budget <= 0.0 || m == 0 {
-        return BestResponse {
-            bids: vec![0.0; m],
-            lambdas: vec![0.0; m],
-            moves: 0,
-        };
+        bids_out.fill(0.0);
+        return 0;
     }
 
     // Step 1: equal split; S = half of one bid.
-    let mut bids = vec![budget / m as f64; m];
+    bids_out.fill(budget / m as f64);
     let mut step = budget / (2.0 * m as f64);
     let min_step = options.min_step_fraction * budget;
     let mut moves = 0;
 
-    let eval_lambdas = |bids: &[f64]| -> Vec<f64> {
-        let allocation: Vec<f64> = (0..m)
-            .map(|j| predicted_share(bids[j], others[j], capacities[j]))
-            .collect();
-        (0..m)
-            .map(|j| lambda_of(utility, &allocation, bids[j], others[j], capacities[j], j))
-            .collect()
-    };
-
-    let mut lambdas = eval_lambdas(&bids);
+    // Full evaluation at the starting point: memoize the `b + y`
+    // denominators, derive shares, then λs.
+    for j in 0..m {
+        scratch.totals[j] = bids_out[j] + others[j];
+        scratch.allocation[j] = share_from_total(bids_out[j], scratch.totals[j], capacities[j]);
+    }
+    for j in 0..m {
+        scratch.lambdas[j] = lambda_from_total(
+            utility,
+            &scratch.allocation,
+            scratch.totals[j],
+            others[j],
+            capacities[j],
+            j,
+        );
+    }
     if m == 1 {
         // A single resource leaves nothing to re-balance.
-        return BestResponse {
-            bids,
-            lambdas,
-            moves,
-        };
+        return moves;
     }
 
     while step >= min_step {
@@ -151,12 +254,12 @@ pub fn best_response(
         let (mut lo, mut hi) = (usize::MAX, 0usize);
         let (mut lo_l, mut hi_l) = (f64::INFINITY, f64::NEG_INFINITY);
         for j in 0..m {
-            if lambdas[j] > hi_l {
-                hi_l = lambdas[j];
+            if scratch.lambdas[j] > hi_l {
+                hi_l = scratch.lambdas[j];
                 hi = j;
             }
-            if bids[j] > 0.0 && lambdas[j] < lo_l {
-                lo_l = lambdas[j];
+            if bids_out[j] > 0.0 && scratch.lambdas[j] < lo_l {
+                lo_l = scratch.lambdas[j];
                 lo = j;
             }
         }
@@ -167,34 +270,51 @@ pub fn best_response(
         if hi_l <= 0.0 || (hi_l - lo_l) <= options.lambda_tolerance * hi_l {
             break;
         }
-        let amount = step.min(bids[lo]);
-        bids[lo] -= amount;
-        bids[hi] += amount;
+        let amount = step.min(bids_out[lo]);
+        bids_out[lo] -= amount;
+        bids_out[hi] += amount;
         moves += 1;
-        let new_lambdas = eval_lambdas(&bids);
-        // A move past the optimum would lower the top λ ordering; the
-        // shrinking step recovers, exactly as in the paper.
-        lambdas = new_lambdas;
+        // Only lo and hi changed: refresh their denominators and shares,
+        // then re-evaluate every λ against the updated allocation. A move
+        // past the optimum would lower the top λ ordering; the shrinking
+        // step recovers, exactly as in the paper.
+        for j in [lo, hi] {
+            scratch.totals[j] = bids_out[j] + others[j];
+            scratch.allocation[j] = share_from_total(bids_out[j], scratch.totals[j], capacities[j]);
+        }
+        for j in 0..m {
+            scratch.lambdas[j] = lambda_from_total(
+                utility,
+                &scratch.allocation,
+                scratch.totals[j],
+                others[j],
+                capacities[j],
+                j,
+            );
+        }
         // Step 3: halve S.
         step *= 0.5;
     }
 
-    BestResponse {
-        bids,
-        lambdas,
-        moves,
-    }
+    moves
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pricing::predicted_share;
     use crate::utility::{LinearUtility, SeparableUtility};
 
     #[test]
     fn zero_budget_bids_nothing() {
         let u = LinearUtility::new(vec![1.0, 1.0]).unwrap();
-        let r = best_response(&u, 0.0, &[5.0, 5.0], &[10.0, 10.0], &BiddingOptions::default());
+        let r = best_response(
+            &u,
+            0.0,
+            &[5.0, 5.0],
+            &[10.0, 10.0],
+            &BiddingOptions::default(),
+        );
         assert_eq!(r.bids, vec![0.0, 0.0]);
         assert_eq!(r.lambda(), 0.0);
     }
@@ -286,11 +406,86 @@ mod tests {
     }
 
     #[test]
+    fn into_variant_matches_allocating_variant_bitwise() {
+        let caps = [16.0, 80.0, 24.0];
+        let u = SeparableUtility::proportional(&[0.5, 0.3, 0.2], &caps).unwrap();
+        let mut scratch = BidScratch::new(caps.len());
+        for (budget, others) in [
+            (100.0, [40.0, 10.0, 5.0]),
+            (3.0, [0.0, 80.0, 0.1]),
+            (0.0, [1.0, 1.0, 1.0]),
+            (250.0, [25.0, 25.0, 25.0]),
+        ] {
+            let reference = best_response(&u, budget, &others, &caps, &BiddingOptions::default());
+            let mut bids = vec![f64::NAN; caps.len()];
+            let moves = best_response_into(
+                &u,
+                budget,
+                &others,
+                &caps,
+                &BiddingOptions::default(),
+                &mut scratch,
+                &mut bids,
+            );
+            assert_eq!(moves, reference.moves);
+            assert!(
+                bids.iter()
+                    .zip(&reference.bids)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "bids diverge: {bids:?} vs {:?}",
+                reference.bids
+            );
+            assert!(scratch
+                .lambdas()
+                .iter()
+                .zip(&reference.lambdas)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+            assert_eq!(scratch.lambda().to_bits(), reference.lambda().to_bits());
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_sizes() {
+        let mut scratch = BidScratch::default();
+        let u2 = LinearUtility::new(vec![1.0, 2.0]).unwrap();
+        let mut bids2 = [0.0; 2];
+        best_response_into(
+            &u2,
+            10.0,
+            &[1.0, 1.0],
+            &[4.0, 4.0],
+            &BiddingOptions::default(),
+            &mut scratch,
+            &mut bids2,
+        );
+        assert!((bids2.iter().sum::<f64>() - 10.0).abs() < 1e-9);
+        let u3 = LinearUtility::new(vec![1.0, 2.0, 3.0]).unwrap();
+        let mut bids3 = [0.0; 3];
+        best_response_into(
+            &u3,
+            9.0,
+            &[1.0, 1.0, 1.0],
+            &[4.0, 4.0, 4.0],
+            &BiddingOptions::default(),
+            &mut scratch,
+            &mut bids3,
+        );
+        assert_eq!(scratch.lambdas().len(), 3);
+        assert!((bids3.iter().sum::<f64>() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn sole_bidder_lambda_is_zero() {
         // With y_ij = 0 the player already owns the whole resource; extra
         // money there is worthless.
         let u = LinearUtility::new(vec![1.0, 1.0]).unwrap();
-        let r = best_response(&u, 10.0, &[0.0, 5.0], &[4.0, 4.0], &BiddingOptions::default());
+        let r = best_response(
+            &u,
+            10.0,
+            &[0.0, 5.0],
+            &[4.0, 4.0],
+            &BiddingOptions::default(),
+        );
         assert_eq!(r.lambdas[0], 0.0);
         // Money should drift toward the contested resource.
         assert!(r.bids[1] > r.bids[0]);

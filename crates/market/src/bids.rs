@@ -122,6 +122,17 @@ impl BidMatrix {
         self.column_sum(j) - self.get(i, j)
     }
 
+    /// The flat row-major bid buffer (`n * m` entries, player-major).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.bids
+    }
+
+    /// Mutable access to the flat row-major bid buffer — the equilibrium
+    /// engine fans player rows out across threads via `chunks_mut`.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.bids
+    }
+
     /// Returns `true` if every resource receives non-zero bids from at least
     /// two players — Zhang's *strongly competitive* condition under which an
     /// equilibrium is guaranteed to exist (Lemma 1 of the paper).

@@ -9,8 +9,28 @@
 //! [`EquilibriumOptions::max_iterations`] fail-safe trips (the paper
 //! "simply terminate\[s\] the equilibrium finding algorithm after 30
 //! iterations").
+//!
+//! # Sweep scheme and parallelism
+//!
+//! Within one iteration every player best-responds to a *snapshot* of the
+//! bids from the end of the previous iteration (a Jacobi sweep). This
+//! mirrors the paper's architecture — "each core … is actively optimizing
+//! its resource assignment largely independently", reconciled only through
+//! pricing — and makes the `N` per-player responses of an iteration
+//! mutually independent, so [`EquilibriumOptions::parallel`] can fan them
+//! out across threads. Because each response is a pure function of the
+//! snapshot, and rows are reassembled in player order, the outcome is
+//! **bit-identical** under [`ParallelPolicy::Serial`], `Auto`, and any
+//! `Threads(n)` (asserted by the `parallel_determinism` integration
+//! tests).
+//!
+//! The per-iteration cost is `O(N·M)` plus the hill climbs: the `Σ_i b_ij`
+//! column totals are memoized once per iteration instead of being re-summed
+//! per player, and each best response runs allocation-free against a
+//! per-worker [`crate::bidding::BidScratch`].
 
-use crate::bidding::{best_response, BiddingOptions};
+use crate::bidding::{best_response_into, BidScratch, BiddingOptions};
+use crate::par::{self, ParallelPolicy};
 use crate::pricing;
 use crate::{AllocationMatrix, BidMatrix, Market, Result};
 
@@ -26,6 +46,9 @@ pub struct EquilibriumOptions {
     /// Record the price vector after every iteration in
     /// [`EquilibriumOutcome::price_history`] (for convergence studies).
     pub record_history: bool,
+    /// How the per-player best-response fan-out executes. Purely an
+    /// execution knob: results are bit-identical under every policy.
+    pub parallel: ParallelPolicy,
 }
 
 impl Default for EquilibriumOptions {
@@ -35,6 +58,7 @@ impl Default for EquilibriumOptions {
             price_tolerance: 0.01,
             bidding: BiddingOptions::default(),
             record_history: false,
+            parallel: ParallelPolicy::Auto,
         }
     }
 }
@@ -51,7 +75,16 @@ impl EquilibriumOptions {
                 min_step_fraction: 0.001,
             },
             record_history: false,
+            parallel: ParallelPolicy::Auto,
         }
+    }
+
+    /// Returns `self` with the parallel policy replaced — convenience for
+    /// mechanism/bench plumbing.
+    #[must_use]
+    pub fn with_parallel(mut self, policy: ParallelPolicy) -> Self {
+        self.parallel = policy;
+        self
     }
 }
 
@@ -96,27 +129,49 @@ pub(crate) fn find_equilibrium(
     let capacities = market.resources().capacities();
 
     let mut bids = BidMatrix::equal_split(budgets, m)?;
+    // Double buffer for the Jacobi sweep: responses for iteration k+1 are
+    // written into `next` while `bids` holds the iteration-k snapshot.
+    let mut next = bids.clone();
+    let mut col_sums = vec![0.0; m];
     let mut prices = pricing::prices(&bids, market.resources());
     let mut iterations = 0;
     let mut converged = false;
     let mut price_history = Vec::new();
+    let threads = options.parallel.resolved_threads(n);
 
     while iterations < options.max_iterations {
         iterations += 1;
-        // Step 2: every player best-responds. Updates are applied in place
-        // (Gauss–Seidel), which converges faster than simultaneous updates
-        // and mirrors players reacting to the freshest observable prices.
-        for i in 0..n {
-            let others: Vec<f64> = (0..m).map(|j| bids.others_sum(i, j)).collect();
-            let response = best_response(
-                market.players()[i].utility().as_ref(),
-                budgets[i],
-                &others,
-                capacities,
-                &options.bidding,
-            );
-            bids.set_row(i, &response.bids);
+        // Step 2: every player best-responds to the snapshot. The column
+        // totals are memoized once, so each player's `y_ij = Σ b_kj − b_ij`
+        // costs O(M) instead of O(N·M).
+        for (j, sum) in col_sums.iter_mut().enumerate() {
+            *sum = bids.column_sum(j);
         }
+        {
+            let snapshot = &bids;
+            let col_sums = &col_sums;
+            par::for_each_row(
+                threads,
+                next.as_mut_slice(),
+                m,
+                || (BidScratch::new(m), vec![0.0; m]),
+                |(scratch, others), i, row| {
+                    for (j, y) in others.iter_mut().enumerate() {
+                        *y = col_sums[j] - snapshot.get(i, j);
+                    }
+                    best_response_into(
+                        market.players()[i].utility().as_ref(),
+                        budgets[i],
+                        others,
+                        capacities,
+                        &options.bidding,
+                        scratch,
+                        row,
+                    );
+                },
+            );
+        }
+        std::mem::swap(&mut bids, &mut next);
         let new_prices = pricing::prices(&bids, market.resources());
         let fluctuation = prices
             .iter()
@@ -137,7 +192,9 @@ pub(crate) fn find_equilibrium(
     let utilities: Vec<f64> = (0..n)
         .map(|i| market.players()[i].utility_of(allocation.row(i)))
         .collect();
-    let lambdas: Vec<f64> = (0..n).map(|i| lambda_at(market, &bids, i, capacities)).collect();
+    let lambdas: Vec<f64> = (0..n)
+        .map(|i| lambda_at(market, &bids, i, capacities))
+        .collect();
 
     Ok(EquilibriumOutcome {
         bids,

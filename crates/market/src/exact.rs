@@ -17,7 +17,13 @@ use crate::utility::SeparableUtility;
 /// λ as a function of the bid on one resource:
 /// `λ_j(b) = u_j'(r_j(b)) · y_j C_j / (b + y_j)²` — strictly decreasing in
 /// `b` for concave `u_j`.
-fn lambda_of_bid(utility: &SeparableUtility, j: usize, bid: f64, others: f64, capacity: f64) -> f64 {
+fn lambda_of_bid(
+    utility: &SeparableUtility,
+    j: usize,
+    bid: f64,
+    others: f64,
+    capacity: f64,
+) -> f64 {
     let r = predicted_share(bid, others, capacity);
     let denom = (bid + others).max(1e-12);
     utility.terms()[j].slope(r) * others * capacity / (denom * denom)

@@ -82,7 +82,11 @@ pub fn fit_cobb_douglas(samples: &[(Vec<f64>, f64)]) -> Result<CobbDouglasFit> {
     let dims = m + 1;
     if rows.len() < dims + 1 {
         return Err(MarketError::InvalidUtility {
-            reason: format!("need at least {} positive samples, got {}", dims + 1, rows.len()),
+            reason: format!(
+                "need at least {} positive samples, got {}",
+                dims + 1,
+                rows.len()
+            ),
         });
     }
 
@@ -108,7 +112,10 @@ pub fn fit_cobb_douglas(samples: &[(Vec<f64>, f64)]) -> Result<CobbDouglasFit> {
     let fitted = CobbDouglas::new(scale.max(1e-12), elasticities)?;
 
     let mut sse = 0.0;
-    for (r, u) in samples.iter().filter(|(r, u)| *u > 0.0 && r.iter().all(|&x| x > 0.0)) {
+    for (r, u) in samples
+        .iter()
+        .filter(|(r, u)| *u > 0.0 && r.iter().all(|&x| x > 0.0))
+    {
         let err = fitted.value(r).max(1e-300).ln() - u.ln();
         sse += err * err;
     }
@@ -247,10 +254,7 @@ mod tests {
         let zeros = vec![(vec![1.0, 1.0], 0.0); 10];
         assert!(fit_cobb_douglas(&zeros).is_err());
         // Ragged samples.
-        let ragged = vec![
-            (vec![1.0, 1.0], 1.0),
-            (vec![1.0], 1.0),
-        ];
+        let ragged = vec![(vec![1.0, 1.0], 1.0), (vec![1.0], 1.0)];
         assert!(fit_cobb_douglas(&ragged).is_err());
         // Identical allocations are singular.
         let same = vec![(vec![2.0, 2.0], 1.0); 8];

@@ -68,6 +68,7 @@ pub mod exact;
 pub mod fit;
 pub mod metrics;
 pub mod optimal;
+pub mod par;
 pub mod player;
 pub mod pricing;
 pub mod resource;
@@ -76,6 +77,7 @@ pub mod utility;
 pub use allocation::AllocationMatrix;
 pub use bids::BidMatrix;
 pub use error::MarketError;
+pub use par::ParallelPolicy;
 pub use player::{Market, Player};
 pub use resource::ResourceSpace;
 pub use utility::Utility;

@@ -12,7 +12,23 @@
 //! For concave utilities the continuous problem has no spurious local
 //! optima, so the exchange climb converges to the global optimum up to the
 //! final step granularity.
+//!
+//! # Cost model and parallelism
+//!
+//! The search keeps an `N × M` table of marginal utilities. It is built
+//! once up front — in parallel under [`OptimalOptions::parallel`], since
+//! each player's marginals depend only on that player's row — and then
+//! *patched*: an accepted exchange changes exactly two players' rows, so
+//! only those `2·M` entries are re-evaluated. Rejected moves restore the
+//! exact prior allocation values (not `x − δ + δ`, which can drift in
+//! floating point), keeping the table bit-exact against a fresh rebuild.
+//! This turns the per-attempt scan cost from `O(N)` utility evaluations
+//! into `O(N)` table reads, and makes the search's result independent of
+//! the parallel policy. The pairwise swap pass remains serial: each
+//! candidate trade is evaluated against the allocation left by the
+//! previous one, a chain with no safe fan-out.
 
+use crate::par::{self, ParallelPolicy};
 use crate::{AllocationMatrix, Market, MarketError, Result};
 
 /// Tuning knobs for the welfare-maximizing search.
@@ -30,6 +46,9 @@ pub struct OptimalOptions {
     /// interpolations of profiled surfaces) stall single-resource exchange
     /// at non-optimal points; swaps break those deadlocks. O(N²) per pass.
     pub enable_swaps: bool,
+    /// How the marginal-utility table build executes. Purely an execution
+    /// knob: results are bit-identical under every policy.
+    pub parallel: ParallelPolicy,
 }
 
 impl Default for OptimalOptions {
@@ -39,6 +58,7 @@ impl Default for OptimalOptions {
             min_step_fraction: 1e-4,
             max_passes_per_level: 64,
             enable_swaps: true,
+            parallel: ParallelPolicy::Auto,
         }
     }
 }
@@ -120,13 +140,15 @@ pub fn max_efficiency_from(
     let mut alloc = start;
     let mut moves = 0usize;
 
+    let mut marginals = MarginalTable::build(market, &alloc, options.parallel);
+
     let mut frac = options.initial_step_fraction;
     while frac >= options.min_step_fraction {
         for _pass in 0..options.max_passes_per_level {
             let mut accepted_any = false;
             for j in 0..m {
                 let step = frac * capacities[j];
-                if try_exchange(market, &mut alloc, j, step) {
+                if try_exchange(market, &mut alloc, &mut marginals, j, step) {
                     moves += 1;
                     accepted_any = true;
                 }
@@ -136,7 +158,7 @@ pub fn max_efficiency_from(
             }
         }
         if options.enable_swaps && m >= 2 && frac >= options.min_step_fraction * 8.0 {
-            moves += swap_pass(market, &mut alloc, capacities, frac);
+            moves += swap_pass(market, &mut alloc, &mut marginals, capacities, frac);
         }
         frac *= 0.5;
     }
@@ -149,6 +171,52 @@ pub fn max_efficiency_from(
     })
 }
 
+/// The cached `N × M` table of marginal utilities
+/// `∂U_i/∂r_ij` at the current allocation.
+///
+/// Built in parallel (each row depends only on that player's allocation
+/// row), then kept exact by patching the two affected rows after every
+/// accepted move. See the module docs for why this is both the serial
+/// speedup and the parallelization point of the oracle.
+#[derive(Debug)]
+struct MarginalTable {
+    m: usize,
+    values: Vec<f64>,
+}
+
+impl MarginalTable {
+    fn build(market: &Market, alloc: &AllocationMatrix, policy: ParallelPolicy) -> Self {
+        let n = market.len();
+        let m = market.resources().len();
+        let threads = policy.resolved_threads(n);
+        let rows = par::map_indexed(threads, n, |i| {
+            let utility = market.players()[i].utility();
+            let row = alloc.row(i);
+            (0..m)
+                .map(|j| utility.marginal(row, j))
+                .collect::<Vec<f64>>()
+        });
+        Self {
+            m,
+            values: rows.concat(),
+        }
+    }
+
+    fn get(&self, i: usize, j: usize) -> f64 {
+        self.values[i * self.m + j]
+    }
+
+    /// Re-evaluates player `i`'s marginals after its allocation row
+    /// changed.
+    fn refresh_row(&mut self, market: &Market, alloc: &AllocationMatrix, i: usize) {
+        let utility = market.players()[i].utility();
+        let row = alloc.row(i);
+        for j in 0..self.m {
+            self.values[i * self.m + j] = utility.marginal(row, j);
+        }
+    }
+}
+
 /// One full pass of pairwise cross-resource swaps at quantum fraction
 /// `frac`: for every ordered player pair `(a, b)` and resource pair
 /// `(j, k)`, try trading `frac·C_j` of `j` (a→b) for `frac·C_k` of `k`
@@ -156,6 +224,7 @@ pub fn max_efficiency_from(
 fn swap_pass(
     market: &Market,
     alloc: &mut AllocationMatrix,
+    marginals: &mut MarginalTable,
     capacities: &[f64],
     frac: f64,
 ) -> usize {
@@ -172,27 +241,34 @@ fn swap_pass(
                     if j == k {
                         continue;
                     }
-                    let dj = (frac * capacities[j]).min(alloc.get(a, j));
-                    let dk = (frac * capacities[k]).min(alloc.get(b, k));
+                    let aj0 = alloc.get(a, j);
+                    let ak0 = alloc.get(a, k);
+                    let bj0 = alloc.get(b, j);
+                    let bk0 = alloc.get(b, k);
+                    let dj = (frac * capacities[j]).min(aj0);
+                    let dk = (frac * capacities[k]).min(bk0);
                     if dj <= 0.0 || dk <= 0.0 {
                         continue;
                     }
                     let ua0 = market.players()[a].utility_of(alloc.row(a));
                     let ub0 = market.players()[b].utility_of(alloc.row(b));
-                    alloc.set(a, j, alloc.get(a, j) - dj);
-                    alloc.set(b, j, alloc.get(b, j) + dj);
-                    alloc.set(b, k, alloc.get(b, k) - dk);
-                    alloc.set(a, k, alloc.get(a, k) + dk);
+                    alloc.set(a, j, aj0 - dj);
+                    alloc.set(b, j, bj0 + dj);
+                    alloc.set(b, k, bk0 - dk);
+                    alloc.set(a, k, ak0 + dk);
                     let ua1 = market.players()[a].utility_of(alloc.row(a));
                     let ub1 = market.players()[b].utility_of(alloc.row(b));
                     if ua1 + ub1 > ua0 + ub0 {
                         accepted += 1;
+                        marginals.refresh_row(market, alloc, a);
+                        marginals.refresh_row(market, alloc, b);
                     } else {
-                        // Revert.
-                        alloc.set(a, j, alloc.get(a, j) + dj);
-                        alloc.set(b, j, alloc.get(b, j) - dj);
-                        alloc.set(b, k, alloc.get(b, k) + dk);
-                        alloc.set(a, k, alloc.get(a, k) - dk);
+                        // Restore the exact prior values (adding dj back to
+                        // a subtracted value can drift in floating point).
+                        alloc.set(a, j, aj0);
+                        alloc.set(b, j, bj0);
+                        alloc.set(b, k, bk0);
+                        alloc.set(a, k, ak0);
                     }
                 }
             }
@@ -205,14 +281,20 @@ fn swap_pass(
 /// with the smallest marginal utility (that still holds at least some of
 /// `j`) to the player with the largest. Returns whether the move was
 /// accepted (i.e. it strictly improved welfare).
-fn try_exchange(market: &Market, alloc: &mut AllocationMatrix, j: usize, step: f64) -> bool {
+fn try_exchange(
+    market: &Market,
+    alloc: &mut AllocationMatrix,
+    marginals: &mut MarginalTable,
+    j: usize,
+    step: f64,
+) -> bool {
     let n = market.len();
     let mut hi = 0usize;
     let mut hi_m = f64::NEG_INFINITY;
     let mut lo = usize::MAX;
     let mut lo_m = f64::INFINITY;
     for i in 0..n {
-        let marginal = market.players()[i].utility().marginal(alloc.row(i), j);
+        let marginal = marginals.get(i, j);
         if marginal > hi_m {
             hi_m = marginal;
             hi = i;
@@ -225,25 +307,30 @@ fn try_exchange(market: &Market, alloc: &mut AllocationMatrix, j: usize, step: f
     if lo == usize::MAX || lo == hi || hi_m <= lo_m {
         return false;
     }
-    let amount = step.min(alloc.get(lo, j));
+    let lo_before = alloc.get(lo, j);
+    let hi_before = alloc.get(hi, j);
+    let amount = step.min(lo_before);
     if amount <= 0.0 {
         return false;
     }
 
     let u_lo_before = market.players()[lo].utility_of(alloc.row(lo));
     let u_hi_before = market.players()[hi].utility_of(alloc.row(hi));
-    alloc.set(lo, j, alloc.get(lo, j) - amount);
-    alloc.set(hi, j, alloc.get(hi, j) + amount);
+    alloc.set(lo, j, lo_before - amount);
+    alloc.set(hi, j, hi_before + amount);
     let u_lo_after = market.players()[lo].utility_of(alloc.row(lo));
     let u_hi_after = market.players()[hi].utility_of(alloc.row(hi));
 
     let delta = (u_lo_after - u_lo_before) + (u_hi_after - u_hi_before);
     if delta > 0.0 {
+        marginals.refresh_row(market, alloc, lo);
+        marginals.refresh_row(market, alloc, hi);
         true
     } else {
-        // Revert a non-improving move.
-        alloc.set(lo, j, alloc.get(lo, j) + amount);
-        alloc.set(hi, j, alloc.get(hi, j) - amount);
+        // Restore the exact prior values (adding `amount` back to a
+        // subtracted value can drift in floating point).
+        alloc.set(lo, j, lo_before);
+        alloc.set(hi, j, hi_before);
         false
     }
 }
@@ -264,8 +351,16 @@ mod tests {
         let market = Market::new(
             resources,
             vec![
-                Player::new("a", 1.0, Arc::new(LinearUtility::new(vec![3.0, 1.0]).unwrap())),
-                Player::new("b", 1.0, Arc::new(LinearUtility::new(vec![1.0, 2.0]).unwrap())),
+                Player::new(
+                    "a",
+                    1.0,
+                    Arc::new(LinearUtility::new(vec![3.0, 1.0]).unwrap()),
+                ),
+                Player::new(
+                    "b",
+                    1.0,
+                    Arc::new(LinearUtility::new(vec![1.0, 2.0]).unwrap()),
+                ),
             ],
         )
         .unwrap();
@@ -286,10 +381,7 @@ mod tests {
         let u = || Arc::new(SeparableUtility::proportional(&[1.0], &caps).unwrap());
         let market = Market::new(
             resources,
-            vec![
-                Player::new("a", 1.0, u()),
-                Player::new("b", 1.0, u()),
-            ],
+            vec![Player::new("a", 1.0, u()), Player::new("b", 1.0, u())],
         )
         .unwrap();
         let out = max_efficiency(&market, &OptimalOptions::default()).unwrap();
@@ -326,6 +418,47 @@ mod tests {
         .unwrap();
         let out = max_efficiency(&market, &OptimalOptions::default()).unwrap();
         assert!(out.allocation.is_exhaustive(&caps, 1e-9));
+    }
+
+    #[test]
+    fn result_is_independent_of_parallel_policy() {
+        let caps = [16.0, 80.0];
+        let resources = ResourceSpace::new(caps.to_vec()).unwrap();
+        let players = (0..40)
+            .map(|i| {
+                let w0 = 0.05 + 0.9 * (i as f64 * 0.31).fract();
+                Player::new(
+                    format!("p{i}"),
+                    1.0,
+                    Arc::new(SeparableUtility::proportional(&[w0, 1.0 - w0], &caps).unwrap())
+                        as Arc<dyn crate::Utility>,
+                )
+            })
+            .collect::<Vec<_>>();
+        let market = Market::new(resources, players).unwrap();
+        let run = |policy: ParallelPolicy| {
+            let options = OptimalOptions {
+                parallel: policy,
+                ..OptimalOptions::default()
+            };
+            max_efficiency(&market, &options).unwrap()
+        };
+        let serial = run(ParallelPolicy::Serial);
+        let threaded = run(ParallelPolicy::Threads(4));
+        assert_eq!(serial.moves, threaded.moves);
+        assert_eq!(
+            serial.efficiency.to_bits(),
+            threaded.efficiency.to_bits(),
+            "oracle must be bit-identical across policies"
+        );
+        for i in 0..market.len() {
+            for j in 0..caps.len() {
+                assert_eq!(
+                    serial.allocation.get(i, j).to_bits(),
+                    threaded.allocation.get(i, j).to_bits()
+                );
+            }
+        }
     }
 
     #[test]

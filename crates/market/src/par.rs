@@ -1,0 +1,230 @@
+//! Parallel execution policy for the equilibrium engine and the oracle.
+//!
+//! Every parallel-capable loop in this workspace is written so that the
+//! *values* it computes are a pure function of its inputs, independent of
+//! how the loop is executed. [`ParallelPolicy`] therefore only chooses an
+//! execution strategy — serial, a fixed thread count, or an automatic
+//! choice based on problem size — and results are bit-identical across all
+//! three (asserted by the `parallel_determinism` integration tests).
+//!
+//! With the `parallel` cargo feature disabled the policy type still exists
+//! (so option structs keep their shape) but every policy resolves to
+//! single-threaded execution and the rayon dependency disappears.
+
+/// How a parallel-capable loop executes. Purely an execution knob: the
+/// computed values are identical under every variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParallelPolicy {
+    /// Parallelize when the fan-out is wide enough to amortize thread
+    /// spawn/coordination cost (at least [`AUTO_MIN_FANOUT`] work items),
+    /// using all available worker threads; stay serial below that.
+    #[default]
+    Auto,
+    /// Always single-threaded.
+    Serial,
+    /// Exactly this many worker threads (clamped to the fan-out width).
+    Threads(usize),
+}
+
+/// Smallest fan-out for which [`ParallelPolicy::Auto`] goes parallel.
+///
+/// Below this, per-item work (a hill-climbing best response over a handful
+/// of resources, ~microseconds) does not amortize thread coordination;
+/// small markets — the common case inside nested mechanism loops — must
+/// stay serial without callers having to think about it.
+pub const AUTO_MIN_FANOUT: usize = 32;
+
+impl ParallelPolicy {
+    /// Number of worker threads this policy yields for a loop of
+    /// `work_items` independent items. Always at least 1; never more than
+    /// `work_items`. With the `parallel` feature disabled, always 1.
+    pub fn resolved_threads(self, work_items: usize) -> usize {
+        #[cfg(not(feature = "parallel"))]
+        {
+            let _ = work_items;
+            1
+        }
+        #[cfg(feature = "parallel")]
+        match self {
+            ParallelPolicy::Serial => 1,
+            ParallelPolicy::Threads(n) => n.clamp(1, work_items.max(1)),
+            ParallelPolicy::Auto => {
+                if work_items >= AUTO_MIN_FANOUT {
+                    rayon::current_num_threads().clamp(1, work_items)
+                } else {
+                    1
+                }
+            }
+        }
+    }
+
+    /// `true` if this policy would actually spawn threads for a loop of
+    /// `work_items` items (used by outer loops to decide whether nested
+    /// inner solves should be forced serial).
+    pub fn is_parallel_for(self, work_items: usize) -> bool {
+        self.resolved_threads(work_items) > 1
+    }
+
+    /// Like [`ParallelPolicy::resolved_threads`], but for *coarse* work
+    /// items — whole mechanism runs or equilibrium solves, milliseconds
+    /// each — where even a fan-out of 2 amortizes thread cost. `Auto`
+    /// parallelizes whenever there are at least 2 items.
+    pub fn resolved_threads_coarse(self, work_items: usize) -> usize {
+        #[cfg(not(feature = "parallel"))]
+        {
+            let _ = work_items;
+            1
+        }
+        #[cfg(feature = "parallel")]
+        match self {
+            ParallelPolicy::Serial => 1,
+            ParallelPolicy::Threads(n) => n.clamp(1, work_items.max(1)),
+            ParallelPolicy::Auto => max_threads().clamp(1, work_items.max(1)),
+        }
+    }
+}
+
+/// The worker-thread count [`ParallelPolicy::Auto`] resolves to when it
+/// parallelizes: honors an enclosing rayon pool / `RAYON_NUM_THREADS`,
+/// falling back to the machine's available parallelism. Always 1 with the
+/// `parallel` feature disabled.
+pub fn max_threads() -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        rayon::current_num_threads().max(1)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+}
+
+/// Applies `f` to every `row_len`-sized chunk of `data` (in index order),
+/// threading a per-worker scratch state created by `init`.
+///
+/// The workhorse of the equilibrium engine: `data` is the flat row-major
+/// bid buffer being written, one chunk per player. Chunks are distributed
+/// over `threads` workers in contiguous index bands; each worker creates
+/// its scratch once and reuses it for every row it owns, so the hot loop
+/// performs no per-row allocation.
+pub(crate) fn for_each_row<S>(
+    threads: usize,
+    data: &mut [f64],
+    row_len: usize,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize, &mut [f64]) + Sync,
+) {
+    #[cfg(feature = "parallel")]
+    if threads > 1 {
+        use rayon::prelude::*;
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool construction cannot fail");
+        pool.install(|| {
+            data.par_chunks_mut(row_len)
+                .enumerate()
+                .for_each_init(&init, |scratch, (i, row)| f(scratch, i, row));
+        });
+        return;
+    }
+    let _ = threads;
+    let mut scratch = init();
+    for (i, row) in data.chunks_mut(row_len).enumerate() {
+        f(&mut scratch, i, row);
+    }
+}
+
+/// Evaluates `f(i)` for `i` in `0..len` across `threads` workers,
+/// returning results in index order. Serial when `threads <= 1`.
+///
+/// Public so downstream crates (core's sweep, sim's market builder) can
+/// fan out coarse work items under the same policy machinery.
+pub fn map_indexed<R: Send>(threads: usize, len: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    #[cfg(feature = "parallel")]
+    if threads > 1 {
+        use rayon::prelude::*;
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool construction cannot fail");
+        return pool.install(|| (0..len).into_par_iter().map(&f).collect());
+    }
+    let _ = threads;
+    (0..len).map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_policy_is_always_one_thread() {
+        assert_eq!(ParallelPolicy::Serial.resolved_threads(1000), 1);
+        assert!(!ParallelPolicy::Serial.is_parallel_for(1000));
+    }
+
+    #[test]
+    fn threads_policy_clamps_to_fanout() {
+        assert_eq!(ParallelPolicy::Threads(0).resolved_threads(3), 1);
+        #[cfg(feature = "parallel")]
+        {
+            assert_eq!(ParallelPolicy::Threads(8).resolved_threads(3), 3);
+            assert_eq!(ParallelPolicy::Threads(4).resolved_threads(100), 4);
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            assert_eq!(ParallelPolicy::Threads(8).resolved_threads(3), 1);
+            assert_eq!(ParallelPolicy::Threads(4).resolved_threads(100), 1);
+        }
+    }
+
+    #[test]
+    fn auto_stays_serial_below_threshold() {
+        assert_eq!(
+            ParallelPolicy::Auto.resolved_threads(AUTO_MIN_FANOUT - 1),
+            1
+        );
+    }
+
+    #[test]
+    fn default_is_auto() {
+        assert_eq!(ParallelPolicy::default(), ParallelPolicy::Auto);
+    }
+
+    #[test]
+    fn for_each_row_identical_serial_and_parallel() {
+        let row_len = 3;
+        let rows = 64;
+        let run = |threads: usize| -> Vec<f64> {
+            let mut data = vec![0.0; rows * row_len];
+            for_each_row(
+                threads,
+                &mut data,
+                row_len,
+                || vec![0.0; row_len],
+                |scratch, i, row| {
+                    for (k, slot) in row.iter_mut().enumerate() {
+                        scratch[k] = (i as f64 + 1.0).sqrt() * (k as f64 + 0.5);
+                        *slot = scratch[k].sin();
+                    }
+                },
+            );
+            data
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert!(serial
+            .iter()
+            .zip(&parallel)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        let serial = map_indexed(1, 100, |i| i * i);
+        let parallel = map_indexed(4, 100, |i| i * i);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[7], 49);
+    }
+}

@@ -207,11 +207,7 @@ mod tests {
     fn market_rejects_empty_or_invalid() {
         let resources = ResourceSpace::new(vec![10.0]).unwrap();
         assert!(Market::new(resources.clone(), vec![]).is_err());
-        assert!(Market::new(
-            resources,
-            vec![linear_player("a", -5.0, vec![1.0])]
-        )
-        .is_err());
+        assert!(Market::new(resources, vec![linear_player("a", -5.0, vec![1.0])]).is_err());
     }
 
     #[test]

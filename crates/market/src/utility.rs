@@ -376,12 +376,18 @@ impl PiecewiseLinear {
         for w in points.windows(2) {
             if w[1].0 <= w[0].0 {
                 return Err(MarketError::InvalidUtility {
-                    reason: format!("x values must be strictly increasing ({} then {})", w[0].0, w[1].0),
+                    reason: format!(
+                        "x values must be strictly increasing ({} then {})",
+                        w[0].0, w[1].0
+                    ),
                 });
             }
             if w[1].1 < w[0].1 - 1e-12 {
                 return Err(MarketError::InvalidUtility {
-                    reason: format!("y values must be non-decreasing ({} then {})", w[0].1, w[1].1),
+                    reason: format!(
+                        "y values must be non-decreasing ({} then {})",
+                        w[0].1, w[1].1
+                    ),
                 });
             }
         }
@@ -407,22 +413,23 @@ impl PiecewiseLinear {
     }
 
     /// Interpolated value at `x`; clamped flat outside the breakpoint range.
+    /// A NaN probe clamps to the low end rather than panicking (bidders can
+    /// transiently produce NaN allocations from degenerate 0/0 shares).
     pub fn value(&self, x: f64) -> f64 {
-        if x <= self.xs[0] {
+        if x.is_nan() || x <= self.xs[0] {
             return self.ys[0];
         }
         let last = self.xs.len() - 1;
         if x >= self.xs[last] {
             return self.ys[last];
         }
-        // Binary search for the segment containing x.
-        let k = match self
+        // Total-order search for the segment containing x: k is the first
+        // breakpoint strictly above x, so xs[k-1] <= x < xs[k]. (An exact
+        // breakpoint hit interpolates to exactly ys[k-1].)
+        let k = self
             .xs
-            .binary_search_by(|probe| probe.partial_cmp(&x).expect("finite"))
-        {
-            Ok(idx) => return self.ys[idx],
-            Err(idx) => idx, // xs[idx-1] < x < xs[idx]
-        };
+            .partition_point(|p| p.total_cmp(&x).is_le())
+            .clamp(1, last);
         let (x0, x1) = (self.xs[k - 1], self.xs[k]);
         let (y0, y1) = (self.ys[k - 1], self.ys[k]);
         y0 + (y1 - y0) * (x - x0) / (x1 - x0)
@@ -435,10 +442,7 @@ impl PiecewiseLinear {
         if x < self.xs[0] || x >= self.xs[last] {
             return 0.0;
         }
-        let k = self
-            .xs
-            .partition_point(|&p| p <= x)
-            .clamp(1, last);
+        let k = self.xs.partition_point(|&p| p <= x).clamp(1, last);
         (self.ys[k] - self.ys[k - 1]) / (self.xs[k] - self.xs[k - 1])
     }
 
@@ -479,10 +483,7 @@ impl PiecewiseLinear {
             }
             hull.push(i);
         }
-        let points = hull
-            .into_iter()
-            .map(|i| (self.xs[i], self.ys[i]))
-            .collect();
+        let points = hull.into_iter().map(|i| (self.xs[i], self.ys[i])).collect();
         PiecewiseLinear::new(points).expect("hull of a valid curve is valid")
     }
 }
@@ -560,15 +561,19 @@ impl GridUtility {
 
     fn locate(axis: &[f64], x: f64) -> (usize, f64) {
         // Returns (lower index k, fraction t) with x ≈ axis[k]*(1-t)+axis[k+1]*t,
-        // clamped to the axis range.
+        // clamped to the axis range. NaN clamps to the low end instead of
+        // poisoning the interpolation (or panicking in an ordered search).
         let last = axis.len() - 1;
-        if x <= axis[0] {
+        if x.is_nan() || x <= axis[0] {
             return (0, 0.0);
         }
         if x >= axis[last] {
             return (last - 1, 1.0);
         }
-        let k = axis.partition_point(|&p| p <= x).clamp(1, last) - 1;
+        let k = axis
+            .partition_point(|p| p.total_cmp(&x).is_le())
+            .clamp(1, last)
+            - 1;
         let t = (x - axis[k]) / (axis[k + 1] - axis[k]);
         (k, t)
     }
@@ -679,6 +684,27 @@ mod tests {
     }
 
     #[test]
+    fn piecewise_nan_probe_clamps_instead_of_panicking() {
+        let c = PiecewiseLinear::new(vec![(1.0, 0.2), (3.0, 0.6), (5.0, 1.0)]).unwrap();
+        assert_eq!(c.value(f64::NAN), 0.2);
+        // Exact breakpoint hits still return the breakpoint value.
+        assert_eq!(c.value(3.0), 0.6);
+    }
+
+    #[test]
+    fn grid_nan_probe_clamps_instead_of_poisoning() {
+        let u = GridUtility::new(
+            vec![0.0, 1.0, 2.0],
+            vec![0.0, 10.0],
+            vec![0.0, 1.0, 0.5, 1.5, 1.0, 2.0],
+        )
+        .unwrap();
+        assert_eq!(u.value(&[f64::NAN, 0.0]), 0.0);
+        assert_eq!(u.value(&[f64::NAN, f64::NAN]), 0.0);
+        assert!(u.value(&[1.0, f64::NAN]).is_finite());
+    }
+
+    #[test]
     fn piecewise_rejects_invalid() {
         assert!(PiecewiseLinear::new(vec![(0.0, 0.0)]).is_err());
         assert!(PiecewiseLinear::new(vec![(0.0, 0.0), (0.0, 1.0)]).is_err());
@@ -742,7 +768,12 @@ mod tests {
         assert!(GridUtility::new(vec![0.0], vec![0.0, 1.0], vec![0.0, 1.0]).is_err());
         assert!(GridUtility::new(vec![0.0, 0.0], vec![0.0, 1.0], vec![0.0; 4]).is_err());
         assert!(GridUtility::new(vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0; 3]).is_err());
-        assert!(GridUtility::new(vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0, 0.0, 0.0, f64::NAN]).is_err());
+        assert!(GridUtility::new(
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+            vec![0.0, 0.0, 0.0, f64::NAN]
+        )
+        .is_err());
     }
 
     #[test]

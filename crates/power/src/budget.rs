@@ -56,7 +56,11 @@ impl PowerBudget {
         extra_watts: &[f64],
     ) -> Result<Vec<f64>> {
         assert_eq!(models.len(), temps_k.len(), "temps length mismatch");
-        assert_eq!(models.len(), extra_watts.len(), "allocation length mismatch");
+        assert_eq!(
+            models.len(),
+            extra_watts.len(),
+            "allocation length mismatch"
+        );
         models
             .iter()
             .zip(temps_k)
@@ -117,11 +121,7 @@ mod tests {
         assert!(freqs[1] < freqs[2] && freqs[2] < freqs[3]);
         // Total drawn never exceeds floor + extras.
         let drawn = b.drawn_watts(&models, &temps, &freqs);
-        let granted: f64 = models
-            .iter()
-            .map(|m| m.floor_power(330.0))
-            .sum::<f64>()
-            + 14.0;
+        let granted: f64 = models.iter().map(|m| m.floor_power(330.0)).sum::<f64>() + 14.0;
         assert!(drawn <= granted + 1e-6);
     }
 

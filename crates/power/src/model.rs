@@ -251,7 +251,10 @@ mod tests {
         let p0 = m.static_power(330.0);
         let p10 = m.static_power(340.0);
         let p20 = m.static_power(350.0);
-        assert!((p10 / p0 - p20 / p10).abs() < 1e-9, "constant ratio per 10 K");
+        assert!(
+            (p10 / p0 - p20 / p10).abs() < 1e-9,
+            "constant ratio per 10 K"
+        );
         assert!(p10 > p0);
     }
 

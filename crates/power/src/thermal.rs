@@ -81,7 +81,12 @@ mod tests {
             n.step(10.0, 0.01);
         }
         let ss = n.steady_state(10.0);
-        assert!((n.temperature() - ss).abs() < 0.1, "{} vs {}", n.temperature(), ss);
+        assert!(
+            (n.temperature() - ss).abs() < 0.1,
+            "{} vs {}",
+            n.temperature(),
+            ss
+        );
         assert_eq!(ss, 318.0 + 30.0);
     }
 

@@ -12,6 +12,11 @@ fn main() {
     m.observe_quantum(300_000);
     let c = m.mpki_curve().unwrap();
     for (cap, miss) in c.capacities().iter().zip(c.misses()) {
-        println!("{:>8.0} kB  mpki {:.2}  (analytic {:.2})", cap / 1024.0, miss, app.mpki_at(*cap));
+        println!(
+            "{:>8.0} kB  mpki {:.2}  (analytic {:.2})",
+            cap / 1024.0,
+            miss,
+            app.mpki_at(*cap)
+        );
     }
 }

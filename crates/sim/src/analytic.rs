@@ -4,6 +4,7 @@
 
 use std::sync::Arc;
 
+use rebudget_market::par::{self, ParallelPolicy};
 use rebudget_market::{Market, Player, ResourceSpace, Result};
 use rebudget_workloads::Bundle;
 
@@ -69,19 +70,37 @@ pub fn build_market(
     dram: &DramConfig,
     budget: f64,
 ) -> Result<Market> {
+    build_market_with(bundle, sys, dram, budget, ParallelPolicy::Auto)
+}
+
+/// [`build_market`] under an explicit [`ParallelPolicy`].
+///
+/// Profiling + convexifying one application's utility surface walks the
+/// full cache×power grid and is the dominant cost of market construction,
+/// so the per-core surfaces are built across worker threads. Each surface
+/// depends only on its own app model; the resulting market is identical
+/// under every policy.
+///
+/// # Errors
+///
+/// Propagates construction errors (cannot occur for valid bundles).
+pub fn build_market_with(
+    bundle: &Bundle,
+    sys: &SystemConfig,
+    dram: &DramConfig,
+    budget: f64,
+    policy: ParallelPolicy,
+) -> Result<Market> {
     let resources = resource_space(bundle, sys)?;
-    let players = bundle
-        .apps
-        .iter()
-        .enumerate()
-        .map(|(core, app)| {
-            Player::new(
-                format!("{}#{core}", app.name),
-                budget,
-                Arc::new(app_utility_grid(app, sys, dram)) as Arc<dyn rebudget_market::Utility>,
-            )
-        })
-        .collect();
+    let threads = policy.resolved_threads_coarse(bundle.apps.len());
+    let players = par::map_indexed(threads, bundle.apps.len(), |core| {
+        let app = &bundle.apps[core];
+        Player::new(
+            format!("{}#{core}", app.name),
+            budget,
+            Arc::new(app_utility_grid(app, sys, dram)) as Arc<dyn rebudget_market::Utility>,
+        )
+    });
     Market::new(resources, players)
 }
 

@@ -122,18 +122,46 @@ pub fn table1_rows() -> Vec<(&'static str, String, String)> {
             format!("{} channels", c8.memory_channels),
             format!("{} channels", c64.memory_channels),
         ),
-        ("Frequency", "0.8 GHz - 4.0 GHz".into(), "0.8 GHz - 4.0 GHz".into()),
+        (
+            "Frequency",
+            "0.8 GHz - 4.0 GHz".into(),
+            "0.8 GHz - 4.0 GHz".into(),
+        ),
         ("Voltage", "0.8 V - 1.2 V".into(), "0.8 V - 1.2 V".into()),
-        ("Fetch/Issue/Commit Width", "4 / 4 / 4".into(), "4 / 4 / 4".into()),
-        ("Int/FP/Ld/St/Br Units", "2 / 2 / 2 / 2 / 2".into(), "2 / 2 / 2 / 2 / 2".into()),
+        (
+            "Fetch/Issue/Commit Width",
+            "4 / 4 / 4".into(),
+            "4 / 4 / 4".into(),
+        ),
+        (
+            "Int/FP/Ld/St/Br Units",
+            "2 / 2 / 2 / 2 / 2".into(),
+            "2 / 2 / 2 / 2 / 2".into(),
+        ),
         ("ROB (Reorder Buffer) Entries", "128".into(), "128".into()),
         ("Int/FP Registers", "160 / 160".into(), "160 / 160".into()),
         ("Ld/St Queue Entries", "32 / 32".into(), "32 / 32".into()),
-        ("Branch Predictor", "Alpha 21264 (tournament)".into(), "Alpha 21264 (tournament)".into()),
-        ("BTB Size", "512 entries, direct-mapped".into(), "512 entries, direct-mapped".into()),
+        (
+            "Branch Predictor",
+            "Alpha 21264 (tournament)".into(),
+            "Alpha 21264 (tournament)".into(),
+        ),
+        (
+            "BTB Size",
+            "512 entries, direct-mapped".into(),
+            "512 entries, direct-mapped".into(),
+        ),
         ("iL1/dL1 Size", "32 kB".into(), "32 kB".into()),
-        ("iL1/dL1 Block Size", "32 B / 32 B".into(), "32 B / 32 B".into()),
-        ("iL1/dL1 Associativity", "direct-mapped / 4-way".into(), "direct-mapped / 4-way".into()),
+        (
+            "iL1/dL1 Block Size",
+            "32 B / 32 B".into(),
+            "32 B / 32 B".into(),
+        ),
+        (
+            "iL1/dL1 Associativity",
+            "direct-mapped / 4-way".into(),
+            "direct-mapped / 4-way".into(),
+        ),
     ]
 }
 

@@ -70,8 +70,7 @@ impl LeadingLoadsPredictor {
     /// whatever remains is compute and is converted to cycles so it can
     /// be re-scaled to other frequencies.
     pub fn observe(&mut self, obs: &QuantumObservation) {
-        let memory_ns = (obs.misses * obs.miss_latency_ns / obs.mlp.max(0.1))
-            .min(obs.elapsed_ns);
+        let memory_ns = (obs.misses * obs.miss_latency_ns / obs.mlp.max(0.1)).min(obs.elapsed_ns);
         let compute_ns = obs.elapsed_ns - memory_ns;
         self.total_compute_cycles += compute_ns * obs.freq_ghz;
         self.total_memory_ns += memory_ns;
@@ -162,11 +161,27 @@ mod tests {
     #[test]
     fn memory_fraction_separates_app_classes() {
         let mut compute = LeadingLoadsPredictor::new();
-        compute.observe(&observe_app(app_by_name("sixtrack").expect("exists"), 1e6, 2.0));
+        compute.observe(&observe_app(
+            app_by_name("sixtrack").expect("exists"),
+            1e6,
+            2.0,
+        ));
         let mut memory = LeadingLoadsPredictor::new();
-        memory.observe(&observe_app(app_by_name("libquantum").expect("exists"), 1e6, 2.0));
-        assert!(compute.memory_fraction() < 0.1, "{}", compute.memory_fraction());
-        assert!(memory.memory_fraction() > 0.6, "{}", memory.memory_fraction());
+        memory.observe(&observe_app(
+            app_by_name("libquantum").expect("exists"),
+            1e6,
+            2.0,
+        ));
+        assert!(
+            compute.memory_fraction() < 0.1,
+            "{}",
+            compute.memory_fraction()
+        );
+        assert!(
+            memory.memory_fraction() > 0.6,
+            "{}",
+            memory.memory_fraction()
+        );
     }
 
     #[test]

@@ -63,7 +63,8 @@ impl DramConfig {
     pub fn effective_latency_ns(&self, row_hit_rate: f64, channel_utilization: f64) -> f64 {
         let h = row_hit_rate.clamp(0.0, 1.0);
         // Remaining accesses split between closed rows and conflicts.
-        let base = h * self.row_hit_ns() + (1.0 - h) * 0.5 * (self.row_miss_ns() + self.row_conflict_ns());
+        let base =
+            h * self.row_hit_ns() + (1.0 - h) * 0.5 * (self.row_miss_ns() + self.row_conflict_ns());
         let u = channel_utilization.clamp(0.0, 0.95);
         let queueing = (1.0 / (1.0 - u)).min(3.0);
         base * queueing

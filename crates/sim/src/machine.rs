@@ -173,7 +173,9 @@ impl Machine {
             stats.instructions.push(retired);
         }
         self.thermal.step(&drawn_watts, QUANTUM_SECONDS);
-        stats.temps_k = (0..self.cores.len()).map(|i| self.thermal.temperature(i)).collect();
+        stats.temps_k = (0..self.cores.len())
+            .map(|i| self.thermal.temperature(i))
+            .collect();
         self.elapsed_s += QUANTUM_SECONDS;
         stats
     }

@@ -32,7 +32,12 @@ impl CoreMonitor {
         let monitored_bytes = sys.max_regions_per_core as u64 * CACHE_REGION_BYTES as u64;
         let sets = (monitored_bytes / (16 * line)) as usize;
         let umon = UmonShadowTags::new(sets, line, 32, 16).expect("paper UMON geometry is valid");
-        let trace = TraceGenerator::from_profile(app, seed ^ (core as u64) << 32, (core as u64) << 44, line);
+        let trace = TraceGenerator::from_profile(
+            app,
+            seed ^ (core as u64) << 32,
+            (core as u64) << 44,
+            line,
+        );
         Self { app, trace, umon }
     }
 

@@ -13,9 +13,7 @@ use crate::config::SystemConfig;
 use crate::dram::DramConfig;
 use crate::machine::Machine;
 use crate::monitor::CoreMonitor;
-use crate::utility_model::{
-    alone_instruction_rate, app_utility_grid, utility_grid_from_mpki,
-};
+use crate::utility_model::{alone_instruction_rate, app_utility_grid, utility_grid_from_mpki};
 
 /// Errors from the simulation driver.
 #[derive(Debug, Clone, PartialEq)]
@@ -183,21 +181,21 @@ pub fn run_simulation(
         });
     }
     enum Exec {
-        Analytic(Machine),
+        Analytic(Box<Machine>),
         Trace(Box<crate::trace_machine::TraceDrivenMachine>),
     }
     let mut machine = match opts.execution {
         ExecutionModel::Analytic => {
-            Exec::Analytic(Machine::new(sys.clone(), *dram, bundle))
+            Exec::Analytic(Box::new(Machine::new(sys.clone(), *dram, bundle)))
         }
-        ExecutionModel::TraceDriven => Exec::Trace(Box::new(
-            crate::trace_machine::TraceDrivenMachine::new(
+        ExecutionModel::TraceDriven => {
+            Exec::Trace(Box::new(crate::trace_machine::TraceDrivenMachine::new(
                 sys.clone(),
                 *dram,
                 bundle,
                 opts.seed ^ 0xface,
-            )?,
-        )),
+            )?))
+        }
     };
     let mut monitors: Vec<CoreMonitor> = bundle
         .apps
@@ -297,7 +295,7 @@ mod tests {
             budget: 100.0,
             use_monitors: true,
             seed: 11,
-        ..SimOptions::default()
+            ..SimOptions::default()
         }
     }
 
@@ -305,14 +303,8 @@ mod tests {
     fn bundle_mismatch_is_an_error() {
         let sys = SystemConfig::paper_64core();
         let dram = DramConfig::ddr3_1600();
-        let err = run_simulation(
-            &sys,
-            &dram,
-            &paper_bbpc_8core(),
-            &EqualShare,
-            &fast_opts(),
-        )
-        .unwrap_err();
+        let err = run_simulation(&sys, &dram, &paper_bbpc_8core(), &EqualShare, &fast_opts())
+            .unwrap_err();
         assert!(matches!(err, SimError::BundleMismatch { .. }));
     }
 
@@ -335,7 +327,11 @@ mod tests {
         // The efficiency trajectory averages to the reported efficiency.
         assert_eq!(r.efficiency_history.len(), r.quanta);
         let mean: f64 = r.efficiency_history.iter().sum::<f64>() / r.quanta as f64;
-        assert!((mean - r.efficiency).abs() < 1e-6, "{mean} vs {}", r.efficiency);
+        assert!(
+            (mean - r.efficiency).abs() < 1e-6,
+            "{mean} vs {}",
+            r.efficiency
+        );
     }
 
     #[test]
@@ -347,8 +343,14 @@ mod tests {
         let opts = fast_opts();
         let bundle = paper_bbpc_8core();
         let eq = run_simulation(&sys, &dram, &bundle, &EqualBudget::new(100.0), &opts).unwrap();
-        let rb = run_simulation(&sys, &dram, &bundle, &ReBudget::with_step(100.0, 40.0), &opts)
-            .unwrap();
+        let rb = run_simulation(
+            &sys,
+            &dram,
+            &bundle,
+            &ReBudget::with_step(100.0, 40.0),
+            &opts,
+        )
+        .unwrap();
         let opt = run_simulation(&sys, &dram, &bundle, &MaxEfficiency::default(), &opts).unwrap();
         assert!(
             opt.efficiency >= rb.efficiency - 0.05,
@@ -374,20 +376,15 @@ mod tests {
     fn trace_driven_mode_tracks_analytic_mode() {
         let sys = SystemConfig::scaled(4);
         let dram = DramConfig::ddr3_1600();
-        let bundle = rebudget_workloads::generate_bundle(
-            rebudget_workloads::Category::Cpbn,
-            4,
-            0,
-            5,
-        )
-        .expect("4 cores");
+        let bundle =
+            rebudget_workloads::generate_bundle(rebudget_workloads::Category::Cpbn, 4, 0, 5)
+                .expect("4 cores");
         let mut opts = fast_opts();
         opts.quanta = 6;
         let analytic =
             run_simulation(&sys, &dram, &bundle, &EqualBudget::new(100.0), &opts).unwrap();
         opts.execution = ExecutionModel::TraceDriven;
-        let traced =
-            run_simulation(&sys, &dram, &bundle, &EqualBudget::new(100.0), &opts).unwrap();
+        let traced = run_simulation(&sys, &dram, &bundle, &EqualBudget::new(100.0), &opts).unwrap();
         assert!(traced.efficiency > 0.0);
         // Trace-driven execution pays for enforcement transients and real
         // contention; it must stay in the same ballpark, below-or-near the
@@ -408,8 +405,14 @@ mod tests {
         let mut opts = fast_opts();
         opts.use_monitors = false;
         opts.accesses_per_quantum = 0;
-        let r = run_simulation(&sys, &dram, &paper_bbpc_8core(), &EqualBudget::new(100.0), &opts)
-            .unwrap();
+        let r = run_simulation(
+            &sys,
+            &dram,
+            &paper_bbpc_8core(),
+            &EqualBudget::new(100.0),
+            &opts,
+        )
+        .unwrap();
         assert!(r.efficiency > 0.0);
     }
 }

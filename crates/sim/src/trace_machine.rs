@@ -185,7 +185,8 @@ impl TraceDrivenMachine {
             let mpki = if kilo_instr > 0.0 {
                 d_miss as f64 / kilo_instr
             } else {
-                core.app.mpki_at(self.sys.core_cache_bytes(cache_regions[i]))
+                core.app
+                    .mpki_at(self.sys.core_cache_bytes(cache_regions[i]))
             };
             let f = freqs[i];
             let t_kilo_ns = 1000.0 * core.app.base_cpi / f + mpki * mem_ns / core.app.mlp.max(0.1);

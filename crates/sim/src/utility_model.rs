@@ -124,8 +124,8 @@ pub fn utility_grid_from_mpki_with(
                 (x, u)
             })
             .collect();
-        let curve = PiecewiseLinear::new(column)
-            .expect("utility columns are monotone by construction");
+        let curve =
+            PiecewiseLinear::new(column).expect("utility columns are monotone by construction");
         let curve = if convexify {
             curve.upper_concave_hull()
         } else {
@@ -153,7 +153,15 @@ pub fn app_utility_grid_with(
     convexify: bool,
 ) -> GridUtility {
     let mpki = analytic_mpki_curve(app, sys);
-    utility_grid_from_mpki_with(&mpki, app.base_cpi, app.mlp, app.activity, sys, dram, convexify)
+    utility_grid_from_mpki_with(
+        &mpki,
+        app.base_cpi,
+        app.mlp,
+        app.activity,
+        sys,
+        dram,
+        convexify,
+    )
 }
 
 /// Stand-alone instruction rate (instructions/second) — the normalization
@@ -186,7 +194,11 @@ mod tests {
         assert_eq!(g.axis1().len(), 9, "9 frequency allocations");
         assert_eq!(g.axis0()[0], 0.0);
         assert_eq!(g.axis0()[9], 15.0);
-        assert_eq!(g.axis1()[0], 0.0, "800 MHz floor costs no discretionary Watts");
+        assert_eq!(
+            g.axis1()[0],
+            0.0,
+            "800 MHz floor costs no discretionary Watts"
+        );
     }
 
     #[test]
@@ -200,7 +212,10 @@ mod tests {
                 "{name}: utility at full allocation is {top}"
             );
             let bottom = g.value(&[0.0, 0.0]);
-            assert!(bottom > 0.0 && bottom < 1.0, "{name}: floor utility {bottom}");
+            assert!(
+                bottom > 0.0 && bottom < 1.0,
+                "{name}: floor utility {bottom}"
+            );
         }
     }
 

@@ -100,7 +100,10 @@ pub fn generate_bundle(
     // Mix the category and index into the seed so every bundle differs but
     // the full suite is reproducible from one seed.
     let mixed = seed
-        ^ (category.name().bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64)))
+        ^ (category
+            .name()
+            .bytes()
+            .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64)))
         ^ ((index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
     let mut rng = StdRng::seed_from_u64(mixed);
     let mut apps = Vec::with_capacity(cores);

@@ -29,10 +29,12 @@ pub fn full_suite(cores: usize, seed: u64) -> Result<Vec<Bundle>, WorkloadError>
 /// "four 'B' apps (*apsi* and *swim*, 2 copies each), two 'C' apps (2
 /// copies of *mcf*), and two 'P' apps (*hmmer* and *sixtrack*)".
 pub fn paper_bbpc_8core() -> Bundle {
-    let apps = ["apsi", "apsi", "swim", "swim", "mcf", "mcf", "hmmer", "sixtrack"]
-        .iter()
-        .map(|name| app_by_name(name).expect("paper apps exist"))
-        .collect();
+    let apps = [
+        "apsi", "apsi", "swim", "swim", "mcf", "mcf", "hmmer", "sixtrack",
+    ]
+    .iter()
+    .map(|name| app_by_name(name).expect("paper apps exist"))
+    .collect();
     Bundle {
         category: Category::Cpbb,
         index: usize::MAX, // sentinel: hand-constructed, not generated

@@ -37,15 +37,17 @@ fn main() -> Result<(), Box<dyn Error>> {
             Ok(Player::new(
                 *name,
                 100.0,
-                Arc::new(CobbDouglas::new(0.01, e.to_vec())?)
-                    as Arc<dyn rebudget_market::Utility>,
+                Arc::new(CobbDouglas::new(0.01, e.to_vec())?) as Arc<dyn rebudget_market::Utility>,
             ))
         })
         .collect::<Result<Vec<_>, _>>()?;
     let market = Market::new(resources, players)?;
 
     let oracle = MaxEfficiency::default().allocate(&market)?;
-    println!("Welfare-optimal efficiency (oracle): {:.3}", oracle.efficiency);
+    println!(
+        "Welfare-optimal efficiency (oracle): {:.3}",
+        oracle.efficiency
+    );
     println!();
     println!(
         "{:<14} {:>10} {:>10} {:>8} {:>8} {:>10} {:>10}",

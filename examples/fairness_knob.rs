@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let sys = SystemConfig::paper_8core();
     let dram = DramConfig::ddr3_1600();
     let bundle = paper_bbpc_8core();
-    println!("Bundle: {:?} (the paper's Figure-3 case study)", bundle.app_names());
+    println!(
+        "Bundle: {:?} (the paper's Figure-3 case study)",
+        bundle.app_names()
+    );
 
     let market = build_market(&bundle, &sys, &dram, 100.0)?;
     let oracle = MaxEfficiency::default().allocate(&market)?;
@@ -35,16 +38,22 @@ fn main() -> Result<(), Box<dyn Error>> {
             mech.initial_step,
             out.efficiency / oracle.efficiency,
             out.envy_freeness,
-            if out.envy_freeness >= floor - 1e-9 { "yes" } else { "NO" },
+            if out.envy_freeness >= floor - 1e-9 {
+                "yes"
+            } else {
+                "NO"
+            },
         );
     }
 
     println!();
-    println!(
-        "No budget assignment can guarantee more than {MAX_GUARANTEED_EF:.3}-approximate"
-    );
+    println!("No budget assignment can guarantee more than {MAX_GUARANTEED_EF:.3}-approximate");
     println!("envy-freeness (Theorem 2 at MBR = 1); asking for more is an error:");
-    println!("  ReBudget::with_fairness_floor(100.0, 0.9) -> {:?}",
-        ReBudget::with_fairness_floor(100.0, 0.9).err().map(|e| e.to_string()));
+    println!(
+        "  ReBudget::with_fairness_floor(100.0, 0.9) -> {:?}",
+        ReBudget::with_fairness_floor(100.0, 0.9)
+            .err()
+            .map(|e| e.to_string())
+    );
     Ok(())
 }

@@ -16,15 +16,26 @@ fn main() -> Result<(), Box<dyn Error>> {
     let sys = SystemConfig::paper_8core();
     let dram = DramConfig::ddr3_1600();
     let app = |name: &str| {
-        rebudget_apps::spec::app_by_name(name)
-            .unwrap_or_else(|| panic!("app {name} exists"))
+        rebudget_apps::spec::app_by_name(name).unwrap_or_else(|| panic!("app {name} exists"))
     };
     let bundle = MultithreadedBundle {
         groups: vec![
-            ThreadGroup { app: app("swim"), threads: 4 },
-            ThreadGroup { app: app("mcf"), threads: 2 },
-            ThreadGroup { app: app("sixtrack"), threads: 1 },
-            ThreadGroup { app: app("gzip"), threads: 1 },
+            ThreadGroup {
+                app: app("swim"),
+                threads: 4,
+            },
+            ThreadGroup {
+                app: app("mcf"),
+                threads: 2,
+            },
+            ThreadGroup {
+                app: app("sixtrack"),
+                threads: 1,
+            },
+            ThreadGroup {
+                app: app("gzip"),
+                threads: 1,
+            },
         ],
     };
     println!(
@@ -34,7 +45,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     let market = build_group_market(&bundle, &sys, &dram, 100.0)?;
-    println!("\nGroup budgets (thread-proportional): {:?}", market.budgets());
+    println!(
+        "\nGroup budgets (thread-proportional): {:?}",
+        market.budgets()
+    );
 
     let mechanisms: Vec<Box<dyn Mechanism>> = vec![
         Box::new(EqualShare),

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-4338f2fedf542404.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/libablation-4338f2fedf542404.rmeta: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-4a11a0c8e74366ec.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-4a11a0c8e74366ec: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

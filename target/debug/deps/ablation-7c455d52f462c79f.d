@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-7c455d52f462c79f.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/libablation-7c455d52f462c79f.rmeta: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

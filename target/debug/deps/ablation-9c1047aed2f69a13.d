@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-9c1047aed2f69a13.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/libablation-9c1047aed2f69a13.rmeta: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-a28f035f3e78d094.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/libablation-a28f035f3e78d094.rmeta: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

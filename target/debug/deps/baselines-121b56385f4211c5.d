@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-121b56385f4211c5.d: crates/bench/src/bin/baselines.rs
+
+/root/repo/target/debug/deps/libbaselines-121b56385f4211c5.rmeta: crates/bench/src/bin/baselines.rs
+
+crates/bench/src/bin/baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-208cc3f9ada41816.d: crates/bench/src/bin/baselines.rs
+
+/root/repo/target/debug/deps/libbaselines-208cc3f9ada41816.rmeta: crates/bench/src/bin/baselines.rs
+
+crates/bench/src/bin/baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-697ceb1339a7a10b.d: crates/bench/src/bin/baselines.rs
+
+/root/repo/target/debug/deps/baselines-697ceb1339a7a10b: crates/bench/src/bin/baselines.rs
+
+crates/bench/src/bin/baselines.rs:

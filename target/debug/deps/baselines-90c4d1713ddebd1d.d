@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-90c4d1713ddebd1d.d: crates/bench/src/bin/baselines.rs
+
+/root/repo/target/debug/deps/libbaselines-90c4d1713ddebd1d.rmeta: crates/bench/src/bin/baselines.rs
+
+crates/bench/src/bin/baselines.rs:

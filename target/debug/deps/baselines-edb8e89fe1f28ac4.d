@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines-edb8e89fe1f28ac4.d: crates/bench/src/bin/baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-edb8e89fe1f28ac4.rmeta: crates/bench/src/bin/baselines.rs Cargo.toml
+
+crates/bench/src/bin/baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

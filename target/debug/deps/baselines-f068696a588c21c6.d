@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-f068696a588c21c6.d: crates/bench/src/bin/baselines.rs
+
+/root/repo/target/debug/deps/libbaselines-f068696a588c21c6.rmeta: crates/bench/src/bin/baselines.rs
+
+crates/bench/src/bin/baselines.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache_substrate-61119a464392e54b.d: crates/bench/benches/cache_substrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache_substrate-61119a464392e54b.rmeta: crates/bench/benches/cache_substrate.rs Cargo.toml
+
+crates/bench/benches/cache_substrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

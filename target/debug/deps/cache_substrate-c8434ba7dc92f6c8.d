@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache_substrate-c8434ba7dc92f6c8.d: crates/bench/benches/cache_substrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache_substrate-c8434ba7dc92f6c8.rmeta: crates/bench/benches/cache_substrate.rs Cargo.toml
+
+crates/bench/benches/cache_substrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_substrate-e03176c3c0c09437.d: crates/bench/benches/cache_substrate.rs
+
+/root/repo/target/debug/deps/libcache_substrate-e03176c3c0c09437.rmeta: crates/bench/benches/cache_substrate.rs
+
+crates/bench/benches/cache_substrate.rs:

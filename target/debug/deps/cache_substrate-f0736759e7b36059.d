@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_substrate-f0736759e7b36059.d: crates/bench/benches/cache_substrate.rs
+
+/root/repo/target/debug/deps/libcache_substrate-f0736759e7b36059.rmeta: crates/bench/benches/cache_substrate.rs
+
+crates/bench/benches/cache_substrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/convergence-0be8b7efb7f11ead.d: crates/bench/src/bin/convergence.rs
+
+/root/repo/target/debug/deps/libconvergence-0be8b7efb7f11ead.rmeta: crates/bench/src/bin/convergence.rs
+
+crates/bench/src/bin/convergence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/convergence-0c257070dfed7781.d: crates/bench/src/bin/convergence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconvergence-0c257070dfed7781.rmeta: crates/bench/src/bin/convergence.rs Cargo.toml
+
+crates/bench/src/bin/convergence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/convergence-1d7abc3ed5ad4a2f.d: crates/bench/src/bin/convergence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconvergence-1d7abc3ed5ad4a2f.rmeta: crates/bench/src/bin/convergence.rs Cargo.toml
+
+crates/bench/src/bin/convergence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/convergence-90280a10467aec73.d: crates/bench/src/bin/convergence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconvergence-90280a10467aec73.rmeta: crates/bench/src/bin/convergence.rs Cargo.toml
+
+crates/bench/src/bin/convergence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/convergence-9eefeb6efee650ad.d: crates/bench/src/bin/convergence.rs
+
+/root/repo/target/debug/deps/libconvergence-9eefeb6efee650ad.rmeta: crates/bench/src/bin/convergence.rs
+
+crates/bench/src/bin/convergence.rs:

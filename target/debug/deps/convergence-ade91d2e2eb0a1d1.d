@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/convergence-ade91d2e2eb0a1d1.d: crates/bench/src/bin/convergence.rs
+
+/root/repo/target/debug/deps/libconvergence-ade91d2e2eb0a1d1.rmeta: crates/bench/src/bin/convergence.rs
+
+crates/bench/src/bin/convergence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/convergence-c37287f05d2ffe26.d: crates/bench/src/bin/convergence.rs
+
+/root/repo/target/debug/deps/convergence-c37287f05d2ffe26: crates/bench/src/bin/convergence.rs
+
+crates/bench/src/bin/convergence.rs:

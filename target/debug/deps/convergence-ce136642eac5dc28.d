@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/convergence-ce136642eac5dc28.d: crates/bench/src/bin/convergence.rs
+
+/root/repo/target/debug/deps/libconvergence-ce136642eac5dc28.rmeta: crates/bench/src/bin/convergence.rs
+
+crates/bench/src/bin/convergence.rs:

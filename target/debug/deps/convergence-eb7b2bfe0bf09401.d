@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/convergence-eb7b2bfe0bf09401.d: crates/bench/src/bin/convergence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconvergence-eb7b2bfe0bf09401.rmeta: crates/bench/src/bin/convergence.rs Cargo.toml
+
+crates/bench/src/bin/convergence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

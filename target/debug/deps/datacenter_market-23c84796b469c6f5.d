@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datacenter_market-23c84796b469c6f5.d: examples/datacenter_market.rs
+
+/root/repo/target/debug/deps/datacenter_market-23c84796b469c6f5: examples/datacenter_market.rs
+
+examples/datacenter_market.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datacenter_market-3aeb0a1c1cfde0aa.d: examples/datacenter_market.rs
+
+/root/repo/target/debug/deps/libdatacenter_market-3aeb0a1c1cfde0aa.rmeta: examples/datacenter_market.rs
+
+examples/datacenter_market.rs:

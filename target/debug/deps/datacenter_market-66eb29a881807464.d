@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datacenter_market-66eb29a881807464.d: examples/datacenter_market.rs
+
+/root/repo/target/debug/deps/libdatacenter_market-66eb29a881807464.rmeta: examples/datacenter_market.rs
+
+examples/datacenter_market.rs:

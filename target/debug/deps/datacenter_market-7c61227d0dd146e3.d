@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datacenter_market-7c61227d0dd146e3.d: examples/datacenter_market.rs
+
+/root/repo/target/debug/deps/libdatacenter_market-7c61227d0dd146e3.rmeta: examples/datacenter_market.rs
+
+examples/datacenter_market.rs:

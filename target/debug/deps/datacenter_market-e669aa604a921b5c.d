@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datacenter_market-e669aa604a921b5c.d: examples/datacenter_market.rs
+
+/root/repo/target/debug/deps/libdatacenter_market-e669aa604a921b5c.rmeta: examples/datacenter_market.rs
+
+examples/datacenter_market.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/datacenter_market-f65b640ff0d9a183.d: examples/datacenter_market.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdatacenter_market-f65b640ff0d9a183.rmeta: examples/datacenter_market.rs Cargo.toml
+
+examples/datacenter_market.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

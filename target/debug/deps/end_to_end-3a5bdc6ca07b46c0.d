@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-3a5bdc6ca07b46c0.d: tests/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-3a5bdc6ca07b46c0: tests/tests/end_to_end.rs
+
+tests/tests/end_to_end.rs:

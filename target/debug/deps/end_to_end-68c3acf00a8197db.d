@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-68c3acf00a8197db.d: tests/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-68c3acf00a8197db.rmeta: tests/tests/end_to_end.rs
+
+tests/tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-980742d21e37d04e.d: tests/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-980742d21e37d04e.rmeta: tests/tests/end_to_end.rs
+
+tests/tests/end_to_end.rs:

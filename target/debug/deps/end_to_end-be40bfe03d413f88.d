@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-be40bfe03d413f88.d: tests/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-be40bfe03d413f88: tests/tests/end_to_end.rs
+
+tests/tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equilibrium-3b2d27988c33c885.d: crates/bench/benches/equilibrium.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequilibrium-3b2d27988c33c885.rmeta: crates/bench/benches/equilibrium.rs Cargo.toml
+
+crates/bench/benches/equilibrium.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equilibrium-ad7c3343e540d7ae.d: crates/bench/benches/equilibrium.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequilibrium-ad7c3343e540d7ae.rmeta: crates/bench/benches/equilibrium.rs Cargo.toml
+
+crates/bench/benches/equilibrium.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

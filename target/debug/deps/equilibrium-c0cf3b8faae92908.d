@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equilibrium-c0cf3b8faae92908.d: crates/bench/benches/equilibrium.rs
+
+/root/repo/target/debug/deps/libequilibrium-c0cf3b8faae92908.rmeta: crates/bench/benches/equilibrium.rs
+
+crates/bench/benches/equilibrium.rs:

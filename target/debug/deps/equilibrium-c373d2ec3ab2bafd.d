@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equilibrium-c373d2ec3ab2bafd.d: crates/bench/benches/equilibrium.rs
+
+/root/repo/target/debug/deps/libequilibrium-c373d2ec3ab2bafd.rmeta: crates/bench/benches/equilibrium.rs
+
+crates/bench/benches/equilibrium.rs:

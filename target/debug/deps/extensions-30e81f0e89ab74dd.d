@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-30e81f0e89ab74dd.d: tests/tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-30e81f0e89ab74dd: tests/tests/extensions.rs
+
+tests/tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-70e5246017cbc7aa.d: tests/tests/extensions.rs
+
+/root/repo/target/debug/deps/libextensions-70e5246017cbc7aa.rmeta: tests/tests/extensions.rs
+
+tests/tests/extensions.rs:

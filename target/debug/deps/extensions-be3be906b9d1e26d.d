@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-be3be906b9d1e26d.d: tests/tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-be3be906b9d1e26d: tests/tests/extensions.rs
+
+tests/tests/extensions.rs:

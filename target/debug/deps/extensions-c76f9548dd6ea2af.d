@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-c76f9548dd6ea2af.d: tests/tests/extensions.rs
+
+/root/repo/target/debug/deps/libextensions-c76f9548dd6ea2af.rmeta: tests/tests/extensions.rs
+
+tests/tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fairness_knob-096a03583dcc46d2.d: examples/fairness_knob.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairness_knob-096a03583dcc46d2.rmeta: examples/fairness_knob.rs Cargo.toml
+
+examples/fairness_knob.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fairness_knob-210f58a9fddfc9de.d: examples/fairness_knob.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairness_knob-210f58a9fddfc9de.rmeta: examples/fairness_knob.rs Cargo.toml
+
+examples/fairness_knob.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

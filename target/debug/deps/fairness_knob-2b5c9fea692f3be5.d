@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fairness_knob-2b5c9fea692f3be5.d: examples/fairness_knob.rs
+
+/root/repo/target/debug/deps/libfairness_knob-2b5c9fea692f3be5.rmeta: examples/fairness_knob.rs
+
+examples/fairness_knob.rs:

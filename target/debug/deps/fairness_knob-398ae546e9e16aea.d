@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fairness_knob-398ae546e9e16aea.d: examples/fairness_knob.rs
+
+/root/repo/target/debug/deps/libfairness_knob-398ae546e9e16aea.rmeta: examples/fairness_knob.rs
+
+examples/fairness_knob.rs:

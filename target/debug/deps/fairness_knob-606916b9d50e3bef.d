@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fairness_knob-606916b9d50e3bef.d: examples/fairness_knob.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairness_knob-606916b9d50e3bef.rmeta: examples/fairness_knob.rs Cargo.toml
+
+examples/fairness_knob.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

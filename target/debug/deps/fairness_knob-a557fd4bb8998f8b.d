@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fairness_knob-a557fd4bb8998f8b.d: examples/fairness_knob.rs
+
+/root/repo/target/debug/deps/libfairness_knob-a557fd4bb8998f8b.rmeta: examples/fairness_knob.rs
+
+examples/fairness_knob.rs:

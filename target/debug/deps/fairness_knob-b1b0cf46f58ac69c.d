@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fairness_knob-b1b0cf46f58ac69c.d: examples/fairness_knob.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairness_knob-b1b0cf46f58ac69c.rmeta: examples/fairness_knob.rs Cargo.toml
+
+examples/fairness_knob.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fairness_knob-d0763cbd1eaefdf1.d: examples/fairness_knob.rs
+
+/root/repo/target/debug/deps/libfairness_knob-d0763cbd1eaefdf1.rmeta: examples/fairness_knob.rs
+
+examples/fairness_knob.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fairness_knob-e7402de663123d9c.d: examples/fairness_knob.rs
+
+/root/repo/target/debug/deps/fairness_knob-e7402de663123d9c: examples/fairness_knob.rs
+
+examples/fairness_knob.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_theory-326e8e4eb244b8c4.d: crates/bench/src/bin/fig1_theory.rs
+
+/root/repo/target/debug/deps/fig1_theory-326e8e4eb244b8c4: crates/bench/src/bin/fig1_theory.rs
+
+crates/bench/src/bin/fig1_theory.rs:

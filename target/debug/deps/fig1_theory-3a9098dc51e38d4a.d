@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_theory-3a9098dc51e38d4a.d: crates/bench/src/bin/fig1_theory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_theory-3a9098dc51e38d4a.rmeta: crates/bench/src/bin/fig1_theory.rs Cargo.toml
+
+crates/bench/src/bin/fig1_theory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_theory-5d557396927543f4.d: crates/bench/src/bin/fig1_theory.rs
+
+/root/repo/target/debug/deps/libfig1_theory-5d557396927543f4.rmeta: crates/bench/src/bin/fig1_theory.rs
+
+crates/bench/src/bin/fig1_theory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_theory-71bf4d62569ae123.d: crates/bench/src/bin/fig1_theory.rs
+
+/root/repo/target/debug/deps/libfig1_theory-71bf4d62569ae123.rmeta: crates/bench/src/bin/fig1_theory.rs
+
+crates/bench/src/bin/fig1_theory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_theory-82aaa2fcb0587c8f.d: crates/bench/src/bin/fig1_theory.rs
+
+/root/repo/target/debug/deps/libfig1_theory-82aaa2fcb0587c8f.rmeta: crates/bench/src/bin/fig1_theory.rs
+
+crates/bench/src/bin/fig1_theory.rs:

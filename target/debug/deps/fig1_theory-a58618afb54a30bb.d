@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_theory-a58618afb54a30bb.d: crates/bench/src/bin/fig1_theory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_theory-a58618afb54a30bb.rmeta: crates/bench/src/bin/fig1_theory.rs Cargo.toml
+
+crates/bench/src/bin/fig1_theory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

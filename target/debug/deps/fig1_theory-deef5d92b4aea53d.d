@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_theory-deef5d92b4aea53d.d: crates/bench/src/bin/fig1_theory.rs
+
+/root/repo/target/debug/deps/libfig1_theory-deef5d92b4aea53d.rmeta: crates/bench/src/bin/fig1_theory.rs
+
+crates/bench/src/bin/fig1_theory.rs:

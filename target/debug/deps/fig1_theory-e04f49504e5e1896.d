@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_theory-e04f49504e5e1896.d: crates/bench/src/bin/fig1_theory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_theory-e04f49504e5e1896.rmeta: crates/bench/src/bin/fig1_theory.rs Cargo.toml
+
+crates/bench/src/bin/fig1_theory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_cache_utility-144553096ee90910.d: crates/bench/src/bin/fig2_cache_utility.rs
+
+/root/repo/target/debug/deps/libfig2_cache_utility-144553096ee90910.rmeta: crates/bench/src/bin/fig2_cache_utility.rs
+
+crates/bench/src/bin/fig2_cache_utility.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_cache_utility-21c5eefe93fecffd.d: crates/bench/src/bin/fig2_cache_utility.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_cache_utility-21c5eefe93fecffd.rmeta: crates/bench/src/bin/fig2_cache_utility.rs Cargo.toml
+
+crates/bench/src/bin/fig2_cache_utility.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

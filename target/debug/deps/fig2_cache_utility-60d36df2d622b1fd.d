@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_cache_utility-60d36df2d622b1fd.d: crates/bench/src/bin/fig2_cache_utility.rs
+
+/root/repo/target/debug/deps/libfig2_cache_utility-60d36df2d622b1fd.rmeta: crates/bench/src/bin/fig2_cache_utility.rs
+
+crates/bench/src/bin/fig2_cache_utility.rs:

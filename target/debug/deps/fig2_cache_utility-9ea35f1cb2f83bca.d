@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_cache_utility-9ea35f1cb2f83bca.d: crates/bench/src/bin/fig2_cache_utility.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_cache_utility-9ea35f1cb2f83bca.rmeta: crates/bench/src/bin/fig2_cache_utility.rs Cargo.toml
+
+crates/bench/src/bin/fig2_cache_utility.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

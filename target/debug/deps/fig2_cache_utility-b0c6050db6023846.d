@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_cache_utility-b0c6050db6023846.d: crates/bench/src/bin/fig2_cache_utility.rs
+
+/root/repo/target/debug/deps/fig2_cache_utility-b0c6050db6023846: crates/bench/src/bin/fig2_cache_utility.rs
+
+crates/bench/src/bin/fig2_cache_utility.rs:

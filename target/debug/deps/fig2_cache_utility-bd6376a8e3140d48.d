@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_cache_utility-bd6376a8e3140d48.d: crates/bench/src/bin/fig2_cache_utility.rs
+
+/root/repo/target/debug/deps/libfig2_cache_utility-bd6376a8e3140d48.rmeta: crates/bench/src/bin/fig2_cache_utility.rs
+
+crates/bench/src/bin/fig2_cache_utility.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_cache_utility-c72b76d1f4e6d56c.d: crates/bench/src/bin/fig2_cache_utility.rs
+
+/root/repo/target/debug/deps/libfig2_cache_utility-c72b76d1f4e6d56c.rmeta: crates/bench/src/bin/fig2_cache_utility.rs
+
+crates/bench/src/bin/fig2_cache_utility.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_lambda-18fb9735da0f3f4b.d: crates/bench/src/bin/fig3_lambda.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_lambda-18fb9735da0f3f4b.rmeta: crates/bench/src/bin/fig3_lambda.rs Cargo.toml
+
+crates/bench/src/bin/fig3_lambda.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

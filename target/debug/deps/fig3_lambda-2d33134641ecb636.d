@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_lambda-2d33134641ecb636.d: crates/bench/src/bin/fig3_lambda.rs
+
+/root/repo/target/debug/deps/libfig3_lambda-2d33134641ecb636.rmeta: crates/bench/src/bin/fig3_lambda.rs
+
+crates/bench/src/bin/fig3_lambda.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_lambda-810eafc2a9761126.d: crates/bench/src/bin/fig3_lambda.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_lambda-810eafc2a9761126.rmeta: crates/bench/src/bin/fig3_lambda.rs Cargo.toml
+
+crates/bench/src/bin/fig3_lambda.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_lambda-c21f7e900a34fd2d.d: crates/bench/src/bin/fig3_lambda.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_lambda-c21f7e900a34fd2d.rmeta: crates/bench/src/bin/fig3_lambda.rs Cargo.toml
+
+crates/bench/src/bin/fig3_lambda.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_lambda-c2e33840ca16c43a.d: crates/bench/src/bin/fig3_lambda.rs
+
+/root/repo/target/debug/deps/libfig3_lambda-c2e33840ca16c43a.rmeta: crates/bench/src/bin/fig3_lambda.rs
+
+crates/bench/src/bin/fig3_lambda.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_lambda-d58408ff12ef7158.d: crates/bench/src/bin/fig3_lambda.rs
+
+/root/repo/target/debug/deps/fig3_lambda-d58408ff12ef7158: crates/bench/src/bin/fig3_lambda.rs
+
+crates/bench/src/bin/fig3_lambda.rs:

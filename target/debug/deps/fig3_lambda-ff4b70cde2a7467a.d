@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_lambda-ff4b70cde2a7467a.d: crates/bench/src/bin/fig3_lambda.rs
+
+/root/repo/target/debug/deps/libfig3_lambda-ff4b70cde2a7467a.rmeta: crates/bench/src/bin/fig3_lambda.rs
+
+crates/bench/src/bin/fig3_lambda.rs:

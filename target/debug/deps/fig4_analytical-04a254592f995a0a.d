@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_analytical-04a254592f995a0a.d: crates/bench/src/bin/fig4_analytical.rs
+
+/root/repo/target/debug/deps/libfig4_analytical-04a254592f995a0a.rmeta: crates/bench/src/bin/fig4_analytical.rs
+
+crates/bench/src/bin/fig4_analytical.rs:

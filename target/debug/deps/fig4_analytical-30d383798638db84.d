@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_analytical-30d383798638db84.d: crates/bench/src/bin/fig4_analytical.rs
+
+/root/repo/target/debug/deps/libfig4_analytical-30d383798638db84.rmeta: crates/bench/src/bin/fig4_analytical.rs
+
+crates/bench/src/bin/fig4_analytical.rs:

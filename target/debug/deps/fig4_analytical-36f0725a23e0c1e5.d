@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_analytical-36f0725a23e0c1e5.d: crates/bench/src/bin/fig4_analytical.rs
+
+/root/repo/target/debug/deps/libfig4_analytical-36f0725a23e0c1e5.rmeta: crates/bench/src/bin/fig4_analytical.rs
+
+crates/bench/src/bin/fig4_analytical.rs:

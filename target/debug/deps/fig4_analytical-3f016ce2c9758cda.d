@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_analytical-3f016ce2c9758cda.d: crates/bench/src/bin/fig4_analytical.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_analytical-3f016ce2c9758cda.rmeta: crates/bench/src/bin/fig4_analytical.rs Cargo.toml
+
+crates/bench/src/bin/fig4_analytical.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_analytical-aa00dc6ba1db6cb0.d: crates/bench/src/bin/fig4_analytical.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_analytical-aa00dc6ba1db6cb0.rmeta: crates/bench/src/bin/fig4_analytical.rs Cargo.toml
+
+crates/bench/src/bin/fig4_analytical.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_analytical-ab97f19c613bf395.d: crates/bench/src/bin/fig4_analytical.rs
+
+/root/repo/target/debug/deps/libfig4_analytical-ab97f19c613bf395.rmeta: crates/bench/src/bin/fig4_analytical.rs
+
+crates/bench/src/bin/fig4_analytical.rs:

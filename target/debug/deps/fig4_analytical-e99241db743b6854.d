@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_analytical-e99241db743b6854.d: crates/bench/src/bin/fig4_analytical.rs
+
+/root/repo/target/debug/deps/fig4_analytical-e99241db743b6854: crates/bench/src/bin/fig4_analytical.rs
+
+crates/bench/src/bin/fig4_analytical.rs:

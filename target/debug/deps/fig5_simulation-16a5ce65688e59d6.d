@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_simulation-16a5ce65688e59d6.d: crates/bench/src/bin/fig5_simulation.rs
+
+/root/repo/target/debug/deps/libfig5_simulation-16a5ce65688e59d6.rmeta: crates/bench/src/bin/fig5_simulation.rs
+
+crates/bench/src/bin/fig5_simulation.rs:

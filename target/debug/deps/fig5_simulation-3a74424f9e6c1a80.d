@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_simulation-3a74424f9e6c1a80.d: crates/bench/src/bin/fig5_simulation.rs
+
+/root/repo/target/debug/deps/libfig5_simulation-3a74424f9e6c1a80.rmeta: crates/bench/src/bin/fig5_simulation.rs
+
+crates/bench/src/bin/fig5_simulation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_simulation-5d9e1e71a7bc14af.d: crates/bench/src/bin/fig5_simulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_simulation-5d9e1e71a7bc14af.rmeta: crates/bench/src/bin/fig5_simulation.rs Cargo.toml
+
+crates/bench/src/bin/fig5_simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_simulation-c011237d44b285f7.d: crates/bench/src/bin/fig5_simulation.rs
+
+/root/repo/target/debug/deps/fig5_simulation-c011237d44b285f7: crates/bench/src/bin/fig5_simulation.rs
+
+crates/bench/src/bin/fig5_simulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/market_properties-0213fd162397f480.d: tests/tests/market_properties.rs
+
+/root/repo/target/debug/deps/market_properties-0213fd162397f480: tests/tests/market_properties.rs
+
+tests/tests/market_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/market_properties-79ba21d6d81741f5.d: tests/tests/market_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmarket_properties-79ba21d6d81741f5.rmeta: tests/tests/market_properties.rs Cargo.toml
+
+tests/tests/market_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

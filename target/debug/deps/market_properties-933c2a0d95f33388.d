@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/market_properties-933c2a0d95f33388.d: tests/tests/market_properties.rs
+
+/root/repo/target/debug/deps/market_properties-933c2a0d95f33388: tests/tests/market_properties.rs
+
+tests/tests/market_properties.rs:

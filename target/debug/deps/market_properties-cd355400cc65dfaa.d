@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/market_properties-cd355400cc65dfaa.d: tests/tests/market_properties.rs
+
+/root/repo/target/debug/deps/libmarket_properties-cd355400cc65dfaa.rmeta: tests/tests/market_properties.rs
+
+tests/tests/market_properties.rs:

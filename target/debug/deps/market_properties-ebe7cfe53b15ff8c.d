@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/market_properties-ebe7cfe53b15ff8c.d: tests/tests/market_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmarket_properties-ebe7cfe53b15ff8c.rmeta: tests/tests/market_properties.rs Cargo.toml
+
+tests/tests/market_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

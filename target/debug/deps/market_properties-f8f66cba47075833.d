@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/market_properties-f8f66cba47075833.d: tests/tests/market_properties.rs
+
+/root/repo/target/debug/deps/libmarket_properties-f8f66cba47075833.rmeta: tests/tests/market_properties.rs
+
+tests/tests/market_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mechanisms-816a8d56c88dea5d.d: crates/bench/benches/mechanisms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmechanisms-816a8d56c88dea5d.rmeta: crates/bench/benches/mechanisms.rs Cargo.toml
+
+crates/bench/benches/mechanisms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mechanisms-b0ad592a554b91ca.d: crates/bench/benches/mechanisms.rs
+
+/root/repo/target/debug/deps/libmechanisms-b0ad592a554b91ca.rmeta: crates/bench/benches/mechanisms.rs
+
+crates/bench/benches/mechanisms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mechanisms-b8772376906b3b96.d: crates/bench/benches/mechanisms.rs
+
+/root/repo/target/debug/deps/libmechanisms-b8772376906b3b96.rmeta: crates/bench/benches/mechanisms.rs
+
+crates/bench/benches/mechanisms.rs:

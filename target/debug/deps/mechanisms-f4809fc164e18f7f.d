@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mechanisms-f4809fc164e18f7f.d: crates/bench/benches/mechanisms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmechanisms-f4809fc164e18f7f.rmeta: crates/bench/benches/mechanisms.rs Cargo.toml
+
+crates/bench/benches/mechanisms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multicore_simulation-bedc326bdb7e015e.d: examples/multicore_simulation.rs
+
+/root/repo/target/debug/deps/libmulticore_simulation-bedc326bdb7e015e.rmeta: examples/multicore_simulation.rs
+
+examples/multicore_simulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multicore_simulation-ccd4b3937bdc1c39.d: examples/multicore_simulation.rs
+
+/root/repo/target/debug/deps/libmulticore_simulation-ccd4b3937bdc1c39.rmeta: examples/multicore_simulation.rs
+
+examples/multicore_simulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multicore_simulation-d007bd3e27c34058.d: examples/multicore_simulation.rs
+
+/root/repo/target/debug/deps/libmulticore_simulation-d007bd3e27c34058.rmeta: examples/multicore_simulation.rs
+
+examples/multicore_simulation.rs:

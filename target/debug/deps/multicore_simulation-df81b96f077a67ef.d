@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multicore_simulation-df81b96f077a67ef.d: examples/multicore_simulation.rs
+
+/root/repo/target/debug/deps/libmulticore_simulation-df81b96f077a67ef.rmeta: examples/multicore_simulation.rs
+
+examples/multicore_simulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multicore_simulation-e71c63b2421a5b6d.d: examples/multicore_simulation.rs
+
+/root/repo/target/debug/deps/multicore_simulation-e71c63b2421a5b6d: examples/multicore_simulation.rs
+
+examples/multicore_simulation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multicore_simulation-f68a628e3015809e.d: examples/multicore_simulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulticore_simulation-f68a628e3015809e.rmeta: examples/multicore_simulation.rs Cargo.toml
+
+examples/multicore_simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

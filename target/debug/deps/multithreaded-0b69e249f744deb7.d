@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multithreaded-0b69e249f744deb7.d: examples/multithreaded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultithreaded-0b69e249f744deb7.rmeta: examples/multithreaded.rs Cargo.toml
+
+examples/multithreaded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

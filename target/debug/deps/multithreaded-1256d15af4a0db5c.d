@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multithreaded-1256d15af4a0db5c.d: examples/multithreaded.rs
+
+/root/repo/target/debug/deps/libmultithreaded-1256d15af4a0db5c.rmeta: examples/multithreaded.rs
+
+examples/multithreaded.rs:

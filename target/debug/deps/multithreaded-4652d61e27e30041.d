@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multithreaded-4652d61e27e30041.d: examples/multithreaded.rs
+
+/root/repo/target/debug/deps/libmultithreaded-4652d61e27e30041.rmeta: examples/multithreaded.rs
+
+examples/multithreaded.rs:

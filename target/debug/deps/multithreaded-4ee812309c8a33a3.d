@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multithreaded-4ee812309c8a33a3.d: examples/multithreaded.rs
+
+/root/repo/target/debug/deps/multithreaded-4ee812309c8a33a3: examples/multithreaded.rs
+
+examples/multithreaded.rs:

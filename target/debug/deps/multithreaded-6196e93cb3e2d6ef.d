@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multithreaded-6196e93cb3e2d6ef.d: examples/multithreaded.rs
+
+/root/repo/target/debug/deps/libmultithreaded-6196e93cb3e2d6ef.rmeta: examples/multithreaded.rs
+
+examples/multithreaded.rs:

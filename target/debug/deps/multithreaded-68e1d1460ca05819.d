@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multithreaded-68e1d1460ca05819.d: examples/multithreaded.rs
+
+/root/repo/target/debug/deps/libmultithreaded-68e1d1460ca05819.rmeta: examples/multithreaded.rs
+
+examples/multithreaded.rs:

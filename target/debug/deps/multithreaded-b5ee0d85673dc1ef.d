@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multithreaded-b5ee0d85673dc1ef.d: examples/multithreaded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultithreaded-b5ee0d85673dc1ef.rmeta: examples/multithreaded.rs Cargo.toml
+
+examples/multithreaded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

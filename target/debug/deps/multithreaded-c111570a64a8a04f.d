@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multithreaded-c111570a64a8a04f.d: examples/multithreaded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultithreaded-c111570a64a8a04f.rmeta: examples/multithreaded.rs Cargo.toml
+
+examples/multithreaded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

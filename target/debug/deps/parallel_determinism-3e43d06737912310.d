@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_determinism-3e43d06737912310.d: tests/tests/parallel_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_determinism-3e43d06737912310.rmeta: tests/tests/parallel_determinism.rs Cargo.toml
+
+tests/tests/parallel_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-902df0606af7f83a.d: tests/tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-902df0606af7f83a: tests/tests/parallel_determinism.rs
+
+tests/tests/parallel_determinism.rs:

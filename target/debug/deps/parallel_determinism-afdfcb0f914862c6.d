@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-afdfcb0f914862c6.d: tests/tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-afdfcb0f914862c6: tests/tests/parallel_determinism.rs
+
+tests/tests/parallel_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-c2861a7e1f424567.d: tests/tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-c2861a7e1f424567: tests/tests/parallel_determinism.rs
+
+tests/tests/parallel_determinism.rs:

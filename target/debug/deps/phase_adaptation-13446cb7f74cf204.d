@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phase_adaptation-13446cb7f74cf204.d: tests/tests/phase_adaptation.rs
+
+/root/repo/target/debug/deps/libphase_adaptation-13446cb7f74cf204.rmeta: tests/tests/phase_adaptation.rs
+
+tests/tests/phase_adaptation.rs:

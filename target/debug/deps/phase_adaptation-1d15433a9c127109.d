@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/phase_adaptation-1d15433a9c127109.d: tests/tests/phase_adaptation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphase_adaptation-1d15433a9c127109.rmeta: tests/tests/phase_adaptation.rs Cargo.toml
+
+tests/tests/phase_adaptation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/phase_adaptation-2c12957dc977a3a4.d: tests/tests/phase_adaptation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphase_adaptation-2c12957dc977a3a4.rmeta: tests/tests/phase_adaptation.rs Cargo.toml
+
+tests/tests/phase_adaptation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phase_adaptation-8d3a4b6331204e97.d: tests/tests/phase_adaptation.rs
+
+/root/repo/target/debug/deps/phase_adaptation-8d3a4b6331204e97: tests/tests/phase_adaptation.rs
+
+tests/tests/phase_adaptation.rs:

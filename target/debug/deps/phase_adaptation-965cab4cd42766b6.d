@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phase_adaptation-965cab4cd42766b6.d: tests/tests/phase_adaptation.rs
+
+/root/repo/target/debug/deps/libphase_adaptation-965cab4cd42766b6.rmeta: tests/tests/phase_adaptation.rs
+
+tests/tests/phase_adaptation.rs:

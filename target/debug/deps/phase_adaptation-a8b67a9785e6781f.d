@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phase_adaptation-a8b67a9785e6781f.d: tests/tests/phase_adaptation.rs
+
+/root/repo/target/debug/deps/phase_adaptation-a8b67a9785e6781f: tests/tests/phase_adaptation.rs
+
+tests/tests/phase_adaptation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quickstart-3d51324b5ec69998.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquickstart-3d51324b5ec69998.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quickstart-43b2e12b1d247356.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquickstart-43b2e12b1d247356.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

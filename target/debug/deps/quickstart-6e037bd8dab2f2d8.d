@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-6e037bd8dab2f2d8.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/libquickstart-6e037bd8dab2f2d8.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quickstart-7da30b931ef14714.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquickstart-7da30b931ef14714.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

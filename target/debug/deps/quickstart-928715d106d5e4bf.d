@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-928715d106d5e4bf.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/libquickstart-928715d106d5e4bf.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-a879cb58c591ab44.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-a879cb58c591ab44: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-cb61a7ef7c9a861e.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/libquickstart-cb61a7ef7c9a861e.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-ccbb8841fbf24830.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/libquickstart-ccbb8841fbf24830.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

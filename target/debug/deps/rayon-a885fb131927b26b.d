@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-a885fb131927b26b.d: vendor/rayon/src/lib.rs vendor/rayon/src/iter.rs vendor/rayon/src/slice.rs
+
+/root/repo/target/debug/deps/librayon-a885fb131927b26b.rmeta: vendor/rayon/src/lib.rs vendor/rayon/src/iter.rs vendor/rayon/src/slice.rs
+
+vendor/rayon/src/lib.rs:
+vendor/rayon/src/iter.rs:
+vendor/rayon/src/slice.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-ed22c89215fba785.d: vendor/rayon/src/lib.rs vendor/rayon/src/iter.rs vendor/rayon/src/slice.rs
+
+/root/repo/target/debug/deps/librayon-ed22c89215fba785.rmeta: vendor/rayon/src/lib.rs vendor/rayon/src/iter.rs vendor/rayon/src/slice.rs
+
+vendor/rayon/src/lib.rs:
+vendor/rayon/src/iter.rs:
+vendor/rayon/src/slice.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rebudget-2856c8a7d186bf79.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/librebudget-2856c8a7d186bf79.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rebudget-2e72cf9f5c45d604.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/librebudget-2e72cf9f5c45d604.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rebudget-3b489d7b3512bad2.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/librebudget-3b489d7b3512bad2.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

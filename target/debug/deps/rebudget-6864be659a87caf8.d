@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rebudget-6864be659a87caf8.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/librebudget-6864be659a87caf8.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

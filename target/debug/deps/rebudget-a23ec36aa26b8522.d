@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rebudget-a23ec36aa26b8522.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/rebudget-a23ec36aa26b8522: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

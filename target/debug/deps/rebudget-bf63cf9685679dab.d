@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rebudget-bf63cf9685679dab.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/librebudget-bf63cf9685679dab.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

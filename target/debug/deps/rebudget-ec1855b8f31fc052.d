@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rebudget-ec1855b8f31fc052.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/librebudget-ec1855b8f31fc052.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

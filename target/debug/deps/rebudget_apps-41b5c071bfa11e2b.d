@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rebudget_apps-41b5c071bfa11e2b.d: crates/apps/src/lib.rs crates/apps/src/classify.rs crates/apps/src/perf.rs crates/apps/src/phase.rs crates/apps/src/profile.rs crates/apps/src/spec.rs crates/apps/src/trace.rs
+
+/root/repo/target/debug/deps/librebudget_apps-41b5c071bfa11e2b.rmeta: crates/apps/src/lib.rs crates/apps/src/classify.rs crates/apps/src/perf.rs crates/apps/src/phase.rs crates/apps/src/profile.rs crates/apps/src/spec.rs crates/apps/src/trace.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/classify.rs:
+crates/apps/src/perf.rs:
+crates/apps/src/phase.rs:
+crates/apps/src/profile.rs:
+crates/apps/src/spec.rs:
+crates/apps/src/trace.rs:

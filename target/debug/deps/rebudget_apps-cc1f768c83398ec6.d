@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rebudget_apps-cc1f768c83398ec6.d: crates/apps/src/lib.rs crates/apps/src/classify.rs crates/apps/src/perf.rs crates/apps/src/phase.rs crates/apps/src/profile.rs crates/apps/src/spec.rs crates/apps/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/librebudget_apps-cc1f768c83398ec6.rmeta: crates/apps/src/lib.rs crates/apps/src/classify.rs crates/apps/src/perf.rs crates/apps/src/phase.rs crates/apps/src/profile.rs crates/apps/src/spec.rs crates/apps/src/trace.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/classify.rs:
+crates/apps/src/perf.rs:
+crates/apps/src/phase.rs:
+crates/apps/src/profile.rs:
+crates/apps/src/spec.rs:
+crates/apps/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

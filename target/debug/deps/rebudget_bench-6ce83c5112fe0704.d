@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rebudget_bench-6ce83c5112fe0704.d: crates/bench/src/lib.rs crates/bench/src/export.rs
+
+/root/repo/target/debug/deps/librebudget_bench-6ce83c5112fe0704.rlib: crates/bench/src/lib.rs crates/bench/src/export.rs
+
+/root/repo/target/debug/deps/librebudget_bench-6ce83c5112fe0704.rmeta: crates/bench/src/lib.rs crates/bench/src/export.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/export.rs:

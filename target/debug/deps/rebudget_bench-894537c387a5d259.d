@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/rebudget_bench-894537c387a5d259.d: crates/bench/src/lib.rs crates/bench/src/export.rs
+
+/root/repo/target/debug/deps/librebudget_bench-894537c387a5d259.rmeta: crates/bench/src/lib.rs crates/bench/src/export.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/export.rs:

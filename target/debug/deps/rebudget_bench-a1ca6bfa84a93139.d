@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rebudget_bench-a1ca6bfa84a93139.d: crates/bench/src/lib.rs crates/bench/src/export.rs Cargo.toml
+
+/root/repo/target/debug/deps/librebudget_bench-a1ca6bfa84a93139.rmeta: crates/bench/src/lib.rs crates/bench/src/export.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/rebudget_bench-adc959b56d537741.d: crates/bench/src/lib.rs crates/bench/src/export.rs
+
+/root/repo/target/debug/deps/librebudget_bench-adc959b56d537741.rmeta: crates/bench/src/lib.rs crates/bench/src/export.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/export.rs:

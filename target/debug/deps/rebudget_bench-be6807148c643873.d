@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/rebudget_bench-be6807148c643873.d: crates/bench/src/lib.rs crates/bench/src/export.rs
+
+/root/repo/target/debug/deps/rebudget_bench-be6807148c643873: crates/bench/src/lib.rs crates/bench/src/export.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/export.rs:

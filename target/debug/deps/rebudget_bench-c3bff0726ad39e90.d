@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/rebudget_bench-c3bff0726ad39e90.d: crates/bench/src/lib.rs crates/bench/src/export.rs
+
+/root/repo/target/debug/deps/librebudget_bench-c3bff0726ad39e90.rmeta: crates/bench/src/lib.rs crates/bench/src/export.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/export.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/rebudget_bench-ff26a6dec9aef8ce.d: crates/bench/src/lib.rs crates/bench/src/export.rs
+
+/root/repo/target/debug/deps/librebudget_bench-ff26a6dec9aef8ce.rmeta: crates/bench/src/lib.rs crates/bench/src/export.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/export.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rebudget_cache-a397d7fc6fc2de75.d: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/futility.rs crates/cache/src/miss_curve.rs crates/cache/src/set_assoc.rs crates/cache/src/stack.rs crates/cache/src/talus.rs crates/cache/src/ucp.rs crates/cache/src/umon.rs crates/cache/src/way_partition.rs
+
+/root/repo/target/debug/deps/librebudget_cache-a397d7fc6fc2de75.rmeta: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/futility.rs crates/cache/src/miss_curve.rs crates/cache/src/set_assoc.rs crates/cache/src/stack.rs crates/cache/src/talus.rs crates/cache/src/ucp.rs crates/cache/src/umon.rs crates/cache/src/way_partition.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/config.rs:
+crates/cache/src/futility.rs:
+crates/cache/src/miss_curve.rs:
+crates/cache/src/set_assoc.rs:
+crates/cache/src/stack.rs:
+crates/cache/src/talus.rs:
+crates/cache/src/ucp.rs:
+crates/cache/src/umon.rs:
+crates/cache/src/way_partition.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/rebudget_cache-bcad9ada30d367bb.d: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/futility.rs crates/cache/src/miss_curve.rs crates/cache/src/set_assoc.rs crates/cache/src/stack.rs crates/cache/src/talus.rs crates/cache/src/ucp.rs crates/cache/src/umon.rs crates/cache/src/way_partition.rs Cargo.toml
+
+/root/repo/target/debug/deps/librebudget_cache-bcad9ada30d367bb.rmeta: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/futility.rs crates/cache/src/miss_curve.rs crates/cache/src/set_assoc.rs crates/cache/src/stack.rs crates/cache/src/talus.rs crates/cache/src/ucp.rs crates/cache/src/umon.rs crates/cache/src/way_partition.rs Cargo.toml
+
+crates/cache/src/lib.rs:
+crates/cache/src/config.rs:
+crates/cache/src/futility.rs:
+crates/cache/src/miss_curve.rs:
+crates/cache/src/set_assoc.rs:
+crates/cache/src/stack.rs:
+crates/cache/src/talus.rs:
+crates/cache/src/ucp.rs:
+crates/cache/src/umon.rs:
+crates/cache/src/way_partition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

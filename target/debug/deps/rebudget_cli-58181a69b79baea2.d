@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rebudget_cli-58181a69b79baea2.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/rebudget_cli-58181a69b79baea2: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rebudget_cli-8659fed7fc59b842.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/librebudget_cli-8659fed7fc59b842.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rebudget_cli-b1b22a48d3fa71c6.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/librebudget_cli-b1b22a48d3fa71c6.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rebudget_cli-c9d223fdf4462641.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/librebudget_cli-c9d223fdf4462641.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/librebudget_cli-c9d223fdf4462641.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rebudget_cli-d6453ea46c10fdfa.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/librebudget_cli-d6453ea46c10fdfa.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

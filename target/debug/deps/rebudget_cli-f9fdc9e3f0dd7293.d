@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rebudget_cli-f9fdc9e3f0dd7293.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/librebudget_cli-f9fdc9e3f0dd7293.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

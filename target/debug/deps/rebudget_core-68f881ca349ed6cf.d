@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rebudget_core-68f881ca349ed6cf.d: crates/core/src/lib.rs crates/core/src/ep.rs crates/core/src/linearized.rs crates/core/src/mechanisms.rs crates/core/src/sweep.rs crates/core/src/theory.rs crates/core/src/uncoordinated.rs Cargo.toml
+
+/root/repo/target/debug/deps/librebudget_core-68f881ca349ed6cf.rmeta: crates/core/src/lib.rs crates/core/src/ep.rs crates/core/src/linearized.rs crates/core/src/mechanisms.rs crates/core/src/sweep.rs crates/core/src/theory.rs crates/core/src/uncoordinated.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/ep.rs:
+crates/core/src/linearized.rs:
+crates/core/src/mechanisms.rs:
+crates/core/src/sweep.rs:
+crates/core/src/theory.rs:
+crates/core/src/uncoordinated.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

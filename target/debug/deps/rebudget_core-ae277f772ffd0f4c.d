@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rebudget_core-ae277f772ffd0f4c.d: crates/core/src/lib.rs crates/core/src/ep.rs crates/core/src/linearized.rs crates/core/src/mechanisms.rs crates/core/src/sweep.rs crates/core/src/theory.rs crates/core/src/uncoordinated.rs Cargo.toml
+
+/root/repo/target/debug/deps/librebudget_core-ae277f772ffd0f4c.rmeta: crates/core/src/lib.rs crates/core/src/ep.rs crates/core/src/linearized.rs crates/core/src/mechanisms.rs crates/core/src/sweep.rs crates/core/src/theory.rs crates/core/src/uncoordinated.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/ep.rs:
+crates/core/src/linearized.rs:
+crates/core/src/mechanisms.rs:
+crates/core/src/sweep.rs:
+crates/core/src/theory.rs:
+crates/core/src/uncoordinated.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

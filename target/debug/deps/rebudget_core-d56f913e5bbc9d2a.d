@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rebudget_core-d56f913e5bbc9d2a.d: crates/core/src/lib.rs crates/core/src/ep.rs crates/core/src/linearized.rs crates/core/src/mechanisms.rs crates/core/src/sweep.rs crates/core/src/theory.rs crates/core/src/uncoordinated.rs
+
+/root/repo/target/debug/deps/rebudget_core-d56f913e5bbc9d2a: crates/core/src/lib.rs crates/core/src/ep.rs crates/core/src/linearized.rs crates/core/src/mechanisms.rs crates/core/src/sweep.rs crates/core/src/theory.rs crates/core/src/uncoordinated.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ep.rs:
+crates/core/src/linearized.rs:
+crates/core/src/mechanisms.rs:
+crates/core/src/sweep.rs:
+crates/core/src/theory.rs:
+crates/core/src/uncoordinated.rs:

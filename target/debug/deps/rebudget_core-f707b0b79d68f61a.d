@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rebudget_core-f707b0b79d68f61a.d: crates/core/src/lib.rs crates/core/src/ep.rs crates/core/src/linearized.rs crates/core/src/mechanisms.rs crates/core/src/sweep.rs crates/core/src/theory.rs crates/core/src/uncoordinated.rs
+
+/root/repo/target/debug/deps/librebudget_core-f707b0b79d68f61a.rlib: crates/core/src/lib.rs crates/core/src/ep.rs crates/core/src/linearized.rs crates/core/src/mechanisms.rs crates/core/src/sweep.rs crates/core/src/theory.rs crates/core/src/uncoordinated.rs
+
+/root/repo/target/debug/deps/librebudget_core-f707b0b79d68f61a.rmeta: crates/core/src/lib.rs crates/core/src/ep.rs crates/core/src/linearized.rs crates/core/src/mechanisms.rs crates/core/src/sweep.rs crates/core/src/theory.rs crates/core/src/uncoordinated.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ep.rs:
+crates/core/src/linearized.rs:
+crates/core/src/mechanisms.rs:
+crates/core/src/sweep.rs:
+crates/core/src/theory.rs:
+crates/core/src/uncoordinated.rs:

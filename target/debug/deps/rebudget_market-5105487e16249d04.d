@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/rebudget_market-5105487e16249d04.d: crates/market/src/lib.rs crates/market/src/agents.rs crates/market/src/allocation.rs crates/market/src/bidding.rs crates/market/src/bids.rs crates/market/src/equilibrium.rs crates/market/src/error.rs crates/market/src/exact.rs crates/market/src/fit.rs crates/market/src/metrics.rs crates/market/src/optimal.rs crates/market/src/par.rs crates/market/src/player.rs crates/market/src/pricing.rs crates/market/src/resource.rs crates/market/src/utility.rs
+
+/root/repo/target/debug/deps/librebudget_market-5105487e16249d04.rmeta: crates/market/src/lib.rs crates/market/src/agents.rs crates/market/src/allocation.rs crates/market/src/bidding.rs crates/market/src/bids.rs crates/market/src/equilibrium.rs crates/market/src/error.rs crates/market/src/exact.rs crates/market/src/fit.rs crates/market/src/metrics.rs crates/market/src/optimal.rs crates/market/src/par.rs crates/market/src/player.rs crates/market/src/pricing.rs crates/market/src/resource.rs crates/market/src/utility.rs
+
+crates/market/src/lib.rs:
+crates/market/src/agents.rs:
+crates/market/src/allocation.rs:
+crates/market/src/bidding.rs:
+crates/market/src/bids.rs:
+crates/market/src/equilibrium.rs:
+crates/market/src/error.rs:
+crates/market/src/exact.rs:
+crates/market/src/fit.rs:
+crates/market/src/metrics.rs:
+crates/market/src/optimal.rs:
+crates/market/src/par.rs:
+crates/market/src/player.rs:
+crates/market/src/pricing.rs:
+crates/market/src/resource.rs:
+crates/market/src/utility.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/rebudget_market-78986b15e6e33f89.d: crates/market/src/lib.rs crates/market/src/agents.rs crates/market/src/allocation.rs crates/market/src/bidding.rs crates/market/src/bids.rs crates/market/src/equilibrium.rs crates/market/src/error.rs crates/market/src/exact.rs crates/market/src/fit.rs crates/market/src/metrics.rs crates/market/src/optimal.rs crates/market/src/par.rs crates/market/src/player.rs crates/market/src/pricing.rs crates/market/src/resource.rs crates/market/src/utility.rs Cargo.toml
+
+/root/repo/target/debug/deps/librebudget_market-78986b15e6e33f89.rmeta: crates/market/src/lib.rs crates/market/src/agents.rs crates/market/src/allocation.rs crates/market/src/bidding.rs crates/market/src/bids.rs crates/market/src/equilibrium.rs crates/market/src/error.rs crates/market/src/exact.rs crates/market/src/fit.rs crates/market/src/metrics.rs crates/market/src/optimal.rs crates/market/src/par.rs crates/market/src/player.rs crates/market/src/pricing.rs crates/market/src/resource.rs crates/market/src/utility.rs Cargo.toml
+
+crates/market/src/lib.rs:
+crates/market/src/agents.rs:
+crates/market/src/allocation.rs:
+crates/market/src/bidding.rs:
+crates/market/src/bids.rs:
+crates/market/src/equilibrium.rs:
+crates/market/src/error.rs:
+crates/market/src/exact.rs:
+crates/market/src/fit.rs:
+crates/market/src/metrics.rs:
+crates/market/src/optimal.rs:
+crates/market/src/par.rs:
+crates/market/src/player.rs:
+crates/market/src/pricing.rs:
+crates/market/src/resource.rs:
+crates/market/src/utility.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

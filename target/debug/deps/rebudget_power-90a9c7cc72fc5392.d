@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rebudget_power-90a9c7cc72fc5392.d: crates/power/src/lib.rs crates/power/src/budget.rs crates/power/src/dvfs.rs crates/power/src/model.rs crates/power/src/thermal.rs crates/power/src/thermal_grid.rs Cargo.toml
+
+/root/repo/target/debug/deps/librebudget_power-90a9c7cc72fc5392.rmeta: crates/power/src/lib.rs crates/power/src/budget.rs crates/power/src/dvfs.rs crates/power/src/model.rs crates/power/src/thermal.rs crates/power/src/thermal_grid.rs Cargo.toml
+
+crates/power/src/lib.rs:
+crates/power/src/budget.rs:
+crates/power/src/dvfs.rs:
+crates/power/src/model.rs:
+crates/power/src/thermal.rs:
+crates/power/src/thermal_grid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rebudget_power-c96dff7f085629c8.d: crates/power/src/lib.rs crates/power/src/budget.rs crates/power/src/dvfs.rs crates/power/src/model.rs crates/power/src/thermal.rs crates/power/src/thermal_grid.rs
+
+/root/repo/target/debug/deps/librebudget_power-c96dff7f085629c8.rmeta: crates/power/src/lib.rs crates/power/src/budget.rs crates/power/src/dvfs.rs crates/power/src/model.rs crates/power/src/thermal.rs crates/power/src/thermal_grid.rs
+
+crates/power/src/lib.rs:
+crates/power/src/budget.rs:
+crates/power/src/dvfs.rs:
+crates/power/src/model.rs:
+crates/power/src/thermal.rs:
+crates/power/src/thermal_grid.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/rebudget_sim-2abb4541472a46bd.d: crates/sim/src/lib.rs crates/sim/src/analytic.rs crates/sim/src/config.rs crates/sim/src/critical_path.rs crates/sim/src/dram.rs crates/sim/src/dram_sim.rs crates/sim/src/groups.rs crates/sim/src/machine.rs crates/sim/src/monitor.rs crates/sim/src/simulation.rs crates/sim/src/trace_machine.rs crates/sim/src/utility_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/librebudget_sim-2abb4541472a46bd.rmeta: crates/sim/src/lib.rs crates/sim/src/analytic.rs crates/sim/src/config.rs crates/sim/src/critical_path.rs crates/sim/src/dram.rs crates/sim/src/dram_sim.rs crates/sim/src/groups.rs crates/sim/src/machine.rs crates/sim/src/monitor.rs crates/sim/src/simulation.rs crates/sim/src/trace_machine.rs crates/sim/src/utility_model.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/analytic.rs:
+crates/sim/src/config.rs:
+crates/sim/src/critical_path.rs:
+crates/sim/src/dram.rs:
+crates/sim/src/dram_sim.rs:
+crates/sim/src/groups.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/monitor.rs:
+crates/sim/src/simulation.rs:
+crates/sim/src/trace_machine.rs:
+crates/sim/src/utility_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

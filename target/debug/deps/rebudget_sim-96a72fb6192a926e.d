@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rebudget_sim-96a72fb6192a926e.d: crates/sim/src/lib.rs crates/sim/src/analytic.rs crates/sim/src/config.rs crates/sim/src/critical_path.rs crates/sim/src/dram.rs crates/sim/src/dram_sim.rs crates/sim/src/groups.rs crates/sim/src/machine.rs crates/sim/src/monitor.rs crates/sim/src/simulation.rs crates/sim/src/trace_machine.rs crates/sim/src/utility_model.rs
+
+/root/repo/target/debug/deps/librebudget_sim-96a72fb6192a926e.rmeta: crates/sim/src/lib.rs crates/sim/src/analytic.rs crates/sim/src/config.rs crates/sim/src/critical_path.rs crates/sim/src/dram.rs crates/sim/src/dram_sim.rs crates/sim/src/groups.rs crates/sim/src/machine.rs crates/sim/src/monitor.rs crates/sim/src/simulation.rs crates/sim/src/trace_machine.rs crates/sim/src/utility_model.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/analytic.rs:
+crates/sim/src/config.rs:
+crates/sim/src/critical_path.rs:
+crates/sim/src/dram.rs:
+crates/sim/src/dram_sim.rs:
+crates/sim/src/groups.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/monitor.rs:
+crates/sim/src/simulation.rs:
+crates/sim/src/trace_machine.rs:
+crates/sim/src/utility_model.rs:

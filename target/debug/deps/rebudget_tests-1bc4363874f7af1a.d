@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rebudget_tests-1bc4363874f7af1a.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librebudget_tests-1bc4363874f7af1a.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rebudget_tests-1fb4751b222fd072.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/rebudget_tests-1fb4751b222fd072: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rebudget_tests-4193023038a149e3.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librebudget_tests-4193023038a149e3.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rebudget_tests-571a9328be9dc224.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librebudget_tests-571a9328be9dc224.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rebudget_tests-a3e4179f30c59e53.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/librebudget_tests-a3e4179f30c59e53.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rebudget_tests-a49ce607395326e0.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/librebudget_tests-a49ce607395326e0.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/librebudget_tests-a49ce607395326e0.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

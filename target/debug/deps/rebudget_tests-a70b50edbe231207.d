@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rebudget_tests-a70b50edbe231207.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/librebudget_tests-a70b50edbe231207.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

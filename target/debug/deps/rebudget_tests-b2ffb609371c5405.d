@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rebudget_tests-b2ffb609371c5405.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/librebudget_tests-b2ffb609371c5405.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rebudget_tests-bd8bfad566fd3d08.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/librebudget_tests-bd8bfad566fd3d08.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/librebudget_tests-bd8bfad566fd3d08.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rebudget_tests-f22fba50f34fd0ea.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/librebudget_tests-f22fba50f34fd0ea.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/librebudget_tests-f22fba50f34fd0ea.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

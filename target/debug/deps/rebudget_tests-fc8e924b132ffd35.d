@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rebudget_tests-fc8e924b132ffd35.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/librebudget_tests-fc8e924b132ffd35.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

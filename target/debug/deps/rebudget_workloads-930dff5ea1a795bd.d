@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rebudget_workloads-930dff5ea1a795bd.d: crates/workloads/src/lib.rs crates/workloads/src/bundle.rs crates/workloads/src/category.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/librebudget_workloads-930dff5ea1a795bd.rmeta: crates/workloads/src/lib.rs crates/workloads/src/bundle.rs crates/workloads/src/category.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/bundle.rs:
+crates/workloads/src/category.rs:
+crates/workloads/src/suite.rs:

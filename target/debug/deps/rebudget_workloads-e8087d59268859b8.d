@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rebudget_workloads-e8087d59268859b8.d: crates/workloads/src/lib.rs crates/workloads/src/bundle.rs crates/workloads/src/category.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/librebudget_workloads-e8087d59268859b8.rmeta: crates/workloads/src/lib.rs crates/workloads/src/bundle.rs crates/workloads/src/category.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/bundle.rs:
+crates/workloads/src/category.rs:
+crates/workloads/src/suite.rs:

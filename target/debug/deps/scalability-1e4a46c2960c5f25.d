@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scalability-1e4a46c2960c5f25.d: crates/bench/src/bin/scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalability-1e4a46c2960c5f25.rmeta: crates/bench/src/bin/scalability.rs Cargo.toml
+
+crates/bench/src/bin/scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

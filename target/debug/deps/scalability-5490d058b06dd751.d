@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-5490d058b06dd751.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/debug/deps/libscalability-5490d058b06dd751.rmeta: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-77851b63625e4648.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/debug/deps/libscalability-77851b63625e4648.rmeta: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-b7f71fc6aa1e8717.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/debug/deps/libscalability-b7f71fc6aa1e8717.rmeta: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

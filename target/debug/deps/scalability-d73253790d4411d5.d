@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-d73253790d4411d5.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/debug/deps/libscalability-d73253790d4411d5.rmeta: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-e0c8074f986000da.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/debug/deps/scalability-e0c8074f986000da: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulation_pipeline-3f71b74749d598f9.d: tests/tests/simulation_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulation_pipeline-3f71b74749d598f9.rmeta: tests/tests/simulation_pipeline.rs Cargo.toml
+
+tests/tests/simulation_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation_pipeline-668d0bae85da9bcd.d: tests/tests/simulation_pipeline.rs
+
+/root/repo/target/debug/deps/libsimulation_pipeline-668d0bae85da9bcd.rmeta: tests/tests/simulation_pipeline.rs
+
+tests/tests/simulation_pipeline.rs:

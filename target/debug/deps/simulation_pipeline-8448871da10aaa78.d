@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation_pipeline-8448871da10aaa78.d: tests/tests/simulation_pipeline.rs
+
+/root/repo/target/debug/deps/simulation_pipeline-8448871da10aaa78: tests/tests/simulation_pipeline.rs
+
+tests/tests/simulation_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation_pipeline-e4abaf2aefee9408.d: tests/tests/simulation_pipeline.rs
+
+/root/repo/target/debug/deps/simulation_pipeline-e4abaf2aefee9408: tests/tests/simulation_pipeline.rs
+
+tests/tests/simulation_pipeline.rs:

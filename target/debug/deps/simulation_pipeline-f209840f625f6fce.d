@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation_pipeline-f209840f625f6fce.d: tests/tests/simulation_pipeline.rs
+
+/root/repo/target/debug/deps/libsimulation_pipeline-f209840f625f6fce.rmeta: tests/tests/simulation_pipeline.rs
+
+tests/tests/simulation_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speedup-09b07a2e9f687c43.d: crates/bench/benches/speedup.rs
+
+/root/repo/target/debug/deps/libspeedup-09b07a2e9f687c43.rmeta: crates/bench/benches/speedup.rs
+
+crates/bench/benches/speedup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/speedup-2f42b3b722f91a33.d: crates/bench/benches/speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeedup-2f42b3b722f91a33.rmeta: crates/bench/benches/speedup.rs Cargo.toml
+
+crates/bench/benches/speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

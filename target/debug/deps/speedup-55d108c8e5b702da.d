@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speedup-55d108c8e5b702da.d: crates/bench/benches/speedup.rs
+
+/root/repo/target/debug/deps/libspeedup-55d108c8e5b702da.rmeta: crates/bench/benches/speedup.rs
+
+crates/bench/benches/speedup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/speedup-9fdcff0a17617907.d: crates/bench/benches/speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeedup-9fdcff0a17617907.rmeta: crates/bench/benches/speedup.rs Cargo.toml
+
+crates/bench/benches/speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate_consistency-14118cdb6175f1f0.d: tests/tests/substrate_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate_consistency-14118cdb6175f1f0.rmeta: tests/tests/substrate_consistency.rs Cargo.toml
+
+tests/tests/substrate_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

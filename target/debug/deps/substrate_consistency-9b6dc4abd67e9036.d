@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_consistency-9b6dc4abd67e9036.d: tests/tests/substrate_consistency.rs
+
+/root/repo/target/debug/deps/substrate_consistency-9b6dc4abd67e9036: tests/tests/substrate_consistency.rs
+
+tests/tests/substrate_consistency.rs:

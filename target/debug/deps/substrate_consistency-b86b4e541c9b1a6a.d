@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate_consistency-b86b4e541c9b1a6a.d: tests/tests/substrate_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate_consistency-b86b4e541c9b1a6a.rmeta: tests/tests/substrate_consistency.rs Cargo.toml
+
+tests/tests/substrate_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_consistency-c076c7f2b138ee55.d: tests/tests/substrate_consistency.rs
+
+/root/repo/target/debug/deps/libsubstrate_consistency-c076c7f2b138ee55.rmeta: tests/tests/substrate_consistency.rs
+
+tests/tests/substrate_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_consistency-d9c6a3d1325d4801.d: tests/tests/substrate_consistency.rs
+
+/root/repo/target/debug/deps/substrate_consistency-d9c6a3d1325d4801: tests/tests/substrate_consistency.rs
+
+tests/tests/substrate_consistency.rs:

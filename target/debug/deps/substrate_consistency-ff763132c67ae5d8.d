@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_consistency-ff763132c67ae5d8.d: tests/tests/substrate_consistency.rs
+
+/root/repo/target/debug/deps/libsubstrate_consistency-ff763132c67ae5d8.rmeta: tests/tests/substrate_consistency.rs
+
+tests/tests/substrate_consistency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate_properties-5595216417dac04c.d: tests/tests/substrate_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate_properties-5595216417dac04c.rmeta: tests/tests/substrate_properties.rs Cargo.toml
+
+tests/tests/substrate_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate_properties-812a7f5f1c7e88e8.d: tests/tests/substrate_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate_properties-812a7f5f1c7e88e8.rmeta: tests/tests/substrate_properties.rs Cargo.toml
+
+tests/tests/substrate_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_properties-b3eee12790eecb3b.d: tests/tests/substrate_properties.rs
+
+/root/repo/target/debug/deps/substrate_properties-b3eee12790eecb3b: tests/tests/substrate_properties.rs
+
+tests/tests/substrate_properties.rs:

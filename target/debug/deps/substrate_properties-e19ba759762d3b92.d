@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_properties-e19ba759762d3b92.d: tests/tests/substrate_properties.rs
+
+/root/repo/target/debug/deps/libsubstrate_properties-e19ba759762d3b92.rmeta: tests/tests/substrate_properties.rs
+
+tests/tests/substrate_properties.rs:

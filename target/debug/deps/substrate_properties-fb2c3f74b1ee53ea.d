@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_properties-fb2c3f74b1ee53ea.d: tests/tests/substrate_properties.rs
+
+/root/repo/target/debug/deps/libsubstrate_properties-fb2c3f74b1ee53ea.rmeta: tests/tests/substrate_properties.rs
+
+tests/tests/substrate_properties.rs:

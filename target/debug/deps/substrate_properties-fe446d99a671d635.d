@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_properties-fe446d99a671d635.d: tests/tests/substrate_properties.rs
+
+/root/repo/target/debug/deps/substrate_properties-fe446d99a671d635: tests/tests/substrate_properties.rs
+
+tests/tests/substrate_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_config-5021ffcec75120b8.d: crates/bench/src/bin/table1_config.rs
+
+/root/repo/target/debug/deps/libtable1_config-5021ffcec75120b8.rmeta: crates/bench/src/bin/table1_config.rs
+
+crates/bench/src/bin/table1_config.rs:

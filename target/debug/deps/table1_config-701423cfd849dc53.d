@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_config-701423cfd849dc53.d: crates/bench/src/bin/table1_config.rs
+
+/root/repo/target/debug/deps/table1_config-701423cfd849dc53: crates/bench/src/bin/table1_config.rs
+
+crates/bench/src/bin/table1_config.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_config-8ee770527f9999e3.d: crates/bench/src/bin/table1_config.rs
+
+/root/repo/target/debug/deps/libtable1_config-8ee770527f9999e3.rmeta: crates/bench/src/bin/table1_config.rs
+
+crates/bench/src/bin/table1_config.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_config-ccf9bb2339ec6270.d: crates/bench/src/bin/table1_config.rs
+
+/root/repo/target/debug/deps/libtable1_config-ccf9bb2339ec6270.rmeta: crates/bench/src/bin/table1_config.rs
+
+crates/bench/src/bin/table1_config.rs:

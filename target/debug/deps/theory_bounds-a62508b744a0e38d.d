@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theory_bounds-a62508b744a0e38d.d: tests/tests/theory_bounds.rs
+
+/root/repo/target/debug/deps/theory_bounds-a62508b744a0e38d: tests/tests/theory_bounds.rs
+
+tests/tests/theory_bounds.rs:

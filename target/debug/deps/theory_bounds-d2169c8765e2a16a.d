@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theory_bounds-d2169c8765e2a16a.d: tests/tests/theory_bounds.rs
+
+/root/repo/target/debug/deps/theory_bounds-d2169c8765e2a16a: tests/tests/theory_bounds.rs
+
+tests/tests/theory_bounds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theory_bounds-d9cf7991257a9ac9.d: tests/tests/theory_bounds.rs
+
+/root/repo/target/debug/deps/libtheory_bounds-d9cf7991257a9ac9.rmeta: tests/tests/theory_bounds.rs
+
+tests/tests/theory_bounds.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theory_bounds-fec790b53087060e.d: tests/tests/theory_bounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheory_bounds-fec790b53087060e.rmeta: tests/tests/theory_bounds.rs Cargo.toml
+
+tests/tests/theory_bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/utility_model-3df3bedfc6ea1984.d: crates/bench/benches/utility_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libutility_model-3df3bedfc6ea1984.rmeta: crates/bench/benches/utility_model.rs Cargo.toml
+
+crates/bench/benches/utility_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/utility_model-c232aabc7f01db9d.d: crates/bench/benches/utility_model.rs
+
+/root/repo/target/debug/deps/libutility_model-c232aabc7f01db9d.rmeta: crates/bench/benches/utility_model.rs
+
+crates/bench/benches/utility_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/utility_model-d4973347128328b5.d: crates/bench/benches/utility_model.rs
+
+/root/repo/target/debug/deps/libutility_model-d4973347128328b5.rmeta: crates/bench/benches/utility_model.rs
+
+crates/bench/benches/utility_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dbg_monitor-253858f51728879f.d: crates/sim/examples/dbg_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdbg_monitor-253858f51728879f.rmeta: crates/sim/examples/dbg_monitor.rs Cargo.toml
+
+crates/sim/examples/dbg_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg_monitor-29d7dc3a0808bab0.d: crates/sim/examples/dbg_monitor.rs
+
+/root/repo/target/debug/examples/libdbg_monitor-29d7dc3a0808bab0.rmeta: crates/sim/examples/dbg_monitor.rs
+
+crates/sim/examples/dbg_monitor.rs:

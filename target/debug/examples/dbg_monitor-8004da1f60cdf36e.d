@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg_monitor-8004da1f60cdf36e.d: crates/sim/examples/dbg_monitor.rs
+
+/root/repo/target/debug/examples/libdbg_monitor-8004da1f60cdf36e.rmeta: crates/sim/examples/dbg_monitor.rs
+
+crates/sim/examples/dbg_monitor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg_monitor-e61f758c47e0296c.d: crates/sim/examples/dbg_monitor.rs
+
+/root/repo/target/debug/examples/dbg_monitor-e61f758c47e0296c: crates/sim/examples/dbg_monitor.rs
+
+crates/sim/examples/dbg_monitor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg_monitor-e98c12a9a66c1c9b.d: crates/sim/examples/dbg_monitor.rs
+
+/root/repo/target/debug/examples/dbg_monitor-e98c12a9a66c1c9b: crates/sim/examples/dbg_monitor.rs
+
+crates/sim/examples/dbg_monitor.rs:

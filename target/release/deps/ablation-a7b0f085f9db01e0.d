@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-a7b0f085f9db01e0.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-a7b0f085f9db01e0: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-db4f751460ca1eda.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-db4f751460ca1eda: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

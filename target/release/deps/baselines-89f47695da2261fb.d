@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baselines-89f47695da2261fb.d: crates/bench/src/bin/baselines.rs
+
+/root/repo/target/release/deps/baselines-89f47695da2261fb: crates/bench/src/bin/baselines.rs
+
+crates/bench/src/bin/baselines.rs:

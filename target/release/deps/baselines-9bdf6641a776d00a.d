@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baselines-9bdf6641a776d00a.d: crates/bench/src/bin/baselines.rs
+
+/root/repo/target/release/deps/baselines-9bdf6641a776d00a: crates/bench/src/bin/baselines.rs
+
+crates/bench/src/bin/baselines.rs:

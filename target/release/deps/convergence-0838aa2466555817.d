@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/convergence-0838aa2466555817.d: crates/bench/src/bin/convergence.rs
+
+/root/repo/target/release/deps/convergence-0838aa2466555817: crates/bench/src/bin/convergence.rs
+
+crates/bench/src/bin/convergence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/convergence-e35f7fd0a0acc5b9.d: crates/bench/src/bin/convergence.rs
+
+/root/repo/target/release/deps/convergence-e35f7fd0a0acc5b9: crates/bench/src/bin/convergence.rs
+
+crates/bench/src/bin/convergence.rs:

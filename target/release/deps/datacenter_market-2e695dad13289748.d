@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/datacenter_market-2e695dad13289748.d: examples/datacenter_market.rs
+
+/root/repo/target/release/deps/datacenter_market-2e695dad13289748: examples/datacenter_market.rs
+
+examples/datacenter_market.rs:

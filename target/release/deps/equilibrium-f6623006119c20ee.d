@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/equilibrium-f6623006119c20ee.d: crates/bench/benches/equilibrium.rs
+
+/root/repo/target/release/deps/equilibrium-f6623006119c20ee: crates/bench/benches/equilibrium.rs
+
+crates/bench/benches/equilibrium.rs:

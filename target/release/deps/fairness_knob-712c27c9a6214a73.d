@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fairness_knob-712c27c9a6214a73.d: examples/fairness_knob.rs
+
+/root/repo/target/release/deps/fairness_knob-712c27c9a6214a73: examples/fairness_knob.rs
+
+examples/fairness_knob.rs:

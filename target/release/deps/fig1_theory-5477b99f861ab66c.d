@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_theory-5477b99f861ab66c.d: crates/bench/src/bin/fig1_theory.rs
+
+/root/repo/target/release/deps/fig1_theory-5477b99f861ab66c: crates/bench/src/bin/fig1_theory.rs
+
+crates/bench/src/bin/fig1_theory.rs:

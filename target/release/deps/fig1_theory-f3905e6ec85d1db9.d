@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_theory-f3905e6ec85d1db9.d: crates/bench/src/bin/fig1_theory.rs
+
+/root/repo/target/release/deps/fig1_theory-f3905e6ec85d1db9: crates/bench/src/bin/fig1_theory.rs
+
+crates/bench/src/bin/fig1_theory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_cache_utility-661b3c5f34d36439.d: crates/bench/src/bin/fig2_cache_utility.rs
+
+/root/repo/target/release/deps/fig2_cache_utility-661b3c5f34d36439: crates/bench/src/bin/fig2_cache_utility.rs
+
+crates/bench/src/bin/fig2_cache_utility.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_cache_utility-e79073a63b789fd2.d: crates/bench/src/bin/fig2_cache_utility.rs
+
+/root/repo/target/release/deps/fig2_cache_utility-e79073a63b789fd2: crates/bench/src/bin/fig2_cache_utility.rs
+
+crates/bench/src/bin/fig2_cache_utility.rs:

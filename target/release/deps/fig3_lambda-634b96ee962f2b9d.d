@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_lambda-634b96ee962f2b9d.d: crates/bench/src/bin/fig3_lambda.rs
+
+/root/repo/target/release/deps/fig3_lambda-634b96ee962f2b9d: crates/bench/src/bin/fig3_lambda.rs
+
+crates/bench/src/bin/fig3_lambda.rs:

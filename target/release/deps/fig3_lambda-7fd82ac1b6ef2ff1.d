@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_lambda-7fd82ac1b6ef2ff1.d: crates/bench/src/bin/fig3_lambda.rs
+
+/root/repo/target/release/deps/fig3_lambda-7fd82ac1b6ef2ff1: crates/bench/src/bin/fig3_lambda.rs
+
+crates/bench/src/bin/fig3_lambda.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_analytical-4a4e752cc68cb017.d: crates/bench/src/bin/fig4_analytical.rs
+
+/root/repo/target/release/deps/fig4_analytical-4a4e752cc68cb017: crates/bench/src/bin/fig4_analytical.rs
+
+crates/bench/src/bin/fig4_analytical.rs:

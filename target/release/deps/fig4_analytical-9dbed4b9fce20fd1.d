@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_analytical-9dbed4b9fce20fd1.d: crates/bench/src/bin/fig4_analytical.rs
+
+/root/repo/target/release/deps/fig4_analytical-9dbed4b9fce20fd1: crates/bench/src/bin/fig4_analytical.rs
+
+crates/bench/src/bin/fig4_analytical.rs:

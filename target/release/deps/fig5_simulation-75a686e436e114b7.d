@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_simulation-75a686e436e114b7.d: crates/bench/src/bin/fig5_simulation.rs
+
+/root/repo/target/release/deps/fig5_simulation-75a686e436e114b7: crates/bench/src/bin/fig5_simulation.rs
+
+crates/bench/src/bin/fig5_simulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_simulation-f8a9feb7245c9e56.d: crates/bench/src/bin/fig5_simulation.rs
+
+/root/repo/target/release/deps/fig5_simulation-f8a9feb7245c9e56: crates/bench/src/bin/fig5_simulation.rs
+
+crates/bench/src/bin/fig5_simulation.rs:

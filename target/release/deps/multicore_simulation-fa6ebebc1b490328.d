@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multicore_simulation-fa6ebebc1b490328.d: examples/multicore_simulation.rs
+
+/root/repo/target/release/deps/multicore_simulation-fa6ebebc1b490328: examples/multicore_simulation.rs
+
+examples/multicore_simulation.rs:

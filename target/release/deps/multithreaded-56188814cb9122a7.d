@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multithreaded-56188814cb9122a7.d: examples/multithreaded.rs
+
+/root/repo/target/release/deps/multithreaded-56188814cb9122a7: examples/multithreaded.rs
+
+examples/multithreaded.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-b01d044c76385555.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-b01d044c76385555: examples/quickstart.rs
+
+examples/quickstart.rs:

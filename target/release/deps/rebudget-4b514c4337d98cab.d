@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rebudget-4b514c4337d98cab.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/rebudget-4b514c4337d98cab: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rebudget_apps-178679aee3e1bf04.d: crates/apps/src/lib.rs crates/apps/src/classify.rs crates/apps/src/perf.rs crates/apps/src/phase.rs crates/apps/src/profile.rs crates/apps/src/spec.rs crates/apps/src/trace.rs
+
+/root/repo/target/release/deps/librebudget_apps-178679aee3e1bf04.rlib: crates/apps/src/lib.rs crates/apps/src/classify.rs crates/apps/src/perf.rs crates/apps/src/phase.rs crates/apps/src/profile.rs crates/apps/src/spec.rs crates/apps/src/trace.rs
+
+/root/repo/target/release/deps/librebudget_apps-178679aee3e1bf04.rmeta: crates/apps/src/lib.rs crates/apps/src/classify.rs crates/apps/src/perf.rs crates/apps/src/phase.rs crates/apps/src/profile.rs crates/apps/src/spec.rs crates/apps/src/trace.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/classify.rs:
+crates/apps/src/perf.rs:
+crates/apps/src/phase.rs:
+crates/apps/src/profile.rs:
+crates/apps/src/spec.rs:
+crates/apps/src/trace.rs:

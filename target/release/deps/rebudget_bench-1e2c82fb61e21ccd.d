@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/rebudget_bench-1e2c82fb61e21ccd.d: crates/bench/src/lib.rs crates/bench/src/export.rs
+
+/root/repo/target/release/deps/librebudget_bench-1e2c82fb61e21ccd.rlib: crates/bench/src/lib.rs crates/bench/src/export.rs
+
+/root/repo/target/release/deps/librebudget_bench-1e2c82fb61e21ccd.rmeta: crates/bench/src/lib.rs crates/bench/src/export.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/export.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/rebudget_bench-a8927e7df5e6b6fc.d: crates/bench/src/lib.rs crates/bench/src/export.rs
+
+/root/repo/target/release/deps/librebudget_bench-a8927e7df5e6b6fc.rlib: crates/bench/src/lib.rs crates/bench/src/export.rs
+
+/root/repo/target/release/deps/librebudget_bench-a8927e7df5e6b6fc.rmeta: crates/bench/src/lib.rs crates/bench/src/export.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/export.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/rebudget_cache-7be5d48322939e62.d: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/futility.rs crates/cache/src/miss_curve.rs crates/cache/src/set_assoc.rs crates/cache/src/stack.rs crates/cache/src/talus.rs crates/cache/src/ucp.rs crates/cache/src/umon.rs crates/cache/src/way_partition.rs
+
+/root/repo/target/release/deps/librebudget_cache-7be5d48322939e62.rlib: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/futility.rs crates/cache/src/miss_curve.rs crates/cache/src/set_assoc.rs crates/cache/src/stack.rs crates/cache/src/talus.rs crates/cache/src/ucp.rs crates/cache/src/umon.rs crates/cache/src/way_partition.rs
+
+/root/repo/target/release/deps/librebudget_cache-7be5d48322939e62.rmeta: crates/cache/src/lib.rs crates/cache/src/config.rs crates/cache/src/futility.rs crates/cache/src/miss_curve.rs crates/cache/src/set_assoc.rs crates/cache/src/stack.rs crates/cache/src/talus.rs crates/cache/src/ucp.rs crates/cache/src/umon.rs crates/cache/src/way_partition.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/config.rs:
+crates/cache/src/futility.rs:
+crates/cache/src/miss_curve.rs:
+crates/cache/src/set_assoc.rs:
+crates/cache/src/stack.rs:
+crates/cache/src/talus.rs:
+crates/cache/src/ucp.rs:
+crates/cache/src/umon.rs:
+crates/cache/src/way_partition.rs:

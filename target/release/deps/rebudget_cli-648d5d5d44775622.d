@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rebudget_cli-648d5d5d44775622.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/librebudget_cli-648d5d5d44775622.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/librebudget_cli-648d5d5d44775622.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

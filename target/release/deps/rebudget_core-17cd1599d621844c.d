@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rebudget_core-17cd1599d621844c.d: crates/core/src/lib.rs crates/core/src/ep.rs crates/core/src/linearized.rs crates/core/src/mechanisms.rs crates/core/src/sweep.rs crates/core/src/theory.rs crates/core/src/uncoordinated.rs
+
+/root/repo/target/release/deps/librebudget_core-17cd1599d621844c.rlib: crates/core/src/lib.rs crates/core/src/ep.rs crates/core/src/linearized.rs crates/core/src/mechanisms.rs crates/core/src/sweep.rs crates/core/src/theory.rs crates/core/src/uncoordinated.rs
+
+/root/repo/target/release/deps/librebudget_core-17cd1599d621844c.rmeta: crates/core/src/lib.rs crates/core/src/ep.rs crates/core/src/linearized.rs crates/core/src/mechanisms.rs crates/core/src/sweep.rs crates/core/src/theory.rs crates/core/src/uncoordinated.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ep.rs:
+crates/core/src/linearized.rs:
+crates/core/src/mechanisms.rs:
+crates/core/src/sweep.rs:
+crates/core/src/theory.rs:
+crates/core/src/uncoordinated.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rebudget_power-1e4c4a8332c06411.d: crates/power/src/lib.rs crates/power/src/budget.rs crates/power/src/dvfs.rs crates/power/src/model.rs crates/power/src/thermal.rs crates/power/src/thermal_grid.rs
+
+/root/repo/target/release/deps/librebudget_power-1e4c4a8332c06411.rlib: crates/power/src/lib.rs crates/power/src/budget.rs crates/power/src/dvfs.rs crates/power/src/model.rs crates/power/src/thermal.rs crates/power/src/thermal_grid.rs
+
+/root/repo/target/release/deps/librebudget_power-1e4c4a8332c06411.rmeta: crates/power/src/lib.rs crates/power/src/budget.rs crates/power/src/dvfs.rs crates/power/src/model.rs crates/power/src/thermal.rs crates/power/src/thermal_grid.rs
+
+crates/power/src/lib.rs:
+crates/power/src/budget.rs:
+crates/power/src/dvfs.rs:
+crates/power/src/model.rs:
+crates/power/src/thermal.rs:
+crates/power/src/thermal_grid.rs:

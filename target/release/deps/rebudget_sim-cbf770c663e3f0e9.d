@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/rebudget_sim-cbf770c663e3f0e9.d: crates/sim/src/lib.rs crates/sim/src/analytic.rs crates/sim/src/config.rs crates/sim/src/critical_path.rs crates/sim/src/dram.rs crates/sim/src/dram_sim.rs crates/sim/src/groups.rs crates/sim/src/machine.rs crates/sim/src/monitor.rs crates/sim/src/simulation.rs crates/sim/src/trace_machine.rs crates/sim/src/utility_model.rs
+
+/root/repo/target/release/deps/librebudget_sim-cbf770c663e3f0e9.rlib: crates/sim/src/lib.rs crates/sim/src/analytic.rs crates/sim/src/config.rs crates/sim/src/critical_path.rs crates/sim/src/dram.rs crates/sim/src/dram_sim.rs crates/sim/src/groups.rs crates/sim/src/machine.rs crates/sim/src/monitor.rs crates/sim/src/simulation.rs crates/sim/src/trace_machine.rs crates/sim/src/utility_model.rs
+
+/root/repo/target/release/deps/librebudget_sim-cbf770c663e3f0e9.rmeta: crates/sim/src/lib.rs crates/sim/src/analytic.rs crates/sim/src/config.rs crates/sim/src/critical_path.rs crates/sim/src/dram.rs crates/sim/src/dram_sim.rs crates/sim/src/groups.rs crates/sim/src/machine.rs crates/sim/src/monitor.rs crates/sim/src/simulation.rs crates/sim/src/trace_machine.rs crates/sim/src/utility_model.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/analytic.rs:
+crates/sim/src/config.rs:
+crates/sim/src/critical_path.rs:
+crates/sim/src/dram.rs:
+crates/sim/src/dram_sim.rs:
+crates/sim/src/groups.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/monitor.rs:
+crates/sim/src/simulation.rs:
+crates/sim/src/trace_machine.rs:
+crates/sim/src/utility_model.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rebudget_tests-18537350beeac371.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/librebudget_tests-18537350beeac371.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/librebudget_tests-18537350beeac371.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rebudget_workloads-da389a18a430201c.d: crates/workloads/src/lib.rs crates/workloads/src/bundle.rs crates/workloads/src/category.rs crates/workloads/src/suite.rs
+
+/root/repo/target/release/deps/librebudget_workloads-da389a18a430201c.rlib: crates/workloads/src/lib.rs crates/workloads/src/bundle.rs crates/workloads/src/category.rs crates/workloads/src/suite.rs
+
+/root/repo/target/release/deps/librebudget_workloads-da389a18a430201c.rmeta: crates/workloads/src/lib.rs crates/workloads/src/bundle.rs crates/workloads/src/category.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/bundle.rs:
+crates/workloads/src/category.rs:
+crates/workloads/src/suite.rs:

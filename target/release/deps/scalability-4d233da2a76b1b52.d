@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scalability-4d233da2a76b1b52.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/release/deps/scalability-4d233da2a76b1b52: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

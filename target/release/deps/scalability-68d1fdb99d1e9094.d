@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scalability-68d1fdb99d1e9094.d: crates/bench/src/bin/scalability.rs
+
+/root/repo/target/release/deps/scalability-68d1fdb99d1e9094: crates/bench/src/bin/scalability.rs
+
+crates/bench/src/bin/scalability.rs:

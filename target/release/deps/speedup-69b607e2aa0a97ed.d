@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/speedup-69b607e2aa0a97ed.d: crates/bench/benches/speedup.rs
+
+/root/repo/target/release/deps/speedup-69b607e2aa0a97ed: crates/bench/benches/speedup.rs
+
+crates/bench/benches/speedup.rs:

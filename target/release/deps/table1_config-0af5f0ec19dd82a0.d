@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_config-0af5f0ec19dd82a0.d: crates/bench/src/bin/table1_config.rs
+
+/root/repo/target/release/deps/table1_config-0af5f0ec19dd82a0: crates/bench/src/bin/table1_config.rs
+
+crates/bench/src/bin/table1_config.rs:

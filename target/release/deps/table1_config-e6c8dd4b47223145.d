@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_config-e6c8dd4b47223145.d: crates/bench/src/bin/table1_config.rs
+
+/root/repo/target/release/deps/table1_config-e6c8dd4b47223145: crates/bench/src/bin/table1_config.rs
+
+crates/bench/src/bin/table1_config.rs:

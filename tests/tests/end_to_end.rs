@@ -46,12 +46,26 @@ fn rebudget_trades_fairness_for_efficiency_monotonically() {
     let (sys, dram) = setup();
     let market = build_market(&paper_bbpc_8core(), &sys, &dram, 100.0).expect("market builds");
     let eq = EqualBudget::new(100.0).allocate(&market).expect("runs");
-    let rb20 = ReBudget::with_step(100.0, 20.0).allocate(&market).expect("runs");
-    let rb40 = ReBudget::with_step(100.0, 40.0).allocate(&market).expect("runs");
+    let rb20 = ReBudget::with_step(100.0, 20.0)
+        .allocate(&market)
+        .expect("runs");
+    let rb40 = ReBudget::with_step(100.0, 40.0)
+        .allocate(&market)
+        .expect("runs");
     // Efficiency: EqualBudget ≤ ReBudget-20 ≤ ReBudget-40 (small slack for
     // the approximate equilibria).
-    assert!(rb20.efficiency >= eq.efficiency - 0.02, "{} vs {}", rb20.efficiency, eq.efficiency);
-    assert!(rb40.efficiency >= rb20.efficiency - 0.02, "{} vs {}", rb40.efficiency, rb20.efficiency);
+    assert!(
+        rb20.efficiency >= eq.efficiency - 0.02,
+        "{} vs {}",
+        rb20.efficiency,
+        eq.efficiency
+    );
+    assert!(
+        rb40.efficiency >= rb20.efficiency - 0.02,
+        "{} vs {}",
+        rb40.efficiency,
+        rb20.efficiency
+    );
     // Fairness: the reverse ordering.
     assert!(eq.envy_freeness >= rb20.envy_freeness - 0.02);
     assert!(rb20.envy_freeness >= rb40.envy_freeness - 0.02);
@@ -67,7 +81,9 @@ fn theorem2_floor_holds_on_all_categories_for_both_steps() {
         let bundle = generate_bundle(category, 8, 1, 9).expect("8 cores");
         let market = build_market(&bundle, &sys, &dram, 100.0).expect("market builds");
         for step in [20.0, 40.0] {
-            let out = ReBudget::with_step(100.0, step).allocate(&market).expect("runs");
+            let out = ReBudget::with_step(100.0, step)
+                .allocate(&market)
+                .expect("runs");
             let floor = ef_lower_bound(out.mbr.expect("market ran"));
             assert!(
                 out.envy_freeness >= floor - 1e-6,

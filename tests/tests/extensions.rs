@@ -22,8 +22,12 @@ fn ep_trails_the_market_when_cliffy_utilities_defy_the_fit() {
     // bundle contains mcf (a cliff Cobb-Douglas cannot express).
     let (sys, dram) = setup();
     let market = build_market(&paper_bbpc_8core(), &sys, &dram, 100.0).expect("market builds");
-    let ep = ElasticitiesProportional::new().allocate(&market).expect("EP runs");
-    let rb = ReBudget::with_step(100.0, 40.0).allocate(&market).expect("ReBudget runs");
+    let ep = ElasticitiesProportional::new()
+        .allocate(&market)
+        .expect("EP runs");
+    let rb = ReBudget::with_step(100.0, 40.0)
+        .allocate(&market)
+        .expect("ReBudget runs");
     assert!(
         rb.efficiency >= ep.efficiency - 1e-6,
         "tuned market {} should match or beat EP {}",
@@ -32,7 +36,9 @@ fn ep_trails_the_market_when_cliffy_utilities_defy_the_fit() {
     );
     // And the fits themselves flag the difficulty: mcf's fit error is the
     // worst in the bundle.
-    let fits = ElasticitiesProportional::new().fit_players(&market).expect("fits");
+    let fits = ElasticitiesProportional::new()
+        .fit_players(&market)
+        .expect("fits");
     let names = paper_bbpc_8core();
     let worst = fits
         .iter()
@@ -55,7 +61,9 @@ fn uncoordinated_baseline_loses_to_the_market_on_power_skewed_bundles() {
             let bundle = generate_bundle(category, 8, index, 11).expect("8 cores");
             let market = build_market(&bundle, &sys, &dram, 100.0).expect("market builds");
             let unc = Uncoordinated.allocate(&market).expect("runs");
-            let rb = ReBudget::with_step(100.0, 40.0).allocate(&market).expect("runs");
+            let rb = ReBudget::with_step(100.0, 40.0)
+                .allocate(&market)
+                .expect("runs");
             total += 1;
             if rb.efficiency >= unc.efficiency - 1e-9 {
                 market_wins += 1;
@@ -74,10 +82,22 @@ fn group_market_runs_every_mechanism() {
     let app = |n: &str| rebudget_apps::spec::app_by_name(n).expect("exists");
     let bundle = MultithreadedBundle {
         groups: vec![
-            ThreadGroup { app: app("swim"), threads: 4 },
-            ThreadGroup { app: app("mcf"), threads: 2 },
-            ThreadGroup { app: app("hmmer"), threads: 1 },
-            ThreadGroup { app: app("gzip"), threads: 1 },
+            ThreadGroup {
+                app: app("swim"),
+                threads: 4,
+            },
+            ThreadGroup {
+                app: app("mcf"),
+                threads: 2,
+            },
+            ThreadGroup {
+                app: app("hmmer"),
+                threads: 1,
+            },
+            ThreadGroup {
+                app: app("gzip"),
+                threads: 1,
+            },
         ],
     };
     let market = build_group_market(&bundle, &sys, &dram, 100.0).expect("group market");

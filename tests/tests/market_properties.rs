@@ -33,8 +33,11 @@ fn random_market(rng: &mut StdRng) -> (Market, Vec<f64>) {
             )
         })
         .collect();
-    let market = Market::new(ResourceSpace::new(caps.to_vec()).expect("caps valid"), players)
-        .expect("market valid");
+    let market = Market::new(
+        ResourceSpace::new(caps.to_vec()).expect("caps valid"),
+        players,
+    )
+    .expect("market valid");
     let budgets = (0..n).map(|_| rng.random_range(1.0..100.0)).collect();
     (market, budgets)
 }
@@ -139,8 +142,14 @@ fn concave_hull_dominates_and_is_concave() {
             assert!(hull.value(x) >= y - 1e-9, "case {case}");
         }
         // Hull endpoints coincide with the curve's.
-        assert!((hull.value(1.0) - curve.value(1.0)).abs() < 1e-9, "case {case}");
+        assert!(
+            (hull.value(1.0) - curve.value(1.0)).abs() < 1e-9,
+            "case {case}"
+        );
         let last = points.len() as f64;
-        assert!((hull.value(last) - curve.value(last)).abs() < 1e-9, "case {case}");
+        assert!(
+            (hull.value(last) - curve.value(last)).abs() < 1e-9,
+            "case {case}"
+        );
     }
 }

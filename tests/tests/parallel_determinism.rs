@@ -1,0 +1,130 @@
+//! Bit-exact determinism of the parallel equilibrium engine.
+//!
+//! The engine's contract is that [`ParallelPolicy`] is purely an execution
+//! knob: every outcome field — bids, prices, allocation, utilities, λs,
+//! iteration count — must be *bit-identical* under `Serial`, `Auto`, and
+//! any explicit thread count. These tests pin that contract on markets
+//! built from the paper's workload generator (Cpbn and mixed-category
+//! bundles) as well as the mechanism layer on top.
+
+use rebudget_core::mechanisms::{EqualBudget, Mechanism, ReBudget};
+use rebudget_core::sweep::sweep_steps_with;
+use rebudget_market::equilibrium::{EquilibriumOptions, EquilibriumOutcome};
+use rebudget_market::{Market, ParallelPolicy};
+use rebudget_sim::analytic::build_market;
+use rebudget_sim::{DramConfig, SystemConfig};
+use rebudget_workloads::{generate_bundle, Category};
+
+const POLICIES: [ParallelPolicy; 3] = [
+    ParallelPolicy::Serial,
+    ParallelPolicy::Auto,
+    ParallelPolicy::Threads(4),
+];
+
+fn market_for(category: Category, cores: usize) -> Market {
+    let sys = SystemConfig::scaled(cores);
+    let dram = DramConfig::ddr3_1600();
+    let bundle = generate_bundle(category, cores, 0, 1).expect("valid core count");
+    build_market(&bundle, &sys, &dram, 100.0).expect("valid market")
+}
+
+fn assert_bitwise_equal(a: &EquilibriumOutcome, b: &EquilibriumOutcome, what: &str) {
+    assert_eq!(a.iterations, b.iterations, "{what}: iterations");
+    assert_eq!(a.converged, b.converged, "{what}: converged");
+    let pairs = [
+        (a.bids.as_slice(), b.bids.as_slice(), "bids"),
+        (&a.prices[..], &b.prices[..], "prices"),
+        (&a.utilities[..], &b.utilities[..], "utilities"),
+        (&a.lambdas[..], &b.lambdas[..], "lambdas"),
+    ];
+    for (xs, ys, field) in pairs {
+        assert_eq!(xs.len(), ys.len(), "{what}: {field} length");
+        for (k, (x, y)) in xs.iter().zip(ys).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: {field}[{k}] differs: {x} vs {y}"
+            );
+        }
+    }
+    for i in 0..a.utilities.len() {
+        for (x, y) in a.allocation.row(i).iter().zip(b.allocation.row(i)) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: allocation row {i}");
+        }
+    }
+}
+
+fn solve(market: &Market, policy: ParallelPolicy) -> EquilibriumOutcome {
+    market
+        .equilibrium(&EquilibriumOptions::default().with_parallel(policy))
+        .expect("equilibrium runs")
+}
+
+#[test]
+fn equilibrium_bit_identical_across_policies_cpbn() {
+    // 64 players: wide enough that Auto actually goes parallel.
+    let market = market_for(Category::Cpbn, 64);
+    let baseline = solve(&market, ParallelPolicy::Serial);
+    for policy in POLICIES {
+        let out = solve(&market, policy);
+        assert_bitwise_equal(&baseline, &out, &format!("Cpbn-64 under {policy:?}"));
+    }
+}
+
+#[test]
+fn equilibrium_bit_identical_across_policies_mixed_bundles() {
+    for category in [Category::Cpbb, Category::Bbnn, Category::Bbcn] {
+        let market = market_for(category, 8);
+        let baseline = solve(&market, ParallelPolicy::Serial);
+        for policy in POLICIES {
+            let out = solve(&market, policy);
+            assert_bitwise_equal(&baseline, &out, &format!("{category:?}-8 under {policy:?}"));
+        }
+    }
+}
+
+#[test]
+fn mechanisms_bit_identical_across_policies() {
+    let market = market_for(Category::Cpbb, 8);
+    for policy in POLICIES {
+        let eq_s = EqualBudget::new(100.0).allocate(&market).unwrap();
+        let eq_p = EqualBudget::new(100.0)
+            .with_parallel(policy)
+            .allocate(&market)
+            .unwrap();
+        assert_eq!(eq_s.efficiency.to_bits(), eq_p.efficiency.to_bits());
+        assert_eq!(eq_s.envy_freeness.to_bits(), eq_p.envy_freeness.to_bits());
+
+        let rb_s = ReBudget::with_step(100.0, 40.0).allocate(&market).unwrap();
+        let rb_p = ReBudget::with_step(100.0, 40.0)
+            .with_parallel(policy)
+            .allocate(&market)
+            .unwrap();
+        assert_eq!(rb_s.efficiency.to_bits(), rb_p.efficiency.to_bits());
+        assert_eq!(rb_s.equilibrium_rounds, rb_p.equilibrium_rounds);
+        for (a, b) in rb_s.budgets.iter().zip(&rb_p.budgets) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
+#[test]
+fn sweep_bit_identical_across_policies() {
+    let market = market_for(Category::Cpbn, 8);
+    let steps = [0.0, 20.0, 40.0];
+    let baseline = sweep_steps_with(&market, 100.0, &steps, true, ParallelPolicy::Serial).unwrap();
+    for policy in POLICIES {
+        let pts = sweep_steps_with(&market, 100.0, &steps, true, policy).unwrap();
+        assert_eq!(baseline.len(), pts.len());
+        for (a, b) in baseline.iter().zip(&pts) {
+            assert_eq!(a.efficiency.to_bits(), b.efficiency.to_bits(), "{policy:?}");
+            assert_eq!(a.mur.to_bits(), b.mur.to_bits(), "{policy:?}");
+            assert_eq!(a.mbr.to_bits(), b.mbr.to_bits(), "{policy:?}");
+            assert_eq!(
+                a.normalized_efficiency.unwrap().to_bits(),
+                b.normalized_efficiency.unwrap().to_bits(),
+                "{policy:?}"
+            );
+        }
+    }
+}

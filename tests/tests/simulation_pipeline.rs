@@ -46,13 +46,19 @@ fn online_monitoring_tracks_analytic_utilities() {
     let sys = SystemConfig::paper_8core();
     let dram = DramConfig::ddr3_1600();
     let bundle = paper_bbpc_8core();
-    let monitored = run_simulation(&sys, &dram, &bundle, &EqualBudget::new(100.0), &opts())
-        .expect("runs");
+    let monitored =
+        run_simulation(&sys, &dram, &bundle, &EqualBudget::new(100.0), &opts()).expect("runs");
     let mut analytic_opts = opts();
     analytic_opts.use_monitors = false;
     analytic_opts.accesses_per_quantum = 0;
-    let analytic = run_simulation(&sys, &dram, &bundle, &EqualBudget::new(100.0), &analytic_opts)
-        .expect("runs");
+    let analytic = run_simulation(
+        &sys,
+        &dram,
+        &bundle,
+        &EqualBudget::new(100.0),
+        &analytic_opts,
+    )
+    .expect("runs");
     let gap = (monitored.efficiency - analytic.efficiency).abs() / analytic.efficiency;
     assert!(
         gap < 0.20,

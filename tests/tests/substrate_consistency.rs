@@ -110,5 +110,8 @@ fn traces_from_different_cores_do_not_alias() {
     let ys = b.take_addresses(10_000);
     let max_a = xs.iter().max().expect("non-empty");
     let min_b = ys.iter().min().expect("non-empty");
-    assert!(max_a < min_b, "address ranges overlap: {max_a:#x} vs {min_b:#x}");
+    assert!(
+        max_a < min_b,
+        "address ranges overlap: {max_a:#x} vs {min_b:#x}"
+    );
 }

@@ -42,7 +42,10 @@ fn talus_plans_always_sum_to_target() {
         assert!((plan.total_bytes() - target).abs() < 1e-6, "case {case}");
         assert!((0.0..=1.0).contains(&plan.hi_fraction), "case {case}");
         // Hull dominance: expected misses never exceed the raw curve.
-        assert!(plan.expected_misses <= curve.at(target) + 1e-9, "case {case}");
+        assert!(
+            plan.expected_misses <= curve.at(target) + 1e-9,
+            "case {case}"
+        );
     }
 }
 
@@ -73,7 +76,9 @@ fn ucp_allocations_are_exhaustive_and_minimum_respecting() {
         let curves: Vec<Vec<f64>> = (0..n)
             .map(|_| {
                 let f: f64 = rng.random_range(0.5..0.99);
-                (0..=total_ways).map(|w| 1000.0 * f.powi(w as i32)).collect()
+                (0..=total_ways)
+                    .map(|w| 1000.0 * f.powi(w as i32))
+                    .collect()
             })
             .collect();
         let alloc = ucp_lookahead(&curves, total_ways, 1).expect("valid input");
@@ -92,7 +97,10 @@ fn power_inversion_round_trips_for_any_activity() {
         let m = CorePowerModel::paper(activity);
         let w = m.total_power(f_target, temp);
         let f = m.frequency_for_power(w, temp).expect("above floor");
-        assert!((f - f_target).abs() < 1e-5, "case {case}: {f} vs {f_target}");
+        assert!(
+            (f - f_target).abs() < 1e-5,
+            "case {case}: {f} vs {f_target}"
+        );
     }
 }
 

@@ -116,9 +116,8 @@ fn lemma2_style_degradation_and_rebudget_rescue() {
             players.push(Player::new(
                 format!("flat{i}"),
                 100.0,
-                Arc::new(
-                    SeparableUtility::proportional(&[0.02, 0.02], &caps).expect("valid"),
-                ) as Arc<dyn rebudget_market::Utility>,
+                Arc::new(SeparableUtility::proportional(&[0.02, 0.02], &caps).expect("valid"))
+                    as Arc<dyn rebudget_market::Utility>,
             ));
         }
         Market::new(ResourceSpace::new(caps.to_vec()).expect("valid"), players)
@@ -128,7 +127,9 @@ fn lemma2_style_degradation_and_rebudget_rescue() {
     let poa_of = |market: &Market| -> (f64, f64) {
         let opt = MaxEfficiency::default().allocate(market).expect("oracle");
         let eq = EqualBudget::new(100.0).allocate(market).expect("market");
-        let rb = ReBudget::with_step(100.0, 45.0).allocate(market).expect("rebudget");
+        let rb = ReBudget::with_step(100.0, 45.0)
+            .allocate(market)
+            .expect("rebudget");
         (
             eq.efficiency / opt.efficiency,
             rb.efficiency / opt.efficiency,
@@ -172,6 +173,9 @@ fn raising_mur_via_budget_cuts_never_breaks_floors() {
             .expect("equilibrium runs");
         let mbr = metrics::mbr(&budgets);
         let ef = metrics::envy_freeness(&market, &eq2.allocation);
-        assert!(ef >= ef_lower_bound(mbr) - 0.05, "EF {ef:.3} vs floor at MBR {mbr:.3}");
+        assert!(
+            ef >= ef_lower_bound(mbr) - 0.05,
+            "EF {ef:.3} vs floor at MBR {mbr:.3}"
+        );
     }
 }

@@ -190,22 +190,29 @@ mod tests {
     #[test]
     fn chunks_mut_for_each_init_touches_every_chunk_once() {
         let mut data = vec![0i64; 12 * 3];
-        data.par_chunks_mut(3)
-            .enumerate()
-            .for_each_init(|| 100i64, |init, (i, chunk)| {
+        data.par_chunks_mut(3).enumerate().for_each_init(
+            || 100i64,
+            |init, (i, chunk)| {
                 for (k, slot) in chunk.iter_mut().enumerate() {
                     *slot = *init + (i * 3 + k) as i64;
                 }
-            });
+            },
+        );
         let expect: Vec<i64> = (0..36).map(|k| 100 + k).collect();
         assert_eq!(data, expect);
     }
 
     #[test]
     fn install_overrides_thread_count() {
-        let pool = crate::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
         assert_eq!(pool.install(crate::current_num_threads), 3);
-        let nested = crate::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let nested = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
         pool.install(|| {
             assert_eq!(nested.install(crate::current_num_threads), 1);
             assert_eq!(crate::current_num_threads(), 3);
@@ -216,8 +223,14 @@ mod tests {
     fn results_identical_across_thread_counts() {
         let xs: Vec<f64> = (0..257).map(|i| i as f64 * 0.37).collect();
         let eval = || -> Vec<f64> { xs.par_iter().map(|&x| (x.sin() * 1e6).sqrt()).collect() };
-        let serial = crate::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
-        let four = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let serial = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let four = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
         let a = serial.install(eval);
         let b = four.install(eval);
         let c = eval();
