@@ -32,6 +32,7 @@ fn main() {
         use_monitors: true,
         seed,
         execution,
+        ..SimOptions::default()
     };
 
     println!(

@@ -24,6 +24,7 @@ use rebudget_core::mechanisms::{
 };
 use rebudget_core::sweep::sweep_steps;
 use rebudget_core::theory::{ef_lower_bound, poa_lower_bound};
+use rebudget_market::FaultPlan;
 use rebudget_sim::analytic::build_market;
 use rebudget_sim::{run_simulation, DramConfig, SimOptions, SystemConfig};
 use rebudget_workloads::{generate_bundle, paper_bbpc_8core, Bundle, Category};
@@ -58,11 +59,15 @@ USAGE:
     rebudget workloads <CATEGORY> <CORES> [SEED]
     rebudget solve <CATEGORY|bbpc> <CORES> [MECHANISM] [STEP]
     rebudget sweep <CATEGORY|bbpc> <CORES>
-    rebudget simulate <CATEGORY|bbpc> <CORES> [QUANTA]
+    rebudget simulate <CATEGORY|bbpc> <CORES> [QUANTA] [--seed=N] [--faults=SPEC]
     rebudget theory <MUR> <MBR>
 
 CATEGORY:   CPBN | CCPP | CPBB | BBNN | BBPN | BBCN (case-insensitive)
 MECHANISM:  equalshare | equalbudget | balanced | rebudget | maxefficiency
+FAULTS:     comma-separated spec injecting telemetry/solver faults, e.g.
+            --faults=noise=0.1,drop=0.05,liars=2 — keys: noise, spike,
+            spike-mag, stale, stale-depth, drop, nan, liars, liar-factor,
+            seed (defaults to --seed)
 ";
 
 /// Parses a mechanism name (with an optional ReBudget step).
@@ -102,6 +107,29 @@ fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, CliError> {
     s.parse().map_err(|_| err(format!("invalid {what}: '{s}'")))
 }
 
+/// Removes `--name=value` (or `--name value`) from `args`, returning the
+/// value if the flag was present.
+fn extract_flag(args: &mut Vec<String>, name: &str) -> Result<Option<String>, CliError> {
+    let prefix = format!("--{name}=");
+    let bare = format!("--{name}");
+    for i in 0..args.len() {
+        if let Some(v) = args[i].strip_prefix(&prefix) {
+            let v = v.to_string();
+            args.remove(i);
+            return Ok(Some(v));
+        }
+        if args[i] == bare {
+            if i + 1 >= args.len() {
+                return Err(err(format!("--{name} requires a value")));
+            }
+            let v = args.remove(i + 1);
+            args.remove(i);
+            return Ok(Some(v));
+        }
+    }
+    Ok(None)
+}
+
 /// Runs the CLI with `args` (excluding the program name); returns the
 /// text to print on stdout.
 ///
@@ -110,6 +138,23 @@ fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, CliError> {
 /// Returns a [`CliError`] with a user-facing message for bad input.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let mut out = String::new();
+    let mut args = args.to_vec();
+    let seed: Option<u64> = extract_flag(&mut args, "seed")?
+        .map(|s| parse(&s, "seed"))
+        .transpose()?;
+    let faults: Option<FaultPlan> = match extract_flag(&mut args, "faults")? {
+        Some(spec) => {
+            let plan = FaultPlan::parse(&spec)
+                .map_err(|e| err(format!("invalid --faults spec {spec:?}: {e}")))?;
+            // --seed doubles as the fault seed unless the spec pins one.
+            let plan = match seed {
+                Some(n) if !spec.contains("seed=") => plan.with_seed(n),
+                _ => plan,
+            };
+            Some(plan)
+        }
+        None => None,
+    };
     match args.first().map(String::as_str) {
         Some("apps") => {
             writeln!(
@@ -233,30 +278,60 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .unwrap_or(5);
             let bundle = parse_bundle(category, cores, 1)?;
             let (sys, dram) = system_for(cores);
+            let injecting = faults.as_ref().is_some_and(FaultPlan::is_active);
             let opts = SimOptions {
                 quanta,
                 accesses_per_quantum: 10_000,
                 budget: 100.0,
                 use_monitors: true,
-                seed: 1,
+                seed: seed.unwrap_or(1),
+                faults,
                 ..SimOptions::default()
             };
-            writeln!(
-                out,
-                "{:<14} {:>14} {:>10}",
-                "mechanism", "weighted-speedup", "envy-free"
-            )
-            .expect("infallible");
+            if injecting {
+                writeln!(
+                    out,
+                    "{:<14} {:>14} {:>10} {:>9} {:>9} {:>10}",
+                    "mechanism",
+                    "weighted-speedup",
+                    "envy-free",
+                    "degraded",
+                    "fallback",
+                    "recoveries"
+                )
+                .expect("infallible");
+            } else {
+                writeln!(
+                    out,
+                    "{:<14} {:>14} {:>10}",
+                    "mechanism", "weighted-speedup", "envy-free"
+                )
+                .expect("infallible");
+            }
             for mech_name in ["equalshare", "equalbudget", "rebudget", "maxefficiency"] {
                 let mech = parse_mechanism(mech_name, Some(40.0))?;
                 let r = run_simulation(&sys, &dram, &bundle, mech.as_ref(), &opts)
                     .map_err(|e| err(e.to_string()))?;
-                writeln!(
-                    out,
-                    "{:<14} {:>14.3} {:>10.3}",
-                    r.mechanism, r.efficiency, r.envy_freeness
-                )
-                .expect("infallible");
+                if injecting {
+                    writeln!(
+                        out,
+                        "{:<14} {:>14.3} {:>10.3} {:>9} {:>9} {:>10}",
+                        r.mechanism,
+                        r.efficiency,
+                        r.envy_freeness,
+                        r.degraded_quanta,
+                        r.fallback_quanta,
+                        r.solver_recoveries
+                    )
+                    .expect("infallible");
+                } else {
+                    writeln!(
+                        out,
+                        "{:<14} {:>14.3} {:>10.3}",
+                        r.mechanism, r.efficiency, r.envy_freeness
+                    )
+                    .expect("infallible");
+                }
             }
             Ok(out)
         }
@@ -350,5 +425,50 @@ mod tests {
     #[test]
     fn bbpc_requires_8_cores() {
         assert!(run(&["solve".into(), "bbpc".into(), "64".into()]).is_err());
+    }
+
+    #[test]
+    fn simulate_with_faults_reports_degradation_columns() {
+        let out = run_ok(&[
+            "simulate",
+            "bbpc",
+            "8",
+            "2",
+            "--faults=noise=0.2,drop=0.3",
+            "--seed=7",
+        ]);
+        assert!(out.contains("degraded"));
+        assert!(out.contains("fallback"));
+        assert!(out.contains("ReBudget-40"));
+        // Without faults the extra columns stay hidden.
+        let plain = run_ok(&["simulate", "bbpc", "8", "2"]);
+        assert!(!plain.contains("degraded"));
+    }
+
+    #[test]
+    fn bad_fault_spec_is_rejected() {
+        let e = run(&[
+            "simulate".into(),
+            "bbpc".into(),
+            "8".into(),
+            "--faults=bogus=1".into(),
+        ])
+        .unwrap_err();
+        assert!(e.message.contains("invalid --faults spec"));
+    }
+
+    #[test]
+    fn flag_extraction_handles_both_forms() {
+        let mut a: Vec<String> = vec!["simulate".into(), "--seed=9".into(), "bbpc".into()];
+        assert_eq!(extract_flag(&mut a, "seed").unwrap().as_deref(), Some("9"));
+        assert_eq!(a, vec!["simulate".to_string(), "bbpc".to_string()]);
+        let mut b: Vec<String> = vec!["--faults".into(), "noise=0.1".into()];
+        assert_eq!(
+            extract_flag(&mut b, "faults").unwrap().as_deref(),
+            Some("noise=0.1")
+        );
+        assert!(b.is_empty());
+        let mut c: Vec<String> = vec!["--faults".into()];
+        assert!(extract_flag(&mut c, "faults").is_err());
     }
 }

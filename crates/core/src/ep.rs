@@ -123,11 +123,15 @@ impl Mechanism for ElasticitiesProportional {
             equilibrium_rounds: 0,
             total_iterations: 0,
             converged: true,
+            solver_recoveries: 0,
+            rolled_back_rounds: 0,
+            degraded: false,
         })
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use rebudget_market::utility::CobbDouglas;

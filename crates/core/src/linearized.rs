@@ -86,6 +86,7 @@ pub fn linearized_check(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use rebudget_market::equilibrium::EquilibriumOptions;

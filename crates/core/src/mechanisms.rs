@@ -51,6 +51,20 @@ pub struct MechanismOutcome {
     /// Whether every equilibrium solve met the price-convergence test
     /// before the fail-safe. `true` for non-market mechanisms.
     pub converged: bool,
+    /// Total solver guardrail interventions
+    /// ([`rebudget_market::RecoveryAction`]) summed over all equilibrium
+    /// solves — 0 for a fully clean run.
+    pub solver_recoveries: usize,
+    /// Number of ReBudget reassignment rounds that were rolled back
+    /// because the realized efficiency fell below the Theorem-1 floor
+    /// (always 0 for other mechanisms).
+    pub rolled_back_rounds: usize,
+    /// `true` when this outcome is best-effort rather than a certified
+    /// equilibrium: some solve hit the iteration fail-safe without
+    /// converging. Metrics are still valid measurements of the returned
+    /// allocation, but the theorem bounds tied to equilibrium need not
+    /// hold.
+    pub degraded: bool,
 }
 
 /// An allocation mechanism: anything that maps a market to an allocation.
@@ -94,6 +108,9 @@ fn outcome_from_allocation(
         equilibrium_rounds: 0,
         total_iterations: 0,
         converged: true,
+        solver_recoveries: 0,
+        rolled_back_rounds: 0,
+        degraded: false,
     }
 }
 
@@ -335,27 +352,23 @@ impl Mechanism for ReBudget {
         let mut rounds = 0usize;
         let mut total_iterations = 0usize;
         let mut all_converged = true;
+        let mut recoveries = 0usize;
+        let mut rollbacks = 0usize;
+
+        let mut eq = market.equilibrium_with_budgets(&budgets, &self.options)?;
+        rounds += 1;
+        total_iterations += eq.iterations;
+        all_converged &= eq.converged();
+        recoveries += eq.report.recovery.len();
 
         loop {
-            let eq = market.equilibrium_with_budgets(&budgets, &self.options)?;
-            rounds += 1;
-            total_iterations += eq.iterations;
-            all_converged &= eq.converged;
-
             if step < min_step {
-                return Ok(finish(
-                    self.name(),
-                    market,
-                    budgets,
-                    eq,
-                    rounds,
-                    total_iterations,
-                    all_converged,
-                ));
+                break;
             }
 
             let max_lambda = eq.lambdas.iter().cloned().fold(0.0_f64, f64::max);
             let mut cut_any = false;
+            let checkpoint = budgets.clone();
             if max_lambda > 0.0 {
                 for (i, &l) in eq.lambdas.iter().enumerate() {
                     if l < self.lambda_threshold * max_lambda {
@@ -372,18 +385,47 @@ impl Mechanism for ReBudget {
                 }
             }
             if !cut_any {
-                return Ok(finish(
-                    self.name(),
-                    market,
-                    budgets,
-                    eq,
-                    rounds,
-                    total_iterations,
-                    all_converged,
-                ));
+                break;
             }
             step *= 0.5;
+
+            let next_eq = market.equilibrium_with_budgets(&budgets, &self.options)?;
+            rounds += 1;
+            total_iterations += next_eq.iterations;
+            all_converged &= next_eq.converged();
+            recoveries += next_eq.report.recovery.len();
+
+            // Graceful degradation: a reassignment step must not push the
+            // realized efficiency below the Theorem-1 floor for the *new*
+            // MUR, taking the pre-step efficiency as a (conservative)
+            // stand-in for OPT. Under clean inputs ReBudget steps improve
+            // efficiency and this never fires; under noisy/adversarial
+            // inputs it rolls the budgets back to the last-good checkpoint
+            // and retries with the already-halved step.
+            let eff_prev = eq.efficiency();
+            let eff_new = next_eq.efficiency();
+            let theorem_floor = crate::theory::poa_lower_bound(metrics::mur(&next_eq.lambdas));
+            if eff_new < theorem_floor * eff_prev - 1e-12 {
+                budgets = checkpoint;
+                rollbacks += 1;
+                // Keep the checkpoint equilibrium as the current state.
+            } else {
+                eq = next_eq;
+            }
         }
+
+        let mut out = finish(
+            self.name(),
+            market,
+            budgets,
+            eq,
+            rounds,
+            total_iterations,
+            all_converged,
+        );
+        out.solver_recoveries = recoveries;
+        out.rolled_back_rounds = rollbacks;
+        Ok(out)
     }
 }
 
@@ -413,6 +455,9 @@ fn finish(
         equilibrium_rounds: rounds,
         total_iterations,
         converged,
+        solver_recoveries: 0,
+        rolled_back_rounds: 0,
+        degraded: !converged,
     }
 }
 
@@ -424,8 +469,11 @@ fn run_market(
 ) -> Result<MechanismOutcome> {
     let eq = market.equilibrium_with_budgets(&budgets, options)?;
     let iterations = eq.iterations;
-    let converged = eq.converged;
-    Ok(finish(name, market, budgets, eq, 1, iterations, converged))
+    let converged = eq.converged();
+    let recoveries = eq.report.recovery.len();
+    let mut out = finish(name, market, budgets, eq, 1, iterations, converged);
+    out.solver_recoveries = recoveries;
+    Ok(out)
 }
 
 /// The welfare-maximizing oracle used as the normalizer in the paper's
@@ -466,6 +514,7 @@ pub fn compare(market: &Market, mechanisms: &[&dyn Mechanism]) -> Result<Vec<Mec
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use rebudget_market::utility::SeparableUtility;

@@ -39,6 +39,10 @@ pub struct SweepPoint {
     pub mbr: f64,
     /// Worst-case envy-freeness floor from Theorem 2 at the measured MBR.
     pub ef_floor: f64,
+    /// Whether every equilibrium solve behind this point converged. A
+    /// `false` point is best-effort, *not* a certified equilibrium — plots
+    /// should mark it rather than silently report it as one.
+    pub converged: bool,
 }
 
 /// Sweeps `ReBudget-step` over `steps` on `market`, with
@@ -112,12 +116,14 @@ pub fn sweep_steps_with(
             mur: out.mur.unwrap_or(1.0),
             mbr,
             ef_floor: ef_lower_bound(mbr),
+            converged: out.converged,
         })
     });
     points.into_iter().collect()
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use rebudget_market::utility::SeparableUtility;
@@ -155,6 +161,7 @@ mod tests {
         assert_eq!(pts.len(), 3);
         assert_eq!(pts[0].step, 0.0);
         assert_eq!(pts[0].mbr, 1.0);
+        assert!(pts.iter().all(|p| p.converged), "clean market converges");
         for p in &pts {
             assert!(p.normalized_efficiency.unwrap() <= 1.0 + 1e-6);
             assert!(p.ef_floor <= 0.8285);

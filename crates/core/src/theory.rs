@@ -104,6 +104,7 @@ fn sample_curve(samples: usize, f: impl Fn(f64) -> f64) -> TheoryCurve {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -87,11 +87,15 @@ impl Mechanism for Uncoordinated {
             equilibrium_rounds: 0,
             total_iterations: 0,
             converged: true,
+            solver_recoveries: 0,
+            rolled_back_rounds: 0,
+            degraded: false,
         })
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::mechanisms::{EqualShare, MaxEfficiency};

@@ -237,6 +237,7 @@ pub fn agents_from_market(market: &Market) -> Vec<BiddingAgent> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::equilibrium::EquilibriumOptions;

@@ -116,6 +116,7 @@ impl AllocationMatrix {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -300,6 +300,7 @@ pub fn best_response_into(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::pricing::predicted_share;

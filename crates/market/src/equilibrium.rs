@@ -32,7 +32,20 @@
 use crate::bidding::{best_response_into, BidScratch, BiddingOptions};
 use crate::par::{self, ParallelPolicy};
 use crate::pricing;
-use crate::{AllocationMatrix, BidMatrix, Market, Result};
+use crate::{AllocationMatrix, BidMatrix, Market, MarketError, Result};
+
+/// Damping factors below this floor stop halving — at 1/8 the sweep is
+/// already heavily smoothed and further back-off only slows progress.
+const MIN_DAMPING: f64 = 0.125;
+
+/// A fluctuation this many times worse than the best stable iterate (or
+/// the tolerance, whichever is larger) counts as divergence and triggers
+/// a restart from the last stable price vector.
+const DIVERGENCE_FACTOR: f64 = 8.0;
+
+/// Fail-safe on restarts so a pathological market cannot livelock the
+/// solver by diverging immediately after every restart.
+const MAX_RESTARTS: usize = 2;
 
 /// Options for the equilibrium search.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,6 +101,78 @@ impl EquilibriumOptions {
     }
 }
 
+/// A guardrail intervention taken during the equilibrium search.
+///
+/// Every action is recorded in [`SolveReport::recovery`] so callers can
+/// distinguish a clean solve from one the guardrails had to rescue.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RecoveryAction {
+    /// Prices stopped improving (oscillation/stall), so the Jacobi sweep
+    /// was damped: new bids become `(1−d)·old + d·new`. Damping backs off
+    /// exponentially (`d ← d/2`, floored at 1/8), mirroring ReBudget's own
+    /// step back-off idiom.
+    OscillationDamped {
+        /// Iteration at which damping was tightened.
+        iteration: usize,
+        /// The damping factor `d` in effect after tightening.
+        damping: f64,
+    },
+    /// Prices diverged (or went non-finite), so the search was restarted
+    /// from the lowest-residual stable bid matrix seen so far.
+    RestartedFromStable {
+        /// Iteration at which the restart happened.
+        iteration: usize,
+    },
+    /// A non-finite value (NaN/∞) appeared and was repaired in place —
+    /// e.g. a best-response row from a faulty utility was replaced by the
+    /// player's previous bids, or a non-finite utility was zeroed.
+    NonFiniteSanitized {
+        /// Iteration at which the repair happened (0 = after the loop).
+        iteration: usize,
+        /// Which quantity went non-finite.
+        what: &'static str,
+    },
+}
+
+/// Structured description of how an equilibrium solve went.
+///
+/// Replaces the bare `converged: bool` the solver used to return: callers
+/// can now see the final residual, every guardrail intervention, and turn
+/// non-convergence into a typed error via [`SolveReport::ensure_converged`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SolveReport {
+    /// Whether prices met the fluctuation threshold before the fail-safe.
+    pub converged: bool,
+    /// Bidding–pricing iterations executed.
+    pub iterations: usize,
+    /// Final relative price fluctuation (≤ tolerance iff `converged`;
+    /// for non-converged solves this is the residual of the iterate that
+    /// was actually returned, i.e. the best stable one).
+    pub residual: f64,
+    /// Guardrail interventions, in the order they fired.
+    pub recovery: Vec<RecoveryAction>,
+}
+
+impl SolveReport {
+    /// `true` when the solve converged without any guardrail intervention.
+    pub fn is_clean(&self) -> bool {
+        self.converged && self.recovery.is_empty()
+    }
+
+    /// Converts non-convergence into a typed error; `Ok(())` otherwise.
+    pub fn ensure_converged(&self) -> Result<()> {
+        if self.converged {
+            Ok(())
+        } else {
+            Err(MarketError::NonConvergence {
+                iterations: self.iterations,
+                residual: self.residual,
+            })
+        }
+    }
+}
+
 /// The result of an equilibrium search.
 #[derive(Debug, Clone)]
 pub struct EquilibriumOutcome {
@@ -103,10 +188,14 @@ pub struct EquilibriumOutcome {
     pub lambdas: Vec<f64>,
     /// Bidding–pricing iterations executed.
     pub iterations: usize,
-    /// Whether prices met the fluctuation threshold before the fail-safe.
-    pub converged: bool,
+    /// How the solve went: convergence, residual, and every guardrail
+    /// intervention ([`RecoveryAction`]) taken along the way.
+    pub report: SolveReport,
     /// Per-iteration price vectors (only populated when
-    /// [`EquilibriumOptions::record_history`] is set).
+    /// [`EquilibriumOptions::record_history`] is set). When the solver
+    /// falls back to the best stable iterate after a non-converged run,
+    /// that iterate's prices are appended so the last entry always matches
+    /// [`EquilibriumOutcome::prices`].
     pub price_history: Vec<Vec<f64>>,
 }
 
@@ -116,6 +205,12 @@ impl EquilibriumOutcome {
     /// normalized IPC this is exactly *weighted speedup* (Eq. 5).
     pub fn efficiency(&self) -> f64 {
         self.utilities.iter().sum()
+    }
+
+    /// Whether prices met the fluctuation threshold before the fail-safe
+    /// (shorthand for `report.converged`).
+    pub fn converged(&self) -> bool {
+        self.report.converged
     }
 }
 
@@ -138,6 +233,19 @@ pub(crate) fn find_equilibrium(
     let mut converged = false;
     let mut price_history = Vec::new();
     let threads = options.parallel.resolved_threads(n);
+
+    // Guardrail state. Every guardrail decision below is a deterministic
+    // function of the fully-assembled post-sweep state, so the outcome
+    // stays bit-identical under every `ParallelPolicy`.
+    let mut recovery: Vec<RecoveryAction> = Vec::new();
+    let mut damping = 1.0_f64; // 1.0 = undamped Jacobi sweep
+    let mut restarts = 0usize;
+    // Lowest-residual stable iterate seen so far (restart target and the
+    // fallback result for non-converged solves).
+    let mut best_bids = bids.clone();
+    let mut best_residual = f64::INFINITY;
+    let mut prev_fluctuation = f64::INFINITY;
+    let mut residual = f64::INFINITY;
 
     while iterations < options.max_iterations {
         iterations += 1;
@@ -171,6 +279,31 @@ pub(crate) fn find_equilibrium(
                 },
             );
         }
+        // Guardrail: a faulty utility (NaN/∞ evaluations) can poison a
+        // best-response row. Replace any non-finite row with the player's
+        // previous bids — that row is feasible by construction.
+        for i in 0..n {
+            if next.row(i).iter().any(|b| !b.is_finite()) {
+                for j in 0..m {
+                    let prev = bids.get(i, j);
+                    next.set(i, j, prev);
+                }
+                recovery.push(RecoveryAction::NonFiniteSanitized {
+                    iteration: iterations,
+                    what: "bid row",
+                });
+            }
+        }
+        // Guardrail: damped sweep. Both rows are budget-feasible, so the
+        // convex combination is too.
+        if damping < 1.0 {
+            for i in 0..n {
+                for j in 0..m {
+                    let blended = (1.0 - damping) * bids.get(i, j) + damping * next.get(i, j);
+                    next.set(i, j, blended);
+                }
+            }
+        }
         std::mem::swap(&mut bids, &mut next);
         let new_prices = pricing::prices(&bids, market.resources());
         let fluctuation = prices
@@ -179,6 +312,7 @@ pub(crate) fn find_equilibrium(
             .map(|(&old, &new)| (new - old).abs() / old.abs().max(new.abs()).max(1e-12))
             .fold(0.0_f64, f64::max);
         prices = new_prices;
+        residual = fluctuation;
         if options.record_history {
             price_history.push(prices.clone());
         }
@@ -186,16 +320,83 @@ pub(crate) fn find_equilibrium(
             converged = true;
             break;
         }
+        // Guardrail: divergence ⇒ restart from the last stable iterate,
+        // with the sweep damped so the same blow-up does not repeat.
+        let diverged = !fluctuation.is_finite()
+            || fluctuation > DIVERGENCE_FACTOR * best_residual.max(options.price_tolerance);
+        if diverged && restarts < MAX_RESTARTS && best_residual.is_finite() {
+            restarts += 1;
+            bids.clone_from(&best_bids);
+            prices = pricing::prices(&bids, market.resources());
+            damping = (damping * 0.5).max(MIN_DAMPING);
+            recovery.push(RecoveryAction::RestartedFromStable {
+                iteration: iterations,
+            });
+            prev_fluctuation = f64::INFINITY;
+            continue;
+        }
+        // Guardrail: oscillation/stall ⇒ exponential back-off on the
+        // damping factor, echoing ReBudget's own step back-off.
+        if fluctuation >= prev_fluctuation && damping > MIN_DAMPING {
+            damping = (damping * 0.5).max(MIN_DAMPING);
+            recovery.push(RecoveryAction::OscillationDamped {
+                iteration: iterations,
+                damping,
+            });
+        }
+        if fluctuation.is_finite() && fluctuation < best_residual {
+            best_residual = fluctuation;
+            best_bids.clone_from(&bids);
+        }
+        prev_fluctuation = fluctuation;
+    }
+
+    // Non-converged fail-safe: return the lowest-residual stable iterate
+    // instead of whatever the last sweep produced.
+    if !converged && best_residual < residual {
+        bids.clone_from(&best_bids);
+        prices = pricing::prices(&bids, market.resources());
+        residual = best_residual;
+        if options.record_history {
+            price_history.push(prices.clone());
+        }
     }
 
     let allocation = pricing::allocate(&bids, market.resources());
-    let utilities: Vec<f64> = (0..n)
+    let mut utilities: Vec<f64> = (0..n)
         .map(|i| market.players()[i].utility_of(allocation.row(i)))
         .collect();
-    let lambdas: Vec<f64> = (0..n)
+    // Final guardrail: a faulty utility can still evaluate non-finite at
+    // the settled allocation. Zero it (pessimistic) rather than poisoning
+    // efficiency/EF metrics downstream.
+    for u in &mut utilities {
+        if !u.is_finite() {
+            *u = 0.0;
+            recovery.push(RecoveryAction::NonFiniteSanitized {
+                iteration: iterations,
+                what: "utility",
+            });
+        }
+    }
+    let mut lambdas: Vec<f64> = (0..n)
         .map(|i| lambda_at(market, &bids, i, capacities))
         .collect();
+    for l in &mut lambdas {
+        if !l.is_finite() {
+            *l = 0.0;
+            recovery.push(RecoveryAction::NonFiniteSanitized {
+                iteration: iterations,
+                what: "lambda",
+            });
+        }
+    }
 
+    let report = SolveReport {
+        converged,
+        iterations,
+        residual,
+        recovery,
+    };
     Ok(EquilibriumOutcome {
         bids,
         prices,
@@ -203,7 +404,7 @@ pub(crate) fn find_equilibrium(
         utilities,
         lambdas,
         iterations,
-        converged,
+        report,
         price_history,
     })
 }
@@ -231,6 +432,7 @@ pub fn lambda_at(market: &Market, bids: &BidMatrix, i: usize, capacities: &[f64]
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::utility::SeparableUtility;
@@ -262,7 +464,10 @@ mod tests {
     fn converges_and_exhausts_resources() {
         let market = two_player_market([0.8, 0.2], [0.2, 0.8]);
         let out = market.equilibrium(&EquilibriumOptions::default()).unwrap();
-        assert!(out.converged, "took {} iterations", out.iterations);
+        assert!(out.converged(), "took {} iterations", out.iterations);
+        assert!(out.report.is_clean(), "recovery: {:?}", out.report.recovery);
+        assert!(out.report.residual <= 0.01);
+        assert!(out.report.ensure_converged().is_ok());
         assert!(out.iterations <= 30);
         assert!(out
             .allocation
@@ -355,5 +560,74 @@ mod tests {
         let out = market.equilibrium(&EquilibriumOptions::default()).unwrap();
         assert!(out.allocation.get(1, 0) < 1e-9);
         assert!((out.allocation.get(0, 0) - caps[0]).abs() < 1e-9);
+    }
+
+    /// A utility that always evaluates NaN — the pathological case the
+    /// non-finite guardrails exist for.
+    #[derive(Debug)]
+    struct NanUtility;
+    impl crate::Utility for NanUtility {
+        fn value(&self, _r: &[f64]) -> f64 {
+            f64::NAN
+        }
+        fn marginal(&self, _r: &[f64], _j: usize) -> f64 {
+            f64::NAN
+        }
+    }
+
+    #[test]
+    fn nan_utility_is_sanitized_not_propagated() {
+        let caps = [16.0, 80.0];
+        let resources = ResourceSpace::new(caps.to_vec()).unwrap();
+        let market = Market::new(
+            resources,
+            vec![
+                Player::new(
+                    "sane",
+                    100.0,
+                    Arc::new(SeparableUtility::proportional(&[0.5, 0.5], &caps).unwrap()),
+                ),
+                Player::new("broken", 100.0, Arc::new(NanUtility)),
+            ],
+        )
+        .unwrap();
+        let out = market.equilibrium(&EquilibriumOptions::default()).unwrap();
+        // Everything the caller sees is finite...
+        assert!(out.prices.iter().all(|p| p.is_finite()));
+        assert!(out.utilities.iter().all(|u| u.is_finite()));
+        assert!(out.lambdas.iter().all(|l| l.is_finite()));
+        assert!(out.bids.as_slice().iter().all(|b| b.is_finite()));
+        assert!(out
+            .allocation
+            .is_exhaustive(market.resources().capacities(), 1e-9));
+        // ...and the repairs are visible in the report.
+        assert!(
+            out.report
+                .recovery
+                .iter()
+                .any(|a| matches!(a, RecoveryAction::NonFiniteSanitized { .. })),
+            "expected sanitization actions, got {:?}",
+            out.report.recovery
+        );
+    }
+
+    #[test]
+    fn non_convergence_surfaces_typed_error() {
+        let report = SolveReport {
+            converged: false,
+            iterations: 30,
+            residual: 0.25,
+            recovery: Vec::new(),
+        };
+        match report.ensure_converged() {
+            Err(MarketError::NonConvergence {
+                iterations,
+                residual,
+            }) => {
+                assert_eq!(iterations, 30);
+                assert!((residual - 0.25).abs() < 1e-12);
+            }
+            other => panic!("expected NonConvergence, got {other:?}"),
+        }
     }
 }

@@ -31,6 +31,23 @@ pub enum MarketError {
         /// Human-readable reason.
         reason: String,
     },
+    /// The equilibrium search exhausted its iteration budget without the
+    /// price fluctuation dropping below the tolerance. Callers that treat
+    /// the best-effort iterate as unacceptable can surface this error;
+    /// the solver itself returns the iterate plus a
+    /// [`crate::equilibrium::SolveReport`] describing it.
+    NonConvergence {
+        /// Iterations executed before giving up.
+        iterations: usize,
+        /// Final relative price fluctuation (the convergence residual).
+        residual: f64,
+    },
+    /// A numerical quantity that must stay finite (a price, bid, utility,
+    /// or marginal) became NaN or infinite and could not be repaired.
+    NumericalInstability {
+        /// Description of the quantity that went non-finite.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for MarketError {
@@ -48,6 +65,17 @@ impl fmt::Display for MarketError {
             MarketError::InvalidUtility { reason } => {
                 write!(f, "invalid utility model: {reason}")
             }
+            MarketError::NonConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "equilibrium search did not converge after {iterations} iterations \
+                 (residual {residual:.3e})"
+            ),
+            MarketError::NumericalInstability { what } => {
+                write!(f, "numerical instability: {what} became non-finite")
+            }
         }
     }
 }
@@ -55,6 +83,7 @@ impl fmt::Display for MarketError {
 impl std::error::Error for MarketError {}
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -74,6 +103,11 @@ mod tests {
             MarketError::InvalidUtility {
                 reason: "utility must be non-decreasing".into(),
             },
+            MarketError::NonConvergence {
+                iterations: 30,
+                residual: 0.2,
+            },
+            MarketError::NumericalInstability { what: "prices" },
         ];
         for e in errors {
             let s = e.to_string();

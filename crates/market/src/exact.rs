@@ -129,6 +129,7 @@ pub fn exact_best_response(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::bidding::{best_response, BiddingOptions};

@@ -128,13 +128,11 @@ fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
     let n = b.len();
     for col in 0..n {
         // Pivot.
-        let pivot = (col..n).max_by(|&i, &j| {
-            a[i][col]
-                .abs()
-                .partial_cmp(&a[j][col].abs())
-                .expect("finite matrix")
-        })?;
-        if a[pivot][col].abs() < 1e-12 {
+        // total_cmp keeps the pivot scan panic-free on non-finite input;
+        // a NaN/∞ pivot then reports the system as unsolvable instead of
+        // propagating garbage.
+        let pivot = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        if !a[pivot][col].is_finite() || a[pivot][col].abs() < 1e-12 {
             return None;
         }
         a.swap(col, pivot);
@@ -194,6 +192,7 @@ pub fn sample_utility(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::utility::{GridUtility, SeparableUtility};

@@ -50,7 +50,8 @@
 //!
 //! let market = Market::new(resources, vec![a, b])?;
 //! let outcome = market.equilibrium(&EquilibriumOptions::default())?;
-//! assert!(outcome.converged);
+//! assert!(outcome.converged());
+//! assert!(outcome.report.is_clean());
 //! // Proportional allocation always hands out the full capacity.
 //! let total: f64 = (0..2).map(|i| outcome.allocation.get(i, 0)).sum();
 //! assert!((total - 16.0).abs() < 1e-6);
@@ -65,6 +66,7 @@ pub mod bids;
 pub mod equilibrium;
 mod error;
 pub mod exact;
+pub mod faults;
 pub mod fit;
 pub mod metrics;
 pub mod optimal;
@@ -76,7 +78,9 @@ pub mod utility;
 
 pub use allocation::AllocationMatrix;
 pub use bids::BidMatrix;
+pub use equilibrium::{RecoveryAction, SolveReport};
 pub use error::MarketError;
+pub use faults::{FaultPlan, FaultedMarket};
 pub use par::ParallelPolicy;
 pub use player::{Market, Player};
 pub use resource::ResourceSpace;

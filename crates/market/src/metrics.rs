@@ -17,12 +17,15 @@ use crate::{AllocationMatrix, Market};
 /// System efficiency (social welfare): `Σ_i U_i(r_i)` (Definition 1).
 ///
 /// With normalized-IPC utilities this is *weighted speedup* (Eq. 5).
+/// Non-finite utility evaluations (faulted telemetry) contribute zero
+/// rather than poisoning the sum.
 pub fn efficiency(market: &Market, allocation: &AllocationMatrix) -> f64 {
     market
         .players()
         .iter()
         .enumerate()
         .map(|(i, p)| p.utility_of(allocation.row(i)))
+        .filter(|u| u.is_finite())
         .sum()
 }
 
@@ -33,6 +36,10 @@ pub fn efficiency(market: &Market, allocation: &AllocationMatrix) -> f64 {
 /// skipped (no envy toward a worthless bundle); if player `i`'s own bundle
 /// is worthless while it values some other bundle, the ratio is 0. Returns
 /// `f64::INFINITY` for a single-player market (nothing to envy).
+///
+/// Non-finite utility evaluations (faulted telemetry) are treated as
+/// worthless: a NaN own-bundle reading counts as 0, a NaN other-bundle
+/// reading is skipped — the metric never returns NaN.
 pub fn envy_freeness(market: &Market, allocation: &AllocationMatrix) -> f64 {
     let n = market.len();
     if n <= 1 {
@@ -41,12 +48,13 @@ pub fn envy_freeness(market: &Market, allocation: &AllocationMatrix) -> f64 {
     let mut worst = f64::INFINITY;
     for (i, p) in market.players().iter().enumerate() {
         let own = p.utility_of(allocation.row(i));
+        let own = if own.is_finite() { own } else { 0.0 };
         for j in 0..n {
             if i == j {
                 continue;
             }
             let theirs = p.utility_of(allocation.row(j));
-            if theirs <= 0.0 {
+            if !theirs.is_finite() || theirs <= 0.0 {
                 continue;
             }
             worst = worst.min(own / theirs);
@@ -109,6 +117,7 @@ pub fn price_of_anarchy(equilibrium_efficiency: f64, optimal_efficiency: f64) ->
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::utility::LinearUtility;

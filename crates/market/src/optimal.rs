@@ -258,7 +258,8 @@ fn swap_pass(
                     alloc.set(a, k, ak0 + dk);
                     let ua1 = market.players()[a].utility_of(alloc.row(a));
                     let ub1 = market.players()[b].utility_of(alloc.row(b));
-                    if ua1 + ub1 > ua0 + ub0 {
+                    let gain = (ua1 + ub1) - (ua0 + ub0);
+                    if gain.is_finite() && gain > 0.0 {
                         accepted += 1;
                         marginals.refresh_row(market, alloc, a);
                         marginals.refresh_row(market, alloc, b);
@@ -295,6 +296,12 @@ fn try_exchange(
     let mut lo_m = f64::INFINITY;
     for i in 0..n {
         let marginal = marginals.get(i, j);
+        // Guardrail: a faulty utility can report NaN/∞ marginals; those
+        // players are excluded from the exchange scan so a single bad
+        // evaluation cannot poison the climb.
+        if !marginal.is_finite() {
+            continue;
+        }
         if marginal > hi_m {
             hi_m = marginal;
             hi = i;
@@ -322,7 +329,9 @@ fn try_exchange(
     let u_hi_after = market.players()[hi].utility_of(alloc.row(hi));
 
     let delta = (u_lo_after - u_lo_before) + (u_hi_after - u_hi_before);
-    if delta > 0.0 {
+    // `delta > 0.0` is false for NaN, so a non-finite evaluation rejects
+    // the move and restores the exact prior allocation below.
+    if delta.is_finite() && delta > 0.0 {
         marginals.refresh_row(market, alloc, lo);
         marginals.refresh_row(market, alloc, hi);
         true
@@ -336,6 +345,7 @@ fn try_exchange(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::utility::{LinearUtility, SeparableUtility};

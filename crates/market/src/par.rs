@@ -117,16 +117,16 @@ pub(crate) fn for_each_row<S>(
     #[cfg(feature = "parallel")]
     if threads > 1 {
         use rayon::prelude::*;
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("thread pool construction cannot fail");
-        pool.install(|| {
-            data.par_chunks_mut(row_len)
-                .enumerate()
-                .for_each_init(&init, |scratch, (i, row)| f(scratch, i, row));
-        });
-        return;
+        // Pool construction can fail if the OS refuses threads; degrade to
+        // the serial path below rather than panic — results are identical.
+        if let Ok(pool) = rayon::ThreadPoolBuilder::new().num_threads(threads).build() {
+            pool.install(|| {
+                data.par_chunks_mut(row_len)
+                    .enumerate()
+                    .for_each_init(&init, |scratch, (i, row)| f(scratch, i, row));
+            });
+            return;
+        }
     }
     let _ = threads;
     let mut scratch = init();
@@ -144,17 +144,17 @@ pub fn map_indexed<R: Send>(threads: usize, len: usize, f: impl Fn(usize) -> R +
     #[cfg(feature = "parallel")]
     if threads > 1 {
         use rayon::prelude::*;
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("thread pool construction cannot fail");
-        return pool.install(|| (0..len).into_par_iter().map(&f).collect());
+        // Degrade to serial on pool-construction failure (identical results).
+        if let Ok(pool) = rayon::ThreadPoolBuilder::new().num_threads(threads).build() {
+            return pool.install(|| (0..len).into_par_iter().map(&f).collect());
+        }
     }
     let _ = threads;
     (0..len).map(f).collect()
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

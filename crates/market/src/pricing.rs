@@ -20,7 +20,10 @@ pub fn allocate(bids: &BidMatrix, resources: &ResourceSpace) -> AllocationMatrix
     let n = bids.players();
     let m = bids.resources();
     let p = prices(bids, resources);
-    let mut alloc = AllocationMatrix::zeros(n, m).expect("bids matrix is non-degenerate");
+    // A BidMatrix is constructed with ≥1 player and ≥1 resource, so the
+    // zero-dimension error is unreachable here.
+    let mut alloc = AllocationMatrix::zeros(n, m)
+        .unwrap_or_else(|_| unreachable!("BidMatrix guarantees non-zero dimensions"));
     for j in 0..m {
         if p[j] > 0.0 {
             for i in 0..n {
@@ -52,6 +55,7 @@ pub fn predicted_share(bid: f64, others: f64, capacity: f64) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -4,8 +4,8 @@
 use std::fmt;
 use std::sync::Arc;
 
-use rebudget_core::mechanisms::{Mechanism, MechanismOutcome};
-use rebudget_market::{metrics, Market, MarketError, Player, Utility};
+use rebudget_core::mechanisms::{EqualShare, Mechanism};
+use rebudget_market::{metrics, AllocationMatrix, FaultPlan, Market, MarketError, Player, Utility};
 use rebudget_workloads::Bundle;
 
 use crate::analytic::resource_space;
@@ -13,7 +13,9 @@ use crate::config::SystemConfig;
 use crate::dram::DramConfig;
 use crate::machine::Machine;
 use crate::monitor::CoreMonitor;
-use crate::utility_model::{alone_instruction_rate, app_utility_grid, utility_grid_from_mpki};
+use crate::utility_model::{
+    alone_instruction_rate, app_utility_grid, perturbed_mpki_curve, utility_grid_from_mpki,
+};
 
 /// Errors from the simulation driver.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +83,15 @@ pub struct SimOptions {
     pub seed: u64,
     /// Execution model (see [`ExecutionModel`]).
     pub execution: ExecutionModel,
+    /// Optional fault-injection plan. `None` (the default) runs the clean
+    /// pipeline and lets market errors propagate; with a plan installed,
+    /// telemetry faults are injected every quantum and solver failures
+    /// degrade gracefully instead of aborting the run.
+    pub faults: Option<FaultPlan>,
+    /// After this many consecutive quanta whose solve failed or hit the
+    /// fail-safe, the next quantum falls back to [`EqualShare`] (logged and
+    /// counted), then the market is re-attempted.
+    pub max_consecutive_failures: usize,
 }
 
 impl Default for SimOptions {
@@ -92,6 +103,8 @@ impl Default for SimOptions {
             use_monitors: true,
             seed: 1,
             execution: ExecutionModel::Analytic,
+            faults: None,
+            max_consecutive_failures: 3,
         }
     }
 }
@@ -120,14 +133,77 @@ pub struct SimResult {
     /// Instantaneous weighted speedup per quantum (the efficiency
     /// trajectory — useful for phase-change and warm-up studies).
     pub efficiency_history: Vec<f64>,
+    /// Quanta that fell back to [`EqualShare`] after repeated solver
+    /// failures (always 0 without a fault plan).
+    pub fallback_quanta: usize,
+    /// Quanta whose solve failed outright or hit the iteration fail-safe
+    /// (best-effort allocations, counted toward the fallback trigger).
+    pub degraded_quanta: usize,
+    /// Total solver recovery actions (damping, restarts, sanitizations)
+    /// across the run.
+    pub solver_recoveries: usize,
 }
 
-fn build_quantum_market(
+/// Builds this quantum's per-core utility surfaces, honouring stale-reading
+/// and curve-noise faults. Returns one grid per core; the caller keeps them
+/// as history so stale faults at quantum `q` can reuse interval `q − k`.
+fn quantum_grids(
     bundle: &Bundle,
     sys: &SystemConfig,
     dram: &DramConfig,
     monitors: &[CoreMonitor],
     opts: &SimOptions,
+    interval: u64,
+    history: &[Vec<Arc<dyn Utility>>],
+) -> Vec<Arc<dyn Utility>> {
+    bundle
+        .apps
+        .iter()
+        .enumerate()
+        .map(|(core, app)| {
+            if let Some(plan) = &opts.faults {
+                if let Some(k) = plan.stale_depth_for(interval, core) {
+                    if let Some(old) = history.len().checked_sub(k).map(|q| &history[q][core]) {
+                        return Arc::clone(old);
+                    }
+                }
+            }
+            let grid = if opts.use_monitors {
+                match monitors[core].mpki_curve() {
+                    Some(curve) => {
+                        let curve = match &opts.faults {
+                            Some(plan) if plan.noise_sigma > 0.0 => {
+                                let salt = plan.seed
+                                    ^ interval.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                                    ^ (core as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                                perturbed_mpki_curve(&curve, plan.noise_sigma, salt)
+                            }
+                            _ => curve,
+                        };
+                        utility_grid_from_mpki(
+                            &curve,
+                            app.base_cpi,
+                            app.mlp,
+                            app.activity,
+                            sys,
+                            dram,
+                        )
+                    }
+                    None => app_utility_grid(app, sys, dram),
+                }
+            } else {
+                app_utility_grid(app, sys, dram)
+            };
+            Arc::new(grid) as Arc<dyn Utility>
+        })
+        .collect()
+}
+
+fn market_from_grids(
+    bundle: &Bundle,
+    sys: &SystemConfig,
+    budget: f64,
+    grids: &[Arc<dyn Utility>],
 ) -> Result<Market, MarketError> {
     let resources = resource_space(bundle, sys)?;
     let players: Vec<Player> = bundle
@@ -135,25 +211,10 @@ fn build_quantum_market(
         .iter()
         .enumerate()
         .map(|(core, app)| {
-            let grid = if opts.use_monitors {
-                match monitors[core].mpki_curve() {
-                    Some(curve) => utility_grid_from_mpki(
-                        &curve,
-                        app.base_cpi,
-                        app.mlp,
-                        app.activity,
-                        sys,
-                        dram,
-                    ),
-                    None => app_utility_grid(app, sys, dram),
-                }
-            } else {
-                app_utility_grid(app, sys, dram)
-            };
             Player::new(
                 format!("{}#{core}", app.name),
-                opts.budget,
-                Arc::new(grid) as Arc<dyn Utility>,
+                budget,
+                Arc::clone(&grids[core]),
             )
         })
         .collect();
@@ -220,22 +281,79 @@ pub fn run_simulation(
     let mut total_iterations = 0usize;
     let mut always_converged = true;
     let mut efficiency_history = Vec::with_capacity(opts.quanta);
-    let mut last: Option<(Market, MechanismOutcome)> = None;
+    let mut last: Option<(Market, AllocationMatrix)> = None;
+    let plan = opts.faults.clone().filter(FaultPlan::is_active);
+    let mut grid_history: Vec<Vec<Arc<dyn Utility>>> = Vec::new();
+    let mut consecutive_failures = 0usize;
+    let mut fallback_quanta = 0usize;
+    let mut degraded_quanta = 0usize;
+    let mut solver_recoveries = 0usize;
 
-    for _q in 0..opts.quanta {
+    for q in 0..opts.quanta {
         if opts.use_monitors {
             for monitor in &mut monitors {
                 monitor.observe_quantum(opts.accesses_per_quantum);
             }
         }
-        let market = build_quantum_market(bundle, sys, dram, &monitors, opts)?;
-        let outcome = mechanism.allocate(&market)?;
-        total_rounds += outcome.equilibrium_rounds;
-        total_iterations += outcome.total_iterations;
-        always_converged &= outcome.converged;
+        let grids = quantum_grids(bundle, sys, dram, &monitors, opts, q as u64, &grid_history);
+        let market = market_from_grids(bundle, sys, opts.budget, &grids)?;
+        grid_history.push(grids);
 
-        let regions: Vec<f64> = (0..n).map(|i| outcome.allocation.get(i, 0)).collect();
-        let watts: Vec<f64> = (0..n).map(|i| outcome.allocation.get(i, 1)).collect();
+        let alloc = if let Some(plan) = &plan {
+            // Noise and staleness were already injected at the curve /
+            // history level above; zero them here so the market-level pass
+            // only adds drops, spikes, NaNs, and liars.
+            let market_plan = FaultPlan {
+                noise_sigma: 0.0,
+                stale_probability: 0.0,
+                ..plan.clone()
+            };
+            let faulted = market_plan.apply(&market, q as u64)?;
+            if consecutive_failures >= opts.max_consecutive_failures.max(1) {
+                // Safe mode for this interval: equal shares, no market.
+                // Re-attempt the market next interval.
+                let out = EqualShare.allocate(&market)?;
+                fallback_quanta += 1;
+                consecutive_failures = 0;
+                always_converged = false;
+                out.allocation
+            } else {
+                match mechanism.allocate(&faulted.market) {
+                    Ok(out) => {
+                        total_rounds += out.equilibrium_rounds;
+                        total_iterations += out.total_iterations;
+                        solver_recoveries += out.solver_recoveries;
+                        always_converged &= out.converged;
+                        if out.degraded {
+                            degraded_quanta += 1;
+                            consecutive_failures += 1;
+                        } else {
+                            consecutive_failures = 0;
+                        }
+                        faulted.expand_allocation(&out.allocation, n)?
+                    }
+                    Err(_) => {
+                        // The solve blew up outright: count the failure and
+                        // take the safe path for this interval.
+                        degraded_quanta += 1;
+                        consecutive_failures += 1;
+                        fallback_quanta += 1;
+                        always_converged = false;
+                        EqualShare.allocate(&market)?.allocation
+                    }
+                }
+            }
+        } else {
+            let out = mechanism.allocate(&market)?;
+            total_rounds += out.equilibrium_rounds;
+            total_iterations += out.total_iterations;
+            solver_recoveries += out.solver_recoveries;
+            always_converged &= out.converged;
+            out.allocation
+        };
+
+        let regions: Vec<f64> = (0..n).map(|i| alloc.get(i, 0)).collect();
+        let watts: Vec<f64> = (0..n).map(|i| alloc.get(i, 1)).collect();
         let stats = match &mut machine {
             Exec::Analytic(m) => m.run_quantum(&regions, &watts),
             Exec::Trace(m) => m.run_quantum(&regions, &watts, opts.accesses_per_quantum),
@@ -247,10 +365,10 @@ pub fn run_simulation(
             .map(|(&instr, &alone)| (instr / crate::config::QUANTUM_SECONDS) / alone)
             .sum();
         efficiency_history.push(quantum_eff);
-        last = Some((market, outcome));
+        last = Some((market, alloc));
     }
 
-    let (last_market, last_outcome) = last.expect("at least one quantum");
+    let (last_market, last_alloc) = last.expect("at least one quantum");
     let (elapsed, per_core_instructions): (f64, Vec<f64>) = match &machine {
         Exec::Analytic(m) => (
             m.elapsed_seconds(),
@@ -267,7 +385,10 @@ pub fn run_simulation(
         .map(|(&alone, &instr)| (instr / elapsed) / alone)
         .collect();
     let efficiency = utilities.iter().sum();
-    let envy_freeness = metrics::envy_freeness(&last_market, &last_outcome.allocation);
+    // Fairness is judged over all players with the un-wrapped utility
+    // surfaces — liar exaggeration and NaN/spike wrappers don't distort
+    // the verdict, and dropped players' zero rows count as real envy.
+    let envy_freeness = metrics::envy_freeness(&last_market, &last_alloc);
 
     Ok(SimResult {
         mechanism: mechanism.name(),
@@ -279,6 +400,9 @@ pub fn run_simulation(
         avg_iterations: total_iterations as f64 / opts.quanta as f64,
         always_converged,
         efficiency_history,
+        fallback_quanta,
+        degraded_quanta,
+        solver_recoveries,
     })
 }
 
@@ -396,6 +520,71 @@ mod tests {
             traced.efficiency,
             analytic.efficiency
         );
+    }
+
+    #[test]
+    fn faulted_simulation_survives_and_stays_sane() {
+        let sys = SystemConfig::paper_8core();
+        let dram = DramConfig::ddr3_1600();
+        let mut opts = fast_opts();
+        opts.faults = Some(
+            FaultPlan::parse("noise=0.15,drop=0.2,nan=0.05,stale=0.3,liars=2,seed=3").unwrap(),
+        );
+        let r = run_simulation(
+            &sys,
+            &dram,
+            &paper_bbpc_8core(),
+            &EqualBudget::new(100.0),
+            &opts,
+        )
+        .unwrap();
+        assert!(r.efficiency.is_finite() && r.efficiency > 0.0);
+        assert!(r.envy_freeness.is_finite());
+        assert!(r.utilities.iter().all(|&u| u.is_finite() && u >= 0.0));
+        assert!(r.fallback_quanta <= r.quanta);
+        assert!(r.degraded_quanta <= r.quanta);
+    }
+
+    #[test]
+    fn faulted_simulation_is_deterministic() {
+        let sys = SystemConfig::paper_8core();
+        let dram = DramConfig::ddr3_1600();
+        let mut opts = fast_opts();
+        opts.faults = Some(FaultPlan::parse("noise=0.2,drop=0.15,liars=1,seed=17").unwrap());
+        let run = || {
+            run_simulation(
+                &sys,
+                &dram,
+                &paper_bbpc_8core(),
+                &EqualBudget::new(100.0),
+                &opts,
+            )
+            .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.efficiency.to_bits(), b.efficiency.to_bits());
+        assert_eq!(a.envy_freeness.to_bits(), b.envy_freeness.to_bits());
+        assert_eq!(a.fallback_quanta, b.fallback_quanta);
+        assert_eq!(a.degraded_quanta, b.degraded_quanta);
+    }
+
+    #[test]
+    fn total_drop_falls_back_without_panicking() {
+        // Every bid dropped every quantum: the faulted market keeps one
+        // player; the run must complete with finite outputs.
+        let sys = SystemConfig::paper_8core();
+        let dram = DramConfig::ddr3_1600();
+        let mut opts = fast_opts();
+        opts.faults = Some(FaultPlan::parse("drop=1.0,seed=5").unwrap());
+        let r = run_simulation(
+            &sys,
+            &dram,
+            &paper_bbpc_8core(),
+            &EqualBudget::new(100.0),
+            &opts,
+        )
+        .unwrap();
+        assert!(r.efficiency.is_finite() && r.efficiency > 0.0);
     }
 
     #[test]

@@ -113,30 +113,82 @@ pub fn utility_grid_from_mpki_with(
         .collect();
 
     // Raw utility samples, then per-frequency concave hull on the cache
-    // axis (Talus / Figure 2).
+    // axis (Talus / Figure 2). Monitor-derived (and fault-perturbed)
+    // curves can produce columns that dip or go non-finite; repair with a
+    // running max instead of panicking so a noisy quantum degrades the
+    // surface rather than the whole run.
     let mut values = vec![0.0; axis0.len() * axis1.len()];
     for (j, &f) in freqs.iter().enumerate() {
+        let mut running = 0.0_f64;
         let column: Vec<(f64, f64)> = regions
             .iter()
             .zip(&axis0)
             .map(|(&r, &x)| {
                 let u = (1.0 / time_per_kilo(r as f64 * CACHE_REGION_BYTES, f)) / alone;
-                (x, u)
+                running = if u.is_finite() {
+                    u.max(running)
+                } else {
+                    running
+                };
+                (x, running)
             })
             .collect();
-        let curve =
-            PiecewiseLinear::new(column).expect("utility columns are monotone by construction");
-        let curve = if convexify {
-            curve.upper_concave_hull()
-        } else {
-            curve
-        };
-        for (i, &x) in axis0.iter().enumerate() {
-            values[i * axis1.len() + j] = curve.value(x);
+        match PiecewiseLinear::new(column.clone()) {
+            Ok(curve) => {
+                let curve = if convexify {
+                    curve.upper_concave_hull()
+                } else {
+                    curve
+                };
+                for (i, &x) in axis0.iter().enumerate() {
+                    values[i * axis1.len() + j] = curve.value(x);
+                }
+            }
+            // Degenerate column (e.g. a single profiling point): use the
+            // repaired samples directly, without hulling.
+            Err(_) => {
+                for (i, &(_, y)) in column.iter().enumerate() {
+                    values[i * axis1.len() + j] = y;
+                }
+            }
         }
     }
 
-    GridUtility::new(axis0, axis1, values).expect("profiling grid is valid")
+    // Both axes come from the system configuration, not from telemetry:
+    // axis0 is the strictly increasing region grid and axis1 the strictly
+    // increasing discretionary-Watts ladder, and every value above was
+    // repaired to a finite number — so construction cannot fail.
+    GridUtility::new(axis0, axis1, values).expect("axes are config-derived and values repaired")
+}
+
+/// Applies deterministic multiplicative Gaussian noise to a monitor-derived
+/// MPKI curve, standing in for estimation error in the UMON samples. The
+/// perturbed curve is repaired to respect [`MissCurve`] invariants
+/// (non-negative, non-increasing in capacity); the noise is a pure function
+/// of `(salt, point index)` so runs stay bit-deterministic.
+pub fn perturbed_mpki_curve(curve: &MissCurve, sigma: f64, salt: u64) -> MissCurve {
+    if sigma <= 0.0 {
+        return curve.clone();
+    }
+    let mut floor = f64::INFINITY;
+    let points: Vec<(f64, f64)> = curve
+        .capacities()
+        .iter()
+        .zip(curve.misses())
+        .enumerate()
+        .map(|(i, (&c, &m))| {
+            let g = rebudget_market::faults::gaussian_sample(salt, i as u64);
+            let noisy = (m * (1.0 + sigma * g)).max(0.0);
+            // Running min left-to-right keeps the curve non-increasing.
+            floor = if noisy.is_finite() {
+                noisy.min(floor)
+            } else {
+                floor
+            };
+            (c, if floor.is_finite() { floor } else { 0.0 })
+        })
+        .collect();
+    MissCurve::new(points).unwrap_or_else(|_| curve.clone())
 }
 
 /// Builds the analytic (phase-1) utility surface for an application.
@@ -258,6 +310,23 @@ mod tests {
         assert!(u11 > u5 + 0.05, "hull flat: {u5} → {u11}");
         // And concave: the per-region marginal gain does not grow.
         assert!((u5 - u0) / 5.0 >= (u11 - u5) / 6.0 - 1e-9);
+    }
+
+    #[test]
+    fn perturbed_curve_respects_invariants_and_is_deterministic() {
+        let (sys, _) = setup();
+        let clean = analytic_mpki_curve(app_by_name("mcf").unwrap(), &sys);
+        let a = perturbed_mpki_curve(&clean, 0.3, 42);
+        let b = perturbed_mpki_curve(&clean, 0.3, 42);
+        assert_eq!(a, b, "pure function of (curve, sigma, salt)");
+        assert_ne!(a, clean, "sigma=0.3 actually perturbs");
+        assert_eq!(perturbed_mpki_curve(&clean, 0.0, 42), clean);
+        // MissCurve invariants survive the noise.
+        assert!(a.misses().iter().all(|&m| m.is_finite() && m >= 0.0));
+        assert!(a.misses().windows(2).all(|w| w[1] <= w[0] + 1e-9));
+        assert_eq!(a.capacities(), clean.capacities());
+        // Different salts decorrelate.
+        assert_ne!(a, perturbed_mpki_curve(&clean, 0.3, 43));
     }
 
     #[test]

@@ -10,10 +10,10 @@
 use rebudget_core::mechanisms::{EqualBudget, Mechanism, ReBudget};
 use rebudget_core::sweep::sweep_steps_with;
 use rebudget_market::equilibrium::{EquilibriumOptions, EquilibriumOutcome};
-use rebudget_market::{Market, ParallelPolicy};
+use rebudget_market::{FaultPlan, Market, ParallelPolicy};
 use rebudget_sim::analytic::build_market;
-use rebudget_sim::{DramConfig, SystemConfig};
-use rebudget_workloads::{generate_bundle, Category};
+use rebudget_sim::{run_simulation, DramConfig, SimOptions, SystemConfig};
+use rebudget_workloads::{generate_bundle, paper_bbpc_8core, Category};
 
 const POLICIES: [ParallelPolicy; 3] = [
     ParallelPolicy::Serial,
@@ -30,7 +30,8 @@ fn market_for(category: Category, cores: usize) -> Market {
 
 fn assert_bitwise_equal(a: &EquilibriumOutcome, b: &EquilibriumOutcome, what: &str) {
     assert_eq!(a.iterations, b.iterations, "{what}: iterations");
-    assert_eq!(a.converged, b.converged, "{what}: converged");
+    assert_eq!(a.converged(), b.converged(), "{what}: converged");
+    assert_eq!(a.report, b.report, "{what}: solve report (recovery trace)");
     let pairs = [
         (a.bids.as_slice(), b.bids.as_slice(), "bids"),
         (&a.prices[..], &b.prices[..], "prices"),
@@ -126,5 +127,75 @@ fn sweep_bit_identical_across_policies() {
                 "{policy:?}"
             );
         }
+    }
+}
+
+#[test]
+fn faulted_equilibrium_bit_identical_across_policies() {
+    // The guardrail path (damping, restarts, sanitization) and the fault
+    // wrappers must both be pure functions of their inputs: an active
+    // FaultPlan cannot break the policy-independence contract.
+    let market = market_for(Category::Cpbb, 8);
+    let plan = FaultPlan::parse("noise=0.25,spike=0.05,nan=0.03,drop=0.15,liars=2,seed=23")
+        .expect("valid spec");
+    let faulted = plan.apply(&market, 4).expect("plan applies");
+    let baseline = solve(&faulted.market, ParallelPolicy::Serial);
+    for policy in POLICIES {
+        let out = solve(&faulted.market, policy);
+        assert_bitwise_equal(&baseline, &out, &format!("faulted Cpbb-8 under {policy:?}"));
+    }
+    // Re-applying the plan reproduces the same fault decisions.
+    let again = plan.apply(&market, 4).expect("plan applies");
+    assert_eq!(faulted.kept, again.kept);
+    assert_eq!(faulted.dropped, again.dropped);
+    assert_eq!(faulted.liars, again.liars);
+}
+
+#[test]
+fn faulted_simulation_bit_identical_serial_vs_threaded() {
+    // The whole monitor → faulted market → enforce loop, end to end: same
+    // seed, same plan, serial vs threaded mechanisms — identical bits.
+    let sys = SystemConfig::paper_8core();
+    let dram = DramConfig::ddr3_1600();
+    let bundle = paper_bbpc_8core();
+    let opts = SimOptions {
+        quanta: 4,
+        accesses_per_quantum: 8_000,
+        seed: 11,
+        faults: Some(
+            FaultPlan::parse("noise=0.2,drop=0.15,nan=0.02,stale=0.3,liars=1,seed=29")
+                .expect("valid spec"),
+        ),
+        ..SimOptions::default()
+    };
+    let run = |policy: ParallelPolicy| {
+        run_simulation(
+            &sys,
+            &dram,
+            &bundle,
+            &EqualBudget::new(100.0).with_parallel(policy),
+            &opts,
+        )
+        .expect("simulation runs")
+    };
+    let baseline = run(ParallelPolicy::Serial);
+    for policy in POLICIES {
+        let r = run(policy);
+        assert_eq!(
+            baseline.efficiency.to_bits(),
+            r.efficiency.to_bits(),
+            "{policy:?}: efficiency"
+        );
+        assert_eq!(
+            baseline.envy_freeness.to_bits(),
+            r.envy_freeness.to_bits(),
+            "{policy:?}: envy-freeness"
+        );
+        for (a, b) in baseline.utilities.iter().zip(&r.utilities) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{policy:?}: utilities");
+        }
+        assert_eq!(baseline.fallback_quanta, r.fallback_quanta);
+        assert_eq!(baseline.degraded_quanta, r.degraded_quanta);
+        assert_eq!(baseline.solver_recoveries, r.solver_recoveries);
     }
 }
