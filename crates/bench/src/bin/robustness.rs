@@ -1,7 +1,7 @@
 //! Regenerates the **robustness** study: how much efficiency and
 //! envy-freeness the market pipeline retains as fault intensity rises.
 //!
-//! Two sections:
+//! Three sections:
 //!
 //! 1. **Market level** — a static market is solved under a faulted view
 //!    (noise, spikes, NaNs, dropped bids, liar bidders at increasing
@@ -11,14 +11,20 @@
 //! 2. **Simulation level** — the full monitor → market → enforce loop of
 //!    `rebudget-sim` with the same plan installed, reporting degraded /
 //!    fallback quanta and solver recovery actions alongside retention.
+//! 3. **Checkpoint overhead** — the same simulation with durable
+//!    checkpointing every quantum vs. without, reporting time per quantum
+//!    and the relative overhead (target: < 5%).
 //!
 //! Usage: `robustness [cores] [quanta] [seed]` (defaults: 8, 8, 1).
+
+use std::time::Instant;
 
 use rebudget_bench::{exit_on_error, system_for, PAPER_BUDGET};
 use rebudget_core::mechanisms::{EqualBudget, Mechanism, ReBudget};
 use rebudget_market::{metrics, FaultPlan};
 use rebudget_sim::analytic::build_market;
-use rebudget_sim::{run_simulation, SimOptions};
+use rebudget_sim::simulation::run_simulation_recoverable;
+use rebudget_sim::{run_simulation, RecoveryOptions, SimOptions};
 use rebudget_workloads::paper_bbpc_8core;
 
 /// The base (intensity 1.0) fault plan the sweep scales.
@@ -153,4 +159,112 @@ fn main() {
     println!("# Reading: retention near 1.0 means the guardrails held; degraded > 0");
     println!("# marks best-effort quanta; fallback > 0 marks EqualShare safe-mode");
     println!("# intervals after repeated solver failures (ISSUE-3 degradation policy).");
+    println!();
+
+    // ---- 3. Checkpoint overhead: durable snapshots every quantum -------
+    println!("# Checkpoint overhead — ReBudget-40 under the intensity-1.0 plan,");
+    println!("# durable snapshot after every quantum vs. no checkpointing");
+    println!("# ({CHECKPOINT_REPS} interleaved pairs, median paired difference; target < 5%).");
+    checkpoint_overhead(&sys, &dram, &bundle, &plan, quanta, seed);
+}
+
+const CHECKPOINT_REPS: usize = 5;
+
+/// Times the full simulation loop with and without per-quantum durable
+/// checkpointing and reports the relative overhead. Also asserts the
+/// recovery layer's core invariant: checkpointing must not perturb the
+/// simulated results by a single bit.
+fn checkpoint_overhead(
+    sys: &rebudget_sim::SystemConfig,
+    dram: &rebudget_sim::DramConfig,
+    bundle: &rebudget_workloads::Bundle,
+    plan: &FaultPlan,
+    quanta: usize,
+    seed: u64,
+) {
+    let mech = ReBudget::with_step(PAPER_BUDGET, 40.0);
+    let opts = SimOptions {
+        quanta,
+        accesses_per_quantum: 10_000,
+        budget: PAPER_BUDGET,
+        use_monitors: true,
+        seed,
+        faults: Some(plan.clone()),
+        ..SimOptions::default()
+    };
+    let dir = std::env::temp_dir().join(format!("rebudget-ckpt-bench-{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+    let recovery = RecoveryOptions {
+        checkpoint: Some(dir.join("bench.ckpt")),
+        checkpoint_every: 1,
+        resume: None,
+    };
+
+    let timed = |rec: &RecoveryOptions| {
+        let t0 = Instant::now();
+        let r = match run_simulation_recoverable(sys, dram, bundle, &mech, &opts, rec) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
+        (t0.elapsed().as_secs_f64(), r)
+    };
+
+    // Interleave the two configurations so machine-load drift hits both
+    // equally, then estimate the overhead from the *median of paired
+    // differences* over the fastest plain rep — robust against the odd
+    // rep that lands on a noisy scheduler interval.
+    let plain_opts = RecoveryOptions::default();
+    let mut plain_s = f64::INFINITY;
+    let mut diffs = Vec::with_capacity(CHECKPOINT_REPS);
+    let (mut plain, mut ckpt) = (None, None);
+    for _ in 0..CHECKPOINT_REPS {
+        let (ps, pr) = timed(&plain_opts);
+        let (cs, cr) = timed(&recovery);
+        plain_s = plain_s.min(ps);
+        diffs.push(cs - ps);
+        plain = Some(pr);
+        ckpt = Some(cr);
+    }
+    diffs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let ckpt_s = plain_s + diffs[diffs.len() / 2];
+    let (plain, ckpt) = (plain.expect("reps > 0"), ckpt.expect("reps > 0"));
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(
+        plain.efficiency.to_bits(),
+        ckpt.efficiency.to_bits(),
+        "checkpointing must not perturb the simulation"
+    );
+
+    let per_quantum = |s: f64| s * 1e3 / quanta as f64;
+    let overhead = (ckpt_s - plain_s) / plain_s * 100.0;
+    println!(
+        "{:<24} {:>12} {:>12}",
+        "configuration", "ms/quantum", "overhead"
+    );
+    println!(
+        "{:<24} {:>12.3} {:>12}",
+        "no checkpointing",
+        per_quantum(plain_s),
+        "-"
+    );
+    println!(
+        "{:<24} {:>12.3} {:>11.2}%",
+        "snapshot every quantum",
+        per_quantum(ckpt_s),
+        overhead
+    );
+    println!(
+        "# Verdict: {} (results bit-identical with and without snapshots).",
+        if overhead < 5.0 {
+            "within the < 5% budget"
+        } else {
+            "OVER the 5% budget"
+        }
+    );
 }

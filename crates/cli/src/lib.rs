@@ -15,6 +15,7 @@
 //! ```
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
 
 use rebudget_apps::classify::{sensitivity, Envelope};
 use rebudget_apps::perf::PerfEnv;
@@ -22,18 +23,28 @@ use rebudget_apps::spec::all_apps;
 use rebudget_core::mechanisms::{
     Balanced, EqualBudget, EqualShare, MaxEfficiency, Mechanism, ReBudget,
 };
-use rebudget_core::sweep::sweep_steps;
+use rebudget_core::sweep::{sweep_oracle, sweep_point, sweep_steps, SweepPoint};
 use rebudget_core::theory::{ef_lower_bound, poa_lower_bound};
-use rebudget_market::FaultPlan;
+use rebudget_market::{DeadlineBudget, FaultPlan, ParallelPolicy, RetryPolicy};
 use rebudget_sim::analytic::build_market;
-use rebudget_sim::{run_simulation, DramConfig, SimOptions, SystemConfig};
+use rebudget_sim::checkpoint::{fnv1a, SweepCheckpoint, SweepMeta};
+use rebudget_sim::{
+    run_simulation_recoverable, DramConfig, RecoveryOptions, SimOptions, SimResult, SystemConfig,
+};
 use rebudget_workloads::{generate_bundle, paper_bbpc_8core, Bundle, Category};
+
+/// Exit code for usage and validation errors.
+pub const EXIT_USAGE: i32 = 2;
+/// Exit code for checkpoint errors (unreadable, corrupt, mismatched).
+pub const EXIT_CHECKPOINT: i32 = 3;
 
 /// CLI-level error: a message for the user plus the exit code.
 #[derive(Debug)]
 pub struct CliError {
     /// Message printed to stderr.
     pub message: String,
+    /// Process exit code ([`EXIT_USAGE`] or [`EXIT_CHECKPOINT`]).
+    pub code: i32,
 }
 
 impl std::fmt::Display for CliError {
@@ -47,6 +58,14 @@ impl std::error::Error for CliError {}
 fn err(message: impl Into<String>) -> CliError {
     CliError {
         message: message.into(),
+        code: EXIT_USAGE,
+    }
+}
+
+fn checkpoint_err(message: impl Into<String>) -> CliError {
+    CliError {
+        message: message.into(),
+        code: EXIT_CHECKPOINT,
     }
 }
 
@@ -58,8 +77,10 @@ USAGE:
     rebudget apps
     rebudget workloads <CATEGORY> <CORES> [SEED]
     rebudget solve <CATEGORY|bbpc> <CORES> [MECHANISM] [STEP]
-    rebudget sweep <CATEGORY|bbpc> <CORES>
+    rebudget sweep <CATEGORY|bbpc> <CORES> [--checkpoint=PATH] [--resume=PATH]
     rebudget simulate <CATEGORY|bbpc> <CORES> [QUANTA] [--seed=N] [--faults=SPEC]
+                      [--mechanism=NAME] [--checkpoint=PATH] [--checkpoint-every=N]
+                      [--resume=PATH] [--deadline-ms=N] [--solve-iters=N] [--retries=N]
     rebudget theory <MUR> <MBR>
 
 CATEGORY:   CPBN | CCPP | CPBB | BBNN | BBPN | BBCN (case-insensitive)
@@ -68,16 +89,61 @@ FAULTS:     comma-separated spec injecting telemetry/solver faults, e.g.
             --faults=noise=0.1,drop=0.05,liars=2 — keys: noise, spike,
             spike-mag, stale, stale-depth, drop, nan, liars, liar-factor,
             seed (defaults to --seed)
+RECOVERY:   --checkpoint writes an atomic snapshot every --checkpoint-every
+            quanta (default 1; sweep: every point); --resume replays a
+            snapshot and continues. simulate snapshots cover one mechanism,
+            so --checkpoint/--resume require --mechanism.
+DEADLINES:  --solve-iters bounds each equilibrium solve's iterations,
+            --deadline-ms bounds its wall-clock time (non-deterministic;
+            prefer --solve-iters for reproducible runs), --retries enables
+            a bounded retry ladder for failed or timed-out solves.
 ";
+
+/// Solver-robustness knobs shared by all market-backed mechanisms.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverKnobs {
+    /// Per-solve deadline (wall clock and/or iterations).
+    pub deadline: DeadlineBudget,
+    /// Optional bounded retry ladder.
+    pub retry: Option<RetryPolicy>,
+}
 
 /// Parses a mechanism name (with an optional ReBudget step).
 pub fn parse_mechanism(name: &str, step: Option<f64>) -> Result<Box<dyn Mechanism>, CliError> {
+    parse_mechanism_with(name, step, SolverKnobs::default())
+}
+
+/// Parses a mechanism name and installs deadline/retry solver knobs.
+pub fn parse_mechanism_with(
+    name: &str,
+    step: Option<f64>,
+    knobs: SolverKnobs,
+) -> Result<Box<dyn Mechanism>, CliError> {
     match name.to_ascii_lowercase().as_str() {
         "equalshare" => Ok(Box::new(EqualShare)),
-        "equalbudget" => Ok(Box::new(EqualBudget::new(100.0))),
-        "balanced" => Ok(Box::new(Balanced::new(100.0))),
-        "rebudget" => Ok(Box::new(ReBudget::with_step(100.0, step.unwrap_or(20.0)))),
-        "maxefficiency" => Ok(Box::new(MaxEfficiency::default())),
+        "equalbudget" => {
+            let mut m = EqualBudget::new(100.0);
+            m.options.deadline = knobs.deadline;
+            m.retry = knobs.retry;
+            Ok(Box::new(m))
+        }
+        "balanced" => {
+            let mut m = Balanced::new(100.0);
+            m.options.deadline = knobs.deadline;
+            m.retry = knobs.retry;
+            Ok(Box::new(m))
+        }
+        "rebudget" => {
+            let mut m = ReBudget::with_step(100.0, step.unwrap_or(20.0));
+            m.options.deadline = knobs.deadline;
+            m.retry = knobs.retry;
+            Ok(Box::new(m))
+        }
+        "maxefficiency" => {
+            let mut m = MaxEfficiency::default();
+            m.options.deadline = knobs.deadline;
+            Ok(Box::new(m))
+        }
         other => Err(err(format!("unknown mechanism '{other}'"))),
     }
 }
@@ -130,6 +196,30 @@ fn extract_flag(args: &mut Vec<String>, name: &str) -> Result<Option<String>, Cl
     Ok(None)
 }
 
+fn sim_err(e: &rebudget_sim::simulation::SimError) -> CliError {
+    match e {
+        rebudget_sim::simulation::SimError::Checkpoint(c) => checkpoint_err(c.to_string()),
+        other => err(other.to_string()),
+    }
+}
+
+/// FNV-1a fingerprint over the bit patterns of a run's final metrics.
+/// Two runs fingerprint identically iff their efficiency, envy-freeness,
+/// per-core utilities, and full efficiency trajectory are bit-identical —
+/// the CI interrupt/resume job diffs this line.
+fn result_fingerprint(r: &SimResult) -> u64 {
+    let mut bytes = Vec::with_capacity(16 + 8 * (r.utilities.len() + r.efficiency_history.len()));
+    bytes.extend_from_slice(&r.efficiency.to_bits().to_be_bytes());
+    bytes.extend_from_slice(&r.envy_freeness.to_bits().to_be_bytes());
+    for u in &r.utilities {
+        bytes.extend_from_slice(&u.to_bits().to_be_bytes());
+    }
+    for e in &r.efficiency_history {
+        bytes.extend_from_slice(&e.to_bits().to_be_bytes());
+    }
+    fnv1a(&bytes)
+}
+
 /// Runs the CLI with `args` (excluding the program name); returns the
 /// text to print on stdout.
 ///
@@ -137,11 +227,57 @@ fn extract_flag(args: &mut Vec<String>, name: &str) -> Result<Option<String>, Cl
 ///
 /// Returns a [`CliError`] with a user-facing message for bad input.
 pub fn run(args: &[String]) -> Result<String, CliError> {
+    run_with_notes(args).map(|(out, _)| out)
+}
+
+/// Like [`run`], additionally returning progress/resume notes that the
+/// binary prints to **stderr** — keeping stdout byte-stable so a resumed
+/// run can be diffed against an uninterrupted reference.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a user-facing message for bad input.
+pub fn run_with_notes(args: &[String]) -> Result<(String, Vec<String>), CliError> {
+    let mut notes = Vec::new();
+    let out = run_inner(args, &mut notes)?;
+    Ok((out, notes))
+}
+
+fn run_inner(args: &[String], notes: &mut Vec<String>) -> Result<String, CliError> {
     let mut out = String::new();
     let mut args = args.to_vec();
     let seed: Option<u64> = extract_flag(&mut args, "seed")?
         .map(|s| parse(&s, "seed"))
         .transpose()?;
+    let mechanism_flag: Option<String> = extract_flag(&mut args, "mechanism")?;
+    let checkpoint: Option<PathBuf> = extract_flag(&mut args, "checkpoint")?.map(PathBuf::from);
+    let checkpoint_every: usize = extract_flag(&mut args, "checkpoint-every")?
+        .map(|s| parse(&s, "checkpoint interval"))
+        .transpose()?
+        .unwrap_or(1);
+    if checkpoint_every == 0 {
+        return Err(err("--checkpoint-every must be at least 1"));
+    }
+    let resume: Option<PathBuf> = extract_flag(&mut args, "resume")?.map(PathBuf::from);
+    let deadline_ms: Option<u64> = extract_flag(&mut args, "deadline-ms")?
+        .map(|s| parse(&s, "deadline (ms)"))
+        .transpose()?;
+    let solve_iters: Option<usize> = extract_flag(&mut args, "solve-iters")?
+        .map(|s| parse(&s, "solve iteration budget"))
+        .transpose()?;
+    if solve_iters == Some(0) {
+        return Err(err("--solve-iters must be at least 1"));
+    }
+    let retries: Option<usize> = extract_flag(&mut args, "retries")?
+        .map(|s| parse(&s, "retry count"))
+        .transpose()?;
+    let knobs = SolverKnobs {
+        deadline: DeadlineBudget {
+            wall_clock: deadline_ms.map(std::time::Duration::from_millis),
+            max_iterations: solve_iters,
+        },
+        retry: retries.map(|n| RetryPolicy::with_attempts(n.saturating_add(1))),
+    };
     let faults: Option<FaultPlan> = match extract_flag(&mut args, "faults")? {
         Some(spec) => {
             let plan = FaultPlan::parse(&spec)
@@ -241,28 +377,103 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("sweep") => {
             let category = args.get(1).ok_or_else(|| err(USAGE))?;
             let cores: usize = parse(args.get(2).ok_or_else(|| err(USAGE))?, "core count")?;
+            if cores == 0 {
+                return Err(err("core count must be at least 1"));
+            }
             let bundle = parse_bundle(category, cores, 1)?;
             let (sys, dram) = system_for(cores);
             let market =
                 build_market(&bundle, &sys, &dram, 100.0).map_err(|e| err(e.to_string()))?;
-            let pts = sweep_steps(&market, 100.0, &[0.0, 5.0, 10.0, 20.0, 40.0, 80.0], true)
-                .map_err(|e| err(e.to_string()))?;
+            let steps = [0.0, 5.0, 10.0, 20.0, 40.0, 80.0];
+            let pts: Vec<SweepPoint> = if checkpoint.is_some() || resume.is_some() {
+                // Durable sweep: one snapshot per completed point, so a
+                // killed sweep resumes at the point boundary. Per-point
+                // values are a pure function of the inputs, so reused and
+                // recomputed points are bit-identical.
+                let meta = SweepMeta {
+                    category: category.to_ascii_lowercase(),
+                    cores,
+                    base_budget: 100.0,
+                    normalize: true,
+                    steps: steps.to_vec(),
+                };
+                let save_path = checkpoint.clone().or_else(|| resume.clone());
+                let mut cp = match &resume {
+                    Some(path) => {
+                        let (loaded, used_prev) = SweepCheckpoint::load_with_fallback(path)
+                            .map_err(|e| checkpoint_err(e.to_string()))?;
+                        meta.ensure_matches(&loaded.meta)
+                            .map_err(|e| checkpoint_err(e.to_string()))?;
+                        if used_prev {
+                            notes.push(
+                                "resume used the rotated .prev snapshot generation \
+                                 (live snapshot failed validation)"
+                                    .to_string(),
+                            );
+                        }
+                        let done = steps.len() - loaded.missing().len();
+                        notes.push(format!(
+                            "resumed sweep: {done} of {} points reused from snapshot",
+                            steps.len()
+                        ));
+                        loaded
+                    }
+                    None => SweepCheckpoint::new(meta),
+                };
+                if cp.oracle.is_none() {
+                    cp.oracle = Some(
+                        sweep_oracle(&market, ParallelPolicy::Auto)
+                            .map_err(|e| err(e.to_string()))?,
+                    );
+                    if let Some(path) = &save_path {
+                        cp.save(path).map_err(|e| checkpoint_err(e.to_string()))?;
+                    }
+                }
+                for k in cp.missing() {
+                    let p = sweep_point(&market, 100.0, steps[k], cp.oracle, ParallelPolicy::Auto)
+                        .map_err(|e| err(e.to_string()))?;
+                    cp.points[k] = Some(p);
+                    if let Some(path) = &save_path {
+                        cp.save(path).map_err(|e| checkpoint_err(e.to_string()))?;
+                    }
+                }
+                cp.points.into_iter().flatten().collect()
+            } else {
+                sweep_steps(&market, 100.0, &steps, true).map_err(|e| err(e.to_string()))?
+            };
             writeln!(
                 out,
-                "{:>6} {:>10} {:>10} {:>8} {:>8} {:>10}",
-                "step", "eff/OPT", "envy-free", "MUR", "MBR", "EF-floor"
+                "{:>6} {:>10} {:>10} {:>8} {:>8} {:>10} {:>5} {:>6} {:>6} {:>4} {:>6} {:>4}",
+                "step",
+                "eff/OPT",
+                "envy-free",
+                "MUR",
+                "MBR",
+                "EF-floor",
+                "conv",
+                "rounds",
+                "iters",
+                "rec",
+                "retry",
+                "t/o"
             )
             .expect("infallible");
             for p in pts {
                 writeln!(
                     out,
-                    "{:>6.0} {:>10.3} {:>10.3} {:>8.3} {:>8.3} {:>10.3}",
+                    "{:>6.0} {:>10.3} {:>10.3} {:>8.3} {:>8.3} {:>10.3} {:>5} {:>6} {:>6} {:>4} {:>6} {:>4}",
                     p.step,
                     p.normalized_efficiency.unwrap_or(f64::NAN),
                     p.envy_freeness,
                     p.mur,
                     p.mbr,
-                    p.ef_floor
+                    p.ef_floor,
+                    if p.solve.converged { "yes" } else { "NO" },
+                    p.solve.rounds,
+                    p.solve.iterations,
+                    p.solve.recoveries,
+                    p.solve.retries,
+                    p.solve.timed_out
                 )
                 .expect("infallible");
             }
@@ -271,11 +482,17 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("simulate") => {
             let category = args.get(1).ok_or_else(|| err(USAGE))?;
             let cores: usize = parse(args.get(2).ok_or_else(|| err(USAGE))?, "core count")?;
+            if cores == 0 {
+                return Err(err("core count must be at least 1"));
+            }
             let quanta: usize = args
                 .get(3)
                 .map(|s| parse(s, "quanta"))
                 .transpose()?
                 .unwrap_or(5);
+            if quanta == 0 {
+                return Err(err("quanta must be at least 1"));
+            }
             let bundle = parse_bundle(category, cores, 1)?;
             let (sys, dram) = system_for(cores);
             let injecting = faults.as_ref().is_some_and(FaultPlan::is_active);
@@ -288,49 +505,92 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 faults,
                 ..SimOptions::default()
             };
+            if (checkpoint.is_some() || resume.is_some()) && mechanism_flag.is_none() {
+                return Err(err(
+                    "--checkpoint/--resume snapshot a single mechanism's run; \
+                     pick one with --mechanism",
+                ));
+            }
+            let recovery = RecoveryOptions {
+                checkpoint,
+                checkpoint_every,
+                resume,
+            };
+            let bounded = knobs.deadline.is_bounded() || knobs.retry.is_some();
+            let mech_names: Vec<&str> = match &mechanism_flag {
+                Some(name) => vec![name.as_str()],
+                None => vec!["equalshare", "equalbudget", "rebudget", "maxefficiency"],
+            };
+            write!(
+                out,
+                "{:<14} {:>14} {:>10}",
+                "mechanism", "weighted-speedup", "envy-free"
+            )
+            .expect("infallible");
             if injecting {
-                writeln!(
+                write!(
                     out,
-                    "{:<14} {:>14} {:>10} {:>9} {:>9} {:>10}",
-                    "mechanism",
-                    "weighted-speedup",
-                    "envy-free",
-                    "degraded",
-                    "fallback",
-                    "recoveries"
-                )
-                .expect("infallible");
-            } else {
-                writeln!(
-                    out,
-                    "{:<14} {:>14} {:>10}",
-                    "mechanism", "weighted-speedup", "envy-free"
+                    " {:>9} {:>9} {:>10}",
+                    "degraded", "fallback", "recoveries"
                 )
                 .expect("infallible");
             }
-            for mech_name in ["equalshare", "equalbudget", "rebudget", "maxefficiency"] {
-                let mech = parse_mechanism(mech_name, Some(40.0))?;
-                let r = run_simulation(&sys, &dram, &bundle, mech.as_ref(), &opts)
-                    .map_err(|e| err(e.to_string()))?;
+            if bounded {
+                write!(out, " {:>7} {:>8}", "retries", "timeouts").expect("infallible");
+            }
+            writeln!(out).expect("infallible");
+            let mut fingerprint = None;
+            for mech_name in &mech_names {
+                let mech = parse_mechanism_with(mech_name, Some(40.0), knobs)?;
+                let r = run_simulation_recoverable(
+                    &sys,
+                    &dram,
+                    &bundle,
+                    mech.as_ref(),
+                    &opts,
+                    &recovery,
+                )
+                .map_err(|e| sim_err(&e))?;
+                if r.replayed_quanta > 0 {
+                    notes.push(format!(
+                        "{}: resumed — replayed {} of {} quanta from snapshot",
+                        r.mechanism, r.replayed_quanta, quanta
+                    ));
+                }
+                if r.used_prev_generation {
+                    notes.push(
+                        "resume used the rotated .prev snapshot generation \
+                         (live snapshot failed validation)"
+                            .to_string(),
+                    );
+                }
+                write!(
+                    out,
+                    "{:<14} {:>14.3} {:>10.3}",
+                    r.mechanism, r.efficiency, r.envy_freeness
+                )
+                .expect("infallible");
                 if injecting {
-                    writeln!(
+                    write!(
                         out,
-                        "{:<14} {:>14.3} {:>10.3} {:>9} {:>9} {:>10}",
-                        r.mechanism,
-                        r.efficiency,
-                        r.envy_freeness,
-                        r.degraded_quanta,
-                        r.fallback_quanta,
-                        r.solver_recoveries
+                        " {:>9} {:>9} {:>10}",
+                        r.degraded_quanta, r.fallback_quanta, r.solver_recoveries
                     )
                     .expect("infallible");
-                } else {
-                    writeln!(
-                        out,
-                        "{:<14} {:>14.3} {:>10.3}",
-                        r.mechanism, r.efficiency, r.envy_freeness
-                    )
-                    .expect("infallible");
+                }
+                if bounded {
+                    write!(out, " {:>7} {:>8}", r.retried_solves, r.timed_out_solves)
+                        .expect("infallible");
+                }
+                writeln!(out).expect("infallible");
+                fingerprint = Some(result_fingerprint(&r));
+            }
+            if mech_names.len() == 1 {
+                if let Some(fp) = fingerprint {
+                    // Bit-exact digest of the run's final state; identical
+                    // between an uninterrupted run and a killed-and-resumed
+                    // one. CI diffs this line.
+                    writeln!(out, "fingerprint {fp:016x}").expect("infallible");
                 }
             }
             Ok(out)
@@ -455,6 +715,180 @@ mod tests {
         ])
         .unwrap_err();
         assert!(e.message.contains("invalid --faults spec"));
+    }
+
+    fn run_err(args: &[&str]) -> CliError {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&v).expect_err("command fails")
+    }
+
+    #[test]
+    fn invalid_values_are_one_line_usage_errors() {
+        for bad in [
+            vec!["simulate", "bbpc", "8", "--seed=banana"],
+            vec!["simulate", "bbpc", "zero", "2"],
+            vec!["simulate", "bbpc", "0", "2"],
+            vec!["simulate", "bbpc", "8", "0"],
+            vec!["simulate", "bbpc", "8", "-3"],
+            vec!["simulate", "bbpc", "8", "2", "--checkpoint-every=0"],
+            vec!["simulate", "bbpc", "8", "2", "--checkpoint-every=few"],
+            vec!["simulate", "bbpc", "8", "2", "--deadline-ms=soon"],
+            vec!["simulate", "bbpc", "8", "2", "--solve-iters=0"],
+            vec!["simulate", "bbpc", "8", "2", "--retries=many"],
+            vec!["sweep", "bbpc", "0"],
+            vec!["theory", "one", "1.0"],
+        ] {
+            let e = run_err(&bad);
+            assert_eq!(e.code, EXIT_USAGE, "{bad:?}");
+            assert!(!e.message.is_empty(), "{bad:?}");
+            assert!(
+                !e.message.contains('\n') || e.message.contains("USAGE"),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unreadable_resume_path_is_a_checkpoint_error() {
+        let e = run_err(&[
+            "simulate",
+            "bbpc",
+            "8",
+            "2",
+            "--mechanism=equalbudget",
+            "--resume=/nonexistent/rebudget.ckpt",
+        ]);
+        assert_eq!(e.code, EXIT_CHECKPOINT);
+        assert!(e.message.contains("checkpoint"), "{}", e.message);
+        let e = run_err(&["sweep", "bbpc", "8", "--resume=/nonexistent/rebudget.ckpt"]);
+        assert_eq!(e.code, EXIT_CHECKPOINT);
+    }
+
+    #[test]
+    fn checkpoint_flags_require_a_single_mechanism() {
+        let e = run_err(&["simulate", "bbpc", "8", "2", "--checkpoint=/tmp/x.ckpt"]);
+        assert_eq!(e.code, EXIT_USAGE);
+        assert!(e.message.contains("--mechanism"), "{}", e.message);
+    }
+
+    #[test]
+    fn single_mechanism_simulate_prints_fingerprint() {
+        let out = run_ok(&["simulate", "bbpc", "8", "2", "--mechanism=equalbudget"]);
+        assert_eq!(out.lines().count(), 3, "header + row + fingerprint: {out}");
+        let fp = out
+            .lines()
+            .last()
+            .unwrap()
+            .strip_prefix("fingerprint ")
+            .expect("fingerprint line");
+        assert_eq!(fp.len(), 16);
+        assert!(fp.chars().all(|c| c.is_ascii_hexdigit()));
+        // All-mechanism mode keeps the old table shape: no fingerprint.
+        let all = run_ok(&["simulate", "bbpc", "8", "2"]);
+        assert!(!all.contains("fingerprint"));
+    }
+
+    #[test]
+    fn simulate_checkpoint_resume_round_trip_is_byte_stable() {
+        let dir = std::env::temp_dir().join(format!("rebudget-cli-cp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("sim.ckpt");
+        let ckpt_flag = format!("--checkpoint={}", ckpt.display());
+        let resume_flag = format!("--resume={}", ckpt.display());
+        let base = [
+            "simulate",
+            "bbpc",
+            "8",
+            "3",
+            "--mechanism=rebudget",
+            "--seed=7",
+        ];
+
+        let reference = run_ok(&base);
+        // "Crash" after 2 of 3 quanta: truncated run with checkpointing on.
+        let mut partial: Vec<&str> = base.to_vec();
+        partial[3] = "2";
+        partial.push(&ckpt_flag);
+        run_ok(&partial);
+        // Resume to the full horizon: stdout must match the reference
+        // byte-for-byte, and the resume note must be off-stdout.
+        let mut resumed_args: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+        resumed_args.push(resume_flag);
+        let (resumed, resume_notes) = run_with_notes(&resumed_args).unwrap();
+        assert_eq!(resumed, reference);
+        assert!(
+            resume_notes.iter().any(|n| n.contains("replayed 2 of 3")),
+            "{resume_notes:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_checkpoint_resume_round_trip_is_byte_stable() {
+        let dir = std::env::temp_dir().join(format!("rebudget-cli-sw-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("sweep.ckpt");
+        let ckpt_flag = format!("--checkpoint={}", ckpt.display());
+        let resume_flag = format!("--resume={}", ckpt.display());
+
+        let reference = run_ok(&["sweep", "bbpc", "8"]);
+        let checkpointed = run_ok(&["sweep", "bbpc", "8", &ckpt_flag]);
+        assert_eq!(
+            checkpointed, reference,
+            "checkpointing must not change values"
+        );
+        // Resuming a complete sweep reuses every point, bit-identically.
+        let (resumed, notes) =
+            run_with_notes(&["sweep".into(), "bbpc".into(), "8".into(), resume_flag]).unwrap();
+        assert_eq!(resumed, reference);
+        assert!(
+            notes.iter().any(|n| n.contains("6 of 6 points reused")),
+            "{notes:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_renders_solver_health_columns() {
+        let out = run_ok(&["sweep", "bbpc", "8"]);
+        let header = out.lines().next().unwrap();
+        for col in ["conv", "rounds", "iters", "retry", "t/o"] {
+            assert!(header.contains(col), "missing {col} in {header}");
+        }
+        assert!(out.contains("yes"), "clean bbpc sweep converges");
+    }
+
+    #[test]
+    fn deadline_flags_bound_solves_and_report_timeouts() {
+        // A 1-iteration budget cannot converge: the run must still finish
+        // (best-effort allocations) and report the timeouts.
+        let out = run_ok(&[
+            "simulate",
+            "bbpc",
+            "8",
+            "2",
+            "--mechanism=equalbudget",
+            "--solve-iters=1",
+        ]);
+        assert!(out.contains("timeouts"), "{out}");
+        let row = out.lines().nth(1).unwrap();
+        let cols: Vec<&str> = row.split_whitespace().collect();
+        let timeouts: usize = cols.last().unwrap().parse().unwrap();
+        assert_eq!(timeouts, 2, "one timed-out solve per quantum: {row}");
+        // With a generous budget nothing times out.
+        let ok = run_ok(&[
+            "simulate",
+            "bbpc",
+            "8",
+            "2",
+            "--mechanism=equalbudget",
+            "--solve-iters=500",
+            "--retries=2",
+        ]);
+        let row = ok.lines().nth(1).unwrap();
+        let cols: Vec<&str> = row.split_whitespace().collect();
+        assert_eq!(cols[cols.len() - 1], "0", "timeouts: {row}");
+        assert_eq!(cols[cols.len() - 2], "0", "retries: {row}");
     }
 
     #[test]

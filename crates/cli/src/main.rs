@@ -3,11 +3,18 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match rebudget_cli::run(&args) {
-        Ok(output) => print!("{output}"),
+    match rebudget_cli::run_with_notes(&args) {
+        Ok((output, notes)) => {
+            // Notes (resume/progress chatter) go to stderr so stdout stays
+            // byte-stable for diffing resumed runs against references.
+            for note in notes {
+                eprintln!("note: {note}");
+            }
+            print!("{output}");
+        }
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(2);
+            std::process::exit(e.code);
         }
     }
 }

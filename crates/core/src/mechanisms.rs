@@ -13,10 +13,12 @@
 //! the allocation plus every metric the paper reports (efficiency,
 //! envy-freeness, MUR, MBR, iteration counts).
 
-use rebudget_market::equilibrium::EquilibriumOptions;
+use rebudget_market::equilibrium::{EquilibriumOptions, EquilibriumOutcome};
 use rebudget_market::metrics;
 use rebudget_market::optimal::{max_efficiency, OptimalOptions};
-use rebudget_market::{AllocationMatrix, Market, MarketError, ParallelPolicy, Result};
+use rebudget_market::{
+    solve_with_retry, AllocationMatrix, Market, MarketError, ParallelPolicy, Result, RetryPolicy,
+};
 
 use crate::theory::min_mbr_for_ef;
 
@@ -65,6 +67,14 @@ pub struct MechanismOutcome {
     /// allocation, but the theorem bounds tied to equilibrium need not
     /// hold.
     pub degraded: bool,
+    /// Solves that stopped because their
+    /// [`rebudget_market::DeadlineBudget`] ran out (0 with the default
+    /// unbounded deadline).
+    pub timed_out_solves: usize,
+    /// Extra solve attempts taken by the [`RetryPolicy`] ladder beyond
+    /// the first, summed over all equilibrium rounds (0 without a retry
+    /// policy).
+    pub retry_attempts: usize,
 }
 
 /// An allocation mechanism: anything that maps a market to an allocation.
@@ -111,6 +121,30 @@ fn outcome_from_allocation(
         solver_recoveries: 0,
         rolled_back_rounds: 0,
         degraded: false,
+        timed_out_solves: 0,
+        retry_attempts: 0,
+    }
+}
+
+/// Runs one equilibrium solve, through the retry ladder when one is
+/// configured. Returns the outcome plus `(extra_attempts, timed_out)`
+/// accounting for [`MechanismOutcome`].
+fn solve_once(
+    market: &Market,
+    budgets: &[f64],
+    options: &EquilibriumOptions,
+    retry: Option<&RetryPolicy>,
+) -> Result<(EquilibriumOutcome, usize, usize)> {
+    match retry {
+        Some(policy) => {
+            let (eq, report) = solve_with_retry(market, budgets, options, policy)?;
+            Ok((eq, report.retries(), report.timed_out_attempts))
+        }
+        None => {
+            let eq = market.equilibrium_with_budgets(budgets, options)?;
+            let timed_out = usize::from(eq.report.timed_out);
+            Ok((eq, 0, timed_out))
+        }
     }
 }
 
@@ -137,6 +171,9 @@ pub struct EqualBudget {
     pub budget: f64,
     /// Equilibrium-search options.
     pub options: EquilibriumOptions,
+    /// Optional bounded retry ladder for non-converged / timed-out
+    /// solves. `None` (the default) solves exactly once.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl EqualBudget {
@@ -146,6 +183,7 @@ impl EqualBudget {
         Self {
             budget,
             options: EquilibriumOptions::default(),
+            retry: None,
         }
     }
 
@@ -153,6 +191,13 @@ impl EqualBudget {
     #[must_use]
     pub fn with_parallel(mut self, policy: ParallelPolicy) -> Self {
         self.options.parallel = policy;
+        self
+    }
+
+    /// Installs a bounded retry ladder for failed solves.
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
         self
     }
 }
@@ -170,7 +215,13 @@ impl Mechanism for EqualBudget {
 
     fn allocate(&self, market: &Market) -> Result<MechanismOutcome> {
         let budgets = vec![self.budget; market.len()];
-        run_market(self.name(), market, budgets, &self.options)
+        run_market(
+            self.name(),
+            market,
+            budgets,
+            &self.options,
+            self.retry.as_ref(),
+        )
     }
 }
 
@@ -184,6 +235,9 @@ pub struct Balanced {
     pub base_budget: f64,
     /// Equilibrium-search options.
     pub options: EquilibriumOptions,
+    /// Optional bounded retry ladder for non-converged / timed-out
+    /// solves. `None` (the default) solves exactly once.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Balanced {
@@ -193,6 +247,7 @@ impl Balanced {
         Self {
             base_budget,
             options: EquilibriumOptions::default(),
+            retry: None,
         }
     }
 
@@ -200,6 +255,13 @@ impl Balanced {
     #[must_use]
     pub fn with_parallel(mut self, policy: ParallelPolicy) -> Self {
         self.options.parallel = policy;
+        self
+    }
+
+    /// Installs a bounded retry ladder for failed solves.
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
         self
     }
 
@@ -244,7 +306,13 @@ impl Mechanism for Balanced {
 
     fn allocate(&self, market: &Market) -> Result<MechanismOutcome> {
         let budgets = self.budgets(market);
-        run_market(self.name(), market, budgets, &self.options)
+        run_market(
+            self.name(),
+            market,
+            budgets,
+            &self.options,
+            self.retry.as_ref(),
+        )
     }
 }
 
@@ -279,6 +347,10 @@ pub struct ReBudget {
     pub budget_floor: Option<f64>,
     /// Equilibrium-search options.
     pub options: EquilibriumOptions,
+    /// Optional bounded retry ladder for non-converged / timed-out
+    /// solves, applied to every reassignment round. `None` (the default)
+    /// solves each round exactly once.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl ReBudget {
@@ -301,6 +373,7 @@ impl ReBudget {
             min_step_fraction: 0.01,
             budget_floor: None,
             options: EquilibriumOptions::default(),
+            retry: None,
         }
     }
 
@@ -329,6 +402,13 @@ impl ReBudget {
         self
     }
 
+    /// Installs a bounded retry ladder for failed solves.
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
     /// The guaranteed Market Budget Range of this configuration:
     /// `1 − 2·step₀/B` (or the explicit floor if set).
     pub fn guaranteed_mbr(&self) -> f64 {
@@ -354,12 +434,16 @@ impl Mechanism for ReBudget {
         let mut all_converged = true;
         let mut recoveries = 0usize;
         let mut rollbacks = 0usize;
+        let mut retries = 0usize;
+        let mut timeouts = 0usize;
 
-        let mut eq = market.equilibrium_with_budgets(&budgets, &self.options)?;
+        let (mut eq, r, t) = solve_once(market, &budgets, &self.options, self.retry.as_ref())?;
         rounds += 1;
         total_iterations += eq.iterations;
         all_converged &= eq.converged();
         recoveries += eq.report.recovery.len();
+        retries += r;
+        timeouts += t;
 
         loop {
             if step < min_step {
@@ -389,11 +473,13 @@ impl Mechanism for ReBudget {
             }
             step *= 0.5;
 
-            let next_eq = market.equilibrium_with_budgets(&budgets, &self.options)?;
+            let (next_eq, r, t) = solve_once(market, &budgets, &self.options, self.retry.as_ref())?;
             rounds += 1;
             total_iterations += next_eq.iterations;
             all_converged &= next_eq.converged();
             recoveries += next_eq.report.recovery.len();
+            retries += r;
+            timeouts += t;
 
             // Graceful degradation: a reassignment step must not push the
             // realized efficiency below the Theorem-1 floor for the *new*
@@ -425,6 +511,8 @@ impl Mechanism for ReBudget {
         );
         out.solver_recoveries = recoveries;
         out.rolled_back_rounds = rollbacks;
+        out.retry_attempts = retries;
+        out.timed_out_solves = timeouts;
         Ok(out)
     }
 }
@@ -458,6 +546,8 @@ fn finish(
         solver_recoveries: 0,
         rolled_back_rounds: 0,
         degraded: !converged,
+        timed_out_solves: 0,
+        retry_attempts: 0,
     }
 }
 
@@ -466,13 +556,16 @@ fn run_market(
     market: &Market,
     budgets: Vec<f64>,
     options: &EquilibriumOptions,
+    retry: Option<&RetryPolicy>,
 ) -> Result<MechanismOutcome> {
-    let eq = market.equilibrium_with_budgets(&budgets, options)?;
+    let (eq, retries, timeouts) = solve_once(market, &budgets, options, retry)?;
     let iterations = eq.iterations;
     let converged = eq.converged();
     let recoveries = eq.report.recovery.len();
     let mut out = finish(name, market, budgets, eq, 1, iterations, converged);
     out.solver_recoveries = recoveries;
+    out.retry_attempts = retries;
+    out.timed_out_solves = timeouts;
     Ok(out)
 }
 
@@ -500,7 +593,11 @@ impl Mechanism for MaxEfficiency {
 
     fn allocate(&self, market: &Market) -> Result<MechanismOutcome> {
         let out = max_efficiency(market, &self.options)?;
-        Ok(outcome_from_allocation(self.name(), market, out.allocation))
+        let timed_out = usize::from(out.timed_out);
+        let mut outcome = outcome_from_allocation(self.name(), market, out.allocation);
+        outcome.timed_out_solves = timed_out;
+        outcome.degraded |= timed_out > 0;
+        Ok(outcome)
     }
 }
 

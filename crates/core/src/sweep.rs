@@ -22,6 +22,40 @@ use rebudget_market::{Market, Result};
 use crate::mechanisms::{EqualBudget, MaxEfficiency, Mechanism, ReBudget};
 use crate::theory::ef_lower_bound;
 
+/// Solver health behind one sweep point.
+///
+/// A sweep point is the product of one or more equilibrium solves (one per
+/// ReBudget round). This summary aggregates their [`rebudget_market::SolveReport`]s
+/// so sweep output can distinguish a certified equilibrium from a
+/// best-effort or deadline-clipped iterate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveSummary {
+    /// Whether every equilibrium solve behind this point converged. A
+    /// `false` point is best-effort, *not* a certified equilibrium — plots
+    /// should mark it rather than silently report it as one.
+    pub converged: bool,
+    /// Equilibrium rounds run (1 for EqualBudget, reassignment rounds + 1
+    /// for ReBudget).
+    pub rounds: usize,
+    /// Total bidding–pricing iterations across all rounds.
+    pub iterations: usize,
+    /// Solver guardrail interventions (clamps/restarts) across all rounds.
+    pub recoveries: usize,
+    /// Extra retry-ladder attempts spent beyond the first solve per round.
+    pub retries: usize,
+    /// Solves that hit their [`rebudget_market::DeadlineBudget`].
+    pub timed_out: usize,
+}
+
+impl SolveSummary {
+    /// True when the point converged with no guardrail recoveries, no
+    /// retry-ladder attempts, and no deadline hits.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.converged && self.recoveries == 0 && self.retries == 0 && self.timed_out == 0
+    }
+}
+
 /// One point of a knob sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepPoint {
@@ -39,10 +73,16 @@ pub struct SweepPoint {
     pub mbr: f64,
     /// Worst-case envy-freeness floor from Theorem 2 at the measured MBR.
     pub ef_floor: f64,
-    /// Whether every equilibrium solve behind this point converged. A
-    /// `false` point is best-effort, *not* a certified equilibrium — plots
-    /// should mark it rather than silently report it as one.
-    pub converged: bool,
+    /// Aggregated solver health behind this point.
+    pub solve: SolveSummary,
+}
+
+impl SweepPoint {
+    /// Whether every equilibrium solve behind this point converged.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.solve.converged
+    }
 }
 
 /// Sweeps `ReBudget-step` over `steps` on `market`, with
@@ -87,39 +127,77 @@ pub fn sweep_steps_with(
         policy
     };
     let opt = if normalize {
-        Some(
-            MaxEfficiency::default()
-                .with_parallel(inner)
-                .allocate(market)?
-                .efficiency,
-        )
+        Some(sweep_oracle(market, inner)?)
     } else {
         None
     };
     let points = par::map_indexed(threads, steps.len(), |k| -> Result<SweepPoint> {
-        let step = steps[k];
-        let out = if step <= 0.0 {
-            EqualBudget::new(base_budget)
-                .with_parallel(inner)
-                .allocate(market)?
-        } else {
-            ReBudget::with_step(base_budget, step)
-                .with_parallel(inner)
-                .allocate(market)?
-        };
-        let mbr = out.mbr.unwrap_or(1.0);
-        Ok(SweepPoint {
-            step,
-            efficiency: out.efficiency,
-            normalized_efficiency: opt.map(|o| if o > 0.0 { out.efficiency / o } else { 1.0 }),
-            envy_freeness: out.envy_freeness,
-            mur: out.mur.unwrap_or(1.0),
-            mbr,
-            ef_floor: ef_lower_bound(mbr),
-            converged: out.converged,
-        })
+        sweep_point(market, base_budget, steps[k], opt, inner)
     });
     points.into_iter().collect()
+}
+
+/// Computes a single sweep point — the unit of work behind
+/// [`sweep_steps_with`], exposed so resumable sweeps can recompute exactly
+/// the points a checkpoint is missing.
+///
+/// `opt` is the `MaxEfficiency` oracle value to normalize against (`None`
+/// for absolute efficiency); `policy` governs the nested equilibrium solve.
+/// The result is a pure function of the arguments, so recomputing a point
+/// after a crash yields bit-identical values.
+///
+/// # Errors
+///
+/// Propagates mechanism errors (degenerate markets).
+pub fn sweep_point(
+    market: &Market,
+    base_budget: f64,
+    step: f64,
+    opt: Option<f64>,
+    policy: ParallelPolicy,
+) -> Result<SweepPoint> {
+    let out = if step <= 0.0 {
+        EqualBudget::new(base_budget)
+            .with_parallel(policy)
+            .allocate(market)?
+    } else {
+        ReBudget::with_step(base_budget, step)
+            .with_parallel(policy)
+            .allocate(market)?
+    };
+    let mbr = out.mbr.unwrap_or(1.0);
+    Ok(SweepPoint {
+        step,
+        efficiency: out.efficiency,
+        normalized_efficiency: opt.map(|o| if o > 0.0 { out.efficiency / o } else { 1.0 }),
+        envy_freeness: out.envy_freeness,
+        mur: out.mur.unwrap_or(1.0),
+        mbr,
+        ef_floor: ef_lower_bound(mbr),
+        solve: SolveSummary {
+            converged: out.converged,
+            rounds: out.equilibrium_rounds,
+            iterations: out.total_iterations,
+            recoveries: out.solver_recoveries,
+            retries: out.retry_attempts,
+            timed_out: out.timed_out_solves,
+        },
+    })
+}
+
+/// Computes the `MaxEfficiency` normalizer for a sweep, if requested.
+///
+/// Exposed so resumable sweeps can recompute the oracle value with the same
+/// policy discipline as [`sweep_steps_with`].
+///
+/// # Errors
+///
+/// Propagates mechanism errors (degenerate markets).
+pub fn sweep_oracle(market: &Market, policy: ParallelPolicy) -> Result<f64> {
+    Ok(MaxEfficiency::default()
+        .with_parallel(policy)
+        .allocate(market)?
+        .efficiency)
 }
 
 #[cfg(test)]
@@ -161,7 +239,13 @@ mod tests {
         assert_eq!(pts.len(), 3);
         assert_eq!(pts[0].step, 0.0);
         assert_eq!(pts[0].mbr, 1.0);
-        assert!(pts.iter().all(|p| p.converged), "clean market converges");
+        assert!(pts.iter().all(|p| p.converged()), "clean market converges");
+        assert!(
+            pts.iter()
+                .all(|p| p.solve.timed_out == 0 && p.solve.retries == 0),
+            "no deadlines or retries configured"
+        );
+        assert!(pts.iter().all(|p| p.solve.rounds >= 1));
         for p in &pts {
             assert!(p.normalized_efficiency.unwrap() <= 1.0 + 1e-6);
             assert!(p.ef_floor <= 0.8285);
@@ -194,6 +278,7 @@ mod tests {
                 a.normalized_efficiency.unwrap().to_bits(),
                 b.normalized_efficiency.unwrap().to_bits()
             );
+            assert_eq!(a.solve, b.solve);
         }
     }
 

@@ -90,6 +90,8 @@ impl Mechanism for Uncoordinated {
             solver_recoveries: 0,
             rolled_back_rounds: 0,
             degraded: false,
+            timed_out_solves: 0,
+            retry_attempts: 0,
         })
     }
 }

@@ -30,6 +30,7 @@
 //! per-worker [`crate::bidding::BidScratch`].
 
 use crate::bidding::{best_response_into, BidScratch, BiddingOptions};
+use crate::deadline::DeadlineBudget;
 use crate::par::{self, ParallelPolicy};
 use crate::pricing;
 use crate::{AllocationMatrix, BidMatrix, Market, MarketError, Result};
@@ -62,6 +63,11 @@ pub struct EquilibriumOptions {
     /// How the per-player best-response fan-out executes. Purely an
     /// execution knob: results are bit-identical under every policy.
     pub parallel: ParallelPolicy,
+    /// Wall-clock / iteration budget for the solve. When exhausted the
+    /// search stops and returns its best-effort iterate with
+    /// [`SolveReport::timed_out`] set — it never spins past the budget.
+    /// The default is unbounded, which changes nothing.
+    pub deadline: DeadlineBudget,
 }
 
 impl Default for EquilibriumOptions {
@@ -72,6 +78,7 @@ impl Default for EquilibriumOptions {
             bidding: BiddingOptions::default(),
             record_history: false,
             parallel: ParallelPolicy::Auto,
+            deadline: DeadlineBudget::UNBOUNDED,
         }
     }
 }
@@ -89,6 +96,7 @@ impl EquilibriumOptions {
             },
             record_history: false,
             parallel: ParallelPolicy::Auto,
+            deadline: DeadlineBudget::UNBOUNDED,
         }
     }
 
@@ -152,12 +160,27 @@ pub struct SolveReport {
     pub residual: f64,
     /// Guardrail interventions, in the order they fired.
     pub recovery: Vec<RecoveryAction>,
+    /// The solve stopped because its [`crate::DeadlineBudget`] ran out,
+    /// not because it converged or hit the iteration fail-safe.
+    pub timed_out: bool,
 }
 
 impl SolveReport {
     /// `true` when the solve converged without any guardrail intervention.
     pub fn is_clean(&self) -> bool {
-        self.converged && self.recovery.is_empty()
+        self.converged && self.recovery.is_empty() && !self.timed_out
+    }
+
+    /// Converts a deadline overrun into a typed error; `Ok(())` otherwise.
+    pub fn ensure_within_deadline(&self) -> Result<()> {
+        if self.timed_out {
+            Err(MarketError::DeadlineExceeded {
+                iterations: self.iterations,
+                residual: self.residual,
+            })
+        } else {
+            Ok(())
+        }
     }
 
     /// Converts non-convergence into a typed error; `Ok(())` otherwise.
@@ -246,9 +269,15 @@ pub(crate) fn find_equilibrium(
     let mut best_residual = f64::INFINITY;
     let mut prev_fluctuation = f64::INFINITY;
     let mut residual = f64::INFINITY;
+    let mut timed_out = false;
+    let mut clock = options.deadline.start();
 
     while iterations < options.max_iterations {
         iterations += 1;
+        // Deadline accounting: charge the iteration up front; the verdict
+        // is applied after the sweep so at least one iteration always runs
+        // and a convergence reached on the final iteration still counts.
+        let deadline_hit = clock.charge(1);
         // Step 2: every player best-responds to the snapshot. The column
         // totals are memoized once, so each player's `y_ij = Σ b_kj − b_ij`
         // costs O(M) instead of O(N·M).
@@ -318,6 +347,13 @@ pub(crate) fn find_equilibrium(
         }
         if fluctuation <= options.price_tolerance {
             converged = true;
+            break;
+        }
+        // Deadline: stop spinning, keep the best-effort iterate. Checked
+        // again here (not only at the charge) so a wall clock that expired
+        // *during* the sweep is honoured before another sweep starts.
+        if deadline_hit || clock.expired() {
+            timed_out = true;
             break;
         }
         // Guardrail: divergence ⇒ restart from the last stable iterate,
@@ -396,6 +432,7 @@ pub(crate) fn find_equilibrium(
         iterations,
         residual,
         recovery,
+        timed_out,
     };
     Ok(EquilibriumOutcome {
         bids,
@@ -618,6 +655,7 @@ mod tests {
             iterations: 30,
             residual: 0.25,
             recovery: Vec::new(),
+            timed_out: false,
         };
         match report.ensure_converged() {
             Err(MarketError::NonConvergence {

@@ -48,6 +48,17 @@ pub enum MarketError {
         /// Description of the quantity that went non-finite.
         what: &'static str,
     },
+    /// A solve stopped because its [`crate::DeadlineBudget`] (wall-clock
+    /// or iteration budget) ran out. The solver itself returns a
+    /// best-effort iterate with [`crate::SolveReport::timed_out`] set;
+    /// this error exists for callers that treat an over-deadline solve as
+    /// unacceptable (see `SolveReport::ensure_within_deadline`).
+    DeadlineExceeded {
+        /// Iterations executed before the budget ran out.
+        iterations: usize,
+        /// Residual of the best-effort iterate that was returned.
+        residual: f64,
+    },
 }
 
 impl fmt::Display for MarketError {
@@ -76,6 +87,14 @@ impl fmt::Display for MarketError {
             MarketError::NumericalInstability { what } => {
                 write!(f, "numerical instability: {what} became non-finite")
             }
+            MarketError::DeadlineExceeded {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "solve deadline exceeded after {iterations} iterations \
+                 (residual {residual:.3e})"
+            ),
         }
     }
 }
@@ -108,6 +127,10 @@ mod tests {
                 residual: 0.2,
             },
             MarketError::NumericalInstability { what: "prices" },
+            MarketError::DeadlineExceeded {
+                iterations: 12,
+                residual: 0.1,
+            },
         ];
         for e in errors {
             let s = e.to_string();

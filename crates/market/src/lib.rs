@@ -63,6 +63,7 @@ pub mod agents;
 pub mod allocation;
 pub mod bidding;
 pub mod bids;
+pub mod deadline;
 pub mod equilibrium;
 mod error;
 pub mod exact;
@@ -78,6 +79,7 @@ pub mod utility;
 
 pub use allocation::AllocationMatrix;
 pub use bids::BidMatrix;
+pub use deadline::{solve_with_retry, DeadlineBudget, RetryPolicy, RetryReport};
 pub use equilibrium::{RecoveryAction, SolveReport};
 pub use error::MarketError;
 pub use faults::{FaultPlan, FaultedMarket};

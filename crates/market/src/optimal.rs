@@ -28,6 +28,7 @@
 //! candidate trade is evaluated against the allocation left by the
 //! previous one, a chain with no safe fan-out.
 
+use crate::deadline::DeadlineBudget;
 use crate::par::{self, ParallelPolicy};
 use crate::{AllocationMatrix, Market, MarketError, Result};
 
@@ -49,6 +50,11 @@ pub struct OptimalOptions {
     /// How the marginal-utility table build executes. Purely an execution
     /// knob: results are bit-identical under every policy.
     pub parallel: ParallelPolicy,
+    /// Wall-clock / iteration budget for the climb (one "iteration" = one
+    /// pass over the resources at some step level). When it runs out the
+    /// climb stops and returns its current allocation with
+    /// [`OptimalOutcome::timed_out`] set. The default is unbounded.
+    pub deadline: DeadlineBudget,
 }
 
 impl Default for OptimalOptions {
@@ -59,6 +65,7 @@ impl Default for OptimalOptions {
             max_passes_per_level: 64,
             enable_swaps: true,
             parallel: ParallelPolicy::Auto,
+            deadline: DeadlineBudget::UNBOUNDED,
         }
     }
 }
@@ -72,6 +79,9 @@ pub struct OptimalOutcome {
     pub efficiency: f64,
     /// Number of accepted exchange moves.
     pub moves: usize,
+    /// The climb stopped early because its [`DeadlineBudget`] ran out;
+    /// the allocation is the best found so far, not the refined optimum.
+    pub timed_out: bool,
 }
 
 /// Finds the allocation maximizing `Σ_i U_i(r_i)` subject to
@@ -139,11 +149,13 @@ pub fn max_efficiency_from(
     let capacities = market.resources().capacities();
     let mut alloc = start;
     let mut moves = 0usize;
+    let mut timed_out = false;
+    let mut clock = options.deadline.start();
 
     let mut marginals = MarginalTable::build(market, &alloc, options.parallel);
 
     let mut frac = options.initial_step_fraction;
-    while frac >= options.min_step_fraction {
+    'climb: while frac >= options.min_step_fraction {
         for _pass in 0..options.max_passes_per_level {
             let mut accepted_any = false;
             for j in 0..m {
@@ -153,12 +165,23 @@ pub fn max_efficiency_from(
                     accepted_any = true;
                 }
             }
+            // Deadline: one resource pass = one charged iteration. The
+            // allocation is feasible after every pass, so stopping here
+            // returns a valid (coarser) optimum instead of spinning.
+            if clock.charge(1) {
+                timed_out = true;
+                break 'climb;
+            }
             if !accepted_any {
                 break;
             }
         }
         if options.enable_swaps && m >= 2 && frac >= options.min_step_fraction * 8.0 {
             moves += swap_pass(market, &mut alloc, &mut marginals, capacities, frac);
+            if clock.charge(1) {
+                timed_out = true;
+                break 'climb;
+            }
         }
         frac *= 0.5;
     }
@@ -168,6 +191,7 @@ pub fn max_efficiency_from(
         allocation: alloc,
         efficiency,
         moves,
+        timed_out,
     })
 }
 

@@ -26,6 +26,7 @@
 //!   monitor → market → DVFS/partition enforcement → execute → thermals.
 
 pub mod analytic;
+pub mod checkpoint;
 pub mod config;
 pub mod critical_path;
 pub mod dram;
@@ -37,6 +38,9 @@ pub mod simulation;
 pub mod trace_machine;
 pub mod utility_model;
 
+pub use checkpoint::{CheckpointError, SimCheckpoint, SweepCheckpoint};
 pub use config::SystemConfig;
 pub use dram::DramConfig;
-pub use simulation::{run_simulation, SimOptions, SimResult};
+pub use simulation::{
+    run_simulation, run_simulation_recoverable, RecoveryOptions, SimOptions, SimResult,
+};

@@ -2,6 +2,7 @@
 //! execute, once per 1 ms quantum.
 
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use rebudget_core::mechanisms::{EqualShare, Mechanism};
@@ -9,6 +10,7 @@ use rebudget_market::{metrics, AllocationMatrix, FaultPlan, Market, MarketError,
 use rebudget_workloads::Bundle;
 
 use crate::analytic::resource_space;
+use crate::checkpoint::{CheckpointError, QuantumRecord, SimCheckpoint, SimCounters, SimMeta};
 use crate::config::SystemConfig;
 use crate::dram::DramConfig;
 use crate::machine::Machine;
@@ -30,6 +32,8 @@ pub enum SimError {
         /// Applications in the bundle.
         apps: usize,
     },
+    /// A checkpoint could not be written, read, or applied.
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for SimError {
@@ -39,6 +43,7 @@ impl fmt::Display for SimError {
             SimError::BundleMismatch { cores, apps } => {
                 write!(f, "bundle has {apps} apps for {cores} cores")
             }
+            SimError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }
@@ -48,6 +53,12 @@ impl std::error::Error for SimError {}
 impl From<MarketError> for SimError {
     fn from(e: MarketError) -> Self {
         SimError::Market(e)
+    }
+}
+
+impl From<CheckpointError> for SimError {
+    fn from(e: CheckpointError) -> Self {
+        SimError::Checkpoint(e)
     }
 }
 
@@ -109,6 +120,27 @@ impl Default for SimOptions {
     }
 }
 
+/// Durability knobs for [`run_simulation_recoverable`]: where to write
+/// quantum-boundary snapshots and where to resume from.
+///
+/// All fields default to off; the default value makes
+/// [`run_simulation_recoverable`] behave exactly like [`run_simulation`].
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryOptions {
+    /// Write a snapshot of the run to this path at quantum boundaries
+    /// (atomic rename with a rotating `.prev` generation).
+    pub checkpoint: Option<PathBuf>,
+    /// Quanta between snapshots (`0` is treated as `1`). The final
+    /// quantum is always snapshotted when `checkpoint` is set.
+    pub checkpoint_every: usize,
+    /// Resume from the snapshot at this path: its recorded quanta are
+    /// replayed (monitors and machine re-run deterministically with the
+    /// recorded allocations, skipping the market solves) and the run
+    /// continues from the snapshot boundary. The snapshot's configuration
+    /// must match this run's exactly.
+    pub resume: Option<PathBuf>,
+}
+
 /// The result of simulating one bundle under one mechanism.
 #[derive(Debug, Clone)]
 pub struct SimResult {
@@ -142,6 +174,18 @@ pub struct SimResult {
     /// Total solver recovery actions (damping, restarts, sanitizations)
     /// across the run.
     pub solver_recoveries: usize,
+    /// Retry-ladder attempts spent beyond the first solve (always 0
+    /// unless the mechanism carries a `RetryPolicy`).
+    pub retried_solves: usize,
+    /// Solves that hit their deadline budget (always 0 unless a
+    /// `DeadlineBudget` is configured).
+    pub timed_out_solves: usize,
+    /// Quanta replayed from a checkpoint instead of solved (0 for a
+    /// fresh run).
+    pub replayed_quanta: usize,
+    /// Whether resume had to fall back to the rotated `.prev` snapshot
+    /// generation because the live snapshot failed validation.
+    pub used_prev_generation: bool,
 }
 
 /// Builds this quantum's per-core utility surfaces, honouring stale-reading
@@ -235,6 +279,47 @@ pub fn run_simulation(
     mechanism: &dyn Mechanism,
     opts: &SimOptions,
 ) -> Result<SimResult, SimError> {
+    run_simulation_recoverable(
+        sys,
+        dram,
+        bundle,
+        mechanism,
+        opts,
+        &RecoveryOptions::default(),
+    )
+}
+
+fn execution_label(execution: ExecutionModel) -> &'static str {
+    match execution {
+        ExecutionModel::Analytic => "analytic",
+        ExecutionModel::TraceDriven => "trace",
+    }
+}
+
+/// Runs a bundle under a mechanism with durable checkpointing and/or
+/// resume-from-snapshot, per `recovery`.
+///
+/// The pipeline is deterministic, so a run that is killed and resumed
+/// from its latest snapshot produces **bit-identical** results to an
+/// uninterrupted run: monitors evolve independently of allocations and
+/// the machine depends only on the allocation applied each quantum, so
+/// replaying the recorded allocations reconstructs the exact pre-crash
+/// state without re-running any market solve.
+///
+/// # Errors
+///
+/// [`SimError::BundleMismatch`] for a mis-sized bundle, market errors
+/// from degenerate inputs, and [`SimError::Checkpoint`] when a snapshot
+/// cannot be written, fails validation (corrupt/stale/mismatched), or
+/// replays to different machine state than it recorded.
+pub fn run_simulation_recoverable(
+    sys: &SystemConfig,
+    dram: &DramConfig,
+    bundle: &Bundle,
+    mechanism: &dyn Mechanism,
+    opts: &SimOptions,
+    recovery: &RecoveryOptions,
+) -> Result<SimResult, SimError> {
     if bundle.cores() != sys.cores {
         return Err(SimError::BundleMismatch {
             cores: sys.cores,
@@ -277,19 +362,90 @@ pub fn run_simulation(
         .iter()
         .map(|app| alone_instruction_rate(app, sys, dram))
         .collect();
-    let mut total_rounds = 0usize;
-    let mut total_iterations = 0usize;
-    let mut always_converged = true;
+    let plan = opts.faults.clone().filter(FaultPlan::is_active);
+    let meta = SimMeta {
+        mechanism: mechanism.name(),
+        cores: n,
+        resources: 2,
+        apps: bundle.apps.iter().map(|a| a.name.to_string()).collect(),
+        seed: opts.seed,
+        budget: opts.budget,
+        accesses_per_quantum: opts.accesses_per_quantum,
+        use_monitors: opts.use_monitors,
+        execution: execution_label(opts.execution).to_string(),
+        max_consecutive_failures: opts.max_consecutive_failures,
+        faults: plan.clone(),
+    };
+
+    // Load and validate the snapshot we are resuming from, if any.
+    let (mut records, mut c, used_prev_generation) = match &recovery.resume {
+        Some(path) => {
+            let (cp, used_prev) = SimCheckpoint::load_with_fallback(path)?;
+            meta.ensure_matches(&cp.meta)?;
+            if cp.quanta.len() > opts.quanta {
+                return Err(SimError::Checkpoint(CheckpointError::ConfigMismatch {
+                    what: "quanta".into(),
+                    expected: format!("at most {}", opts.quanta),
+                    found: cp.quanta.len().to_string(),
+                }));
+            }
+            (cp.quanta, cp.counters, used_prev)
+        }
+        None => (
+            Vec::new(),
+            SimCounters {
+                always_converged: true,
+                ..SimCounters::default()
+            },
+            false,
+        ),
+    };
+    let replayed_quanta = records.len();
+
     let mut efficiency_history = Vec::with_capacity(opts.quanta);
     let mut last: Option<(Market, AllocationMatrix)> = None;
-    let plan = opts.faults.clone().filter(FaultPlan::is_active);
     let mut grid_history: Vec<Vec<Arc<dyn Utility>>> = Vec::new();
-    let mut consecutive_failures = 0usize;
-    let mut fallback_quanta = 0usize;
-    let mut degraded_quanta = 0usize;
-    let mut solver_recoveries = 0usize;
 
-    for q in 0..opts.quanta {
+    // Replay the recorded quanta: monitors and machine are re-run
+    // deterministically with the recorded allocations; market solves are
+    // skipped. The recorded per-quantum efficiency doubles as a
+    // divergence check.
+    for (q, record) in records.iter().enumerate() {
+        if opts.use_monitors {
+            for monitor in &mut monitors {
+                monitor.observe_quantum(opts.accesses_per_quantum);
+            }
+        }
+        let grids = quantum_grids(bundle, sys, dram, &monitors, opts, q as u64, &grid_history);
+        let market = market_from_grids(bundle, sys, opts.budget, &grids)?;
+        grid_history.push(grids);
+        let mut alloc = AllocationMatrix::zeros(n, 2)?;
+        for i in 0..n {
+            alloc.set(i, 0, record.allocation[i * 2]);
+            alloc.set(i, 1, record.allocation[i * 2 + 1]);
+        }
+        let regions: Vec<f64> = (0..n).map(|i| alloc.get(i, 0)).collect();
+        let watts: Vec<f64> = (0..n).map(|i| alloc.get(i, 1)).collect();
+        let stats = match &mut machine {
+            Exec::Analytic(m) => m.run_quantum(&regions, &watts),
+            Exec::Trace(m) => m.run_quantum(&regions, &watts, opts.accesses_per_quantum),
+        };
+        let quantum_eff: f64 = stats
+            .instructions
+            .iter()
+            .zip(&alone_rates)
+            .map(|(&instr, &alone)| (instr / crate::config::QUANTUM_SECONDS) / alone)
+            .sum();
+        if quantum_eff.to_bits() != record.efficiency.to_bits() {
+            return Err(SimError::Checkpoint(CheckpointError::ReplayDivergence {
+                quantum: q,
+            }));
+        }
+        efficiency_history.push(quantum_eff);
+        last = Some((market, alloc));
+    }
+
+    for q in replayed_quanta..opts.quanta {
         if opts.use_monitors {
             for monitor in &mut monitors {
                 monitor.observe_quantum(opts.accesses_per_quantum);
@@ -309,46 +465,50 @@ pub fn run_simulation(
                 ..plan.clone()
             };
             let faulted = market_plan.apply(&market, q as u64)?;
-            if consecutive_failures >= opts.max_consecutive_failures.max(1) {
+            if c.consecutive_failures >= opts.max_consecutive_failures.max(1) {
                 // Safe mode for this interval: equal shares, no market.
                 // Re-attempt the market next interval.
                 let out = EqualShare.allocate(&market)?;
-                fallback_quanta += 1;
-                consecutive_failures = 0;
-                always_converged = false;
+                c.fallback_quanta += 1;
+                c.consecutive_failures = 0;
+                c.always_converged = false;
                 out.allocation
             } else {
                 match mechanism.allocate(&faulted.market) {
                     Ok(out) => {
-                        total_rounds += out.equilibrium_rounds;
-                        total_iterations += out.total_iterations;
-                        solver_recoveries += out.solver_recoveries;
-                        always_converged &= out.converged;
+                        c.total_rounds += out.equilibrium_rounds;
+                        c.total_iterations += out.total_iterations;
+                        c.solver_recoveries += out.solver_recoveries;
+                        c.retried_solves += out.retry_attempts;
+                        c.timed_out_solves += out.timed_out_solves;
+                        c.always_converged &= out.converged;
                         if out.degraded {
-                            degraded_quanta += 1;
-                            consecutive_failures += 1;
+                            c.degraded_quanta += 1;
+                            c.consecutive_failures += 1;
                         } else {
-                            consecutive_failures = 0;
+                            c.consecutive_failures = 0;
                         }
                         faulted.expand_allocation(&out.allocation, n)?
                     }
                     Err(_) => {
                         // The solve blew up outright: count the failure and
                         // take the safe path for this interval.
-                        degraded_quanta += 1;
-                        consecutive_failures += 1;
-                        fallback_quanta += 1;
-                        always_converged = false;
+                        c.degraded_quanta += 1;
+                        c.consecutive_failures += 1;
+                        c.fallback_quanta += 1;
+                        c.always_converged = false;
                         EqualShare.allocate(&market)?.allocation
                     }
                 }
             }
         } else {
             let out = mechanism.allocate(&market)?;
-            total_rounds += out.equilibrium_rounds;
-            total_iterations += out.total_iterations;
-            solver_recoveries += out.solver_recoveries;
-            always_converged &= out.converged;
+            c.total_rounds += out.equilibrium_rounds;
+            c.total_iterations += out.total_iterations;
+            c.solver_recoveries += out.solver_recoveries;
+            c.retried_solves += out.retry_attempts;
+            c.timed_out_solves += out.timed_out_solves;
+            c.always_converged &= out.converged;
             out.allocation
         };
 
@@ -365,6 +525,21 @@ pub fn run_simulation(
             .map(|(&instr, &alone)| (instr / crate::config::QUANTUM_SECONDS) / alone)
             .sum();
         efficiency_history.push(quantum_eff);
+        if let Some(path) = &recovery.checkpoint {
+            let mut allocation = Vec::with_capacity(n * 2);
+            for i in 0..n {
+                allocation.push(alloc.get(i, 0));
+                allocation.push(alloc.get(i, 1));
+            }
+            records.push(QuantumRecord {
+                allocation,
+                efficiency: quantum_eff,
+            });
+            let every = recovery.checkpoint_every.max(1);
+            if (q + 1) % every == 0 || q + 1 == opts.quanta {
+                SimCheckpoint::save_parts(path, &meta, &c, &records)?;
+            }
+        }
         last = Some((market, alloc));
     }
 
@@ -396,13 +571,17 @@ pub fn run_simulation(
         envy_freeness,
         utilities,
         quanta: opts.quanta,
-        avg_equilibrium_rounds: total_rounds as f64 / opts.quanta as f64,
-        avg_iterations: total_iterations as f64 / opts.quanta as f64,
-        always_converged,
+        avg_equilibrium_rounds: c.total_rounds as f64 / opts.quanta as f64,
+        avg_iterations: c.total_iterations as f64 / opts.quanta as f64,
+        always_converged: c.always_converged,
         efficiency_history,
-        fallback_quanta,
-        degraded_quanta,
-        solver_recoveries,
+        fallback_quanta: c.fallback_quanta,
+        degraded_quanta: c.degraded_quanta,
+        solver_recoveries: c.solver_recoveries,
+        retried_solves: c.retried_solves,
+        timed_out_solves: c.timed_out_solves,
+        replayed_quanta,
+        used_prev_generation,
     })
 }
 
@@ -585,6 +764,113 @@ mod tests {
         )
         .unwrap();
         assert!(r.efficiency.is_finite() && r.efficiency > 0.0);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let sys = SystemConfig::paper_8core();
+        let dram = DramConfig::ddr3_1600();
+        let bundle = paper_bbpc_8core();
+        let opts = fast_opts();
+        let dir = std::env::temp_dir().join(format!("rebudget-sim-cp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume.ckpt");
+
+        let mech = EqualBudget::new(100.0);
+        let reference = run_simulation(&sys, &dram, &bundle, &mech, &opts).unwrap();
+
+        // Simulate a crash after 2 of 4 quanta: run a truncated copy with
+        // checkpointing on, then resume the full run from its snapshot.
+        let mut partial = opts.clone();
+        partial.quanta = 2;
+        run_simulation_recoverable(
+            &sys,
+            &dram,
+            &bundle,
+            &mech,
+            &partial,
+            &RecoveryOptions {
+                checkpoint: Some(path.clone()),
+                checkpoint_every: 1,
+                resume: None,
+            },
+        )
+        .unwrap();
+        let resumed = run_simulation_recoverable(
+            &sys,
+            &dram,
+            &bundle,
+            &mech,
+            &opts,
+            &RecoveryOptions {
+                resume: Some(path.clone()),
+                ..RecoveryOptions::default()
+            },
+        )
+        .unwrap();
+
+        assert_eq!(resumed.replayed_quanta, 2);
+        assert!(!resumed.used_prev_generation);
+        assert_eq!(resumed.efficiency.to_bits(), reference.efficiency.to_bits());
+        assert_eq!(
+            resumed.envy_freeness.to_bits(),
+            reference.envy_freeness.to_bits()
+        );
+        for (a, b) in resumed
+            .efficiency_history
+            .iter()
+            .zip(&reference.efficiency_history)
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in resumed.utilities.iter().zip(&reference.utilities) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_configuration() {
+        let sys = SystemConfig::paper_8core();
+        let dram = DramConfig::ddr3_1600();
+        let bundle = paper_bbpc_8core();
+        let opts = fast_opts();
+        let dir = std::env::temp_dir().join(format!("rebudget-sim-mis-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mismatch.ckpt");
+        run_simulation_recoverable(
+            &sys,
+            &dram,
+            &bundle,
+            &EqualBudget::new(100.0),
+            &opts,
+            &RecoveryOptions {
+                checkpoint: Some(path.clone()),
+                checkpoint_every: 2,
+                resume: None,
+            },
+        )
+        .unwrap();
+        // Different seed: the snapshot must be refused, not silently used.
+        let mut other = opts.clone();
+        other.seed += 1;
+        let err = run_simulation_recoverable(
+            &sys,
+            &dram,
+            &bundle,
+            &EqualBudget::new(100.0),
+            &other,
+            &RecoveryOptions {
+                resume: Some(path.clone()),
+                ..RecoveryOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Checkpoint(crate::checkpoint::CheckpointError::ConfigMismatch { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

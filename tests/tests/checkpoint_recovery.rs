@@ -1,0 +1,330 @@
+//! Crash-recovery properties of the durable checkpoint layer: a faulted
+//! 24-app simulation that is killed at **any** quantum boundary and
+//! resumed from its latest snapshot must produce bit-identical results to
+//! an uninterrupted run; corrupt snapshots must be rejected with typed
+//! errors (never a panic) and the rotated `.prev` generation must take
+//! over; and all of it must hold under both feature configurations (the
+//! suite runs with and without the `parallel` feature in CI).
+
+use std::path::PathBuf;
+
+use rebudget_core::mechanisms::ReBudget;
+use rebudget_market::FaultPlan;
+use rebudget_sim::checkpoint::CheckpointError;
+use rebudget_sim::simulation::{
+    run_simulation, run_simulation_recoverable, RecoveryOptions, SimError, SimOptions, SimResult,
+};
+use rebudget_sim::{DramConfig, SystemConfig};
+use rebudget_workloads::{generate_bundle, Bundle, Category};
+
+const QUANTA: usize = 5;
+
+fn system() -> (SystemConfig, DramConfig) {
+    (SystemConfig::scaled(24), DramConfig::ddr3_1600())
+}
+
+fn bundle_24() -> Bundle {
+    generate_bundle(Category::Cpbn, 24, 0, 7).expect("24-core bundle")
+}
+
+fn opts() -> SimOptions {
+    SimOptions {
+        quanta: QUANTA,
+        accesses_per_quantum: 4_000,
+        budget: 100.0,
+        use_monitors: true,
+        seed: 23,
+        faults: Some(
+            FaultPlan::parse("noise=0.15,drop=0.1,stale=0.2,liars=2,seed=23").expect("valid spec"),
+        ),
+        ..SimOptions::default()
+    }
+}
+
+fn mechanism() -> ReBudget {
+    ReBudget::with_step(100.0, 40.0)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rebudget-recovery-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn assert_bit_identical(a: &SimResult, b: &SimResult, what: &str) {
+    assert_eq!(
+        a.efficiency.to_bits(),
+        b.efficiency.to_bits(),
+        "{what}: efficiency"
+    );
+    assert_eq!(
+        a.envy_freeness.to_bits(),
+        b.envy_freeness.to_bits(),
+        "{what}: envy-freeness"
+    );
+    assert_eq!(
+        a.efficiency_history.len(),
+        b.efficiency_history.len(),
+        "{what}: history"
+    );
+    for (q, (x, y)) in a
+        .efficiency_history
+        .iter()
+        .zip(&b.efficiency_history)
+        .enumerate()
+    {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: history[{q}]");
+    }
+    for (i, (x, y)) in a.utilities.iter().zip(&b.utilities).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: utility[{i}]");
+    }
+    assert_eq!(a.fallback_quanta, b.fallback_quanta, "{what}: fallbacks");
+    assert_eq!(a.degraded_quanta, b.degraded_quanta, "{what}: degraded");
+    assert_eq!(
+        a.solver_recoveries, b.solver_recoveries,
+        "{what}: recoveries"
+    );
+    assert_eq!(a.always_converged, b.always_converged, "{what}: converged");
+}
+
+/// Kill-at-every-quantum: for each cut point `q`, emulate a crash right
+/// after quantum `q`'s snapshot by running a truncated copy of the run
+/// with checkpointing on, then resume the full run from that snapshot.
+/// Every resumed run must be bit-identical to the uninterrupted
+/// reference — this also proves the snapshot format round-trips the
+/// fault plan, counters, and allocations exactly.
+#[test]
+fn kill_at_every_quantum_resume_is_bit_identical() {
+    let (sys, dram) = system();
+    let bundle = bundle_24();
+    let opts = opts();
+    let mech = mechanism();
+    let dir = tmp_dir("every-quantum");
+
+    let reference = run_simulation(&sys, &dram, &bundle, &mech, &opts).expect("reference run");
+    assert!(
+        reference.fallback_quanta + reference.degraded_quanta > 0
+            || reference.solver_recoveries > 0
+            || !reference.always_converged
+            || reference.efficiency > 0.0,
+        "reference run completed"
+    );
+
+    for cut in 1..QUANTA {
+        let path = dir.join(format!("cut-{cut}.ckpt"));
+        let mut partial = opts.clone();
+        partial.quanta = cut;
+        run_simulation_recoverable(
+            &sys,
+            &dram,
+            &bundle,
+            &mech,
+            &partial,
+            &RecoveryOptions {
+                checkpoint: Some(path.clone()),
+                checkpoint_every: 1,
+                resume: None,
+            },
+        )
+        .expect("partial run");
+
+        let resumed = run_simulation_recoverable(
+            &sys,
+            &dram,
+            &bundle,
+            &mech,
+            &opts,
+            &RecoveryOptions {
+                resume: Some(path),
+                ..RecoveryOptions::default()
+            },
+        )
+        .expect("resumed run");
+        assert_eq!(resumed.replayed_quanta, cut, "cut at {cut}");
+        assert!(
+            !resumed.used_prev_generation,
+            "cut at {cut}: live snapshot valid"
+        );
+        assert_bit_identical(&resumed, &reference, &format!("cut at {cut}"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Checkpointing itself must not perturb the run: a fully checkpointed
+/// run reports the same bits as a plain one.
+#[test]
+fn checkpointing_does_not_perturb_results() {
+    let (sys, dram) = system();
+    let bundle = bundle_24();
+    let opts = opts();
+    let mech = mechanism();
+    let dir = tmp_dir("no-perturb");
+    let path = dir.join("full.ckpt");
+
+    let plain = run_simulation(&sys, &dram, &bundle, &mech, &opts).expect("plain run");
+    let checkpointed = run_simulation_recoverable(
+        &sys,
+        &dram,
+        &bundle,
+        &mech,
+        &opts,
+        &RecoveryOptions {
+            checkpoint: Some(path.clone()),
+            checkpoint_every: 2,
+            resume: None,
+        },
+    )
+    .expect("checkpointed run");
+    assert_bit_identical(&checkpointed, &plain, "checkpointed vs plain");
+
+    // Resuming from the *final* snapshot replays the whole run without a
+    // single market solve and still reports identical bits.
+    let replayed = run_simulation_recoverable(
+        &sys,
+        &dram,
+        &bundle,
+        &mech,
+        &opts,
+        &RecoveryOptions {
+            resume: Some(path),
+            ..RecoveryOptions::default()
+        },
+    )
+    .expect("full replay");
+    assert_eq!(replayed.replayed_quanta, QUANTA);
+    assert_bit_identical(&replayed, &plain, "full replay vs plain");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupted live snapshot must be rejected with a typed error and the
+/// rotated `.prev` generation must seamlessly take over; with both
+/// generations corrupt, resume fails with a typed error — never a panic.
+#[test]
+fn corrupt_snapshot_falls_back_to_prev_generation() {
+    let (sys, dram) = system();
+    let bundle = bundle_24();
+    let opts = opts();
+    let mech = mechanism();
+    let dir = tmp_dir("corrupt");
+    let path = dir.join("sim.ckpt");
+    let prev = {
+        let mut name = path.as_os_str().to_os_string();
+        name.push(".prev");
+        PathBuf::from(name)
+    };
+
+    let reference = run_simulation(&sys, &dram, &bundle, &mech, &opts).expect("reference run");
+
+    // Checkpoint every quantum for 3 quanta: live snapshot holds 3, the
+    // rotated generation holds 2.
+    let mut partial = opts.clone();
+    partial.quanta = 3;
+    run_simulation_recoverable(
+        &sys,
+        &dram,
+        &bundle,
+        &mech,
+        &partial,
+        &RecoveryOptions {
+            checkpoint: Some(path.clone()),
+            checkpoint_every: 1,
+            resume: None,
+        },
+    )
+    .expect("partial run");
+    assert!(prev.exists(), "rotation produced a .prev generation");
+
+    // Truncate the live snapshot mid-file (torn write).
+    let text = std::fs::read_to_string(&path).expect("read snapshot");
+    std::fs::write(&path, &text[..text.len() / 2]).expect("corrupt snapshot");
+
+    let resumed = run_simulation_recoverable(
+        &sys,
+        &dram,
+        &bundle,
+        &mech,
+        &opts,
+        &RecoveryOptions {
+            resume: Some(path.clone()),
+            ..RecoveryOptions::default()
+        },
+    )
+    .expect("resume from .prev");
+    assert!(resumed.used_prev_generation, "fallback generation used");
+    assert_eq!(resumed.replayed_quanta, 2, "prev generation holds 2 quanta");
+    assert_bit_identical(&resumed, &reference, "resume via .prev");
+
+    // Corrupt the fallback too: typed error, no panic, and the *live*
+    // file's failure is what gets reported.
+    std::fs::write(&prev, "not a checkpoint at all").expect("corrupt prev");
+    let errr = run_simulation_recoverable(
+        &sys,
+        &dram,
+        &bundle,
+        &mech,
+        &opts,
+        &RecoveryOptions {
+            resume: Some(path),
+            ..RecoveryOptions::default()
+        },
+    )
+    .expect_err("both generations corrupt");
+    match errr {
+        SimError::Checkpoint(CheckpointError::Format { .. } | CheckpointError::Checksum { .. }) => {
+        }
+        other => panic!("expected a format/checksum error, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A bit-flip (rather than truncation) anywhere in the body is caught by
+/// the FNV-1a trailer.
+#[test]
+fn bitflip_is_caught_by_the_checksum() {
+    let (sys, dram) = system();
+    let bundle = bundle_24();
+    let mut opts = opts();
+    opts.quanta = 2;
+    let dir = tmp_dir("bitflip");
+    let path = dir.join("sim.ckpt");
+    // checkpoint_every = quanta: exactly one snapshot is written, so no
+    // .prev generation exists and the checksum error must surface.
+    run_simulation_recoverable(
+        &sys,
+        &dram,
+        &bundle,
+        &mechanism(),
+        &opts,
+        &RecoveryOptions {
+            checkpoint: Some(path.clone()),
+            checkpoint_every: 2,
+            resume: None,
+        },
+    )
+    .expect("checkpointed run");
+
+    let mut text = std::fs::read_to_string(&path).expect("read snapshot");
+    let at = text.find("eff=").expect("an efficiency record") + "eff=".len();
+    let original = text.as_bytes()[at];
+    let flipped = if original == b'0' { '1' } else { '0' };
+    text.replace_range(at..at + 1, &flipped.to_string());
+    std::fs::write(&path, &text).expect("write corrupted");
+    // No .prev here (first generation): the typed checksum error surfaces.
+    let errr = run_simulation_recoverable(
+        &sys,
+        &dram,
+        &bundle,
+        &mechanism(),
+        &opts,
+        &RecoveryOptions {
+            resume: Some(path),
+            ..RecoveryOptions::default()
+        },
+    )
+    .expect_err("bit-flipped snapshot");
+    assert!(
+        matches!(errr, SimError::Checkpoint(CheckpointError::Checksum { .. })),
+        "got {errr:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
