@@ -65,8 +65,8 @@ fn main() {
         let equal = EqualBudget::new(PAPER_BUDGET).with_parallel(policy);
         let rebudget = ReBudget::with_step(PAPER_BUDGET, 40.0).with_parallel(policy);
 
-        let mut eq_iters = 0usize;
-        let mut rb_rounds = 0usize;
+        let mut eq_iters = 0u64;
+        let mut rb_rounds = 0u64;
         let (eq_min, eq_med) = time_ms(repeats, || {
             eq_iters = exit_on_error(equal.allocate(&market)).total_iterations;
         });

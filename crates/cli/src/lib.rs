@@ -31,6 +31,7 @@ use rebudget_sim::checkpoint::{fnv1a, SweepCheckpoint, SweepMeta};
 use rebudget_sim::{
     run_simulation_recoverable, DramConfig, RecoveryOptions, SimOptions, SimResult, SystemConfig,
 };
+use rebudget_telemetry as telemetry;
 use rebudget_workloads::{generate_bundle, paper_bbpc_8core, Bundle, Category};
 
 /// Exit code for usage and validation errors.
@@ -97,6 +98,12 @@ DEADLINES:  --solve-iters bounds each equilibrium solve's iterations,
             --deadline-ms bounds its wall-clock time (non-deterministic;
             prefer --solve-iters for reproducible runs), --retries enables
             a bounded retry ladder for failed or timed-out solves.
+OBSERVING:  every subcommand also accepts --trace=PATH (write a JSONL
+            event journal, crash-atomically, without touching stdout),
+            --metrics (append a counters/gauges/histograms section), and
+            --profile (append per-span wall-clock timings). Tracing never
+            changes allocations: a traced run is bit-identical to an
+            untraced one.
 ";
 
 /// Solver-robustness knobs shared by all market-backed mechanisms.
@@ -173,6 +180,14 @@ fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, CliError> {
     s.parse().map_err(|_| err(format!("invalid {what}: '{s}'")))
 }
 
+/// Removes a bare boolean `--name` switch from `args`; true if present.
+fn extract_switch(args: &mut Vec<String>, name: &str) -> bool {
+    let bare = format!("--{name}");
+    let before = args.len();
+    args.retain(|a| *a != bare);
+    args.len() != before
+}
+
 /// Removes `--name=value` (or `--name value`) from `args`, returning the
 /// value if the flag was present.
 fn extract_flag(args: &mut Vec<String>, name: &str) -> Result<Option<String>, CliError> {
@@ -244,6 +259,79 @@ pub fn run_with_notes(args: &[String]) -> Result<(String, Vec<String>), CliError
 }
 
 fn run_inner(args: &[String], notes: &mut Vec<String>) -> Result<String, CliError> {
+    let mut args = args.to_vec();
+    let trace: Option<PathBuf> = extract_flag(&mut args, "trace")?.map(PathBuf::from);
+    let metrics = extract_switch(&mut args, "metrics");
+    let profile = extract_switch(&mut args, "profile");
+    let observing = trace.is_some() || metrics || profile;
+    if observing {
+        telemetry::reset();
+        telemetry::set_enabled(true);
+        telemetry::record(
+            telemetry::Event::new("trace_meta")
+                .field_u64("version", telemetry::journal::TRACE_VERSION)
+                .field_str("command", &args.join(" ")),
+        );
+    }
+    let result = dispatch(&args, notes);
+    if observing {
+        telemetry::set_enabled(false);
+    }
+    let mut out = result?;
+    if let Some(path) = &trace {
+        telemetry::global()
+            .journal
+            .flush_to(path)
+            .map_err(|e| err(format!("cannot write trace to '{}': {e}", path.display())))?;
+    }
+    if metrics {
+        out.push_str(
+            "
+metrics:
+",
+        );
+        for line in telemetry::global()
+            .registry
+            .snapshot()
+            .render_table()
+            .lines()
+        {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    if profile {
+        let snap = telemetry::global().registry.snapshot();
+        out.push_str(
+            "
+profile (wall-clock per span):
+",
+        );
+        let mut any = false;
+        for (name, h) in &snap.histograms {
+            if let Some(path) = name.strip_prefix("span.") {
+                any = true;
+                out.push_str(&format!(
+                    "  {path:<40} n={:<6} mean={:.3}ms max≈{:.3}ms
+",
+                    h.count,
+                    h.mean() / 1e6,
+                    h.max_bucket_floor() as f64 / 1e6,
+                ));
+            }
+        }
+        if !any {
+            out.push_str(
+                "  (no spans recorded)
+",
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn dispatch(args: &[String], notes: &mut Vec<String>) -> Result<String, CliError> {
     let mut out = String::new();
     let mut args = args.to_vec();
     let seed: Option<u64> = extract_flag(&mut args, "seed")?
@@ -889,6 +977,78 @@ mod tests {
         let cols: Vec<&str> = row.split_whitespace().collect();
         assert_eq!(cols[cols.len() - 1], "0", "timeouts: {row}");
         assert_eq!(cols[cols.len() - 2], "0", "retries: {row}");
+    }
+
+    // Observability tests toggle the process-global telemetry switch;
+    // serialise them so resets don't interleave.
+    fn observed<R>(f: impl FnOnce() -> R) -> R {
+        static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _g = GATE
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f()
+    }
+
+    #[test]
+    fn trace_flag_writes_schema_valid_journal_without_touching_stdout() {
+        observed(|| {
+            let dir = std::env::temp_dir().join(format!("rebudget-cli-tr-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let trace = dir.join("sim.jsonl");
+            let base = [
+                "simulate",
+                "bbpc",
+                "8",
+                "2",
+                "--mechanism=rebudget",
+                "--seed=3",
+            ];
+            let reference = run_ok(&base);
+            let trace_flag = format!("--trace={}", trace.display());
+            let mut traced_args: Vec<&str> = base.to_vec();
+            traced_args.push(&trace_flag);
+            let traced = run_ok(&traced_args);
+            assert_eq!(traced, reference, "tracing must not touch stdout");
+            let text = std::fs::read_to_string(&trace).unwrap();
+            let n = rebudget_telemetry::schema::validate_stream(&text).expect("schema-valid");
+            assert!(n >= 3, "expected events, got {n}");
+            assert!(text.lines().next().unwrap().contains("trace_meta"));
+            assert!(text.contains("\"event\":\"quantum\""), "{text}");
+            assert!(text.contains("\"event\":\"rebudget_round\""), "{text}");
+            assert!(text.contains("\"event\":\"solve_end\""), "{text}");
+            let _ = std::fs::remove_dir_all(&dir);
+        });
+    }
+
+    #[test]
+    fn metrics_and_profile_flags_append_sections() {
+        observed(|| {
+            let out = run_ok(&[
+                "simulate",
+                "bbpc",
+                "8",
+                "2",
+                "--mechanism=equalbudget",
+                "--metrics",
+                "--profile",
+            ]);
+            assert!(out.contains("metrics:"), "{out}");
+            assert!(out.contains("counters:"), "{out}");
+            assert!(out.contains("solver.solves"), "{out}");
+            assert!(out.contains("profile (wall-clock per span):"), "{out}");
+            assert!(out.contains("quantum"), "{out}");
+            // The table rows stay untouched in front of the sections.
+            let plain = run_ok(&["simulate", "bbpc", "8", "2", "--mechanism=equalbudget"]);
+            assert!(out.starts_with(plain.trim_end_matches('\n')) || out.starts_with(&plain));
+        });
+    }
+
+    #[test]
+    fn switch_extraction_removes_only_the_switch() {
+        let mut a: Vec<String> = vec!["simulate".into(), "--metrics".into(), "bbpc".into()];
+        assert!(extract_switch(&mut a, "metrics"));
+        assert!(!extract_switch(&mut a, "metrics"));
+        assert_eq!(a, vec!["simulate".to_string(), "bbpc".to_string()]);
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! the allocation plus every metric the paper reports (efficiency,
 //! envy-freeness, MUR, MBR, iteration counts).
 
+use rebudget_telemetry as telemetry;
+
 use rebudget_market::equilibrium::{EquilibriumOptions, EquilibriumOutcome};
 use rebudget_market::metrics;
 use rebudget_market::optimal::{max_efficiency, OptimalOptions};
@@ -47,20 +49,20 @@ pub struct MechanismOutcome {
     pub mbr: Option<f64>,
     /// Number of market-equilibrium solves (ReBudget re-converges once per
     /// budget adjustment; single-shot markets report 1, oracles 0).
-    pub equilibrium_rounds: usize,
+    pub equilibrium_rounds: u64,
     /// Total bidding–pricing iterations summed over all solves.
-    pub total_iterations: usize,
+    pub total_iterations: u64,
     /// Whether every equilibrium solve met the price-convergence test
     /// before the fail-safe. `true` for non-market mechanisms.
     pub converged: bool,
     /// Total solver guardrail interventions
     /// ([`rebudget_market::RecoveryAction`]) summed over all equilibrium
     /// solves — 0 for a fully clean run.
-    pub solver_recoveries: usize,
+    pub solver_recoveries: u64,
     /// Number of ReBudget reassignment rounds that were rolled back
     /// because the realized efficiency fell below the Theorem-1 floor
     /// (always 0 for other mechanisms).
-    pub rolled_back_rounds: usize,
+    pub rolled_back_rounds: u64,
     /// `true` when this outcome is best-effort rather than a certified
     /// equilibrium: some solve hit the iteration fail-safe without
     /// converging. Metrics are still valid measurements of the returned
@@ -70,11 +72,11 @@ pub struct MechanismOutcome {
     /// Solves that stopped because their
     /// [`rebudget_market::DeadlineBudget`] ran out (0 with the default
     /// unbounded deadline).
-    pub timed_out_solves: usize,
+    pub timed_out_solves: u64,
     /// Extra solve attempts taken by the [`RetryPolicy`] ladder beyond
     /// the first, summed over all equilibrium rounds (0 without a retry
     /// policy).
-    pub retry_attempts: usize,
+    pub retry_attempts: u64,
 }
 
 /// An allocation mechanism: anything that maps a market to an allocation.
@@ -134,7 +136,7 @@ fn solve_once(
     budgets: &[f64],
     options: &EquilibriumOptions,
     retry: Option<&RetryPolicy>,
-) -> Result<(EquilibriumOutcome, usize, usize)> {
+) -> Result<(EquilibriumOutcome, u64, u64)> {
     match retry {
         Some(policy) => {
             let (eq, report) = solve_with_retry(market, budgets, options, policy)?;
@@ -142,7 +144,7 @@ fn solve_once(
         }
         None => {
             let eq = market.equilibrium_with_budgets(budgets, options)?;
-            let timed_out = usize::from(eq.report.timed_out);
+            let timed_out = u64::from(eq.report.timed_out);
             Ok((eq, 0, timed_out))
         }
     }
@@ -429,21 +431,30 @@ impl Mechanism for ReBudget {
         let mut step = self.initial_step;
         let min_step = self.min_step_fraction * self.base_budget;
 
-        let mut rounds = 0usize;
-        let mut total_iterations = 0usize;
+        let _rebudget_span = telemetry::span!("rebudget");
+        let mut rounds = 0u64;
+        let mut total_iterations = 0u64;
         let mut all_converged = true;
-        let mut recoveries = 0usize;
-        let mut rollbacks = 0usize;
-        let mut retries = 0usize;
-        let mut timeouts = 0usize;
+        let mut recoveries = 0u64;
+        let mut rollbacks = 0u64;
+        let mut retries = 0u64;
+        let mut timeouts = 0u64;
 
         let (mut eq, r, t) = solve_once(market, &budgets, &self.options, self.retry.as_ref())?;
         rounds += 1;
         total_iterations += eq.iterations;
         all_converged &= eq.converged();
-        recoveries += eq.report.recovery.len();
+        recoveries += eq.report.recovery.len() as u64;
         retries += r;
         timeouts += t;
+        if telemetry::enabled() {
+            telemetry::record(
+                telemetry::Event::new("rebudget_round")
+                    .field_u64("round", rounds)
+                    .field_f64("efficiency", eq.efficiency())
+                    .field_f64s("budgets", &budgets),
+            );
+        }
 
         loop {
             if step < min_step {
@@ -477,9 +488,17 @@ impl Mechanism for ReBudget {
             rounds += 1;
             total_iterations += next_eq.iterations;
             all_converged &= next_eq.converged();
-            recoveries += next_eq.report.recovery.len();
+            recoveries += next_eq.report.recovery.len() as u64;
             retries += r;
             timeouts += t;
+            if telemetry::enabled() {
+                telemetry::record(
+                    telemetry::Event::new("rebudget_round")
+                        .field_u64("round", rounds)
+                        .field_f64("efficiency", next_eq.efficiency())
+                        .field_f64s("budgets", &budgets),
+                );
+            }
 
             // Graceful degradation: a reassignment step must not push the
             // realized efficiency below the Theorem-1 floor for the *new*
@@ -491,15 +510,46 @@ impl Mechanism for ReBudget {
             let eff_prev = eq.efficiency();
             let eff_new = next_eq.efficiency();
             let theorem_floor = crate::theory::poa_lower_bound(metrics::mur(&next_eq.lambdas));
-            if eff_new < theorem_floor * eff_prev - 1e-12 {
+            let below_floor = eff_new < theorem_floor * eff_prev - 1e-12;
+            if telemetry::enabled() {
+                telemetry::record(
+                    telemetry::Event::new("floor_check")
+                        .field_u64("round", rounds)
+                        .field_f64("floor", theorem_floor)
+                        .field_f64("efficiency", eff_new)
+                        .field_f64("previous", eff_prev)
+                        .field_bool("ok", !below_floor),
+                );
+            }
+            if below_floor {
                 budgets = checkpoint;
                 rollbacks += 1;
+                if telemetry::enabled() {
+                    telemetry::record(
+                        telemetry::Event::new("rollback")
+                            .field_u64("round", rounds)
+                            .field_str("cause", "theorem1_floor")
+                            .field_f64("efficiency", eff_new)
+                            .field_f64("floor", theorem_floor * eff_prev),
+                    );
+                    telemetry::global()
+                        .registry
+                        .counter("rebudget.rollbacks")
+                        .incr();
+                }
                 // Keep the checkpoint equilibrium as the current state.
             } else {
                 eq = next_eq;
             }
         }
 
+        if telemetry::enabled() {
+            let registry = &telemetry::global().registry;
+            registry.counter("rebudget.rounds").add(rounds);
+            registry
+                .histogram("rebudget.rounds_per_allocate")
+                .record(rounds);
+        }
         let mut out = finish(
             self.name(),
             market,
@@ -522,8 +572,8 @@ fn finish(
     market: &Market,
     budgets: Vec<f64>,
     eq: rebudget_market::equilibrium::EquilibriumOutcome,
-    rounds: usize,
-    total_iterations: usize,
+    rounds: u64,
+    total_iterations: u64,
     converged: bool,
 ) -> MechanismOutcome {
     let efficiency = eq.efficiency();
@@ -561,7 +611,7 @@ fn run_market(
     let (eq, retries, timeouts) = solve_once(market, &budgets, options, retry)?;
     let iterations = eq.iterations;
     let converged = eq.converged();
-    let recoveries = eq.report.recovery.len();
+    let recoveries = eq.report.recovery.len() as u64;
     let mut out = finish(name, market, budgets, eq, 1, iterations, converged);
     out.solver_recoveries = recoveries;
     out.retry_attempts = retries;
@@ -593,7 +643,7 @@ impl Mechanism for MaxEfficiency {
 
     fn allocate(&self, market: &Market) -> Result<MechanismOutcome> {
         let out = max_efficiency(market, &self.options)?;
-        let timed_out = usize::from(out.timed_out);
+        let timed_out = u64::from(out.timed_out);
         let mut outcome = outcome_from_allocation(self.name(), market, out.allocation);
         outcome.timed_out_solves = timed_out;
         outcome.degraded |= timed_out > 0;

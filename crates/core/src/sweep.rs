@@ -36,15 +36,15 @@ pub struct SolveSummary {
     pub converged: bool,
     /// Equilibrium rounds run (1 for EqualBudget, reassignment rounds + 1
     /// for ReBudget).
-    pub rounds: usize,
+    pub rounds: u64,
     /// Total bidding–pricing iterations across all rounds.
-    pub iterations: usize,
+    pub iterations: u64,
     /// Solver guardrail interventions (clamps/restarts) across all rounds.
-    pub recoveries: usize,
+    pub recoveries: u64,
     /// Extra retry-ladder attempts spent beyond the first solve per round.
-    pub retries: usize,
+    pub retries: u64,
     /// Solves that hit their [`rebudget_market::DeadlineBudget`].
-    pub timed_out: usize,
+    pub timed_out: u64,
 }
 
 impl SolveSummary {

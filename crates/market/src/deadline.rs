@@ -31,6 +31,8 @@
 
 use std::time::{Duration, Instant};
 
+use rebudget_telemetry as telemetry;
+
 use crate::equilibrium::{EquilibriumOptions, EquilibriumOutcome};
 use crate::{Market, Result};
 
@@ -206,16 +208,16 @@ impl RetryPolicy {
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RetryReport {
     /// Attempts executed (1 = first solve succeeded).
-    pub attempts: usize,
+    pub attempts: u64,
     /// Attempts that hit their [`DeadlineBudget`].
-    pub timed_out_attempts: usize,
+    pub timed_out_attempts: u64,
     /// Whether the returned outcome converged.
     pub converged: bool,
 }
 
 impl RetryReport {
     /// Retries beyond the first attempt.
-    pub fn retries(&self) -> usize {
+    pub fn retries(&self) -> u64 {
         self.attempts.saturating_sub(1)
     }
 }
@@ -245,11 +247,26 @@ pub fn solve_with_retry(
     for k in 0..attempts {
         let opts = policy.options_for_attempt(options, k);
         let out = market.equilibrium_with_budgets(budgets, &opts)?;
-        report.attempts = k + 1;
+        report.attempts = (k + 1) as u64;
         if out.report.timed_out {
             report.timed_out_attempts += 1;
         }
         let done = out.converged() && !out.report.timed_out;
+        if telemetry::enabled() {
+            telemetry::record(
+                telemetry::Event::new("retry_attempt")
+                    .field_u64("attempt", report.attempts)
+                    .field_bool("converged", out.converged())
+                    .field_bool("timed_out", out.report.timed_out)
+                    .field_f64("residual", out.report.residual),
+            );
+            if k > 0 {
+                telemetry::global()
+                    .registry
+                    .counter("solver.retries")
+                    .incr();
+            }
+        }
         let better = match &best {
             None => true,
             Some(b) => out.report.residual < b.report.residual,

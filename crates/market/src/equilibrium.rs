@@ -29,6 +29,8 @@
 //! per player, and each best response runs allocation-free against a
 //! per-worker [`crate::bidding::BidScratch`].
 
+use rebudget_telemetry as telemetry;
+
 use crate::bidding::{best_response_into, BidScratch, BiddingOptions};
 use crate::deadline::DeadlineBudget;
 use crate::par::{self, ParallelPolicy};
@@ -122,7 +124,7 @@ pub enum RecoveryAction {
     /// step back-off idiom.
     OscillationDamped {
         /// Iteration at which damping was tightened.
-        iteration: usize,
+        iteration: u64,
         /// The damping factor `d` in effect after tightening.
         damping: f64,
     },
@@ -130,17 +132,37 @@ pub enum RecoveryAction {
     /// from the lowest-residual stable bid matrix seen so far.
     RestartedFromStable {
         /// Iteration at which the restart happened.
-        iteration: usize,
+        iteration: u64,
     },
     /// A non-finite value (NaN/∞) appeared and was repaired in place —
     /// e.g. a best-response row from a faulty utility was replaced by the
     /// player's previous bids, or a non-finite utility was zeroed.
     NonFiniteSanitized {
         /// Iteration at which the repair happened (0 = after the loop).
-        iteration: usize,
+        iteration: u64,
         /// Which quantity went non-finite.
         what: &'static str,
     },
+}
+
+impl RecoveryAction {
+    /// Stable machine-readable name (the journal's `recovery.action`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryAction::OscillationDamped { .. } => "oscillation_damped",
+            RecoveryAction::RestartedFromStable { .. } => "restarted_from_stable",
+            RecoveryAction::NonFiniteSanitized { .. } => "non_finite_sanitized",
+        }
+    }
+
+    /// Iteration the action fired at.
+    pub fn iteration(&self) -> u64 {
+        match self {
+            RecoveryAction::OscillationDamped { iteration, .. }
+            | RecoveryAction::RestartedFromStable { iteration }
+            | RecoveryAction::NonFiniteSanitized { iteration, .. } => *iteration,
+        }
+    }
 }
 
 /// Structured description of how an equilibrium solve went.
@@ -152,8 +174,11 @@ pub enum RecoveryAction {
 pub struct SolveReport {
     /// Whether prices met the fluctuation threshold before the fail-safe.
     pub converged: bool,
-    /// Bidding–pricing iterations executed.
-    pub iterations: usize,
+    /// Bidding–pricing iterations executed. All iteration/round counts in
+    /// this workspace are `u64` (see DESIGN.md "Observability"): counts
+    /// are data that cross serialization and telemetry boundaries, so
+    /// they must not vary with the host's pointer width.
+    pub iterations: u64,
     /// Final relative price fluctuation (≤ tolerance iff `converged`;
     /// for non-converged solves this is the residual of the iterate that
     /// was actually returned, i.e. the best stable one).
@@ -210,7 +235,7 @@ pub struct EquilibriumOutcome {
     /// Per-player marginal utility of money `λ_i` at the final bids.
     pub lambdas: Vec<f64>,
     /// Bidding–pricing iterations executed.
-    pub iterations: usize,
+    pub iterations: u64,
     /// How the solve went: convergence, residual, and every guardrail
     /// intervention ([`RecoveryAction`]) taken along the way.
     pub report: SolveReport,
@@ -237,6 +262,22 @@ impl EquilibriumOutcome {
     }
 }
 
+/// Records `action` in the solve's recovery trace and, when telemetry is
+/// enabled, mirrors it into the journal. Called only from the solver's
+/// serial post-sweep sections, so the event order is deterministic.
+fn push_recovery(recovery: &mut Vec<RecoveryAction>, action: RecoveryAction) {
+    if telemetry::enabled() {
+        let mut event = telemetry::Event::new("recovery")
+            .field_u64("iteration", action.iteration())
+            .field_str("action", action.label());
+        if let RecoveryAction::NonFiniteSanitized { what, .. } = &action {
+            event = event.field_str("what", what);
+        }
+        telemetry::record(event);
+    }
+    recovery.push(action);
+}
+
 pub(crate) fn find_equilibrium(
     market: &Market,
     budgets: &[f64],
@@ -246,13 +287,22 @@ pub(crate) fn find_equilibrium(
     let m = market.resources().len();
     let capacities = market.resources().capacities();
 
+    let _solve_span = telemetry::span!("solve");
+    if telemetry::enabled() {
+        telemetry::record(
+            telemetry::Event::new("solve_start")
+                .field_u64("players", n as u64)
+                .field_u64("resources", m as u64),
+        );
+    }
+
     let mut bids = BidMatrix::equal_split(budgets, m)?;
     // Double buffer for the Jacobi sweep: responses for iteration k+1 are
     // written into `next` while `bids` holds the iteration-k snapshot.
     let mut next = bids.clone();
     let mut col_sums = vec![0.0; m];
     let mut prices = pricing::prices(&bids, market.resources());
-    let mut iterations = 0;
+    let mut iterations: u64 = 0;
     let mut converged = false;
     let mut price_history = Vec::new();
     let threads = options.parallel.resolved_threads(n);
@@ -272,7 +322,7 @@ pub(crate) fn find_equilibrium(
     let mut timed_out = false;
     let mut clock = options.deadline.start();
 
-    while iterations < options.max_iterations {
+    while iterations < options.max_iterations as u64 {
         iterations += 1;
         // Deadline accounting: charge the iteration up front; the verdict
         // is applied after the sweep so at least one iteration always runs
@@ -317,10 +367,13 @@ pub(crate) fn find_equilibrium(
                     let prev = bids.get(i, j);
                     next.set(i, j, prev);
                 }
-                recovery.push(RecoveryAction::NonFiniteSanitized {
-                    iteration: iterations,
-                    what: "bid row",
-                });
+                push_recovery(
+                    &mut recovery,
+                    RecoveryAction::NonFiniteSanitized {
+                        iteration: iterations,
+                        what: "bid row",
+                    },
+                );
             }
         }
         // Guardrail: damped sweep. Both rows are budget-feasible, so the
@@ -342,6 +395,16 @@ pub(crate) fn find_equilibrium(
             .fold(0.0_f64, f64::max);
         prices = new_prices;
         residual = fluctuation;
+        if telemetry::enabled() {
+            // Serial section (post-sweep): the per-iteration residual and
+            // price trace is a deterministic function of the inputs.
+            telemetry::record(
+                telemetry::Event::new("solver_iteration")
+                    .field_u64("iteration", iterations)
+                    .field_f64("residual", fluctuation)
+                    .field_f64s("prices", &prices),
+            );
+        }
         if options.record_history {
             price_history.push(prices.clone());
         }
@@ -365,9 +428,12 @@ pub(crate) fn find_equilibrium(
             bids.clone_from(&best_bids);
             prices = pricing::prices(&bids, market.resources());
             damping = (damping * 0.5).max(MIN_DAMPING);
-            recovery.push(RecoveryAction::RestartedFromStable {
-                iteration: iterations,
-            });
+            push_recovery(
+                &mut recovery,
+                RecoveryAction::RestartedFromStable {
+                    iteration: iterations,
+                },
+            );
             prev_fluctuation = f64::INFINITY;
             continue;
         }
@@ -375,10 +441,13 @@ pub(crate) fn find_equilibrium(
         // damping factor, echoing ReBudget's own step back-off.
         if fluctuation >= prev_fluctuation && damping > MIN_DAMPING {
             damping = (damping * 0.5).max(MIN_DAMPING);
-            recovery.push(RecoveryAction::OscillationDamped {
-                iteration: iterations,
-                damping,
-            });
+            push_recovery(
+                &mut recovery,
+                RecoveryAction::OscillationDamped {
+                    iteration: iterations,
+                    damping,
+                },
+            );
         }
         if fluctuation.is_finite() && fluctuation < best_residual {
             best_residual = fluctuation;
@@ -408,10 +477,13 @@ pub(crate) fn find_equilibrium(
     for u in &mut utilities {
         if !u.is_finite() {
             *u = 0.0;
-            recovery.push(RecoveryAction::NonFiniteSanitized {
-                iteration: iterations,
-                what: "utility",
-            });
+            push_recovery(
+                &mut recovery,
+                RecoveryAction::NonFiniteSanitized {
+                    iteration: iterations,
+                    what: "utility",
+                },
+            );
         }
     }
     let mut lambdas: Vec<f64> = (0..n)
@@ -420,10 +492,13 @@ pub(crate) fn find_equilibrium(
     for l in &mut lambdas {
         if !l.is_finite() {
             *l = 0.0;
-            recovery.push(RecoveryAction::NonFiniteSanitized {
-                iteration: iterations,
-                what: "lambda",
-            });
+            push_recovery(
+                &mut recovery,
+                RecoveryAction::NonFiniteSanitized {
+                    iteration: iterations,
+                    what: "lambda",
+                },
+            );
         }
     }
 
@@ -434,6 +509,28 @@ pub(crate) fn find_equilibrium(
         recovery,
         timed_out,
     };
+    if telemetry::enabled() {
+        telemetry::record(
+            telemetry::Event::new("solve_end")
+                .field_u64("iterations", iterations)
+                .field_bool("converged", converged)
+                .field_f64("residual", residual)
+                .field_bool("timed_out", timed_out),
+        );
+        let registry = &telemetry::global().registry;
+        registry.counter("solver.solves").incr();
+        registry.counter("solver.iterations").add(iterations);
+        registry
+            .counter("solver.recoveries")
+            .add(report.recovery.len() as u64);
+        if timed_out {
+            registry.counter("solver.timeouts").incr();
+        }
+        registry
+            .histogram("solver.iterations_per_solve")
+            .record(iterations);
+        registry.gauge("solver.last_residual").set(residual);
+    }
     Ok(EquilibriumOutcome {
         bids,
         prices,
@@ -561,7 +658,7 @@ mod tests {
         assert!(market.equilibrium(&opts).unwrap().price_history.is_empty());
         opts.record_history = true;
         let out = market.equilibrium(&opts).unwrap();
-        assert_eq!(out.price_history.len(), out.iterations);
+        assert_eq!(out.price_history.len() as u64, out.iterations);
         assert_eq!(out.price_history.last().unwrap(), &out.prices);
     }
 

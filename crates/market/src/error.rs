@@ -38,7 +38,7 @@ pub enum MarketError {
     /// [`crate::equilibrium::SolveReport`] describing it.
     NonConvergence {
         /// Iterations executed before giving up.
-        iterations: usize,
+        iterations: u64,
         /// Final relative price fluctuation (the convergence residual).
         residual: f64,
     },
@@ -55,7 +55,7 @@ pub enum MarketError {
     /// unacceptable (see `SolveReport::ensure_within_deadline`).
     DeadlineExceeded {
         /// Iterations executed before the budget ran out.
-        iterations: usize,
+        iterations: u64,
         /// Residual of the best-effort iterate that was returned.
         residual: f64,
     },

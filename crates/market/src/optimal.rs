@@ -28,6 +28,8 @@
 //! candidate trade is evaluated against the allocation left by the
 //! previous one, a chain with no safe fan-out.
 
+use rebudget_telemetry as telemetry;
+
 use crate::deadline::DeadlineBudget;
 use crate::par::{self, ParallelPolicy};
 use crate::{AllocationMatrix, Market, MarketError, Result};
@@ -151,6 +153,8 @@ pub fn max_efficiency_from(
     let mut moves = 0usize;
     let mut timed_out = false;
     let mut clock = options.deadline.start();
+    let _oracle_span = telemetry::span!("oracle");
+    let mut passes: u64 = 0;
 
     let mut marginals = MarginalTable::build(market, &alloc, options.parallel);
 
@@ -164,6 +168,15 @@ pub fn max_efficiency_from(
                     moves += 1;
                     accepted_any = true;
                 }
+            }
+            passes += 1;
+            if telemetry::enabled() {
+                telemetry::record(
+                    telemetry::Event::new("oracle_pass")
+                        .field_u64("pass", passes)
+                        .field_f64("efficiency", crate::metrics::efficiency(market, &alloc))
+                        .field_f64("step_fraction", frac),
+                );
             }
             // Deadline: one resource pass = one charged iteration. The
             // allocation is feasible after every pass, so stopping here
@@ -187,6 +200,12 @@ pub fn max_efficiency_from(
     }
 
     let efficiency = crate::metrics::efficiency(market, &alloc);
+    if telemetry::enabled() {
+        let registry = &telemetry::global().registry;
+        registry.counter("oracle.climbs").incr();
+        registry.counter("oracle.passes").add(passes);
+        registry.counter("oracle.moves").add(moves as u64);
+    }
     Ok(OptimalOutcome {
         allocation: alloc,
         efficiency,

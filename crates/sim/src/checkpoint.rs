@@ -633,9 +633,9 @@ impl SimMeta {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SimCounters {
     /// Equilibrium rounds across all recorded quanta.
-    pub total_rounds: usize,
+    pub total_rounds: u64,
     /// Bidding–pricing iterations across all recorded quanta.
-    pub total_iterations: usize,
+    pub total_iterations: u64,
     /// Whether every recorded quantum's solve converged.
     pub always_converged: bool,
     /// Consecutive failed quanta at the snapshot boundary (feeds the
@@ -646,11 +646,11 @@ pub struct SimCounters {
     /// Quanta whose solve failed or hit the fail-safe.
     pub degraded_quanta: usize,
     /// Solver guardrail recoveries across all recorded quanta.
-    pub solver_recoveries: usize,
+    pub solver_recoveries: u64,
     /// Retry-ladder attempts beyond the first solve.
-    pub retried_solves: usize,
+    pub retried_solves: u64,
     /// Solves that hit their deadline budget.
-    pub timed_out_solves: usize,
+    pub timed_out_solves: u64,
 }
 
 impl SimCounters {

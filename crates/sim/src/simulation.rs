@@ -10,6 +10,8 @@ use rebudget_market::{metrics, AllocationMatrix, FaultPlan, Market, MarketError,
 use rebudget_workloads::Bundle;
 
 use crate::analytic::resource_space;
+use rebudget_telemetry as telemetry;
+
 use crate::checkpoint::{CheckpointError, QuantumRecord, SimCheckpoint, SimCounters, SimMeta};
 use crate::config::SystemConfig;
 use crate::dram::DramConfig;
@@ -173,13 +175,13 @@ pub struct SimResult {
     pub degraded_quanta: usize,
     /// Total solver recovery actions (damping, restarts, sanitizations)
     /// across the run.
-    pub solver_recoveries: usize,
+    pub solver_recoveries: u64,
     /// Retry-ladder attempts spent beyond the first solve (always 0
     /// unless the mechanism carries a `RetryPolicy`).
-    pub retried_solves: usize,
+    pub retried_solves: u64,
     /// Solves that hit their deadline budget (always 0 unless a
     /// `DeadlineBudget` is configured).
-    pub timed_out_solves: usize,
+    pub timed_out_solves: u64,
     /// Quanta replayed from a checkpoint instead of solved (0 for a
     /// fresh run).
     pub replayed_quanta: usize,
@@ -445,7 +447,13 @@ pub fn run_simulation_recoverable(
         last = Some((market, alloc));
     }
 
+    // Per-quantum health state for the `degradation` trace event: the
+    // previous quantum's verdict, so transitions are emitted exactly once.
+    let mut health = "normal";
     for q in replayed_quanta..opts.quanta {
+        let _quantum_span = telemetry::span!("quantum", q);
+        let mut quantum_degraded = false;
+        let mut quantum_fallback = false;
         if opts.use_monitors {
             for monitor in &mut monitors {
                 monitor.observe_quantum(opts.accesses_per_quantum);
@@ -472,6 +480,7 @@ pub fn run_simulation_recoverable(
                 c.fallback_quanta += 1;
                 c.consecutive_failures = 0;
                 c.always_converged = false;
+                quantum_fallback = true;
                 out.allocation
             } else {
                 match mechanism.allocate(&faulted.market) {
@@ -485,6 +494,7 @@ pub fn run_simulation_recoverable(
                         if out.degraded {
                             c.degraded_quanta += 1;
                             c.consecutive_failures += 1;
+                            quantum_degraded = true;
                         } else {
                             c.consecutive_failures = 0;
                         }
@@ -497,6 +507,8 @@ pub fn run_simulation_recoverable(
                         c.consecutive_failures += 1;
                         c.fallback_quanta += 1;
                         c.always_converged = false;
+                        quantum_degraded = true;
+                        quantum_fallback = true;
                         EqualShare.allocate(&market)?.allocation
                     }
                 }
@@ -509,6 +521,7 @@ pub fn run_simulation_recoverable(
             c.retried_solves += out.retry_attempts;
             c.timed_out_solves += out.timed_out_solves;
             c.always_converged &= out.converged;
+            quantum_degraded = out.degraded;
             out.allocation
         };
 
@@ -525,6 +538,48 @@ pub fn run_simulation_recoverable(
             .map(|(&instr, &alone)| (instr / crate::config::QUANTUM_SECONDS) / alone)
             .sum();
         efficiency_history.push(quantum_eff);
+        if telemetry::enabled() {
+            telemetry::record(
+                telemetry::Event::new("quantum")
+                    .field_u64("quantum", q as u64)
+                    .field_str("mechanism", &mechanism.name())
+                    .field_f64("efficiency", quantum_eff)
+                    .field_bool("degraded", quantum_degraded)
+                    .field_bool("fallback", quantum_fallback),
+            );
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|i| vec![alloc.get(i, 0), alloc.get(i, 1)])
+                .collect();
+            telemetry::record(
+                telemetry::Event::new("quantum_alloc")
+                    .field_u64("quantum", q as u64)
+                    .field_rows("allocation", rows),
+            );
+            let now = if quantum_fallback {
+                "fallback"
+            } else if quantum_degraded {
+                "degraded"
+            } else {
+                "normal"
+            };
+            if now != health {
+                telemetry::record(
+                    telemetry::Event::new("degradation")
+                        .field_u64("quantum", q as u64)
+                        .field_str("from", health)
+                        .field_str("to", now),
+                );
+                health = now;
+            }
+            let registry = &telemetry::global().registry;
+            registry.counter("sim.quanta").incr();
+            if quantum_degraded {
+                registry.counter("sim.degraded_quanta").incr();
+            }
+            if quantum_fallback {
+                registry.counter("sim.fallback_quanta").incr();
+            }
+        }
         if let Some(path) = &recovery.checkpoint {
             let mut allocation = Vec::with_capacity(n * 2);
             for i in 0..n {

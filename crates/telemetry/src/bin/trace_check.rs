@@ -1,0 +1,52 @@
+//! Validates JSONL trace files against the journal schema.
+//!
+//! Usage: `trace_check FILE...` (or a stream on stdin with no arguments).
+//! Exits 0 and prints one `ok:` line per input when every line validates
+//! and sequence numbers are strictly increasing from 0; otherwise prints
+//! the first violation (with its line number) and exits 1. CI's
+//! trace-smoke job runs this over a freshly recorded `--trace` file.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use rebudget_telemetry::schema::validate_stream;
+
+fn check(label: &str, text: &str) -> bool {
+    match validate_stream(text) {
+        Ok(n) => {
+            println!("ok: {label}: {n} events");
+            true
+        }
+        Err(e) => {
+            eprintln!("error: {label}: {e}");
+            false
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut all_ok = true;
+    if args.is_empty() {
+        let mut text = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+            eprintln!("error: stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        all_ok &= check("<stdin>", &text);
+    }
+    for path in &args {
+        match std::fs::read_to_string(path) {
+            Ok(text) => all_ok &= check(path, &text),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                all_ok = false;
+            }
+        }
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -328,3 +328,174 @@ fn bitflip_is_caught_by_the_checksum() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Helper for corruption tests that must keep the checksum valid: strips
+/// the `[checksum]` trailer, applies `edit` to the body, and re-seals
+/// with a freshly computed FNV-1a — so the *structural* validation layer
+/// (not the checksum) is what gets exercised.
+fn reseal(text: &str, edit: impl FnOnce(&mut String)) -> String {
+    let trailer_at = text.rfind("[checksum]\n").expect("trailer present");
+    let mut body = text[..trailer_at].to_string();
+    edit(&mut body);
+    let sum = rebudget_sim::checkpoint::fnv1a(body.as_bytes());
+    body.push_str(&format!("[checksum]\nfnv1a={sum:016x}\n"));
+    body
+}
+
+fn checkpoint_after(quanta: usize, dir: &std::path::Path) -> PathBuf {
+    let (sys, dram) = system();
+    let bundle = bundle_24();
+    let mut partial = opts();
+    partial.quanta = quanta;
+    let path = dir.join(format!("seed-{quanta}.ckpt"));
+    run_simulation_recoverable(
+        &sys,
+        &dram,
+        &bundle,
+        &mechanism(),
+        &partial,
+        &RecoveryOptions {
+            checkpoint: Some(path.clone()),
+            checkpoint_every: quanta,
+            resume: None,
+        },
+    )
+    .expect("seed run");
+    path
+}
+
+/// Chopping the file inside the `[checksum]` trailer itself (after the
+/// tag but before the digest) must be reported as a *format* error — a
+/// torn write at the very last line, the most likely real-world tear.
+#[test]
+fn truncated_trailer_is_a_typed_format_error() {
+    let dir = tmp_dir("trailer");
+    let path = checkpoint_after(2, &dir);
+    let text = std::fs::read_to_string(&path).expect("read snapshot");
+
+    // Cut right after the "[checksum]\n" tag: tag present, digest gone.
+    let cut = text.rfind("[checksum]\n").expect("trailer") + "[checksum]\n".len();
+    std::fs::write(&path, &text[..cut]).expect("truncate trailer");
+    let err = rebudget_sim::checkpoint::SimCheckpoint::load(&path)
+        .expect_err("digestless trailer rejected");
+    match &err {
+        CheckpointError::Format { reason, .. } => {
+            assert!(
+                reason.contains("fnv1a"),
+                "reason names the digest: {reason}"
+            )
+        }
+        other => panic!("expected Format, got {other:?}"),
+    }
+
+    // Cut *before* the tag: no trailer at all.
+    std::fs::write(&path, &text[..cut - "[checksum]\n".len()]).expect("drop trailer");
+    let err = rebudget_sim::checkpoint::SimCheckpoint::load(&path).expect_err("missing trailer");
+    match &err {
+        CheckpointError::Format { reason, .. } => {
+            assert!(reason.contains("truncated"), "{reason}")
+        }
+        other => panic!("expected Format, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A duplicated `[quantum N]` section with a *valid* checksum must be
+/// caught by the structural pass (sections must be dense and in order),
+/// not waved through to corrupt a resume.
+#[test]
+fn duplicated_quantum_section_is_rejected_despite_valid_checksum() {
+    let dir = tmp_dir("dup-quantum");
+    let path = checkpoint_after(2, &dir);
+    let text = std::fs::read_to_string(&path).expect("read snapshot");
+
+    let start = text.find("[quantum 1]").expect("second quantum section");
+    let end = text.rfind("[checksum]\n").expect("trailer");
+    let section = text[start..end].to_string();
+    let resealed = reseal(&text, |body| body.push_str(&section));
+    std::fs::write(&path, resealed).expect("write duplicated");
+
+    let err = rebudget_sim::checkpoint::SimCheckpoint::load(&path)
+        .expect_err("duplicate section rejected");
+    match &err {
+        CheckpointError::Format { reason, .. } => {
+            assert!(reason.contains("out of order"), "{reason}")
+        }
+        other => panic!("expected Format (not checksum!), got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Structurally-corrupt-but-checksum-valid primaries must also trigger
+/// the `.prev` fallback, exactly like checksum failures do.
+#[test]
+fn prev_fallback_covers_structural_corruption_too() {
+    let (sys, dram) = system();
+    let bundle = bundle_24();
+    let opts = opts();
+    let dir = tmp_dir("dup-fallback");
+    let path = dir.join("sim.ckpt");
+
+    // Snapshot every quantum for 3: live holds 3 quanta, .prev holds 2.
+    let mut partial = opts.clone();
+    partial.quanta = 3;
+    run_simulation_recoverable(
+        &sys,
+        &dram,
+        &bundle,
+        &mechanism(),
+        &partial,
+        &RecoveryOptions {
+            checkpoint: Some(path.clone()),
+            checkpoint_every: 1,
+            resume: None,
+        },
+    )
+    .expect("seed run");
+
+    let text = std::fs::read_to_string(&path).expect("read snapshot");
+    let start = text.find("[quantum 1]").expect("quantum section");
+    let end = text.rfind("[checksum]\n").expect("trailer");
+    let section = text[start..end].to_string();
+    std::fs::write(&path, reseal(&text, |body| body.push_str(&section))).expect("write duplicated");
+
+    let reference = run_simulation(&sys, &dram, &bundle, &mechanism(), &opts).expect("reference");
+    let resumed = run_simulation_recoverable(
+        &sys,
+        &dram,
+        &bundle,
+        &mechanism(),
+        &opts,
+        &RecoveryOptions {
+            resume: Some(path),
+            ..RecoveryOptions::default()
+        },
+    )
+    .expect("resume via .prev");
+    assert!(resumed.used_prev_generation, "fallback generation used");
+    assert_eq!(resumed.replayed_quanta, 2, "prev generation holds 2 quanta");
+    assert_bit_identical(&resumed, &reference, "resume after structural corruption");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The iteration/round counters are 64-bit end to end: a snapshot whose
+/// counters exceed `u32::MAX` round-trips exactly (pointer width or a
+/// careless narrowing cast must never clip long-horizon runs).
+#[test]
+fn counters_beyond_u32_round_trip_through_the_snapshot() {
+    let dir = tmp_dir("u64-counters");
+    let path = checkpoint_after(2, &dir);
+    let text = std::fs::read_to_string(&path).expect("read snapshot");
+
+    const BIG: u64 = 5_000_000_123; // > u32::MAX
+    let resealed = reseal(&text, |body| {
+        let at = body.find("total_iterations=").expect("counter record");
+        let nl = body[at..].find('\n').expect("line end") + at;
+        body.replace_range(at..nl, &format!("total_iterations={BIG}"));
+    });
+    std::fs::write(&path, resealed).expect("write big counters");
+
+    let cp = rebudget_sim::checkpoint::SimCheckpoint::load(&path).expect("valid snapshot");
+    assert_eq!(cp.counters.total_iterations, BIG);
+    let _ = std::fs::remove_dir_all(&dir);
+}

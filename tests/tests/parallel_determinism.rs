@@ -152,6 +152,29 @@ fn faulted_equilibrium_bit_identical_across_policies() {
 }
 
 #[test]
+fn traced_equilibrium_bit_identical_to_untraced() {
+    // Telemetry is pure observation: flipping the global switch cannot
+    // perturb a single bit of the solve, under any execution policy.
+    let market = market_for(Category::Cpbn, 64);
+    let untraced = solve(&market, ParallelPolicy::Serial);
+    rebudget_telemetry::reset();
+    rebudget_telemetry::set_enabled(true);
+    let traced_serial = solve(&market, ParallelPolicy::Serial);
+    let traced_threads = solve(&market, ParallelPolicy::Threads(4));
+    rebudget_telemetry::set_enabled(false);
+    assert_bitwise_equal(&untraced, &traced_serial, "traced serial vs untraced");
+    assert_bitwise_equal(&untraced, &traced_threads, "traced threaded vs untraced");
+    // And the observation actually happened: the journal holds the
+    // solver's own story of those two runs.
+    let journal = &rebudget_telemetry::global().journal;
+    assert!(!journal.is_empty(), "traced solves recorded events");
+    let text = journal.lines().join("\n");
+    assert!(text.contains("\"event\":\"solve_start\""));
+    assert!(text.contains("\"event\":\"solver_iteration\""));
+    assert!(text.contains("\"event\":\"solve_end\""));
+}
+
+#[test]
 fn faulted_simulation_bit_identical_serial_vs_threaded() {
     // The whole monitor → faulted market → enforce loop, end to end: same
     // seed, same plan, serial vs threaded mechanisms — identical bits.
