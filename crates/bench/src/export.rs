@@ -1,10 +1,88 @@
-//! CSV export of experiment results (for external plotting).
+//! CSV/JSON export of experiment results (for external plotting and CI
+//! artifacts).
 
 use std::fs::File;
 use std::io::{self, Write};
 use std::path::Path;
 
 use crate::BundleResult;
+
+/// One measured point of the scalability bench's first-order arm
+/// (`src/bin/scalability.rs`), serialized into `BENCH_scalability.json`.
+#[derive(Debug, Clone)]
+pub struct ScalabilityPoint {
+    /// Solver label ([`rebudget_market::SolverKind::label`]).
+    pub solver: String,
+    /// Player count `N`.
+    pub players: usize,
+    /// Resource count `M`.
+    pub resources: usize,
+    /// Non-zero (player, resource) interests in the generated market.
+    pub nnz: usize,
+    /// Worker threads the parallel policy resolved to.
+    pub threads: usize,
+    /// Fastest solve over the repeats, in nanoseconds.
+    pub min_ns: u64,
+    /// Median solve over the repeats, in nanoseconds.
+    pub median_ns: u64,
+    /// Iterations of the (deterministic) solve.
+    pub iterations: u64,
+    /// Final residual in the unified relative-excess-demand semantics.
+    pub residual: f64,
+    /// Whether the solve met the tolerance.
+    pub converged: bool,
+}
+
+/// JSON float: finite values in exponent notation, non-finite as `null`
+/// (JSON has no NaN/Infinity).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Writes the scalability bench's machine-readable artifact — a JSON
+/// document with one entry per (solver, N) point. Hand-rolled writer: the
+/// workspace has no JSON dependency, and the schema is flat.
+///
+/// # Errors
+///
+/// Propagates I/O errors from file creation and writing.
+pub fn write_scalability_json(
+    path: &Path,
+    tolerance: f64,
+    points: &[ScalabilityPoint],
+) -> io::Result<()> {
+    let mut f = File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"bench\": \"scalability\",")?;
+    writeln!(f, "  \"tolerance\": {},", json_f64(tolerance))?;
+    writeln!(f, "  \"points\": [")?;
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        writeln!(
+            f,
+            "    {{\"solver\": \"{}\", \"players\": {}, \"resources\": {}, \
+             \"nnz\": {}, \"threads\": {}, \"min_ns\": {}, \"median_ns\": {}, \
+             \"iterations\": {}, \"residual\": {}, \"converged\": {}}}{comma}",
+            p.solver,
+            p.players,
+            p.resources,
+            p.nnz,
+            p.threads,
+            p.min_ns,
+            p.median_ns,
+            p.iterations,
+            json_f64(p.residual),
+            p.converged,
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
 
 /// Writes a generic CSV: one header row, then data rows.
 ///
@@ -73,6 +151,47 @@ mod tests {
         .expect("writes");
         let text = std::fs::read_to_string(&path).expect("reads");
         assert_eq!(text, "a,b\n1,2\n3,4\n");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scalability_json_is_well_formed() {
+        let path = std::env::temp_dir().join("rebudget_test_scalability.json");
+        let points = vec![
+            ScalabilityPoint {
+                solver: "propresp".into(),
+                players: 1000,
+                resources: 64,
+                nnz: 8192,
+                threads: 8,
+                min_ns: 1_234_567,
+                median_ns: 2_000_000,
+                iterations: 321,
+                residual: 3.2e-7,
+                converged: true,
+            },
+            ScalabilityPoint {
+                solver: "mirror".into(),
+                players: 1000,
+                resources: 64,
+                nnz: 8192,
+                threads: 8,
+                min_ns: 1,
+                median_ns: 2,
+                iterations: 5,
+                residual: f64::NAN,
+                converged: false,
+            },
+        ];
+        write_scalability_json(&path, 1e-6, &points).expect("writes");
+        let text = std::fs::read_to_string(&path).expect("reads");
+        assert!(text.contains("\"bench\": \"scalability\""));
+        assert!(text.contains("\"solver\": \"propresp\""));
+        assert!(text.contains("\"residual\": 3.2e-7"), "{text}");
+        assert!(text.contains("\"residual\": null"), "{text}");
+        // Exactly one trailing-comma-free last element: count rows.
+        assert_eq!(text.matches("\"solver\"").count(), 2);
+        assert!(text.trim_end().ends_with('}'));
         std::fs::remove_file(&path).ok();
     }
 

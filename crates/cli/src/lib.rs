@@ -11,6 +11,7 @@
 //! rebudget solve <CATEGORY|bbpc> <CORES> [MECHANISM] [STEP]
 //! rebudget sweep <CATEGORY|bbpc> <CORES> sweep the ReBudget step knob
 //! rebudget simulate <CATEGORY|bbpc> <CORES> [QUANTA]
+//! rebudget synth <PLAYERS> <RESOURCES>   solve a synthetic sparse market
 //! rebudget theory <MUR> <MBR>            evaluate the Theorem 1/2 bounds
 //! ```
 
@@ -25,7 +26,11 @@ use rebudget_core::mechanisms::{
 };
 use rebudget_core::sweep::{sweep_oracle, sweep_point, sweep_steps, SweepPoint};
 use rebudget_core::theory::{ef_lower_bound, poa_lower_bound};
-use rebudget_market::{DeadlineBudget, FaultPlan, ParallelPolicy, RetryPolicy};
+use rebudget_market::equilibrium::EquilibriumOptions;
+use rebudget_market::{
+    DeadlineBudget, FaultPlan, ParallelPolicy, RetryPolicy, SolverKind, SparseUtilityKind,
+    SynthSpec,
+};
 use rebudget_sim::analytic::build_market;
 use rebudget_sim::checkpoint::{fnv1a, SweepCheckpoint, SweepMeta};
 use rebudget_sim::{
@@ -82,10 +87,18 @@ USAGE:
     rebudget simulate <CATEGORY|bbpc> <CORES> [QUANTA] [--seed=N] [--faults=SPEC]
                       [--mechanism=NAME] [--checkpoint=PATH] [--checkpoint-every=N]
                       [--resume=PATH] [--deadline-ms=N] [--solve-iters=N] [--retries=N]
+    rebudget synth <PLAYERS> <RESOURCES> [--seed=N] [--tol=X] [--solve-iters=N]
+                   [--leontief]
     rebudget theory <MUR> <MBR>
 
 CATEGORY:   CPBN | CCPP | CPBB | BBNN | BBPN | BBCN (case-insensitive)
 MECHANISM:  equalshare | equalbudget | balanced | rebudget | maxefficiency
+SOLVER:     every market-backed subcommand accepts --solver=NAME selecting
+            the equilibrium engine: jacobi (dense best-response, the
+            paper's engine, the default), propresp (first-order
+            proportional response), mirror (first-order entropic mirror
+            descent). synth is sparse-only: it defaults to propresp and
+            rejects jacobi.
 FAULTS:     comma-separated spec injecting telemetry/solver faults, e.g.
             --faults=noise=0.1,drop=0.05,liars=2 — keys: noise, spike,
             spike-mag, stale, stale-depth, drop, nan, liars, liar-factor,
@@ -113,6 +126,8 @@ pub struct SolverKnobs {
     pub deadline: DeadlineBudget,
     /// Optional bounded retry ladder.
     pub retry: Option<RetryPolicy>,
+    /// Equilibrium engine for the inner solves (`--solver=`).
+    pub solver: SolverKind,
 }
 
 /// Parses a mechanism name (with an optional ReBudget step).
@@ -131,18 +146,21 @@ pub fn parse_mechanism_with(
         "equalbudget" => {
             let mut m = EqualBudget::new(100.0);
             m.options.deadline = knobs.deadline;
+            m.options.solver = knobs.solver;
             m.retry = knobs.retry;
             Ok(Box::new(m))
         }
         "balanced" => {
             let mut m = Balanced::new(100.0);
             m.options.deadline = knobs.deadline;
+            m.options.solver = knobs.solver;
             m.retry = knobs.retry;
             Ok(Box::new(m))
         }
         "rebudget" => {
             let mut m = ReBudget::with_step(100.0, step.unwrap_or(20.0));
             m.options.deadline = knobs.deadline;
+            m.options.solver = knobs.solver;
             m.retry = knobs.retry;
             Ok(Box::new(m))
         }
@@ -359,12 +377,26 @@ fn dispatch(args: &[String], notes: &mut Vec<String>) -> Result<String, CliError
     let retries: Option<usize> = extract_flag(&mut args, "retries")?
         .map(|s| parse(&s, "retry count"))
         .transpose()?;
+    let solver_flag: Option<String> = extract_flag(&mut args, "solver")?;
+    let leontief = extract_switch(&mut args, "leontief");
+    let tol: Option<f64> = extract_flag(&mut args, "tol")?
+        .map(|s| parse(&s, "tolerance"))
+        .transpose()?;
+    let solver = match &solver_flag {
+        Some(name) => SolverKind::parse(name).ok_or_else(|| {
+            err(format!(
+                "unknown solver '{name}' (expected jacobi | propresp | mirror)"
+            ))
+        })?,
+        None => SolverKind::default(),
+    };
     let knobs = SolverKnobs {
         deadline: DeadlineBudget {
             wall_clock: deadline_ms.map(std::time::Duration::from_millis),
             max_iterations: solve_iters,
         },
         retry: retries.map(|n| RetryPolicy::with_attempts(n.saturating_add(1))),
+        solver,
     };
     let faults: Option<FaultPlan> = match extract_flag(&mut args, "faults")? {
         Some(spec) => {
@@ -424,8 +456,11 @@ fn dispatch(args: &[String], notes: &mut Vec<String>) -> Result<String, CliError
             let category = args.get(1).ok_or_else(|| err(USAGE))?;
             let cores: usize = parse(args.get(2).ok_or_else(|| err(USAGE))?, "core count")?;
             let step: Option<f64> = args.get(4).map(|s| parse(s, "step")).transpose()?;
-            let mech =
-                parse_mechanism(args.get(3).map(String::as_str).unwrap_or("rebudget"), step)?;
+            let mech = parse_mechanism_with(
+                args.get(3).map(String::as_str).unwrap_or("rebudget"),
+                step,
+                knobs,
+            )?;
             let bundle = parse_bundle(category, cores, 1)?;
             let (sys, dram) = system_for(cores);
             let market =
@@ -683,6 +718,61 @@ fn dispatch(args: &[String], notes: &mut Vec<String>) -> Result<String, CliError
             }
             Ok(out)
         }
+        Some("synth") => {
+            let players: usize = parse(args.get(1).ok_or_else(|| err(USAGE))?, "player count")?;
+            let resources: usize = parse(args.get(2).ok_or_else(|| err(USAGE))?, "resource count")?;
+            if players == 0 || resources == 0 {
+                return Err(err("player and resource counts must be at least 1"));
+            }
+            // Sparse-only path: the dense Jacobi engine would need an
+            // n×m bid matrix, which defeats the point at 10⁶ players.
+            let solver = match solver {
+                SolverKind::Jacobi if solver_flag.is_some() => {
+                    return Err(err(
+                        "synth markets are sparse; pick --solver=propresp or --solver=mirror",
+                    ));
+                }
+                SolverKind::Jacobi => SolverKind::ProportionalResponse,
+                first_order => first_order,
+            };
+            let mut spec = SynthSpec::new(players, resources, seed.unwrap_or(1));
+            if leontief {
+                spec.kind = SparseUtilityKind::Leontief;
+            }
+            let market = spec.generate().map_err(|e| err(e.to_string()))?;
+            let mut opts = EquilibriumOptions::large_scale().with_solver(solver);
+            opts.deadline = knobs.deadline;
+            if let Some(t) = tol {
+                if !(t.is_finite() && t > 0.0) {
+                    return Err(err("--tol must be a positive number"));
+                }
+                opts.price_tolerance = t;
+            }
+            let started = std::time::Instant::now();
+            let o = market.solve(&opts).map_err(|e| err(e.to_string()))?;
+            // Wall-clock goes to stderr: stdout stays byte-stable across
+            // machines (and across --trace on/off).
+            notes.push(format!(
+                "solved in {:.3}s ({} iterations)",
+                started.elapsed().as_secs_f64(),
+                o.iterations
+            ));
+            writeln!(out, "players     {players}").expect("infallible");
+            writeln!(out, "resources   {resources}").expect("infallible");
+            writeln!(out, "nnz         {}", market.nnz()).expect("infallible");
+            writeln!(out, "kind        {}", market.kind().label()).expect("infallible");
+            writeln!(out, "solver      {}", solver.label()).expect("infallible");
+            writeln!(out, "iterations  {}", o.iterations).expect("infallible");
+            writeln!(
+                out,
+                "converged   {}",
+                if o.converged() { "yes" } else { "NO" }
+            )
+            .expect("infallible");
+            writeln!(out, "residual    {:.3e}", o.report.residual).expect("infallible");
+            writeln!(out, "efficiency  {:.4}", o.efficiency()).expect("infallible");
+            Ok(out)
+        }
         Some("theory") => {
             let mur: f64 = parse(args.get(1).ok_or_else(|| err(USAGE))?, "MUR")?;
             let mbr: f64 = parse(args.get(2).ok_or_else(|| err(USAGE))?, "MBR")?;
@@ -754,6 +844,48 @@ mod tests {
     fn sweep_produces_six_rows() {
         let out = run_ok(&["sweep", "bbpc", "8"]);
         assert_eq!(out.lines().count(), 7, "header + 6 steps");
+    }
+
+    #[test]
+    fn synth_solves_a_sparse_market_deterministically() {
+        let out = run_ok(&["synth", "1000", "16", "--seed=3"]);
+        assert!(out.contains("players     1000"), "{out}");
+        assert!(out.contains("solver      propresp"), "{out}");
+        assert!(out.contains("kind        linear"), "{out}");
+        assert!(out.contains("converged   yes"), "{out}");
+        // Deterministic stdout: same args, same bytes.
+        assert_eq!(out, run_ok(&["synth", "1000", "16", "--seed=3"]));
+        // Mirror and Leontief variants run through the same plumbing.
+        let md = run_ok(&["synth", "500", "8", "--solver=mirror", "--leontief"]);
+        assert!(md.contains("solver      mirror"), "{md}");
+        assert!(md.contains("kind        leontief"), "{md}");
+    }
+
+    #[test]
+    fn synth_rejects_bad_arguments() {
+        assert!(run_err(&["synth", "0", "16"])
+            .message
+            .contains("at least 1"));
+        assert!(run_err(&["synth", "100", "8", "--solver=jacobi"])
+            .message
+            .contains("sparse"));
+        assert!(run_err(&["synth", "100", "8", "--solver=magic"])
+            .message
+            .contains("unknown solver"));
+        assert!(run_err(&["synth", "100", "8", "--tol=-1"])
+            .message
+            .contains("--tol"));
+    }
+
+    #[test]
+    fn solve_accepts_a_solver_flag() {
+        let jac = run_ok(&["solve", "bbpc", "8", "equalbudget"]);
+        let pr = run_ok(&["solve", "bbpc", "8", "equalbudget", "--solver=propresp"]);
+        assert!(pr.contains("EqualBudget"), "{pr}");
+        assert!(pr.contains("MUR"), "{pr}");
+        // Different engines, same market: both produce full metric blocks
+        // (values may differ — price-taking vs price-anticipating).
+        assert_eq!(jac.lines().count(), pr.lines().count());
     }
 
     #[test]

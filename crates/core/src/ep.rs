@@ -128,6 +128,7 @@ impl Mechanism for ElasticitiesProportional {
             degraded: false,
             timed_out_solves: 0,
             retry_attempts: 0,
+            worst_residual: 0.0,
         })
     }
 }

@@ -20,6 +20,7 @@ use rebudget_market::metrics;
 use rebudget_market::optimal::{max_efficiency, OptimalOptions};
 use rebudget_market::{
     solve_with_retry, AllocationMatrix, Market, MarketError, ParallelPolicy, Result, RetryPolicy,
+    SolverKind,
 };
 
 use crate::theory::min_mbr_for_ef;
@@ -77,6 +78,11 @@ pub struct MechanismOutcome {
     /// the first, summed over all equilibrium rounds (0 without a retry
     /// policy).
     pub retry_attempts: u64,
+    /// Worst (largest) final solve residual across all equilibrium
+    /// rounds, in the workspace-wide relative-excess-demand semantics of
+    /// [`rebudget_market::SolveReport::residual`] — identical for every
+    /// [`rebudget_market::SolverKind`]. `0.0` for non-market mechanisms.
+    pub worst_residual: f64,
 }
 
 /// An allocation mechanism: anything that maps a market to an allocation.
@@ -125,6 +131,7 @@ fn outcome_from_allocation(
         degraded: false,
         timed_out_solves: 0,
         retry_attempts: 0,
+        worst_residual: 0.0,
     }
 }
 
@@ -196,6 +203,13 @@ impl EqualBudget {
         self
     }
 
+    /// Selects the equilibrium engine for the inner solves.
+    #[must_use]
+    pub fn with_solver(mut self, solver: SolverKind) -> Self {
+        self.options.solver = solver;
+        self
+    }
+
     /// Installs a bounded retry ladder for failed solves.
     #[must_use]
     pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
@@ -257,6 +271,13 @@ impl Balanced {
     #[must_use]
     pub fn with_parallel(mut self, policy: ParallelPolicy) -> Self {
         self.options.parallel = policy;
+        self
+    }
+
+    /// Selects the equilibrium engine for the inner solves.
+    #[must_use]
+    pub fn with_solver(mut self, solver: SolverKind) -> Self {
+        self.options.solver = solver;
         self
     }
 
@@ -404,6 +425,13 @@ impl ReBudget {
         self
     }
 
+    /// Selects the equilibrium engine for the inner solves.
+    #[must_use]
+    pub fn with_solver(mut self, solver: SolverKind) -> Self {
+        self.options.solver = solver;
+        self
+    }
+
     /// Installs a bounded retry ladder for failed solves.
     #[must_use]
     pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
@@ -439,6 +467,7 @@ impl Mechanism for ReBudget {
         let mut rollbacks = 0u64;
         let mut retries = 0u64;
         let mut timeouts = 0u64;
+        let mut worst_residual = 0.0_f64;
 
         let (mut eq, r, t) = solve_once(market, &budgets, &self.options, self.retry.as_ref())?;
         rounds += 1;
@@ -447,6 +476,7 @@ impl Mechanism for ReBudget {
         recoveries += eq.report.recovery.len() as u64;
         retries += r;
         timeouts += t;
+        worst_residual = worst_residual.max(eq.report.residual);
         if telemetry::enabled() {
             telemetry::record(
                 telemetry::Event::new("rebudget_round")
@@ -491,6 +521,7 @@ impl Mechanism for ReBudget {
             recoveries += next_eq.report.recovery.len() as u64;
             retries += r;
             timeouts += t;
+            worst_residual = worst_residual.max(next_eq.report.residual);
             if telemetry::enabled() {
                 telemetry::record(
                     telemetry::Event::new("rebudget_round")
@@ -563,6 +594,10 @@ impl Mechanism for ReBudget {
         out.rolled_back_rounds = rollbacks;
         out.retry_attempts = retries;
         out.timed_out_solves = timeouts;
+        // A rolled-back round's solve still counts toward the worst
+        // residual: the number describes every solve taken, not just the
+        // surviving equilibrium.
+        out.worst_residual = worst_residual;
         Ok(out)
     }
 }
@@ -580,6 +615,7 @@ fn finish(
     let envy_freeness = metrics::envy_freeness(market, &eq.allocation);
     let mur = metrics::mur(&eq.lambdas);
     let mbr = metrics::mbr(&budgets);
+    let eq_residual = eq.report.residual;
     MechanismOutcome {
         mechanism: name,
         allocation: eq.allocation,
@@ -598,6 +634,7 @@ fn finish(
         degraded: !converged,
         timed_out_solves: 0,
         retry_attempts: 0,
+        worst_residual: eq_residual,
     }
 }
 
@@ -714,6 +751,30 @@ mod tests {
         assert_eq!(out.equilibrium_rounds, 1);
         assert!(out.converged);
         assert!(out.allocation.is_exhaustive(&CAPS, 1e-9));
+    }
+
+    #[test]
+    fn solver_selection_flows_through_mechanisms() {
+        // The same mechanism solved with the first-order engine reaches a
+        // price-taking equilibrium with full metrics, and the outcome
+        // carries the worst solve residual in the unified semantics.
+        let market = bbpc_market();
+        let jac = EqualBudget::new(100.0).allocate(&market).unwrap();
+        let pr = EqualBudget::new(100.0)
+            .with_solver(SolverKind::ProportionalResponse)
+            .allocate(&market)
+            .unwrap();
+        assert!(pr.converged);
+        assert!(pr.allocation.is_exhaustive(&CAPS, 1e-6));
+        assert!(pr.worst_residual.is_finite() && pr.worst_residual >= 0.0);
+        assert!(jac.worst_residual.is_finite());
+        // Multi-round ReBudget tracks the max over every round's solve.
+        let rb = ReBudget::with_step(100.0, 40.0)
+            .with_solver(SolverKind::MirrorDescent)
+            .allocate(&market)
+            .unwrap();
+        assert!(rb.equilibrium_rounds >= 1);
+        assert!(rb.worst_residual.is_finite() && rb.worst_residual >= 0.0);
     }
 
     #[test]

@@ -92,6 +92,7 @@ impl Mechanism for Uncoordinated {
             degraded: false,
             timed_out_solves: 0,
             retry_attempts: 0,
+            worst_residual: 0.0,
         })
     }
 }

@@ -39,16 +39,75 @@ use crate::{AllocationMatrix, BidMatrix, Market, MarketError, Result};
 
 /// Damping factors below this floor stop halving — at 1/8 the sweep is
 /// already heavily smoothed and further back-off only slows progress.
-const MIN_DAMPING: f64 = 0.125;
+/// Shared with the first-order engines in [`crate::first_order`].
+pub(crate) const MIN_DAMPING: f64 = 0.125;
 
 /// A fluctuation this many times worse than the best stable iterate (or
 /// the tolerance, whichever is larger) counts as divergence and triggers
 /// a restart from the last stable price vector.
-const DIVERGENCE_FACTOR: f64 = 8.0;
+pub(crate) const DIVERGENCE_FACTOR: f64 = 8.0;
 
 /// Fail-safe on restarts so a pathological market cannot livelock the
 /// solver by diverging immediately after every restart.
-const MAX_RESTARTS: usize = 2;
+pub(crate) const MAX_RESTARTS: usize = 2;
+
+/// Which equilibrium engine a solve runs on.
+///
+/// All engines report the same residual semantics (see
+/// [`crate::residual`]) and flow through the same
+/// [`SolveReport`]/[`DeadlineBudget`]/telemetry plumbing, but they answer
+/// slightly different questions:
+///
+/// * [`SolverKind::Jacobi`] — the paper's engine: each player runs the
+///   §4.1.2 hill climb *anticipating* how its own bid moves prices
+///   (Eq. 2). Computes the price-anticipating Nash equilibrium; `O(N·M)`
+///   per iteration over a dense bid matrix. The solver of record for the
+///   paper's 8–64-core markets and the small-N oracle.
+/// * [`SolverKind::ProportionalResponse`] — proportional response
+///   dynamics on the Eisenberg–Gale program: players are *price takers*.
+///   Linear-time in the number of nonzero (player, resource) interests;
+///   converges at `10⁵`–`10⁶` players (see
+///   [`crate::proportional_response`]).
+/// * [`SolverKind::MirrorDescent`] — entropic mirror descent on the same
+///   program: a damped generalization of proportional response with a
+///   tunable step (see [`crate::mirror_descent`]).
+///
+/// The price-anticipating and price-taking equilibria coincide as
+/// `N → ∞` (each player's bid stops moving prices) but differ at small
+/// `N`; cross-validation against Jacobi therefore goes through the dense
+/// first-order reference in [`crate::fisher`], which computes the same
+/// price-taking equilibrium on dense storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverKind {
+    /// Dense Jacobi best-response hill climbing (the paper's engine).
+    #[default]
+    Jacobi,
+    /// First-order proportional response dynamics (price-taking).
+    ProportionalResponse,
+    /// First-order entropic mirror descent (price-taking, damped step).
+    MirrorDescent,
+}
+
+impl SolverKind {
+    /// Parses the CLI spelling (`jacobi` | `propresp` | `mirror`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "jacobi" => Some(SolverKind::Jacobi),
+            "propresp" => Some(SolverKind::ProportionalResponse),
+            "mirror" => Some(SolverKind::MirrorDescent),
+            _ => None,
+        }
+    }
+
+    /// Stable machine-readable name (CLI flag value, bench JSON field).
+    pub fn label(self) -> &'static str {
+        match self {
+            SolverKind::Jacobi => "jacobi",
+            SolverKind::ProportionalResponse => "propresp",
+            SolverKind::MirrorDescent => "mirror",
+        }
+    }
+}
 
 /// Options for the equilibrium search.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,8 +115,13 @@ pub struct EquilibriumOptions {
     /// Fail-safe iteration cap (paper: 30).
     pub max_iterations: usize,
     /// Relative price-fluctuation threshold for convergence (paper: 1%).
+    ///
+    /// The residual compared against this threshold is the relative
+    /// excess demand of [`crate::residual::relative_price_gap`] for every
+    /// [`SolverKind`].
     pub price_tolerance: f64,
-    /// Options forwarded to each player's hill-climbing best response.
+    /// Options forwarded to each player's hill-climbing best response
+    /// (Jacobi engine only; first-order engines have no hill climb).
     pub bidding: BiddingOptions,
     /// Record the price vector after every iteration in
     /// [`EquilibriumOutcome::price_history`] (for convergence studies).
@@ -70,6 +134,9 @@ pub struct EquilibriumOptions {
     /// [`SolveReport::timed_out`] set — it never spins past the budget.
     /// The default is unbounded, which changes nothing.
     pub deadline: DeadlineBudget,
+    /// Which engine runs the solve. The default ([`SolverKind::Jacobi`])
+    /// reproduces the paper's behaviour exactly.
+    pub solver: SolverKind,
 }
 
 impl Default for EquilibriumOptions {
@@ -81,6 +148,7 @@ impl Default for EquilibriumOptions {
             record_history: false,
             parallel: ParallelPolicy::Auto,
             deadline: DeadlineBudget::UNBOUNDED,
+            solver: SolverKind::Jacobi,
         }
     }
 }
@@ -99,6 +167,22 @@ impl EquilibriumOptions {
             record_history: false,
             parallel: ParallelPolicy::Auto,
             deadline: DeadlineBudget::UNBOUNDED,
+            solver: SolverKind::Jacobi,
+        }
+    }
+
+    /// The configuration for production-scale markets: proportional
+    /// response to paper-grade precision (`1e-6` relative excess demand)
+    /// with an iteration cap sized for `10⁶`-player markets.
+    pub fn large_scale() -> Self {
+        Self {
+            max_iterations: 20_000,
+            price_tolerance: 1e-6,
+            bidding: BiddingOptions::default(),
+            record_history: false,
+            parallel: ParallelPolicy::Auto,
+            deadline: DeadlineBudget::UNBOUNDED,
+            solver: SolverKind::ProportionalResponse,
         }
     }
 
@@ -107,6 +191,13 @@ impl EquilibriumOptions {
     #[must_use]
     pub fn with_parallel(mut self, policy: ParallelPolicy) -> Self {
         self.parallel = policy;
+        self
+    }
+
+    /// Returns `self` with the solver engine replaced.
+    #[must_use]
+    pub fn with_solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
         self
     }
 }
@@ -179,9 +270,12 @@ pub struct SolveReport {
     /// are data that cross serialization and telemetry boundaries, so
     /// they must not vary with the host's pointer width.
     pub iterations: u64,
-    /// Final relative price fluctuation (≤ tolerance iff `converged`;
-    /// for non-converged solves this is the residual of the iterate that
-    /// was actually returned, i.e. the best stable one).
+    /// Final convergence residual: the **relative excess demand** between
+    /// the last two iterates, `max_j |p'_j − p_j| / max(|p_j|, |p'_j|)`
+    /// over per-good prices (see [`crate::residual::relative_price_gap`]).
+    /// Identical semantics for every [`SolverKind`] — ≤ tolerance iff
+    /// `converged`; for non-converged solves this is the residual of the
+    /// iterate that was actually returned, i.e. the best stable one.
     pub residual: f64,
     /// Guardrail interventions, in the order they fired.
     pub recovery: Vec<RecoveryAction>,
@@ -263,9 +357,10 @@ impl EquilibriumOutcome {
 }
 
 /// Records `action` in the solve's recovery trace and, when telemetry is
-/// enabled, mirrors it into the journal. Called only from the solver's
+/// enabled, mirrors it into the journal. Called only from the solvers'
 /// serial post-sweep sections, so the event order is deterministic.
-fn push_recovery(recovery: &mut Vec<RecoveryAction>, action: RecoveryAction) {
+/// Shared with the first-order engines (`fisher`, `first_order`).
+pub(crate) fn push_recovery(recovery: &mut Vec<RecoveryAction>, action: RecoveryAction) {
     if telemetry::enabled() {
         let mut event = telemetry::Event::new("recovery")
             .field_u64("iteration", action.iteration())
@@ -278,7 +373,21 @@ fn push_recovery(recovery: &mut Vec<RecoveryAction>, action: RecoveryAction) {
     recovery.push(action);
 }
 
+/// Entry point shared by [`crate::Market::equilibrium`] and friends:
+/// dispatches on [`EquilibriumOptions::solver`].
 pub(crate) fn find_equilibrium(
+    market: &Market,
+    budgets: &[f64],
+    options: &EquilibriumOptions,
+) -> Result<EquilibriumOutcome> {
+    match options.solver {
+        SolverKind::Jacobi => find_equilibrium_jacobi(market, budgets, options),
+        kind => crate::fisher::find_equilibrium_first_order(market, budgets, options, kind),
+    }
+}
+
+/// The paper's engine: Jacobi sweeps of price-anticipating best responses.
+fn find_equilibrium_jacobi(
     market: &Market,
     budgets: &[f64],
     options: &EquilibriumOptions,
@@ -388,11 +497,7 @@ pub(crate) fn find_equilibrium(
         }
         std::mem::swap(&mut bids, &mut next);
         let new_prices = pricing::prices(&bids, market.resources());
-        let fluctuation = prices
-            .iter()
-            .zip(&new_prices)
-            .map(|(&old, &new)| (new - old).abs() / old.abs().max(new.abs()).max(1e-12))
-            .fold(0.0_f64, f64::max);
+        let fluctuation = crate::residual::relative_price_gap(&prices, &new_prices);
         prices = new_prices;
         residual = fluctuation;
         if telemetry::enabled() {

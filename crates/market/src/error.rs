@@ -59,6 +59,15 @@ pub enum MarketError {
         /// Residual of the best-effort iterate that was returned.
         residual: f64,
     },
+    /// A solver was asked to run in a setting it does not support — e.g.
+    /// the dense Jacobi engine on a [`crate::SparseMarket`], or
+    /// densification of a utility family the dense zoo lacks.
+    UnsupportedSolver {
+        /// The solver (or utility family) that cannot run here.
+        solver: &'static str,
+        /// The setting it was asked to run in.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for MarketError {
@@ -95,6 +104,9 @@ impl fmt::Display for MarketError {
                 "solve deadline exceeded after {iterations} iterations \
                  (residual {residual:.3e})"
             ),
+            MarketError::UnsupportedSolver { solver, context } => {
+                write!(f, "solver {solver} is not supported for {context}")
+            }
         }
     }
 }
@@ -130,6 +142,10 @@ mod tests {
             MarketError::DeadlineExceeded {
                 iterations: 12,
                 residual: 0.1,
+            },
+            MarketError::UnsupportedSolver {
+                solver: "jacobi",
+                context: "sparse markets",
             },
         ];
         for e in errors {

@@ -363,8 +363,9 @@ pub fn gaussian_sample(salt: u64, index: u64) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
-/// One SplitMix64 scramble step — the workhorse of the stateless noise.
-fn splitmix(x: u64) -> u64 {
+/// One SplitMix64 scramble step — the workhorse of the stateless noise
+/// (shared with the synthetic market generator in [`crate::sparse`]).
+pub(crate) fn splitmix(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

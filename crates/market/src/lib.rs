@@ -68,24 +68,31 @@ pub mod equilibrium;
 mod error;
 pub mod exact;
 pub mod faults;
+mod first_order;
+pub mod fisher;
 pub mod fit;
 pub mod metrics;
+pub mod mirror_descent;
 pub mod optimal;
 pub mod par;
 pub mod player;
 pub mod pricing;
+pub mod proportional_response;
+pub mod residual;
 pub mod resource;
+pub mod sparse;
 pub mod utility;
 
 pub use allocation::AllocationMatrix;
 pub use bids::BidMatrix;
 pub use deadline::{solve_with_retry, DeadlineBudget, RetryPolicy, RetryReport};
-pub use equilibrium::{RecoveryAction, SolveReport};
+pub use equilibrium::{RecoveryAction, SolveReport, SolverKind};
 pub use error::MarketError;
 pub use faults::{FaultPlan, FaultedMarket};
 pub use par::ParallelPolicy;
 pub use player::{Market, Player};
 pub use resource::ResourceSpace;
+pub use sparse::{SparseBids, SparseMarket, SparseOutcome, SparseUtilityKind, SynthSpec};
 pub use utility::Utility;
 
 /// Crate-wide result alias.

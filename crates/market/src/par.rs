@@ -135,6 +135,77 @@ pub(crate) fn for_each_row<S>(
     }
 }
 
+/// Applies `f` to every block of an irregularly-partitioned buffer, in
+/// parallel over contiguous bands of blocks.
+///
+/// `block_ptr` (length `blocks + 1`, with `block_ptr[0] == 0` and
+/// `block_ptr[blocks] == vals.len()`) partitions `vals` into consecutive
+/// blocks; block `b` also owns the `aux_stride`-sized slice
+/// `aux[b*aux_stride..(b+1)*aux_stride]`. Each invocation
+/// `f(b, vals_b, aux_b)` gets exclusive mutable access to its block's two
+/// slices, so the call is race-free by construction and the computed
+/// values are independent of `threads`.
+///
+/// This is the sparse counterpart of [`for_each_row`]: the first-order
+/// solvers partition players into fixed-size blocks whose CSR rows have
+/// irregular byte extents, which the uniform-chunk rayon shim cannot
+/// split — so the banding is done here directly with scoped threads (the
+/// same scheme the shim uses internally).
+pub(crate) fn for_each_block(
+    threads: usize,
+    vals: &mut [f64],
+    block_ptr: &[usize],
+    aux: &mut [f64],
+    aux_stride: usize,
+    f: impl Fn(usize, &mut [f64], &mut [f64]) + Sync,
+) {
+    let blocks = block_ptr.len().saturating_sub(1);
+    debug_assert_eq!(block_ptr.first().copied().unwrap_or(0), 0);
+    debug_assert_eq!(block_ptr.last().copied().unwrap_or(0), vals.len());
+    debug_assert_eq!(aux.len(), blocks * aux_stride);
+    #[cfg(feature = "parallel")]
+    {
+        let workers = threads.clamp(1, blocks.max(1));
+        if workers > 1 {
+            let f = &f;
+            std::thread::scope(|scope| {
+                let mut vals_rest = vals;
+                let mut aux_rest = aux;
+                let mut val_off = 0usize;
+                for t in 0..workers {
+                    let lo = t * blocks / workers;
+                    let hi = (t + 1) * blocks / workers;
+                    let (vals_band, vr) = vals_rest.split_at_mut(block_ptr[hi] - val_off);
+                    vals_rest = vr;
+                    let (aux_band, ar) = aux_rest.split_at_mut((hi - lo) * aux_stride);
+                    aux_rest = ar;
+                    let band_ptr = &block_ptr[lo..=hi];
+                    scope.spawn(move || {
+                        let base = band_ptr[0];
+                        for (k, b) in (lo..hi).enumerate() {
+                            let (vs, au) = (
+                                &mut vals_band[band_ptr[k] - base..band_ptr[k + 1] - base],
+                                &mut aux_band[k * aux_stride..(k + 1) * aux_stride],
+                            );
+                            f(b, vs, au);
+                        }
+                    });
+                    val_off = block_ptr[hi];
+                }
+            });
+            return;
+        }
+    }
+    let _ = threads;
+    for b in 0..blocks {
+        f(
+            b,
+            &mut vals[block_ptr[b]..block_ptr[b + 1]],
+            &mut aux[b * aux_stride..(b + 1) * aux_stride],
+        );
+    }
+}
+
 /// Evaluates `f(i)` for `i` in `0..len` across `threads` workers,
 /// returning results in index order. Serial when `threads <= 1`.
 ///
@@ -218,6 +289,37 @@ mod tests {
             .iter()
             .zip(&parallel)
             .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn for_each_block_identical_serial_and_parallel() {
+        // Irregular blocks: sizes 1, 4, 2, 5, 0, 3.
+        let block_ptr = [0usize, 1, 5, 7, 12, 12, 15];
+        let stride = 2;
+        let run = |threads: usize| -> (Vec<f64>, Vec<f64>) {
+            let mut vals: Vec<f64> = (0..15).map(|i| i as f64).collect();
+            let mut aux = vec![0.0; (block_ptr.len() - 1) * stride];
+            for_each_block(
+                threads,
+                &mut vals,
+                &block_ptr,
+                &mut aux,
+                stride,
+                |b, vs, au| {
+                    for v in vs.iter_mut() {
+                        *v = (*v + b as f64).sqrt();
+                        au[0] += *v;
+                    }
+                    au[1] = vs.len() as f64;
+                },
+            );
+            (vals, aux)
+        };
+        let (sv, sa) = run(1);
+        let (pv, pa) = run(4);
+        assert!(sv.iter().zip(&pv).all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert!(sa.iter().zip(&pa).all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert_eq!(sa[3 * stride + 1], 5.0); // block 3 has 5 items
     }
 
     #[test]
