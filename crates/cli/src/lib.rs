@@ -13,10 +13,11 @@
 //! rebudget simulate <CATEGORY|bbpc> <CORES> [QUANTA]
 //! rebudget synth <PLAYERS> <RESOURCES>   solve a synthetic sparse market
 //! rebudget theory <MUR> <MBR>            evaluate the Theorem 1/2 bounds
+//! rebudget scenario <list|check|run|audit> declarative adversarial scenarios
 //! ```
 
 use std::fmt::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use rebudget_apps::classify::{sensitivity, Envelope};
 use rebudget_apps::perf::PerfEnv;
@@ -31,6 +32,7 @@ use rebudget_market::{
     DeadlineBudget, FaultPlan, ParallelPolicy, RetryPolicy, SolverKind, SparseUtilityKind,
     SynthSpec,
 };
+use rebudget_scenario::{run_scenario, Scenario, ScenarioError};
 use rebudget_sim::analytic::build_market;
 use rebudget_sim::checkpoint::{fnv1a, SweepCheckpoint, SweepMeta};
 use rebudget_sim::{
@@ -43,6 +45,10 @@ use rebudget_workloads::{generate_bundle, paper_bbpc_8core, Bundle, Category};
 pub const EXIT_USAGE: i32 = 2;
 /// Exit code for checkpoint errors (unreadable, corrupt, mismatched).
 pub const EXIT_CHECKPOINT: i32 = 3;
+/// Exit code for scenario property violations and ledger integrity
+/// failures: the run itself completed, but a declared invariant did not
+/// hold (or an allocation ledger failed its audit).
+pub const EXIT_PROPERTY: i32 = 4;
 
 /// CLI-level error: a message for the user plus the exit code.
 #[derive(Debug)]
@@ -75,6 +81,13 @@ fn checkpoint_err(message: impl Into<String>) -> CliError {
     }
 }
 
+fn property_err(message: impl Into<String>) -> CliError {
+    CliError {
+        message: message.into(),
+        code: EXIT_PROPERTY,
+    }
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 rebudget — market-based multicore resource allocation (ReBudget, ASPLOS'16)
@@ -90,6 +103,10 @@ USAGE:
     rebudget synth <PLAYERS> <RESOURCES> [--seed=N] [--tol=X] [--solve-iters=N]
                    [--leontief]
     rebudget theory <MUR> <MBR>
+    rebudget scenario list <DIR|FILE>...
+    rebudget scenario check <DIR|FILE>...
+    rebudget scenario run <DIR|FILE>... [--ledger=DIR]
+    rebudget scenario audit <LEDGER>...
 
 CATEGORY:   CPBN | CCPP | CPBB | BBNN | BBPN | BBCN (case-insensitive)
 MECHANISM:  equalshare | equalbudget | balanced | rebudget | maxefficiency
@@ -111,6 +128,14 @@ DEADLINES:  --solve-iters bounds each equilibrium solve's iterations,
             --deadline-ms bounds its wall-clock time (non-deterministic;
             prefer --solve-iters for reproducible runs), --retries enables
             a bounded retry ladder for failed or timed-out solves.
+SCENARIOS:  TOML files declaring phases, triggered adversarial events,
+            and properties to verify (Theorem-1/2 floors, convergence,
+            no-NaN, ledger replay, resume identity). `list` summarises,
+            `check` parses and validates without running, `run` executes
+            against the real simulation loop (writing a hash-chained
+            allocation ledger per scenario with --ledger=DIR) and exits 4
+            naming each violated property, `audit` re-verifies a ledger
+            file's hash chain and seal.
 OBSERVING:  every subcommand also accepts --trace=PATH (write a JSONL
             event journal, crash-atomically, without touching stdout),
             --metrics (append a counters/gauges/histograms section), and
@@ -227,6 +252,57 @@ fn extract_flag(args: &mut Vec<String>, name: &str) -> Result<Option<String>, Cl
         }
     }
     Ok(None)
+}
+
+/// Expands scenario arguments: a directory contributes every `*.toml`
+/// directly inside it (sorted by name, so CI matrices are order-stable);
+/// a file contributes itself.
+fn scenario_paths(args: &[String]) -> Result<Vec<PathBuf>, CliError> {
+    let mut paths = Vec::new();
+    for arg in args {
+        let p = PathBuf::from(arg);
+        if p.is_dir() {
+            let entries =
+                std::fs::read_dir(&p).map_err(|e| err(format!("cannot read '{arg}': {e}")))?;
+            let mut found = Vec::new();
+            for entry in entries {
+                let path = entry
+                    .map_err(|e| err(format!("cannot read '{arg}': {e}")))?
+                    .path();
+                if path.is_file() && path.extension().is_some_and(|x| x == "toml") {
+                    found.push(path);
+                }
+            }
+            if found.is_empty() {
+                return Err(err(format!("no .toml scenarios in '{arg}'")));
+            }
+            found.sort();
+            paths.extend(found);
+        } else if p.is_file() {
+            paths.push(p);
+        } else {
+            return Err(err(format!("no such scenario file or directory: '{arg}'")));
+        }
+    }
+    if paths.is_empty() {
+        return Err(err(
+            "scenario subcommands need at least one file or directory",
+        ));
+    }
+    Ok(paths)
+}
+
+fn load_scenario(path: &Path) -> Result<Scenario, CliError> {
+    Scenario::load(path).map_err(|e| scenario_err(path, &e))
+}
+
+fn scenario_err(path: &Path, e: &ScenarioError) -> CliError {
+    let message = format!("{}: {e}", path.display());
+    match e {
+        // A bad ledger is an integrity violation, not a usage slip.
+        ScenarioError::Ledger { .. } => property_err(message),
+        _ => err(message),
+    }
 }
 
 fn sim_err(e: &rebudget_sim::simulation::SimError) -> CliError {
@@ -378,6 +454,7 @@ fn dispatch(args: &[String], notes: &mut Vec<String>) -> Result<String, CliError
         .map(|s| parse(&s, "retry count"))
         .transpose()?;
     let solver_flag: Option<String> = extract_flag(&mut args, "solver")?;
+    let ledger_dir: Option<PathBuf> = extract_flag(&mut args, "ledger")?.map(PathBuf::from);
     let leontief = extract_switch(&mut args, "leontief");
     let tol: Option<f64> = extract_flag(&mut args, "tol")?
         .map(|s| parse(&s, "tolerance"))
@@ -772,6 +849,131 @@ fn dispatch(args: &[String], notes: &mut Vec<String>) -> Result<String, CliError
             writeln!(out, "residual    {:.3e}", o.report.residual).expect("infallible");
             writeln!(out, "efficiency  {:.4}", o.efficiency()).expect("infallible");
             Ok(out)
+        }
+        Some("scenario") => {
+            let sub = args.get(1).map(String::as_str).ok_or_else(|| err(USAGE))?;
+            let rest = &args[2..];
+            match sub {
+                "list" => {
+                    let paths = scenario_paths(rest)?;
+                    writeln!(
+                        out,
+                        "{:<28} {:<9} {:<14} {:>5} {:>7} {:>6} {:>10}",
+                        "scenario",
+                        "workload",
+                        "mechanism",
+                        "cores",
+                        "quanta",
+                        "events",
+                        "properties"
+                    )
+                    .expect("infallible");
+                    for path in &paths {
+                        let s = load_scenario(path)?;
+                        writeln!(
+                            out,
+                            "{:<28} {:<9} {:<14} {:>5} {:>7} {:>6} {:>10}",
+                            s.name,
+                            s.workload,
+                            s.mechanism,
+                            s.cores,
+                            s.total_quanta(),
+                            s.events.len(),
+                            s.properties.len()
+                        )
+                        .expect("infallible");
+                    }
+                    Ok(out)
+                }
+                "check" => {
+                    let paths = scenario_paths(rest)?;
+                    for path in &paths {
+                        let s = load_scenario(path)?;
+                        writeln!(out, "ok {:<28} {}", s.name, path.display()).expect("infallible");
+                    }
+                    writeln!(out, "{} scenario(s) valid", paths.len()).expect("infallible");
+                    Ok(out)
+                }
+                "run" => {
+                    let paths = scenario_paths(rest)?;
+                    let mut violations: Vec<String> = Vec::new();
+                    writeln!(
+                        out,
+                        "{:<28} {:>10} {:>10} {:>6} {:>10}",
+                        "scenario", "efficiency", "envy-free", "events", "properties"
+                    )
+                    .expect("infallible");
+                    for path in &paths {
+                        let s = load_scenario(path)?;
+                        let outcome = run_scenario(&s).map_err(|e| scenario_err(path, &e))?;
+                        if let Some(dir) = &ledger_dir {
+                            std::fs::create_dir_all(dir).map_err(|e| {
+                                err(format!("cannot create '{}': {e}", dir.display()))
+                            })?;
+                            let lp = dir.join(format!("{}.ledger", s.name));
+                            // Ledgers are immutable artifacts: refuse to
+                            // overwrite an existing one.
+                            use std::io::Write as _;
+                            std::fs::OpenOptions::new()
+                                .write(true)
+                                .create_new(true)
+                                .open(&lp)
+                                .and_then(|mut f| f.write_all(outcome.ledger.as_bytes()))
+                                .map_err(|e| {
+                                    err(format!("cannot write ledger '{}': {e}", lp.display()))
+                                })?;
+                        }
+                        let passed = outcome.reports.iter().filter(|r| r.passed).count();
+                        writeln!(
+                            out,
+                            "{:<28} {:>10.3} {:>10.3} {:>6} {:>7}/{:<2}",
+                            outcome.name,
+                            outcome.result.efficiency,
+                            outcome.result.envy_freeness,
+                            outcome.fired.len(),
+                            passed,
+                            outcome.reports.len()
+                        )
+                        .expect("infallible");
+                        for report in outcome.violations() {
+                            violations.push(format!(
+                                "{}: property '{}' violated: {}",
+                                outcome.name, report.property, report.detail
+                            ));
+                        }
+                    }
+                    if violations.is_empty() {
+                        Ok(out)
+                    } else {
+                        Err(property_err(format!(
+                            "{} scenario property violation(s):\n  {}",
+                            violations.len(),
+                            violations.join("\n  ")
+                        )))
+                    }
+                }
+                "audit" => {
+                    if rest.is_empty() {
+                        return Err(err("scenario audit needs at least one ledger file"));
+                    }
+                    for arg in rest {
+                        let text = std::fs::read_to_string(arg)
+                            .map_err(|e| err(format!("cannot read '{arg}': {e}")))?;
+                        let summary = rebudget_scenario::ledger::verify(&text)
+                            .map_err(|e| property_err(format!("{arg}: {e}")))?;
+                        writeln!(
+                            out,
+                            "ok {:<28} {} record(s), fnv1a {:016x}",
+                            summary.scenario, summary.records, summary.fnv1a
+                        )
+                        .expect("infallible");
+                    }
+                    Ok(out)
+                }
+                other => Err(err(format!(
+                    "unknown scenario subcommand '{other}' (list | check | run | audit)"
+                ))),
+            }
         }
         Some("theory") => {
             let mur: f64 = parse(args.get(1).ok_or_else(|| err(USAGE))?, "MUR")?;
@@ -1173,6 +1375,102 @@ mod tests {
             let plain = run_ok(&["simulate", "bbpc", "8", "2", "--mechanism=equalbudget"]);
             assert!(out.starts_with(plain.trim_end_matches('\n')) || out.starts_with(&plain));
         });
+    }
+
+    const SCENARIO_MINIMAL: &str = r#"[scenario]
+name = "cli-smoke"
+cores = 8
+workload = "cpbn"
+mechanism = "rebudget"
+seed = 5
+
+[[phases]]
+name = "steady"
+quanta = 3
+
+[[properties]]
+kind = "no-nan"
+"#;
+
+    fn scenario_dir(tag: &str, body: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rebudget-cli-sc-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("smoke.toml"), body).unwrap();
+        dir
+    }
+
+    #[test]
+    fn scenario_list_check_run_and_audit_round_trip() {
+        let dir = scenario_dir("ok", SCENARIO_MINIMAL);
+        let dir_s = dir.display().to_string();
+
+        let listed = run_ok(&["scenario", "list", &dir_s]);
+        assert!(listed.contains("cli-smoke"), "{listed}");
+        assert!(listed.contains("rebudget"), "{listed}");
+
+        let checked = run_ok(&["scenario", "check", &dir_s]);
+        assert!(checked.contains("ok cli-smoke"), "{checked}");
+        assert!(checked.contains("1 scenario(s) valid"), "{checked}");
+
+        let ledgers = dir.join("ledgers");
+        let ledger_flag = format!("--ledger={}", ledgers.display());
+        let ran = run_ok(&["scenario", "run", &dir_s, &ledger_flag]);
+        assert!(ran.contains("cli-smoke"), "{ran}");
+        assert!(ran.contains("1/1"), "{ran}");
+
+        // The written ledger audits cleanly; a tampered copy does not.
+        let ledger_path = ledgers.join("cli-smoke.ledger");
+        let ledger_s = ledger_path.display().to_string();
+        let audited = run_ok(&["scenario", "audit", &ledger_s]);
+        assert!(audited.contains("ok cli-smoke"), "{audited}");
+        let text = std::fs::read_to_string(&ledger_path).unwrap();
+        let tampered = dir.join("tampered.ledger");
+        std::fs::write(&tampered, text.replacen("eff=", "eff=f", 1)).unwrap();
+        let e = run_err(&["scenario", "audit", &tampered.display().to_string()]);
+        assert_eq!(e.code, EXIT_PROPERTY);
+
+        // Ledgers are immutable: a second run into the same directory
+        // refuses to overwrite.
+        let e = run_err(&["scenario", "run", &dir_s, &ledger_flag]);
+        assert!(e.message.contains("cannot write ledger"), "{}", e.message);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scenario_violation_exits_with_the_property_code() {
+        let body = SCENARIO_MINIMAL.replace(
+            "kind = \"no-nan\"\n",
+            "kind = \"no-nan\"\n\n[[properties]]\nkind = \"min-efficiency\"\nvalue = 9999.0\n",
+        );
+        let dir = scenario_dir("viol", &body);
+        let e = run_err(&["scenario", "run", &dir.display().to_string()]);
+        assert_eq!(e.code, EXIT_PROPERTY, "{}", e.message);
+        assert!(e.message.contains("min-efficiency"), "{}", e.message);
+        assert!(e.message.contains("violated"), "{}", e.message);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scenario_bad_arguments_are_usage_errors() {
+        for bad in [
+            vec!["scenario"],
+            vec!["scenario", "frobnicate", "x"],
+            vec!["scenario", "run"],
+            vec!["scenario", "run", "/nonexistent/path.toml"],
+            vec!["scenario", "audit"],
+        ] {
+            let e = run_err(&bad);
+            assert_eq!(e.code, EXIT_USAGE, "{bad:?}: {}", e.message);
+        }
+        // A malformed scenario file is a usage error naming the line.
+        let body = SCENARIO_MINIMAL.replace("seed = 5\n", "seed = 5\nbogus = 1\n");
+        let dir = scenario_dir("bad", &body);
+        let e = run_err(&["scenario", "check", &dir.display().to_string()]);
+        assert_eq!(e.code, EXIT_USAGE);
+        assert!(e.message.contains("line 7"), "{}", e.message);
+        assert!(e.message.contains("unknown key 'bogus'"), "{}", e.message);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

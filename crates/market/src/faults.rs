@@ -124,6 +124,15 @@ impl FaultPlan {
             })?;
             let key = key.trim();
             let value = value.trim();
+            if key == "seed" {
+                // Parse the seed as an integer first so the full u64 range
+                // survives (the f64 fallback below truncates above 2^53 —
+                // kept for legacy specs like `seed=1e3`).
+                if let Ok(seed) = value.parse::<u64>() {
+                    plan.seed = seed;
+                    continue;
+                }
+            }
             let num: f64 = value.parse().map_err(|_| MarketError::InvalidValue {
                 what: "fault spec number",
                 value: f64::NAN,
@@ -303,6 +312,51 @@ impl FaultPlan {
             dropped,
             liars,
         })
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    /// Renders the plan in the exact grammar [`FaultPlan::parse`] accepts,
+    /// omitting fields at their default values — so `parse(display(p))`
+    /// reproduces `p` for every plan whose fields are in the grammar's
+    /// range (finite, non-negative, magnitudes ≥ 1, depth ≥ 1). The
+    /// default plan renders as the empty string, which parses back to the
+    /// default plan. Rust's shortest-round-trip float formatting keeps the
+    /// f64 fields bit-exact through the trip.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let d = Self::default();
+        let mut parts: Vec<String> = Vec::new();
+        if self.seed != d.seed {
+            parts.push(format!("seed={}", self.seed));
+        }
+        if self.noise_sigma != d.noise_sigma {
+            parts.push(format!("noise={}", self.noise_sigma));
+        }
+        if self.spike_probability != d.spike_probability {
+            parts.push(format!("spike={}", self.spike_probability));
+        }
+        if self.spike_probability_magnitude != d.spike_probability_magnitude {
+            parts.push(format!("spike-mag={}", self.spike_probability_magnitude));
+        }
+        if self.stale_probability != d.stale_probability {
+            parts.push(format!("stale={}", self.stale_probability));
+        }
+        if self.stale_depth != d.stale_depth {
+            parts.push(format!("stale-depth={}", self.stale_depth));
+        }
+        if self.drop_probability != d.drop_probability {
+            parts.push(format!("drop={}", self.drop_probability));
+        }
+        if self.nan_probability != d.nan_probability {
+            parts.push(format!("nan={}", self.nan_probability));
+        }
+        if self.liars != d.liars {
+            parts.push(format!("liars={}", self.liars));
+        }
+        if self.liar_exaggeration != d.liar_exaggeration {
+            parts.push(format!("liar-factor={}", self.liar_exaggeration));
+        }
+        f.write_str(&parts.join(","))
     }
 }
 
@@ -501,6 +555,51 @@ mod tests {
         assert!(FaultPlan::parse("noise").is_err());
         assert!(FaultPlan::parse("noise=-1").is_err());
         assert!(FaultPlan::parse("noise=abc").is_err());
+    }
+
+    #[test]
+    fn display_parse_round_trips() {
+        // Shortest-round-trip float formatting + the integer seed path
+        // make `parse(display(p)) == p` hold for every in-grammar plan.
+        let unit = |h: u64| (h >> 11) as f64 / (1u64 << 53) as f64;
+        for k in 0..200u64 {
+            let s = |t: u64| splitmix(k.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ t);
+            let plan = FaultPlan {
+                seed: s(1),
+                noise_sigma: unit(s(2)),
+                spike_probability: unit(s(3)),
+                spike_probability_magnitude: 1.0 + 8.0 * unit(s(4)),
+                stale_probability: unit(s(5)),
+                stale_depth: 1 + (s(6) % 7) as usize,
+                drop_probability: unit(s(7)),
+                nan_probability: unit(s(8)),
+                liars: (s(9) % 5) as usize,
+                liar_exaggeration: 1.0 + 4.0 * unit(s(10)),
+            };
+            let shown = plan.to_string();
+            let back = FaultPlan::parse(&shown).unwrap();
+            assert_eq!(back, plan, "spec `{shown}` must round-trip");
+        }
+        assert_eq!(FaultPlan::default().to_string(), "");
+        assert_eq!(
+            FaultPlan::parse("").unwrap(),
+            FaultPlan::parse(&FaultPlan::default().to_string()).unwrap()
+        );
+        let p = FaultPlan::parse("noise=0.15,drop=0.1,stale=0.2,liars=2,seed=23").unwrap();
+        assert_eq!(FaultPlan::parse(&p.to_string()).unwrap(), p);
+        assert_eq!(
+            p.to_string(),
+            "seed=23,noise=0.15,stale=0.2,drop=0.1,liars=2"
+        );
+    }
+
+    #[test]
+    fn seed_survives_the_full_u64_range() {
+        let big = FaultPlan::parse("seed=18446744073709551615").unwrap();
+        assert_eq!(big.seed, u64::MAX);
+        assert_eq!(FaultPlan::parse(&big.to_string()).unwrap(), big);
+        // Legacy float-form seeds still work (truncated via f64).
+        assert_eq!(FaultPlan::parse("seed=1e3").unwrap().seed, 1000);
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! Effects: what a fired event does to the run.
+//!
+//! Effects mutate the engine's persistent control state — the state is
+//! then written into each quantum's
+//! [`rebudget_sim::QuantumControls`] until another effect changes it.
+//! They are declared as inline tables with one primary key:
+//!
+//! ```toml
+//! effects = [
+//!     { faults = "noise=0.3,drop=0.2,seed=11" }, # install a fault plan
+//!     { clear-faults = true },                   # back to the base plan off
+//!     { fault-intensity = 0.5 },                 # scale the active plan
+//!     { budget-scale = 2.0, player = 3 },        # shock one player
+//!     { budget-scales = [1.0, 2.0, 1.0, 0.5] },  # shock everyone
+//!     { utility-scale = 1.5, player = 2 },       # demand drift
+//!     { depart = 3 }, { arrive = 3 },            # churn
+//!     { reset = true },                          # neutral controls
+//! ]
+//! ```
+
+use rebudget_market::FaultPlan;
+
+use crate::toml::{Spanned, TableReader};
+use crate::ScenarioError;
+
+/// One declared effect.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Effect {
+    /// Install (replace) the fault plan.
+    Faults(FaultPlan),
+    /// Remove all faults (including the scenario's base plan).
+    ClearFaults,
+    /// Scale the currently-active fault plan's intensities.
+    FaultIntensity(f64),
+    /// Multiply one player's (or, with `player` omitted, every player's)
+    /// budget scale.
+    BudgetScale {
+        /// Target player, or all players when `None`.
+        player: Option<usize>,
+        /// Multiplier folded into the current scale (> 0).
+        factor: f64,
+    },
+    /// Replace the whole budget-scale vector.
+    BudgetScales(Vec<f64>),
+    /// Multiply one player's (or every player's) utility scale.
+    UtilityScale {
+        /// Target player, or all players when `None`.
+        player: Option<usize>,
+        /// Multiplier folded into the current scale (> 0).
+        factor: f64,
+    },
+    /// Remove a player from the market (zero allocation rows).
+    Depart(usize),
+    /// Return a departed player to the market.
+    Arrive(usize),
+    /// Reset every control to neutral: base faults, unit scales, all
+    /// players active.
+    Reset,
+}
+
+impl Effect {
+    /// Parses an effect from its inline-table form.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Format`] naming the offending line.
+    pub fn from_toml(spanned: &Spanned) -> Result<Self, ScenarioError> {
+        let table = spanned.as_table()?;
+        let mut reader = TableReader::new(table, "effect");
+        let line = reader.line();
+        let effect = if let Some(v) = reader.take("faults") {
+            let plan = FaultPlan::parse(v.as_str()?).map_err(|e| ScenarioError::Format {
+                line: v.line,
+                reason: format!("bad fault spec: {e}"),
+            })?;
+            Effect::Faults(plan)
+        } else if let Some(v) = reader.take("clear-faults") {
+            if !v.as_bool()? {
+                return Err(ScenarioError::Format {
+                    line: v.line,
+                    reason: "'clear-faults' must be true (omit the effect otherwise)".into(),
+                });
+            }
+            Effect::ClearFaults
+        } else if let Some(v) = reader.take("fault-intensity") {
+            let x = v.as_f64()?;
+            if !(x.is_finite() && x >= 0.0) {
+                return Err(ScenarioError::Format {
+                    line: v.line,
+                    reason: "fault-intensity must be finite and non-negative".into(),
+                });
+            }
+            Effect::FaultIntensity(x)
+        } else if let Some(v) = reader.take("budget-scale") {
+            Effect::BudgetScale {
+                factor: positive(v)?,
+                player: reader.take("player").map(Spanned::as_usize).transpose()?,
+            }
+        } else if let Some(v) = reader.take("budget-scales") {
+            let scales = v
+                .as_array()?
+                .iter()
+                .map(positive)
+                .collect::<Result<Vec<f64>, _>>()?;
+            Effect::BudgetScales(scales)
+        } else if let Some(v) = reader.take("utility-scale") {
+            Effect::UtilityScale {
+                factor: positive(v)?,
+                player: reader.take("player").map(Spanned::as_usize).transpose()?,
+            }
+        } else if let Some(v) = reader.take("depart") {
+            Effect::Depart(v.as_usize()?)
+        } else if let Some(v) = reader.take("arrive") {
+            Effect::Arrive(v.as_usize()?)
+        } else if let Some(v) = reader.take("reset") {
+            if !v.as_bool()? {
+                return Err(ScenarioError::Format {
+                    line: v.line,
+                    reason: "'reset' must be true (omit the effect otherwise)".into(),
+                });
+            }
+            Effect::Reset
+        } else {
+            return Err(ScenarioError::Format {
+                line,
+                reason: "malformed effect: expected one of faults, clear-faults, \
+                         fault-intensity, budget-scale, budget-scales, utility-scale, \
+                         depart, arrive, reset"
+                    .into(),
+            });
+        };
+        reader.finish()?;
+        Ok(effect)
+    }
+
+    /// The highest player index this effect references, for validation
+    /// against the scenario's core count.
+    #[must_use]
+    pub fn max_player(&self) -> Option<usize> {
+        match self {
+            Effect::BudgetScale {
+                player: Some(i), ..
+            }
+            | Effect::UtilityScale {
+                player: Some(i), ..
+            }
+            | Effect::Depart(i)
+            | Effect::Arrive(i) => Some(*i),
+            Effect::BudgetScales(scales) => scales.len().checked_sub(1),
+            _ => None,
+        }
+    }
+}
+
+fn positive(v: &Spanned) -> Result<f64, ScenarioError> {
+    let x = v.as_f64()?;
+    if x.is_finite() && x > 0.0 {
+        Ok(x)
+    } else {
+        Err(ScenarioError::Format {
+            line: v.line,
+            reason: format!("scale factors must be finite and positive (got {x})"),
+        })
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::toml::parse;
+
+    fn effect(doc: &str) -> Result<Effect, ScenarioError> {
+        let root = parse(&format!("e = {doc}\n"))?;
+        Effect::from_toml(root.get("e").unwrap())
+    }
+
+    #[test]
+    fn parses_every_effect_form() {
+        assert!(matches!(
+            effect("{ faults = \"noise=0.2,seed=3\" }").unwrap(),
+            Effect::Faults(p) if (p.noise_sigma - 0.2).abs() < 1e-12 && p.seed == 3
+        ));
+        assert_eq!(
+            effect("{ clear-faults = true }").unwrap(),
+            Effect::ClearFaults
+        );
+        assert_eq!(
+            effect("{ fault-intensity = 0.5 }").unwrap(),
+            Effect::FaultIntensity(0.5)
+        );
+        assert_eq!(
+            effect("{ budget-scale = 2.0, player = 3 }").unwrap(),
+            Effect::BudgetScale {
+                player: Some(3),
+                factor: 2.0
+            }
+        );
+        assert_eq!(
+            effect("{ budget-scales = [1.0, 2.0] }").unwrap(),
+            Effect::BudgetScales(vec![1.0, 2.0])
+        );
+        assert_eq!(
+            effect("{ utility-scale = 1.5 }").unwrap(),
+            Effect::UtilityScale {
+                player: None,
+                factor: 1.5
+            }
+        );
+        assert_eq!(effect("{ depart = 3 }").unwrap(), Effect::Depart(3));
+        assert_eq!(effect("{ arrive = 3 }").unwrap(), Effect::Arrive(3));
+        assert_eq!(effect("{ reset = true }").unwrap(), Effect::Reset);
+    }
+
+    #[test]
+    fn rejects_bad_effects() {
+        assert!(effect("{ faults = \"bogus=1\" }").is_err());
+        assert!(effect("{ budget-scale = 0.0 }").is_err());
+        assert!(effect("{ budget-scale = -1.0 }").is_err());
+        assert!(effect("{ utility-scale = 2.0, bogus = 1 }").is_err());
+        assert!(effect("{ reset = false }").is_err());
+        assert!(effect("{ }").is_err());
+        assert!(
+            effect("{ depart = 1, arrive = 2 }").is_err(),
+            "one primary key"
+        );
+    }
+
+    #[test]
+    fn max_player_covers_reach() {
+        assert_eq!(effect("{ depart = 5 }").unwrap().max_player(), Some(5));
+        assert_eq!(
+            effect("{ budget-scales = [1.0, 1.0, 2.0] }")
+                .unwrap()
+                .max_player(),
+            Some(2)
+        );
+        assert_eq!(effect("{ reset = true }").unwrap().max_player(), None);
+    }
+}

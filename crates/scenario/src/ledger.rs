@@ -1,0 +1,420 @@
+//! The append-only, hash-chained allocation ledger.
+//!
+//! Every scenario run produces a ledger: one record per quantum holding
+//! the enforced allocation, the effective budgets, the fired events, and
+//! the health flags, followed by a seal. The format reuses the checkpoint
+//! crate's conventions — `[section]` / `key=value` lines, f64 values as
+//! 16-hex-digit IEEE-754 bit patterns (bit-exact round trips), FNV-1a
+//! checksums — plus a **chain**: each record ends with the FNV-1a hash of
+//! every byte of the ledger before it, so truncation or in-place edits
+//! are detected at the first tampered record, not just at the seal.
+//!
+//! Because the whole pipeline is deterministic, re-running a scenario
+//! reproduces its ledger byte for byte — the `ledger-replay` property —
+//! which makes the ledger an audit artifact: any holder can re-derive it
+//! from the scenario file and diff.
+
+use std::path::Path;
+
+use rebudget_sim::checkpoint::fnv1a;
+
+use crate::ScenarioError;
+
+const HEADER: &str = "rebudget-ledger v1";
+
+fn f64_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn hex_list(values: &[f64]) -> String {
+    values
+        .iter()
+        .map(|&v| f64_hex(v))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Metadata stamped into the ledger header.
+#[derive(Debug, Clone)]
+pub struct LedgerMeta {
+    /// Scenario name.
+    pub scenario: String,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Mechanism name (as declared in the scenario).
+    pub mechanism: String,
+    /// Workload name.
+    pub workload: String,
+    /// Core count.
+    pub cores: usize,
+    /// Resource count.
+    pub resources: usize,
+    /// Total quanta the scenario runs.
+    pub quanta: usize,
+    /// Per-player budget.
+    pub budget: f64,
+    /// Base fault spec in `--faults` grammar (empty when none).
+    pub faults: String,
+}
+
+/// One quantum's ledger entry.
+#[derive(Debug, Clone)]
+pub struct LedgerRecord<'a> {
+    /// Quantum index.
+    pub quantum: usize,
+    /// Phase the quantum ran in.
+    pub phase: &'a str,
+    /// Events that fired this quantum, in declaration order.
+    pub events: &'a [String],
+    /// Player presence this quantum.
+    pub active: &'a [bool],
+    /// Effective budgets of the active players.
+    pub budgets: &'a [f64],
+    /// Row-major full allocation (zero rows for inactive players).
+    pub allocation: &'a [f64],
+    /// Instantaneous weighted speedup.
+    pub efficiency: f64,
+    /// Envy-freeness of the quantum's allocation.
+    pub envy_freeness: f64,
+    /// Whether the solve degraded.
+    pub degraded: bool,
+    /// Whether the quantum fell back to EqualShare.
+    pub fallback: bool,
+    /// Whether the solve converged.
+    pub converged: bool,
+}
+
+/// An in-progress or sealed ledger.
+#[derive(Debug, Clone)]
+pub struct Ledger {
+    text: String,
+    records: usize,
+    sealed: bool,
+}
+
+impl Ledger {
+    /// Starts a ledger with its header and meta section.
+    #[must_use]
+    pub fn new(meta: &LedgerMeta) -> Self {
+        let mut text = String::new();
+        text.push_str(HEADER);
+        text.push('\n');
+        text.push_str("[meta]\n");
+        text.push_str(&format!("scenario={}\n", meta.scenario));
+        text.push_str(&format!("seed={}\n", meta.seed));
+        text.push_str(&format!("mechanism={}\n", meta.mechanism));
+        text.push_str(&format!("workload={}\n", meta.workload));
+        text.push_str(&format!("cores={}\n", meta.cores));
+        text.push_str(&format!("resources={}\n", meta.resources));
+        text.push_str(&format!("quanta={}\n", meta.quanta));
+        text.push_str(&format!("budget={}\n", f64_hex(meta.budget)));
+        if !meta.faults.is_empty() {
+            text.push_str(&format!("faults={}\n", meta.faults));
+        }
+        Self {
+            text,
+            records: 0,
+            sealed: false,
+        }
+    }
+
+    /// Appends one quantum record, closing it with the chain hash of all
+    /// preceding bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ledger is already sealed — records are append-only
+    /// and the seal is final.
+    pub fn append(&mut self, record: &LedgerRecord) {
+        assert!(!self.sealed, "cannot append to a sealed ledger");
+        self.text
+            .push_str(&format!("[quantum {}]\n", record.quantum));
+        self.text.push_str(&format!("phase={}\n", record.phase));
+        if !record.events.is_empty() {
+            self.text
+                .push_str(&format!("events={}\n", record.events.join(";")));
+        }
+        let mask: String = record
+            .active
+            .iter()
+            .map(|&a| if a { '1' } else { '0' })
+            .collect();
+        self.text.push_str(&format!("active={mask}\n"));
+        self.text
+            .push_str(&format!("budgets={}\n", hex_list(record.budgets)));
+        self.text
+            .push_str(&format!("alloc={}\n", hex_list(record.allocation)));
+        self.text
+            .push_str(&format!("eff={}\n", f64_hex(record.efficiency)));
+        self.text
+            .push_str(&format!("envy={}\n", f64_hex(record.envy_freeness)));
+        self.text
+            .push_str(&format!("degraded={}\n", u8::from(record.degraded)));
+        self.text
+            .push_str(&format!("fallback={}\n", u8::from(record.fallback)));
+        self.text
+            .push_str(&format!("converged={}\n", u8::from(record.converged)));
+        let chain = fnv1a(self.text.as_bytes());
+        self.text.push_str(&format!("chain={chain:016x}\n"));
+        self.records += 1;
+    }
+
+    /// Seals the ledger with its record count and whole-file checksum.
+    /// Idempotent no-op if already sealed.
+    pub fn seal(&mut self) {
+        if self.sealed {
+            return;
+        }
+        self.text.push_str("[seal]\n");
+        self.text.push_str(&format!("records={}\n", self.records));
+        let sum = fnv1a(self.text.as_bytes());
+        self.text.push_str(&format!("fnv1a={sum:016x}\n"));
+        self.sealed = true;
+    }
+
+    /// The ledger text so far.
+    #[must_use]
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Records appended so far.
+    #[must_use]
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Writes the sealed ledger to a **new** file — an existing file is an
+    /// error, because ledgers are immutable audit artifacts, never
+    /// overwritten.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Io`] if the file exists or cannot be written.
+    pub fn write_new(&self, path: &Path) -> Result<(), ScenarioError> {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)?;
+        f.write_all(self.text.as_bytes())?;
+        f.sync_all()?;
+        Ok(())
+    }
+}
+
+/// What [`verify`] found in a well-formed ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerSummary {
+    /// Scenario name from the meta section.
+    pub scenario: String,
+    /// Number of quantum records.
+    pub records: usize,
+    /// The seal checksum.
+    pub fnv1a: u64,
+}
+
+/// Verifies a ledger's header, every chain hash, and the seal.
+///
+/// Any truncation or in-place edit fails at the first record whose chain
+/// no longer matches the bytes before it.
+///
+/// # Errors
+///
+/// [`ScenarioError::Ledger`] with the 1-based line of the first offence.
+pub fn verify(text: &str) -> Result<LedgerSummary, ScenarioError> {
+    let bad = |line: usize, reason: String| ScenarioError::Ledger { line, reason };
+    let mut scenario = String::new();
+    let mut records = 0usize;
+    let mut sealed_records: Option<usize> = None;
+    let mut seal_sum: Option<u64> = None;
+    // Byte offset of the start of the current line.
+    let mut offset = 0usize;
+    let mut first = true;
+    for (idx, line) in text.split_inclusive('\n').enumerate() {
+        let lineno = idx + 1;
+        let content = line.trim_end_matches('\n');
+        if first {
+            if content != HEADER {
+                return Err(bad(
+                    1,
+                    format!("bad header '{content}' (expected '{HEADER}')"),
+                ));
+            }
+            first = false;
+        } else if let Some(rest) = content.strip_prefix("scenario=") {
+            scenario = rest.to_string();
+        } else if content.starts_with("[quantum ") {
+            records += 1;
+        } else if let Some(rest) = content.strip_prefix("chain=") {
+            let want = u64::from_str_radix(rest, 16)
+                .map_err(|_| bad(lineno, format!("malformed chain hash '{rest}'")))?;
+            let got = fnv1a(&text.as_bytes()[..offset]);
+            if got != want {
+                return Err(bad(
+                    lineno,
+                    format!(
+                        "chain mismatch: record {} hashes to {got:016x}, ledger says \
+                         {want:016x} (tampered or truncated upstream)",
+                        records.saturating_sub(1)
+                    ),
+                ));
+            }
+        } else if let Some(rest) = content.strip_prefix("records=") {
+            sealed_records = Some(
+                rest.parse()
+                    .map_err(|_| bad(lineno, format!("malformed record count '{rest}'")))?,
+            );
+        } else if let Some(rest) = content.strip_prefix("fnv1a=") {
+            let want = u64::from_str_radix(rest, 16)
+                .map_err(|_| bad(lineno, format!("malformed seal hash '{rest}'")))?;
+            let got = fnv1a(&text.as_bytes()[..offset]);
+            if got != want {
+                return Err(bad(
+                    lineno,
+                    format!("seal mismatch: ledger hashes to {got:016x}, seal says {want:016x}"),
+                ));
+            }
+            seal_sum = Some(want);
+        }
+        offset += line.len();
+    }
+    let lines = text.lines().count();
+    let Some(sum) = seal_sum else {
+        return Err(bad(
+            lines.max(1),
+            "ledger is not sealed (truncated?)".into(),
+        ));
+    };
+    match sealed_records {
+        Some(n) if n == records => Ok(LedgerSummary {
+            scenario,
+            records,
+            fnv1a: sum,
+        }),
+        Some(n) => Err(bad(
+            lines.max(1),
+            format!("seal claims {n} records, ledger holds {records}"),
+        )),
+        None => Err(bad(lines.max(1), "seal is missing its record count".into())),
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ledger {
+        let mut ledger = Ledger::new(&LedgerMeta {
+            scenario: "test".into(),
+            seed: 7,
+            mechanism: "rebudget".into(),
+            workload: "cpbn".into(),
+            cores: 2,
+            resources: 2,
+            quanta: 2,
+            budget: 100.0,
+            faults: String::new(),
+        });
+        for q in 0..2 {
+            ledger.append(&LedgerRecord {
+                quantum: q,
+                phase: "steady",
+                events: &[],
+                active: &[true, true],
+                budgets: &[100.0, 100.0],
+                allocation: &[8.0, 40.0, 8.0, 40.0],
+                efficiency: 1.5,
+                envy_freeness: 1.0,
+                degraded: false,
+                fallback: false,
+                converged: true,
+            });
+        }
+        ledger.seal();
+        ledger
+    }
+
+    #[test]
+    fn verify_accepts_a_sealed_ledger() {
+        let ledger = sample();
+        let summary = verify(ledger.text()).unwrap();
+        assert_eq!(summary.scenario, "test");
+        assert_eq!(summary.records, 2);
+    }
+
+    #[test]
+    fn verify_rejects_tampering_and_truncation() {
+        let ledger = sample();
+        let text = ledger.text();
+
+        // Flip one hex digit of the first allocation value.
+        let tampered = text.replacen("alloc=4020", "alloc=4021", 1);
+        assert_ne!(tampered, text);
+        match verify(&tampered).unwrap_err() {
+            ScenarioError::Ledger { reason, .. } => {
+                assert!(reason.contains("chain mismatch"), "{reason}");
+            }
+            other => panic!("expected Ledger, got {other:?}"),
+        }
+
+        // Drop the seal.
+        let truncated = &text[..text.rfind("[seal]").unwrap()];
+        assert!(matches!(
+            verify(truncated).unwrap_err(),
+            ScenarioError::Ledger { .. }
+        ));
+
+        // Remove a whole record (chain of the next record breaks).
+        let second = text.find("[quantum 1]").unwrap();
+        let seal = text.find("[seal]").unwrap();
+        let gutted = format!("{}{}", &text[..second], &text[seal..]);
+        assert!(matches!(
+            verify(&gutted).unwrap_err(),
+            ScenarioError::Ledger { .. }
+        ));
+
+        // Bad header.
+        assert!(matches!(
+            verify("nonsense\n").unwrap_err(),
+            ScenarioError::Ledger { line: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn floats_are_bit_exact_and_event_lines_optional() {
+        let mut ledger = Ledger::new(&LedgerMeta {
+            scenario: "t".into(),
+            seed: 1,
+            mechanism: "balanced".into(),
+            workload: "ccpp".into(),
+            cores: 2,
+            resources: 2,
+            quanta: 1,
+            budget: 0.1 + 0.2, // not representable exactly in decimal
+            faults: "noise=0.1,seed=3".into(),
+        });
+        let events = vec!["onset".to_string(), "shock".to_string()];
+        ledger.append(&LedgerRecord {
+            quantum: 0,
+            phase: "p",
+            events: &events,
+            active: &[true, false],
+            budgets: &[100.0],
+            allocation: &[16.0, 80.0, 0.0, 0.0],
+            efficiency: std::f64::consts::PI,
+            envy_freeness: f64::INFINITY,
+            degraded: true,
+            fallback: false,
+            converged: false,
+        });
+        ledger.seal();
+        let text = ledger.text();
+        assert!(text.contains(&format!("budget={}", f64_hex(0.1 + 0.2))));
+        assert!(text.contains("events=onset;shock"));
+        assert!(text.contains("active=10"));
+        assert!(text.contains(&format!("envy={}", f64_hex(f64::INFINITY))));
+        verify(text).unwrap();
+    }
+}

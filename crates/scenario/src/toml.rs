@@ -1,0 +1,756 @@
+//! A hand-rolled TOML-subset parser — zero dependencies, line-numbered
+//! errors, and hard rejection of anything outside the subset.
+//!
+//! Supported: `[table]` and `[[array-of-tables]]` headers, bare and
+//! quoted keys, basic strings with `\\ \" \n \t` escapes, integers (with
+//! `_` separators), floats, booleans, single-line arrays, and (nestable)
+//! inline tables. Comments start with `#` outside strings. **Not**
+//! supported, by design: dotted keys/headers, multi-line strings or
+//! arrays, dates, and the literals `inf`/`nan` (a scenario with a
+//! non-finite number in it is a typo, not a workload).
+//!
+//! Every key and value carries the 1-based line it came from, so the
+//! model layer can report `scenario.toml:12: unknown key 'quata'` in the
+//! style of the checkpoint crate's `CheckpointError::Format`.
+
+use crate::ScenarioError;
+
+/// A parsed TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A basic string.
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal (always finite; `inf`/`nan` are rejected).
+    Float(f64),
+    /// A boolean literal.
+    Bool(bool),
+    /// A single-line array.
+    Array(Vec<Spanned>),
+    /// An inline table, or a table built from headers.
+    Table(Table),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+            Value::Table(_) => "table",
+        }
+    }
+}
+
+/// A value plus the 1-based line it was parsed from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The value itself.
+    pub value: Value,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// An ordered table of `key = value` entries.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    entries: Vec<(String, Spanned)>,
+    /// Line of the header (or the inline table) this table came from.
+    pub line: usize,
+}
+
+impl Table {
+    /// The entries in declaration order.
+    pub fn entries(&self) -> &[(String, Spanned)] {
+        &self.entries
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Spanned> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn insert(&mut self, key: String, value: Spanned) -> Result<(), ScenarioError> {
+        if self.entries.iter().any(|(k, _)| *k == key) {
+            return Err(ScenarioError::Format {
+                line: value.line,
+                reason: format!("duplicate key '{key}'"),
+            });
+        }
+        self.entries.push((key, value));
+        Ok(())
+    }
+}
+
+/// A [`Table`] wrapper that tracks which keys the model layer consumed,
+/// so [`TableReader::finish`] can reject the leftovers by name and line —
+/// unknown keys are hard errors, never silently ignored.
+pub struct TableReader<'a> {
+    table: &'a Table,
+    taken: Vec<bool>,
+    /// Context string for error messages, e.g. `"[scenario]"`.
+    context: String,
+}
+
+impl<'a> TableReader<'a> {
+    /// Starts reading `table`; `context` names it in error messages.
+    pub fn new(table: &'a Table, context: &str) -> Self {
+        Self {
+            table,
+            taken: vec![false; table.entries.len()],
+            context: context.to_string(),
+        }
+    }
+
+    /// The line the table started on.
+    pub fn line(&self) -> usize {
+        self.table.line
+    }
+
+    /// Takes `key` if present, marking it consumed.
+    pub fn take(&mut self, key: &str) -> Option<&'a Spanned> {
+        for (i, (k, v)) in self.table.entries.iter().enumerate() {
+            if k == key {
+                self.taken[i] = true;
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Takes `key`, erroring (at the table's line) if it is missing.
+    pub fn require(&mut self, key: &str) -> Result<&'a Spanned, ScenarioError> {
+        let line = self.table.line;
+        let context = self.context.clone();
+        self.take(key).ok_or_else(|| ScenarioError::Format {
+            line,
+            reason: format!("{context} is missing required key '{key}'"),
+        })
+    }
+
+    /// Errors on the first unconsumed key, naming it and its line.
+    pub fn finish(self) -> Result<(), ScenarioError> {
+        for (i, (k, v)) in self.table.entries.iter().enumerate() {
+            if !self.taken[i] {
+                return Err(ScenarioError::Format {
+                    line: v.line,
+                    reason: format!("unknown key '{k}' in {}", self.context),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Typed accessors with line-numbered type errors.
+impl Spanned {
+    /// The value as a string.
+    pub fn as_str(&self) -> Result<&str, ScenarioError> {
+        match &self.value {
+            Value::Str(s) => Ok(s),
+            other => Err(self.type_err("string", other)),
+        }
+    }
+
+    /// The value as an `f64` (integers widen).
+    pub fn as_f64(&self) -> Result<f64, ScenarioError> {
+        match &self.value {
+            Value::Float(x) => Ok(*x),
+            #[allow(clippy::cast_precision_loss)]
+            Value::Int(n) => Ok(*n as f64),
+            other => Err(self.type_err("number", other)),
+        }
+    }
+
+    /// The value as a non-negative integer.
+    pub fn as_usize(&self) -> Result<usize, ScenarioError> {
+        match &self.value {
+            Value::Int(n) if *n >= 0 => Ok(usize::try_from(*n).unwrap_or(usize::MAX)),
+            Value::Int(_) => Err(ScenarioError::Format {
+                line: self.line,
+                reason: "expected a non-negative integer".into(),
+            }),
+            other => Err(self.type_err("integer", other)),
+        }
+    }
+
+    /// The value as a `u64`.
+    pub fn as_u64(&self) -> Result<u64, ScenarioError> {
+        match &self.value {
+            Value::Int(n) if *n >= 0 => Ok(*n as u64),
+            Value::Int(_) => Err(ScenarioError::Format {
+                line: self.line,
+                reason: "expected a non-negative integer".into(),
+            }),
+            other => Err(self.type_err("integer", other)),
+        }
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Result<bool, ScenarioError> {
+        match &self.value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(self.type_err("boolean", other)),
+        }
+    }
+
+    /// The value as an array.
+    pub fn as_array(&self) -> Result<&[Spanned], ScenarioError> {
+        match &self.value {
+            Value::Array(items) => Ok(items),
+            other => Err(self.type_err("array", other)),
+        }
+    }
+
+    /// The value as a table.
+    pub fn as_table(&self) -> Result<&Table, ScenarioError> {
+        match &self.value {
+            Value::Table(t) => Ok(t),
+            other => Err(self.type_err("table", other)),
+        }
+    }
+
+    fn type_err(&self, wanted: &str, got: &Value) -> ScenarioError {
+        ScenarioError::Format {
+            line: self.line,
+            reason: format!("expected a {wanted}, got a {}", got.type_name()),
+        }
+    }
+}
+
+/// Parses a TOML-subset document into its root table.
+///
+/// # Errors
+///
+/// [`ScenarioError::Format`] with the 1-based line of the first offence.
+pub fn parse(text: &str) -> Result<Table, ScenarioError> {
+    let mut root = Table {
+        line: 1,
+        ..Table::default()
+    };
+    // Path of (key, index-into-array-of-tables) from the root to the
+    // table currently receiving `key = value` lines.
+    let mut current: Vec<String> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = strip_comment(raw, line)?;
+        let trimmed = trimmed.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(inner) = trimmed.strip_prefix("[[") {
+            let name = inner
+                .strip_suffix("]]")
+                .ok_or_else(|| ScenarioError::Format {
+                    line,
+                    reason: "malformed [[array-of-tables]] header".into(),
+                })?;
+            let name = header_name(name, line)?;
+            push_array_table(&mut root, &name, line)?;
+            current = vec![name];
+            continue;
+        }
+        if let Some(inner) = trimmed.strip_prefix('[') {
+            let name = inner
+                .strip_suffix(']')
+                .ok_or_else(|| ScenarioError::Format {
+                    line,
+                    reason: "malformed [table] header".into(),
+                })?;
+            let name = header_name(name, line)?;
+            if root.get(&name).is_some() {
+                return Err(ScenarioError::Format {
+                    line,
+                    reason: format!("table '{name}' defined twice"),
+                });
+            }
+            root.insert(
+                name.clone(),
+                Spanned {
+                    value: Value::Table(Table {
+                        entries: Vec::new(),
+                        line,
+                    }),
+                    line,
+                },
+            )?;
+            current = vec![name];
+            continue;
+        }
+        let (key, rest) = parse_key(trimmed, line)?;
+        let mut chars = rest.char_indices().peekable();
+        let value = parse_value(rest, &mut chars, line)?;
+        if let Some((_, c)) = chars.find(|&(_, c)| !c.is_whitespace()) {
+            return Err(ScenarioError::Format {
+                line,
+                reason: format!("trailing '{c}' after value"),
+            });
+        }
+        let target = resolve(&mut root, &current);
+        target.insert(key, Spanned { value, line })?;
+    }
+    Ok(root)
+}
+
+/// Walks to the table currently receiving keys (last element of the last
+/// array-of-tables along the path).
+fn resolve<'a>(root: &'a mut Table, path: &[String]) -> &'a mut Table {
+    let mut t: &mut Table = root;
+    for key in path {
+        let entry = t
+            .entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .expect("path segments are created before being resolved");
+        t = match &mut entry.value {
+            Value::Table(inner) => inner,
+            Value::Array(items) => match &mut items.last_mut().expect("non-empty").value {
+                Value::Table(inner) => inner,
+                _ => unreachable!("array-of-tables holds tables"),
+            },
+            _ => unreachable!("path segments are tables"),
+        };
+    }
+    t
+}
+
+fn push_array_table(root: &mut Table, name: &str, line: usize) -> Result<(), ScenarioError> {
+    let fresh = Spanned {
+        value: Value::Table(Table {
+            entries: Vec::new(),
+            line,
+        }),
+        line,
+    };
+    if let Some((_, existing)) = root.entries.iter_mut().find(|(k, _)| k == name) {
+        match &mut existing.value {
+            Value::Array(items) => {
+                items.push(fresh);
+                Ok(())
+            }
+            _ => Err(ScenarioError::Format {
+                line,
+                reason: format!("'{name}' is not an array of tables"),
+            }),
+        }
+    } else {
+        root.insert(
+            name.to_string(),
+            Spanned {
+                value: Value::Array(vec![fresh]),
+                line,
+            },
+        )
+    }
+}
+
+fn header_name(name: &str, line: usize) -> Result<String, ScenarioError> {
+    let name = name.trim();
+    if name.is_empty() || !name.chars().all(is_bare_key_char) {
+        return Err(ScenarioError::Format {
+            line,
+            reason: format!(
+                "invalid table name '{name}' (dotted and quoted headers are not supported)"
+            ),
+        });
+    }
+    Ok(name.to_string())
+}
+
+fn is_bare_key_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-'
+}
+
+/// Strips a trailing comment, respecting `#` inside strings.
+fn strip_comment(line: &str, lineno: usize) -> Result<&str, ScenarioError> {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+        } else if c == '"' {
+            in_str = true;
+        } else if c == '#' {
+            return Ok(&line[..i]);
+        }
+    }
+    if in_str {
+        return Err(ScenarioError::Format {
+            line: lineno,
+            reason: "unterminated string".into(),
+        });
+    }
+    Ok(line)
+}
+
+/// Splits `key = rest`, supporting bare and quoted keys.
+fn parse_key(s: &str, line: usize) -> Result<(String, &str), ScenarioError> {
+    let s = s.trim_start();
+    let (key, rest) = if let Some(stripped) = s.strip_prefix('"') {
+        let end = stripped.find('"').ok_or_else(|| ScenarioError::Format {
+            line,
+            reason: "unterminated quoted key".into(),
+        })?;
+        (stripped[..end].to_string(), &stripped[end + 1..])
+    } else {
+        let end = s.find(|c: char| !is_bare_key_char(c)).unwrap_or(s.len());
+        if end == 0 {
+            return Err(ScenarioError::Format {
+                line,
+                reason: format!("expected a key, found '{s}'"),
+            });
+        }
+        (s[..end].to_string(), &s[end..])
+    };
+    let rest = rest.trim_start();
+    let rest = rest
+        .strip_prefix('=')
+        .ok_or_else(|| ScenarioError::Format {
+            line,
+            reason: format!("expected '=' after key '{key}'"),
+        })?;
+    Ok((key, rest.trim_start()))
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::CharIndices<'a>>;
+
+fn skip_ws(chars: &mut Chars) {
+    while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+/// Parses one value starting at the iterator's position over `src`.
+fn parse_value(src: &str, chars: &mut Chars, line: usize) -> Result<Value, ScenarioError> {
+    skip_ws(chars);
+    let Some(&(start, c)) = chars.peek() else {
+        return Err(ScenarioError::Format {
+            line,
+            reason: "expected a value".into(),
+        });
+    };
+    match c {
+        '"' => parse_string(chars, line),
+        '[' => parse_array(src, chars, line),
+        '{' => parse_inline_table(src, chars, line),
+        _ => {
+            // Scalar token: up to a delimiter.
+            let mut end = start;
+            while let Some(&(i, c)) = chars.peek() {
+                if c == ',' || c == ']' || c == '}' || c.is_whitespace() {
+                    break;
+                }
+                end = i + c.len_utf8();
+                chars.next();
+            }
+            parse_scalar(&src[start..end], line)
+        }
+    }
+}
+
+fn parse_scalar(token: &str, line: usize) -> Result<Value, ScenarioError> {
+    match token {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        "" => {
+            return Err(ScenarioError::Format {
+                line,
+                reason: "expected a value".into(),
+            })
+        }
+        _ => {}
+    }
+    let lowered = token.to_ascii_lowercase();
+    if lowered.contains("inf") || lowered.contains("nan") {
+        return Err(ScenarioError::Format {
+            line,
+            reason: format!("non-finite numeric literal '{token}'"),
+        });
+    }
+    let cleaned: String = token.chars().filter(|&c| c != '_').collect();
+    if !token.contains('.') && !lowered.contains('e') {
+        if let Ok(n) = cleaned.parse::<i64>() {
+            return Ok(Value::Int(n));
+        }
+    }
+    if let Ok(x) = cleaned.parse::<f64>() {
+        if !x.is_finite() {
+            return Err(ScenarioError::Format {
+                line,
+                reason: format!("non-finite numeric literal '{token}'"),
+            });
+        }
+        return Ok(Value::Float(x));
+    }
+    Err(ScenarioError::Format {
+        line,
+        reason: format!("unrecognised value '{token}'"),
+    })
+}
+
+fn parse_string(chars: &mut Chars, line: usize) -> Result<Value, ScenarioError> {
+    chars.next(); // opening quote
+    let mut out = String::new();
+    loop {
+        let Some((_, c)) = chars.next() else {
+            return Err(ScenarioError::Format {
+                line,
+                reason: "unterminated string".into(),
+            });
+        };
+        match c {
+            '"' => return Ok(Value::Str(out)),
+            '\\' => {
+                let Some((_, esc)) = chars.next() else {
+                    return Err(ScenarioError::Format {
+                        line,
+                        reason: "unterminated escape".into(),
+                    });
+                };
+                out.push(match esc {
+                    '\\' => '\\',
+                    '"' => '"',
+                    'n' => '\n',
+                    't' => '\t',
+                    other => {
+                        return Err(ScenarioError::Format {
+                            line,
+                            reason: format!("unsupported escape '\\{other}'"),
+                        })
+                    }
+                });
+            }
+            _ => out.push(c),
+        }
+    }
+}
+
+fn parse_array(src: &str, chars: &mut Chars, line: usize) -> Result<Value, ScenarioError> {
+    chars.next(); // '['
+    let mut items = Vec::new();
+    loop {
+        skip_ws(chars);
+        if matches!(chars.peek(), Some((_, ']'))) {
+            chars.next();
+            return Ok(Value::Array(items));
+        }
+        let value = parse_value(src, chars, line)?;
+        items.push(Spanned { value, line });
+        skip_ws(chars);
+        match chars.peek() {
+            Some((_, ',')) => {
+                chars.next();
+            }
+            Some((_, ']')) => {}
+            _ => {
+                return Err(ScenarioError::Format {
+                    line,
+                    reason: "expected ',' or ']' in array".into(),
+                })
+            }
+        }
+    }
+}
+
+fn parse_inline_table(src: &str, chars: &mut Chars, line: usize) -> Result<Value, ScenarioError> {
+    chars.next(); // '{'
+    let mut table = Table {
+        entries: Vec::new(),
+        line,
+    };
+    loop {
+        skip_ws(chars);
+        match chars.peek() {
+            Some((_, '}')) => {
+                chars.next();
+                return Ok(Value::Table(table));
+            }
+            None => {
+                return Err(ScenarioError::Format {
+                    line,
+                    reason: "unterminated inline table".into(),
+                })
+            }
+            _ => {}
+        }
+        let Some(&(start, _)) = chars.peek() else {
+            unreachable!("peeked above")
+        };
+        let (key, rest_offset) = {
+            let rest = &src[start..];
+            let (key, after) = parse_key(rest, line)?;
+            (key, start + (rest.len() - after.len()))
+        };
+        // Re-sync the iterator to just past the '=' (parse_key worked on
+        // the slice).
+        while matches!(chars.peek(), Some(&(i, _)) if i < rest_offset) {
+            chars.next();
+        }
+        let value = parse_value(src, chars, line)?;
+        table.insert(key, Spanned { value, line })?;
+        skip_ws(chars);
+        match chars.peek() {
+            Some((_, ',')) => {
+                chars.next();
+            }
+            Some((_, '}')) => {}
+            _ => {
+                return Err(ScenarioError::Format {
+                    line,
+                    reason: "expected ',' or '}' in inline table".into(),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_headers_keys_and_scalars() {
+        let doc = parse(
+            "# comment\n\
+             [scenario]\n\
+             name = \"flash-crowd\" # trailing\n\
+             seed = 1_000\n\
+             budget = 100.5\n\
+             deep = true\n\
+             [[phases]]\n\
+             name = \"warm\"\n\
+             quanta = 4\n\
+             [[phases]]\n\
+             name = \"storm\"\n\
+             quanta = 8\n",
+        )
+        .unwrap();
+        let scenario = doc.get("scenario").unwrap().as_table().unwrap();
+        assert_eq!(
+            scenario.get("name").unwrap().as_str().unwrap(),
+            "flash-crowd"
+        );
+        assert_eq!(scenario.get("seed").unwrap().as_u64().unwrap(), 1000);
+        assert!((scenario.get("budget").unwrap().as_f64().unwrap() - 100.5).abs() < 1e-12);
+        assert!(scenario.get("deep").unwrap().as_bool().unwrap());
+        let phases = doc.get("phases").unwrap().as_array().unwrap();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(
+            phases[1]
+                .as_table()
+                .unwrap()
+                .get("name")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "storm"
+        );
+        assert_eq!(
+            phases[1].as_table().unwrap().get("quanta").unwrap().line,
+            12
+        );
+    }
+
+    #[test]
+    fn parses_arrays_and_inline_tables() {
+        let doc = parse(
+            "scales = [1.0, 2.5, 3]\n\
+             trigger = { all = [{ at = 3 }, { phase = \"storm\" }], note = \"x\" }\n",
+        )
+        .unwrap();
+        let scales = doc.get("scales").unwrap().as_array().unwrap();
+        assert_eq!(scales.len(), 3);
+        assert!((scales[2].as_f64().unwrap() - 3.0).abs() < 1e-12);
+        let trigger = doc.get("trigger").unwrap().as_table().unwrap();
+        let all = trigger.get("all").unwrap().as_array().unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(
+            all[0]
+                .as_table()
+                .unwrap()
+                .get("at")
+                .unwrap()
+                .as_usize()
+                .unwrap(),
+            3
+        );
+        assert_eq!(
+            all[1]
+                .as_table()
+                .unwrap()
+                .get("phase")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "storm"
+        );
+        assert_eq!(trigger.get("note").unwrap().as_str().unwrap(), "x");
+    }
+
+    #[test]
+    fn rejects_non_finite_literals_with_line() {
+        for bad in ["x = inf", "x = -inf", "x = nan", "x = 1e999"] {
+            let err = parse(&format!("ok = 1\n{bad}\n")).unwrap_err();
+            match err {
+                ScenarioError::Format { line, reason } => {
+                    assert_eq!(line, 2, "{bad}");
+                    assert!(reason.contains("non-finite"), "{bad}: {reason}");
+                }
+                other => panic!("expected Format, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents_with_lines() {
+        let cases = [
+            ("[scenario\nname = \"x\"\n", 1, "malformed"),
+            ("[a]\n[a]\n", 2, "twice"),
+            ("a = 1\na = 2\n", 2, "duplicate"),
+            ("a = \n", 1, "expected a value"),
+            ("a = 1 2\n", 1, "trailing"),
+            ("a = \"unterminated\n", 1, "unterminated"),
+            ("a = {x = 1\n", 1, "inline table"),
+            ("a = [1, \n", 1, "expected a value"),
+            ("a = [1, 2\n", 1, "array"),
+            ("[a.b]\n", 1, "invalid table name"),
+            ("= 3\n", 1, "expected a key"),
+            ("a = wat\n", 1, "unrecognised"),
+        ];
+        for (doc, want_line, want) in cases {
+            match parse(doc).unwrap_err() {
+                ScenarioError::Format { line, reason } => {
+                    assert_eq!(line, want_line, "{doc:?}");
+                    assert!(reason.contains(want), "{doc:?}: {reason}");
+                }
+                other => panic!("expected Format, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reader_rejects_unknown_keys() {
+        let doc = parse("[s]\ngood = 1\nbogus = 2\n").unwrap();
+        let table = doc.get("s").unwrap().as_table().unwrap();
+        let mut reader = TableReader::new(table, "[s]");
+        assert_eq!(reader.take("good").unwrap().as_usize().unwrap(), 1);
+        match reader.finish().unwrap_err() {
+            ScenarioError::Format { line, reason } => {
+                assert_eq!(line, 3);
+                assert!(reason.contains("unknown key 'bogus'"));
+            }
+            other => panic!("expected Format, got {other:?}"),
+        }
+    }
+}

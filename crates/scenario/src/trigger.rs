@@ -1,0 +1,320 @@
+//! Event triggers: when an effect fires.
+//!
+//! The shape follows finplan's recursive `evaluate_trigger(trigger,
+//! state)`: leaf conditions on time, phase, or observed metrics, plus
+//! composable `all`/`any` combinators. Metric triggers read the
+//! **previous** quantum's observation — the market for quantum `q` is
+//! built before `q` executes, so `q`'s own metrics cannot steer it.
+
+use crate::toml::{Spanned, TableReader};
+use crate::ScenarioError;
+
+/// A metric a threshold trigger can watch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Instantaneous weighted speedup of the previous quantum.
+    Efficiency,
+    /// Envy-freeness of the previous quantum's allocation.
+    EnvyFreeness,
+    /// Worst solver residual of the previous quantum.
+    Residual,
+    /// Cumulative degraded quanta so far.
+    DegradedQuanta,
+    /// Cumulative `EqualShare` fallback quanta so far.
+    FallbackQuanta,
+}
+
+impl Metric {
+    fn from_name(name: &str, line: usize) -> Result<Self, ScenarioError> {
+        match name {
+            "efficiency" => Ok(Metric::Efficiency),
+            "envy-freeness" => Ok(Metric::EnvyFreeness),
+            "residual" => Ok(Metric::Residual),
+            "degraded-quanta" => Ok(Metric::DegradedQuanta),
+            "fallback-quanta" => Ok(Metric::FallbackQuanta),
+            other => Err(ScenarioError::Format {
+                line,
+                reason: format!(
+                    "unknown metric '{other}' (expected efficiency, envy-freeness, \
+                     residual, degraded-quanta, or fallback-quanta)"
+                ),
+            }),
+        }
+    }
+}
+
+/// What the trigger evaluator sees each quantum.
+#[derive(Debug, Clone, Copy)]
+pub struct TriggerState<'a> {
+    /// The quantum about to run.
+    pub quantum: usize,
+    /// Name of the phase the quantum falls in.
+    pub phase: &'a str,
+    /// `true` only on the first quantum of the current phase.
+    pub phase_start: bool,
+    /// The previous quantum's metrics, if any quantum has completed.
+    pub prev: Option<MetricSnapshot>,
+}
+
+/// The metric values a threshold trigger evaluates against.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricSnapshot {
+    /// Instantaneous weighted speedup.
+    pub efficiency: f64,
+    /// Envy-freeness of the allocation.
+    pub envy_freeness: f64,
+    /// Worst solver residual.
+    pub residual: f64,
+    /// Cumulative degraded quanta.
+    pub degraded_quanta: usize,
+    /// Cumulative fallback quanta.
+    pub fallback_quanta: usize,
+}
+
+impl MetricSnapshot {
+    #[allow(clippy::cast_precision_loss)]
+    fn get(&self, metric: Metric) -> f64 {
+        match metric {
+            Metric::Efficiency => self.efficiency,
+            Metric::EnvyFreeness => self.envy_freeness,
+            Metric::Residual => self.residual,
+            Metric::DegradedQuanta => self.degraded_quanta as f64,
+            Metric::FallbackQuanta => self.fallback_quanta as f64,
+        }
+    }
+}
+
+/// When an event fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Trigger {
+    /// Exactly at quantum `q` (`{ at = q }`).
+    At(usize),
+    /// At quantum `q` and every quantum after (`{ after = q }`).
+    After(usize),
+    /// Every `period` quanta from `offset` (`{ every = p, offset = o }`).
+    Every {
+        /// Firing period in quanta (≥ 1).
+        period: usize,
+        /// First quantum that can fire.
+        offset: usize,
+    },
+    /// Every quantum of the named phase (`{ phase = "storm" }`). With the
+    /// default `once = true` on the event, this means "when the phase
+    /// begins".
+    Phase(String),
+    /// Only on the first quantum of the named phase
+    /// (`{ phase-start = "storm" }`).
+    PhaseStart(String),
+    /// Previous-quantum metric at or above a threshold
+    /// (`{ metric = "residual", at-least = 0.05 }`).
+    MetricAtLeast(Metric, f64),
+    /// Previous-quantum metric at or below a threshold
+    /// (`{ metric = "efficiency", at-most = 4.0 }`).
+    MetricAtMost(Metric, f64),
+    /// All sub-triggers hold (`{ all = [ ... ] }`).
+    All(Vec<Trigger>),
+    /// Any sub-trigger holds (`{ any = [ ... ] }`).
+    Any(Vec<Trigger>),
+}
+
+impl Trigger {
+    /// Whether the trigger fires for `state`.
+    #[must_use]
+    pub fn evaluate(&self, state: &TriggerState) -> bool {
+        match self {
+            Trigger::At(q) => state.quantum == *q,
+            Trigger::After(q) => state.quantum >= *q,
+            Trigger::Every { period, offset } => {
+                state.quantum >= *offset && (state.quantum - offset).is_multiple_of(*period.max(&1))
+            }
+            Trigger::Phase(name) => state.phase == name,
+            Trigger::PhaseStart(name) => state.phase_start && state.phase == name,
+            Trigger::MetricAtLeast(metric, threshold) => state
+                .prev
+                .is_some_and(|snap| snap.get(*metric) >= *threshold),
+            Trigger::MetricAtMost(metric, threshold) => state
+                .prev
+                .is_some_and(|snap| snap.get(*metric) <= *threshold),
+            Trigger::All(subs) => subs.iter().all(|t| t.evaluate(state)),
+            Trigger::Any(subs) => subs.iter().any(|t| t.evaluate(state)),
+        }
+    }
+
+    /// `true` if the trigger depends only on the quantum index and phase
+    /// schedule — the precondition for `resume-identity` scenarios, where
+    /// replayed quanta must re-fire the exact same events without the
+    /// metric history that snapshots do not record.
+    #[must_use]
+    pub fn is_time_only(&self) -> bool {
+        match self {
+            Trigger::At(_)
+            | Trigger::After(_)
+            | Trigger::Every { .. }
+            | Trigger::Phase(_)
+            | Trigger::PhaseStart(_) => true,
+            Trigger::MetricAtLeast(..) | Trigger::MetricAtMost(..) => false,
+            Trigger::All(subs) | Trigger::Any(subs) => subs.iter().all(Trigger::is_time_only),
+        }
+    }
+
+    /// Parses a trigger from its inline-table form.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Format`] naming the offending line for unknown
+    /// keys, missing thresholds, or malformed combinators.
+    pub fn from_toml(spanned: &Spanned) -> Result<Self, ScenarioError> {
+        let table = spanned.as_table()?;
+        let mut reader = TableReader::new(table, "trigger");
+        let line = reader.line();
+        let trigger = if let Some(v) = reader.take("at") {
+            Trigger::At(v.as_usize()?)
+        } else if let Some(v) = reader.take("after") {
+            Trigger::After(v.as_usize()?)
+        } else if let Some(v) = reader.take("every") {
+            let period = v.as_usize()?;
+            if period == 0 {
+                return Err(ScenarioError::Format {
+                    line: v.line,
+                    reason: "'every' period must be at least 1".into(),
+                });
+            }
+            let offset = match reader.take("offset") {
+                Some(o) => o.as_usize()?,
+                None => 0,
+            };
+            Trigger::Every { period, offset }
+        } else if let Some(v) = reader.take("phase") {
+            Trigger::Phase(v.as_str()?.to_string())
+        } else if let Some(v) = reader.take("phase-start") {
+            Trigger::PhaseStart(v.as_str()?.to_string())
+        } else if let Some(v) = reader.take("metric") {
+            let metric = Metric::from_name(v.as_str()?, v.line)?;
+            let at_least = reader.take("at-least").map(Spanned::as_f64).transpose()?;
+            let at_most = reader.take("at-most").map(Spanned::as_f64).transpose()?;
+            match (at_least, at_most) {
+                (Some(x), None) => Trigger::MetricAtLeast(metric, x),
+                (None, Some(x)) => Trigger::MetricAtMost(metric, x),
+                _ => {
+                    return Err(ScenarioError::Format {
+                        line,
+                        reason: "a metric trigger needs exactly one of 'at-least' or 'at-most'"
+                            .into(),
+                    })
+                }
+            }
+        } else if let Some(v) = reader.take("all") {
+            Trigger::All(parse_list(v)?)
+        } else if let Some(v) = reader.take("any") {
+            Trigger::Any(parse_list(v)?)
+        } else {
+            return Err(ScenarioError::Format {
+                line,
+                reason: "malformed trigger: expected one of at, after, every, phase, \
+                         phase-start, metric, all, any"
+                    .into(),
+            });
+        };
+        reader.finish()?;
+        Ok(trigger)
+    }
+}
+
+fn parse_list(v: &Spanned) -> Result<Vec<Trigger>, ScenarioError> {
+    let items = v.as_array()?;
+    if items.is_empty() {
+        return Err(ScenarioError::Format {
+            line: v.line,
+            reason: "trigger combinator needs at least one sub-trigger".into(),
+        });
+    }
+    items.iter().map(Trigger::from_toml).collect()
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::toml::parse;
+
+    fn trigger(doc: &str) -> Result<Trigger, ScenarioError> {
+        let root = parse(&format!("t = {doc}\n"))?;
+        Trigger::from_toml(root.get("t").unwrap())
+    }
+
+    fn state(quantum: usize, phase: &str) -> TriggerState<'_> {
+        TriggerState {
+            quantum,
+            phase,
+            phase_start: false,
+            prev: None,
+        }
+    }
+
+    #[test]
+    fn time_triggers_fire_on_schedule() {
+        let at = trigger("{ at = 3 }").unwrap();
+        assert!(at.evaluate(&state(3, "p")));
+        assert!(!at.evaluate(&state(4, "p")));
+        let after = trigger("{ after = 3 }").unwrap();
+        assert!(!after.evaluate(&state(2, "p")));
+        assert!(after.evaluate(&state(7, "p")));
+        let every = trigger("{ every = 4, offset = 1 }").unwrap();
+        assert!(every.evaluate(&state(1, "p")));
+        assert!(every.evaluate(&state(5, "p")));
+        assert!(!every.evaluate(&state(0, "p")));
+        assert!(!every.evaluate(&state(4, "p")));
+    }
+
+    #[test]
+    fn phase_and_combinators_compose() {
+        let t = trigger("{ all = [{ phase = \"storm\" }, { every = 2 }] }").unwrap();
+        assert!(t.evaluate(&state(4, "storm")));
+        assert!(!t.evaluate(&state(5, "storm")));
+        assert!(!t.evaluate(&state(4, "calm")));
+        let any = trigger("{ any = [{ at = 1 }, { at = 9 }] }").unwrap();
+        assert!(any.evaluate(&state(9, "p")));
+        assert!(!any.evaluate(&state(5, "p")));
+        assert!(t.is_time_only());
+    }
+
+    #[test]
+    fn metric_triggers_need_history_and_one_bound() {
+        let t = trigger("{ metric = \"residual\", at-least = 0.5 }").unwrap();
+        assert!(!t.evaluate(&state(4, "p")), "no history yet");
+        let snap = MetricSnapshot {
+            efficiency: 5.0,
+            envy_freeness: 0.9,
+            residual: 0.7,
+            degraded_quanta: 2,
+            fallback_quanta: 0,
+        };
+        let s = TriggerState {
+            quantum: 4,
+            phase: "p",
+            phase_start: false,
+            prev: Some(snap),
+        };
+        assert!(t.evaluate(&s));
+        assert!(!t.is_time_only());
+        let low = trigger("{ metric = \"efficiency\", at-most = 4.0 }").unwrap();
+        assert!(!low.evaluate(&s));
+        assert!(trigger("{ metric = \"residual\" }").is_err());
+        assert!(trigger("{ metric = \"residual\", at-least = 1, at-most = 2 }").is_err());
+        assert!(trigger("{ metric = \"bogus\", at-least = 1 }").is_err());
+    }
+
+    #[test]
+    fn malformed_triggers_are_line_numbered() {
+        let root = parse("x = 1\nt = { bogus = 3 }\n").unwrap();
+        match Trigger::from_toml(root.get("t").unwrap()).unwrap_err() {
+            ScenarioError::Format { line, reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("unknown key") || reason.contains("malformed"));
+            }
+            other => panic!("expected Format, got {other:?}"),
+        }
+        assert!(trigger("{ every = 0 }").is_err());
+        assert!(trigger("{ all = [] }").is_err());
+    }
+}

@@ -42,5 +42,6 @@ pub use checkpoint::{CheckpointError, SimCheckpoint, SweepCheckpoint};
 pub use config::SystemConfig;
 pub use dram::DramConfig;
 pub use simulation::{
-    run_simulation, run_simulation_recoverable, RecoveryOptions, SimOptions, SimResult,
+    run_simulation, run_simulation_hooked, run_simulation_recoverable, QuantumControls,
+    QuantumHook, QuantumObservation, RecoveryOptions, SimOptions, SimResult,
 };

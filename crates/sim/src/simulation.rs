@@ -36,6 +36,9 @@ pub enum SimError {
     },
     /// A checkpoint could not be written, read, or applied.
     Checkpoint(CheckpointError),
+    /// A [`QuantumHook`] produced malformed controls (wrong lengths,
+    /// non-positive scales, or no active player).
+    Hook(String),
 }
 
 impl fmt::Display for SimError {
@@ -46,6 +49,7 @@ impl fmt::Display for SimError {
                 write!(f, "bundle has {apps} apps for {cores} cores")
             }
             SimError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            SimError::Hook(reason) => write!(f, "hook error: {reason}"),
         }
     }
 }
@@ -143,6 +147,161 @@ pub struct RecoveryOptions {
     pub resume: Option<PathBuf>,
 }
 
+/// The per-quantum control surface a [`QuantumHook`] may mutate before a
+/// quantum's market is built. Neutral controls (the values the hook is
+/// handed) reproduce the un-hooked pipeline **bit for bit**: no wrapper is
+/// installed for a unit utility scale, a unit budget scale multiplies
+/// exactly, and a fully-active player set takes the ordinary market path.
+#[derive(Debug, Clone)]
+pub struct QuantumControls {
+    /// Fault plan in force this quantum. Starts as the run's base plan
+    /// ([`SimOptions::faults`]); a hook may install, replace, or clear it
+    /// (fault *onsets* in scenario terms).
+    pub faults: Option<FaultPlan>,
+    /// Per-player budget multipliers (budget shocks). `1.0` leaves the
+    /// configured [`SimOptions::budget`] untouched.
+    pub budget_scale: Vec<f64>,
+    /// Per-player multiplicative utility re-shaping (demand drift). `1.0`
+    /// leaves the monitored surface untouched.
+    pub utility_scale: Vec<f64>,
+    /// Player presence (churn). A `false` entry removes the player from
+    /// this quantum's market; its allocation row is zero, like a dropped
+    /// bid. At least one player must stay active.
+    pub active: Vec<bool>,
+}
+
+impl QuantumControls {
+    /// Neutral controls for `n` players with the run's base fault plan.
+    #[must_use]
+    pub fn neutral(n: usize, faults: Option<FaultPlan>) -> Self {
+        Self {
+            faults,
+            budget_scale: vec![1.0; n],
+            utility_scale: vec![1.0; n],
+            active: vec![true; n],
+        }
+    }
+
+    fn validate(&self, n: usize) -> Result<(), SimError> {
+        if self.budget_scale.len() != n || self.utility_scale.len() != n || self.active.len() != n {
+            return Err(SimError::Hook(format!(
+                "control vectors must have one entry per player ({n})"
+            )));
+        }
+        for (what, scales) in [
+            ("budget_scale", &self.budget_scale),
+            ("utility_scale", &self.utility_scale),
+        ] {
+            if let Some(bad) = scales.iter().find(|s| !(s.is_finite() && **s > 0.0)) {
+                return Err(SimError::Hook(format!(
+                    "{what} entries must be finite and positive (got {bad})"
+                )));
+            }
+        }
+        if !self.active.iter().any(|&a| a) {
+            return Err(SimError::Hook("at least one player must be active".into()));
+        }
+        Ok(())
+    }
+}
+
+/// What one completed quantum looked like, as reported to a
+/// [`QuantumHook`]. Metric-threshold triggers evaluate against the
+/// *previous* quantum's observation (the hook stores it).
+#[derive(Debug, Clone)]
+pub struct QuantumObservation {
+    /// The quantum index.
+    pub quantum: usize,
+    /// Instantaneous weighted speedup this quantum produced.
+    pub efficiency: f64,
+    /// Envy-freeness of this quantum's allocation over the clean (scaled,
+    /// un-faulted) market of active players.
+    pub envy_freeness: f64,
+    /// Whether the solve failed or hit the fail-safe this quantum.
+    pub degraded: bool,
+    /// Whether this quantum fell back to EqualShare.
+    pub fallback: bool,
+    /// Whether every solve this quantum met the convergence test.
+    pub converged: bool,
+    /// Worst relative price-gap residual across this quantum's solves
+    /// (`0` for non-market mechanisms and replayed quanta).
+    pub residual: f64,
+    /// Market Utility Range at the final equilibrium, if a market ran.
+    pub mur: Option<f64>,
+    /// Market Budget Range of the final budgets, if a market ran.
+    pub mbr: Option<f64>,
+    /// Effective budgets of the active players, in player order.
+    pub budgets: Vec<f64>,
+    /// Row-major `cores × resources` allocation enforced this quantum
+    /// (zero rows for inactive/dropped players).
+    pub allocation: Vec<f64>,
+    /// Cumulative degraded quanta so far (including this one).
+    pub cumulative_degraded: usize,
+    /// Cumulative fallback quanta so far (including this one).
+    pub cumulative_fallback: usize,
+    /// `true` when this quantum was replayed from a checkpoint: solver
+    /// health fields (`degraded`, `residual`, `mur`, …) are not recorded
+    /// in snapshots and carry their neutral values.
+    pub replayed: bool,
+}
+
+/// Observer/controller driven once per quantum by
+/// [`run_simulation_hooked`] — the attachment surface for the declarative
+/// scenario engine (`rebudget-scenario`) and for ad-hoc experiments.
+///
+/// Hooks must be **deterministic** functions of what they have observed:
+/// the checkpoint-resume path re-drives the hook through replayed quanta,
+/// so a hook that consults wall clocks or ambient randomness breaks the
+/// bit-identical-resume guarantee.
+pub trait QuantumHook {
+    /// Called before quantum `quantum` is built. Mutate `controls` to
+    /// inject fault onsets, budget shocks, utility re-shaping, or churn.
+    fn control(&mut self, quantum: usize, controls: &mut QuantumControls);
+    /// Whether per-quantum [`QuantumObservation`]s should be produced.
+    /// Building one costs an `O(players²)` envy evaluation per quantum,
+    /// so the no-op hook opts out and un-hooked runs pay nothing extra.
+    fn observing(&self) -> bool {
+        true
+    }
+    /// Called after each quantum completes.
+    fn observe(&mut self, observation: &QuantumObservation);
+    /// Called once after the final quantum with the clean market of
+    /// active players and the allocation they received — the audit
+    /// surface for post-run property verification (fairness floors need
+    /// the actual utility surfaces, not just the scalar trajectory).
+    fn observe_final(&mut self, _market: &Market, _allocation: &AllocationMatrix) {}
+}
+
+/// A no-op hook: [`run_simulation_recoverable`] runs through the same
+/// code path as hooked runs with this installed.
+struct NoopHook;
+
+impl QuantumHook for NoopHook {
+    fn control(&mut self, _quantum: usize, _controls: &mut QuantumControls) {}
+    fn observing(&self) -> bool {
+        false
+    }
+    fn observe(&mut self, _observation: &QuantumObservation) {}
+}
+
+/// A utility wrapper scaling value and marginals by a constant factor —
+/// the hook surface's "utility-shape drift" effect. Unlike the fault
+/// layer's liar wrapper this is *declared* behaviour: fairness is judged
+/// on the scaled surface.
+struct ScaledUtility {
+    inner: Arc<dyn Utility>,
+    factor: f64,
+}
+
+impl Utility for ScaledUtility {
+    fn value(&self, r: &[f64]) -> f64 {
+        self.factor * self.inner.value(r)
+    }
+    fn marginal(&self, r: &[f64], j: usize) -> f64 {
+        self.factor * self.inner.marginal(r, j)
+    }
+}
+
 /// The result of simulating one bundle under one mechanism.
 #[derive(Debug, Clone)]
 pub struct SimResult {
@@ -193,11 +352,15 @@ pub struct SimResult {
 /// Builds this quantum's per-core utility surfaces, honouring stale-reading
 /// and curve-noise faults. Returns one grid per core; the caller keeps them
 /// as history so stale faults at quantum `q` can reuse interval `q − k`.
+// `faults` is passed separately from `opts.faults` because a scenario hook
+// may swap the plan mid-run.
+#[allow(clippy::too_many_arguments)]
 fn quantum_grids(
     bundle: &Bundle,
     sys: &SystemConfig,
     dram: &DramConfig,
     monitors: &[CoreMonitor],
+    faults: Option<&FaultPlan>,
     opts: &SimOptions,
     interval: u64,
     history: &[Vec<Arc<dyn Utility>>],
@@ -207,7 +370,7 @@ fn quantum_grids(
         .iter()
         .enumerate()
         .map(|(core, app)| {
-            if let Some(plan) = &opts.faults {
+            if let Some(plan) = faults {
                 if let Some(k) = plan.stale_depth_for(interval, core) {
                     if let Some(old) = history.len().checked_sub(k).map(|q| &history[q][core]) {
                         return Arc::clone(old);
@@ -217,7 +380,7 @@ fn quantum_grids(
             let grid = if opts.use_monitors {
                 match monitors[core].mpki_curve() {
                     Some(curve) => {
-                        let curve = match &opts.faults {
+                        let curve = match faults {
                             Some(plan) if plan.noise_sigma > 0.0 => {
                                 let salt = plan.seed
                                     ^ interval.wrapping_mul(0x9e37_79b9_7f4a_7c15)
@@ -245,26 +408,59 @@ fn quantum_grids(
         .collect()
 }
 
+/// Builds the quantum's market under the hook controls: inactive players
+/// are omitted, budgets are scaled, and non-unit utility scales install a
+/// [`ScaledUtility`] wrapper. Returns the market plus the original player
+/// indices it contains, in order. Neutral controls reproduce the
+/// un-hooked market exactly (same players, budgets, and `Arc` clones).
 fn market_from_grids(
     bundle: &Bundle,
     sys: &SystemConfig,
     budget: f64,
     grids: &[Arc<dyn Utility>],
-) -> Result<Market, MarketError> {
+    ctl: &QuantumControls,
+) -> Result<(Market, Vec<usize>), MarketError> {
     let resources = resource_space(bundle, sys)?;
-    let players: Vec<Player> = bundle
-        .apps
+    let kept: Vec<usize> = (0..bundle.apps.len())
+        .filter(|&core| ctl.active[core])
+        .collect();
+    let players: Vec<Player> = kept
         .iter()
-        .enumerate()
-        .map(|(core, app)| {
+        .map(|&core| {
+            let app = &bundle.apps[core];
+            let mut utility: Arc<dyn Utility> = Arc::clone(&grids[core]);
+            let scale = ctl.utility_scale[core];
+            if scale != 1.0 {
+                utility = Arc::new(ScaledUtility {
+                    inner: utility,
+                    factor: scale,
+                });
+            }
             Player::new(
                 format!("{}#{core}", app.name),
-                budget,
-                Arc::clone(&grids[core]),
+                budget * ctl.budget_scale[core],
+                utility,
             )
         })
         .collect();
-    Market::new(resources, players)
+    Market::new(resources, players).map(|m| (m, kept))
+}
+
+/// Expands an allocation over the active players back to the full player
+/// count: active players keep their rows, inactive players get zero rows.
+fn expand_rows(
+    alloc: &AllocationMatrix,
+    kept: &[usize],
+    players: usize,
+) -> Result<AllocationMatrix, MarketError> {
+    let m = alloc.resources();
+    let mut full = AllocationMatrix::zeros(players, m)?;
+    for (row, &i) in kept.iter().enumerate() {
+        for j in 0..m {
+            full.set(i, j, alloc.get(row, j));
+        }
+    }
+    Ok(full)
 }
 
 /// Runs a bundle under a mechanism for `opts.quanta` quanta and reports
@@ -321,6 +517,31 @@ pub fn run_simulation_recoverable(
     mechanism: &dyn Mechanism,
     opts: &SimOptions,
     recovery: &RecoveryOptions,
+) -> Result<SimResult, SimError> {
+    let mut noop = NoopHook;
+    run_simulation_hooked(sys, dram, bundle, mechanism, opts, recovery, &mut noop)
+}
+
+/// Runs a bundle under a mechanism with a [`QuantumHook`] attached: the
+/// hook steers each quantum's controls (fault onsets, budget shocks,
+/// utility re-shaping, churn) and observes each quantum's outcome.
+///
+/// With a no-op hook this is exactly [`run_simulation_recoverable`] — the
+/// neutral-control path is bit-identical to the un-hooked pipeline, which
+/// the golden-output suite pins.
+///
+/// # Errors
+///
+/// Everything [`run_simulation_recoverable`] can return, plus
+/// [`SimError::Hook`] when the hook produces malformed controls.
+pub fn run_simulation_hooked(
+    sys: &SystemConfig,
+    dram: &DramConfig,
+    bundle: &Bundle,
+    mechanism: &dyn Mechanism,
+    opts: &SimOptions,
+    recovery: &RecoveryOptions,
+    hook: &mut dyn QuantumHook,
 ) -> Result<SimResult, SimError> {
     if bundle.cores() != sys.cores {
         return Err(SimError::BundleMismatch {
@@ -413,13 +634,26 @@ pub fn run_simulation_recoverable(
     // skipped. The recorded per-quantum efficiency doubles as a
     // divergence check.
     for (q, record) in records.iter().enumerate() {
+        let mut ctl = QuantumControls::neutral(n, plan.clone());
+        hook.control(q, &mut ctl);
+        ctl.validate(n)?;
+        let qplan = ctl.faults.clone().filter(FaultPlan::is_active);
         if opts.use_monitors {
             for monitor in &mut monitors {
                 monitor.observe_quantum(opts.accesses_per_quantum);
             }
         }
-        let grids = quantum_grids(bundle, sys, dram, &monitors, opts, q as u64, &grid_history);
-        let market = market_from_grids(bundle, sys, opts.budget, &grids)?;
+        let grids = quantum_grids(
+            bundle,
+            sys,
+            dram,
+            &monitors,
+            qplan.as_ref(),
+            opts,
+            q as u64,
+            &grid_history,
+        );
+        let (market, kept) = market_from_grids(bundle, sys, opts.budget, &grids, &ctl)?;
         grid_history.push(grids);
         let mut alloc = AllocationMatrix::zeros(n, 2)?;
         for i in 0..n {
@@ -444,7 +678,34 @@ pub fn run_simulation_recoverable(
             }));
         }
         efficiency_history.push(quantum_eff);
-        last = Some((market, alloc));
+        // Restrict the recorded allocation to the active players so the
+        // final fairness verdict (and the hook's view) matches what a
+        // live run of this quantum stored.
+        let mut alloc_kept = AllocationMatrix::zeros(kept.len(), 2)?;
+        for (row, &i) in kept.iter().enumerate() {
+            alloc_kept.set(row, 0, alloc.get(i, 0));
+            alloc_kept.set(row, 1, alloc.get(i, 1));
+        }
+        if hook.observing() {
+            let envy = metrics::envy_freeness(&market, &alloc_kept);
+            hook.observe(&QuantumObservation {
+                quantum: q,
+                efficiency: quantum_eff,
+                envy_freeness: envy,
+                degraded: false,
+                fallback: false,
+                converged: true,
+                residual: 0.0,
+                mur: None,
+                mbr: None,
+                budgets: market.players().iter().map(|p| p.budget()).collect(),
+                allocation: record.allocation.clone(),
+                cumulative_degraded: c.degraded_quanta,
+                cumulative_fallback: c.fallback_quanta,
+                replayed: true,
+            });
+        }
+        last = Some((market, alloc_kept));
     }
 
     // Per-quantum health state for the `degradation` trace event: the
@@ -452,25 +713,42 @@ pub fn run_simulation_recoverable(
     let mut health = "normal";
     for q in replayed_quanta..opts.quanta {
         let _quantum_span = telemetry::span!("quantum", q);
+        let mut ctl = QuantumControls::neutral(n, plan.clone());
+        hook.control(q, &mut ctl);
+        ctl.validate(n)?;
+        let qplan = ctl.faults.clone().filter(FaultPlan::is_active);
         let mut quantum_degraded = false;
         let mut quantum_fallback = false;
+        let q_converged;
+        let mut q_residual = 0.0_f64;
+        let mut q_mur = None;
+        let mut q_mbr = None;
         if opts.use_monitors {
             for monitor in &mut monitors {
                 monitor.observe_quantum(opts.accesses_per_quantum);
             }
         }
-        let grids = quantum_grids(bundle, sys, dram, &monitors, opts, q as u64, &grid_history);
-        let market = market_from_grids(bundle, sys, opts.budget, &grids)?;
+        let grids = quantum_grids(
+            bundle,
+            sys,
+            dram,
+            &monitors,
+            qplan.as_ref(),
+            opts,
+            q as u64,
+            &grid_history,
+        );
+        let (market, kept) = market_from_grids(bundle, sys, opts.budget, &grids, &ctl)?;
         grid_history.push(grids);
 
-        let alloc = if let Some(plan) = &plan {
+        let alloc_kept = if let Some(qplan) = &qplan {
             // Noise and staleness were already injected at the curve /
             // history level above; zero them here so the market-level pass
             // only adds drops, spikes, NaNs, and liars.
             let market_plan = FaultPlan {
                 noise_sigma: 0.0,
                 stale_probability: 0.0,
-                ..plan.clone()
+                ..qplan.clone()
             };
             let faulted = market_plan.apply(&market, q as u64)?;
             if c.consecutive_failures >= opts.max_consecutive_failures.max(1) {
@@ -481,6 +759,7 @@ pub fn run_simulation_recoverable(
                 c.consecutive_failures = 0;
                 c.always_converged = false;
                 quantum_fallback = true;
+                q_converged = false;
                 out.allocation
             } else {
                 match mechanism.allocate(&faulted.market) {
@@ -491,6 +770,10 @@ pub fn run_simulation_recoverable(
                         c.retried_solves += out.retry_attempts;
                         c.timed_out_solves += out.timed_out_solves;
                         c.always_converged &= out.converged;
+                        q_converged = out.converged;
+                        q_residual = out.worst_residual;
+                        q_mur = out.mur;
+                        q_mbr = out.mbr;
                         if out.degraded {
                             c.degraded_quanta += 1;
                             c.consecutive_failures += 1;
@@ -498,7 +781,7 @@ pub fn run_simulation_recoverable(
                         } else {
                             c.consecutive_failures = 0;
                         }
-                        faulted.expand_allocation(&out.allocation, n)?
+                        faulted.expand_allocation(&out.allocation, kept.len())?
                     }
                     Err(_) => {
                         // The solve blew up outright: count the failure and
@@ -509,6 +792,7 @@ pub fn run_simulation_recoverable(
                         c.always_converged = false;
                         quantum_degraded = true;
                         quantum_fallback = true;
+                        q_converged = false;
                         EqualShare.allocate(&market)?.allocation
                     }
                 }
@@ -522,8 +806,13 @@ pub fn run_simulation_recoverable(
             c.timed_out_solves += out.timed_out_solves;
             c.always_converged &= out.converged;
             quantum_degraded = out.degraded;
+            q_converged = out.converged;
+            q_residual = out.worst_residual;
+            q_mur = out.mur;
+            q_mbr = out.mbr;
             out.allocation
         };
+        let alloc = expand_rows(&alloc_kept, &kept, n)?;
 
         let regions: Vec<f64> = (0..n).map(|i| alloc.get(i, 0)).collect();
         let watts: Vec<f64> = (0..n).map(|i| alloc.get(i, 1)).collect();
@@ -595,10 +884,35 @@ pub fn run_simulation_recoverable(
                 SimCheckpoint::save_parts(path, &meta, &c, &records)?;
             }
         }
-        last = Some((market, alloc));
+        if hook.observing() {
+            let envy = metrics::envy_freeness(&market, &alloc_kept);
+            let mut allocation = Vec::with_capacity(n * 2);
+            for i in 0..n {
+                allocation.push(alloc.get(i, 0));
+                allocation.push(alloc.get(i, 1));
+            }
+            hook.observe(&QuantumObservation {
+                quantum: q,
+                efficiency: quantum_eff,
+                envy_freeness: envy,
+                degraded: quantum_degraded,
+                fallback: quantum_fallback,
+                converged: q_converged,
+                residual: q_residual,
+                mur: q_mur,
+                mbr: q_mbr,
+                budgets: market.players().iter().map(|p| p.budget()).collect(),
+                allocation,
+                cumulative_degraded: c.degraded_quanta,
+                cumulative_fallback: c.fallback_quanta,
+                replayed: false,
+            });
+        }
+        last = Some((market, alloc_kept));
     }
 
     let (last_market, last_alloc) = last.expect("at least one quantum");
+    hook.observe_final(&last_market, &last_alloc);
     let (elapsed, per_core_instructions): (f64, Vec<f64>) = match &machine {
         Exec::Analytic(m) => (
             m.elapsed_seconds(),
