@@ -84,6 +84,80 @@ pub fn write_scalability_json(
     Ok(())
 }
 
+/// The warm-vs-cold online re-solve measurement of the server bench
+/// (`src/bin/server_bench.rs`), serialized into `BENCH_server.json`.
+#[derive(Debug, Clone)]
+pub struct ServerBenchSummary {
+    /// Player count `N`.
+    pub players: usize,
+    /// Resource count `M`.
+    pub resources: usize,
+    /// Non-zero (player, resource) interests in the generated market.
+    pub nnz: usize,
+    /// Timed churn ticks per arm.
+    pub ticks: usize,
+    /// Percent of players whose budget is perturbed each tick.
+    pub churn_percent: f64,
+    /// Solver label ([`rebudget_market::SolverKind::label`]).
+    pub solver: String,
+    /// Cold-start re-solve throughput (ticks per second).
+    pub cold_ticks_per_sec: f64,
+    /// Warm-started re-solve throughput (ticks per second).
+    pub warm_ticks_per_sec: f64,
+    /// `warm_ticks_per_sec / cold_ticks_per_sec`.
+    pub speedup: f64,
+    /// Total solver iterations across the cold arm's ticks.
+    pub cold_iterations: u64,
+    /// Total solver iterations across the warm arm's ticks.
+    pub warm_iterations: u64,
+    /// Worst final residual seen in either arm.
+    pub max_residual: f64,
+    /// Whether every solve in both arms converged under the tolerance.
+    pub converged: bool,
+}
+
+/// Writes the server bench's machine-readable artifact. Flat JSON via
+/// the same hand-rolled writer as [`write_scalability_json`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from file creation and writing.
+pub fn write_server_json(
+    path: &Path,
+    tolerance: f64,
+    min_speedup: f64,
+    s: &ServerBenchSummary,
+) -> io::Result<()> {
+    let mut f = File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"bench\": \"server\",")?;
+    writeln!(f, "  \"tolerance\": {},", json_f64(tolerance))?;
+    writeln!(f, "  \"min_speedup\": {},", json_f64(min_speedup))?;
+    writeln!(f, "  \"players\": {},", s.players)?;
+    writeln!(f, "  \"resources\": {},", s.resources)?;
+    writeln!(f, "  \"nnz\": {},", s.nnz)?;
+    writeln!(f, "  \"ticks\": {},", s.ticks)?;
+    writeln!(f, "  \"churn_percent\": {},", json_f64(s.churn_percent))?;
+    writeln!(f, "  \"solver\": \"{}\",", s.solver)?;
+    writeln!(
+        f,
+        "  \"cold_ticks_per_sec\": {},",
+        json_f64(s.cold_ticks_per_sec)
+    )?;
+    writeln!(
+        f,
+        "  \"warm_ticks_per_sec\": {},",
+        json_f64(s.warm_ticks_per_sec)
+    )?;
+    writeln!(f, "  \"speedup\": {},", json_f64(s.speedup))?;
+    writeln!(f, "  \"cold_iterations\": {},", s.cold_iterations)?;
+    writeln!(f, "  \"warm_iterations\": {},", s.warm_iterations)?;
+    writeln!(f, "  \"max_residual\": {},", json_f64(s.max_residual))?;
+    writeln!(f, "  \"converged\": {}", s.converged)?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
 /// Writes a generic CSV: one header row, then data rows.
 ///
 /// # Errors

@@ -1,0 +1,46 @@
+//! Process exit codes for the `rebudget` binary.
+//!
+//! Consolidated here so every subcommand (and every test and CI job
+//! asserting on codes) reads from one table:
+//!
+//! | code | constant          | meaning                                      |
+//! |------|-------------------|----------------------------------------------|
+//! | 0    | —                 | success                                      |
+//! | 1    | —                 | unreserved (not produced by the CLI)         |
+//! | 2    | [`EXIT_USAGE`]    | bad arguments or invalid input values        |
+//! | 3    | [`EXIT_CHECKPOINT`] | checkpoint unreadable, corrupt, or mismatched |
+//! | 4    | [`EXIT_PROPERTY`] | a declared scenario property was violated, or a ledger failed its integrity audit |
+//! | 5    | [`EXIT_SERVER`]   | the online market daemon failed (bind, recovery, or tick commit) |
+//!
+//! Codes 2–4 predate the daemon; [`EXIT_SERVER`] is distinct so chaos
+//! harnesses can tell a refused/failed daemon from a usage slip.
+
+/// Exit code for usage and validation errors.
+pub const EXIT_USAGE: i32 = 2;
+
+/// Exit code for checkpoint errors (unreadable, corrupt, mismatched).
+pub const EXIT_CHECKPOINT: i32 = 3;
+
+/// Exit code for scenario property violations and ledger integrity
+/// failures: the run itself completed, but a declared invariant did not
+/// hold (or an allocation ledger failed its audit).
+pub const EXIT_PROPERTY: i32 = 4;
+
+/// Exit code for online-server failures: the daemon could not bind its
+/// socket, recover its durable state, or commit a tick.
+pub const EXIT_SERVER: i32 = 5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_distinct_and_stable() {
+        // The numeric values are load-bearing for CI scripts; never
+        // renumber, only append.
+        assert_eq!(EXIT_USAGE, 2);
+        assert_eq!(EXIT_CHECKPOINT, 3);
+        assert_eq!(EXIT_PROPERTY, 4);
+        assert_eq!(EXIT_SERVER, 5);
+    }
+}

@@ -41,14 +41,9 @@ use rebudget_sim::{
 use rebudget_telemetry as telemetry;
 use rebudget_workloads::{generate_bundle, paper_bbpc_8core, Bundle, Category};
 
-/// Exit code for usage and validation errors.
-pub const EXIT_USAGE: i32 = 2;
-/// Exit code for checkpoint errors (unreadable, corrupt, mismatched).
-pub const EXIT_CHECKPOINT: i32 = 3;
-/// Exit code for scenario property violations and ledger integrity
-/// failures: the run itself completed, but a declared invariant did not
-/// hold (or an allocation ledger failed its audit).
-pub const EXIT_PROPERTY: i32 = 4;
+pub mod exit;
+
+pub use exit::{EXIT_CHECKPOINT, EXIT_PROPERTY, EXIT_SERVER, EXIT_USAGE};
 
 /// CLI-level error: a message for the user plus the exit code.
 #[derive(Debug)]
@@ -88,6 +83,17 @@ fn property_err(message: impl Into<String>) -> CliError {
     }
 }
 
+fn server_err(e: &rebudget_server::ServerError) -> CliError {
+    match e {
+        // A bad serve configuration is a usage slip, not a daemon fault.
+        rebudget_server::ServerError::Config { reason } => err(reason.clone()),
+        other => CliError {
+            message: other.to_string(),
+            code: EXIT_SERVER,
+        },
+    }
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 rebudget — market-based multicore resource allocation (ReBudget, ASPLOS'16)
@@ -107,6 +113,11 @@ USAGE:
     rebudget scenario check <DIR|FILE>...
     rebudget scenario run <DIR|FILE>... [--ledger=DIR]
     rebudget scenario audit <LEDGER>...
+    rebudget serve (--socket=PATH | --tcp=ADDR) --state-dir=DIR
+                   [--resources=N] [--capacity=X] [--solver=NAME] [--seed=N]
+                   [--tick-ms=N] [--max-ticks=N] [--queue-cap=N] [--frame-cap=N]
+                   [--read-timeout-ms=N] [--fallback-after=K] [--commit-delay-ms=N]
+                   [--tol=X] [--deadline-ms=N] [--solve-iters=N] [--retries=N]
 
 CATEGORY:   CPBN | CCPP | CPBB | BBNN | BBPN | BBCN (case-insensitive)
 MECHANISM:  equalshare | equalbudget | balanced | rebudget | maxefficiency
@@ -136,6 +147,19 @@ SCENARIOS:  TOML files declaring phases, triggered adversarial events,
             allocation ledger per scenario with --ledger=DIR) and exits 4
             naming each violated property, `audit` re-verifies a ledger
             file's hash chain and seal.
+SERVER:     `serve` runs the fault-tolerant online market daemon:
+            newline-delimited JSON requests (arrive | update | depart |
+            tick | stats | shutdown) over a Unix socket (--socket) or TCP
+            (--tcp). Mutations are admission-batched behind a bounded
+            queue (--queue-cap, overflow is shed) and applied at ticks —
+            explicit `tick` commands by default, or every --tick-ms.
+            Each tick re-solves the market warm-started from the previous
+            quantum and commits a hash-chained ledger plus a crash-atomic
+            snapshot under --state-dir, so `kill -9` at any point resumes
+            byte-identically. After --fallback-after consecutive failed
+            solves the daemon degrades to EqualShare until one converges.
+            `scenario audit` verifies the sealed ledger. Exit code 5 for
+            daemon failures.
 OBSERVING:  every subcommand also accepts --trace=PATH (write a JSONL
             event journal, crash-atomically, without touching stdout),
             --metrics (append a counters/gauges/histograms section), and
@@ -447,9 +471,6 @@ fn dispatch(args: &[String], notes: &mut Vec<String>) -> Result<String, CliError
     let solve_iters: Option<usize> = extract_flag(&mut args, "solve-iters")?
         .map(|s| parse(&s, "solve iteration budget"))
         .transpose()?;
-    if solve_iters == Some(0) {
-        return Err(err("--solve-iters must be at least 1"));
-    }
     let retries: Option<usize> = extract_flag(&mut args, "retries")?
         .map(|s| parse(&s, "retry count"))
         .transpose()?;
@@ -468,10 +489,10 @@ fn dispatch(args: &[String], notes: &mut Vec<String>) -> Result<String, CliError
         None => SolverKind::default(),
     };
     let knobs = SolverKnobs {
-        deadline: DeadlineBudget {
-            wall_clock: deadline_ms.map(std::time::Duration::from_millis),
-            max_iterations: solve_iters,
-        },
+        // `checked` rejects zero budgets (they admit no work) as a
+        // usage error before any solve runs.
+        deadline: DeadlineBudget::checked(deadline_ms, solve_iters)
+            .map_err(|e| err(e.to_string()))?,
         retry: retries.map(|n| RetryPolicy::with_attempts(n.saturating_add(1))),
         solver,
     };
@@ -911,16 +932,18 @@ fn dispatch(args: &[String], notes: &mut Vec<String>) -> Result<String, CliError
                                 err(format!("cannot create '{}': {e}", dir.display()))
                             })?;
                             let lp = dir.join(format!("{}.ledger", s.name));
-                            // Ledgers are immutable artifacts: refuse to
-                            // overwrite an existing one.
+                            // Ledgers are immutable artifacts: the
+                            // collision with an existing one is a named
+                            // error, not an overwrite.
                             use std::io::Write as _;
-                            std::fs::OpenOptions::new()
-                                .write(true)
-                                .create_new(true)
-                                .open(&lp)
-                                .and_then(|mut f| f.write_all(outcome.ledger.as_bytes()))
+                            rebudget_scenario::create_new_ledger_file(&lp)
                                 .map_err(|e| {
                                     err(format!("cannot write ledger '{}': {e}", lp.display()))
+                                })
+                                .and_then(|mut f| {
+                                    f.write_all(outcome.ledger.as_bytes()).map_err(|e| {
+                                        err(format!("cannot write ledger '{}': {e}", lp.display()))
+                                    })
                                 })?;
                         }
                         let passed = outcome.reports.iter().filter(|r| r.passed).count();
@@ -974,6 +997,133 @@ fn dispatch(args: &[String], notes: &mut Vec<String>) -> Result<String, CliError
                     "unknown scenario subcommand '{other}' (list | check | run | audit)"
                 ))),
             }
+        }
+        Some("serve") => {
+            let mut rest: Vec<String> = args[1..].to_vec();
+            let socket: Option<PathBuf> = extract_flag(&mut rest, "socket")?.map(PathBuf::from);
+            let tcp: Option<String> = extract_flag(&mut rest, "tcp")?;
+            let state_dir: PathBuf = extract_flag(&mut rest, "state-dir")?
+                .map(PathBuf::from)
+                .ok_or_else(|| err("serve needs --state-dir=DIR for its ledger and snapshot"))?;
+            let resources: usize = extract_flag(&mut rest, "resources")?
+                .map(|s| parse(&s, "resource count"))
+                .transpose()?
+                .unwrap_or(16);
+            let capacity: f64 = extract_flag(&mut rest, "capacity")?
+                .map(|s| parse(&s, "capacity"))
+                .transpose()?
+                .unwrap_or(100.0);
+            let tick_ms: Option<u64> = extract_flag(&mut rest, "tick-ms")?
+                .map(|s| parse(&s, "tick interval (ms)"))
+                .transpose()?;
+            let max_ticks: Option<u64> = extract_flag(&mut rest, "max-ticks")?
+                .map(|s| parse(&s, "tick limit"))
+                .transpose()?;
+            let queue_cap: usize = extract_flag(&mut rest, "queue-cap")?
+                .map(|s| parse(&s, "admission queue bound"))
+                .transpose()?
+                .unwrap_or(1024);
+            let frame_cap: usize = extract_flag(&mut rest, "frame-cap")?
+                .map(|s| parse(&s, "frame byte cap"))
+                .transpose()?
+                .unwrap_or(64 * 1024);
+            let read_timeout_ms: u64 = extract_flag(&mut rest, "read-timeout-ms")?
+                .map(|s| parse(&s, "read timeout (ms)"))
+                .transpose()?
+                .unwrap_or(5_000);
+            let fallback_after: usize = extract_flag(&mut rest, "fallback-after")?
+                .map(|s| parse(&s, "fallback threshold"))
+                .transpose()?
+                .unwrap_or(3);
+            let commit_delay_ms: u64 = extract_flag(&mut rest, "commit-delay-ms")?
+                .map(|s| parse(&s, "commit delay (ms)"))
+                .transpose()?
+                .unwrap_or(0);
+            // Online re-solves run at a looser tolerance than the batch
+            // pipeline's 1e-6 default: at 1e-4 the warm start converges
+            // in a fraction of the cold iterations (see the server
+            // bench), while at 1e-6 the slow geometric tail dominates
+            // both arms and the advantage vanishes. (`--tol` itself is
+            // a global flag, extracted with the other solver knobs.)
+            let tol = tol.unwrap_or(1e-4);
+            if !tol.is_finite() || tol <= 0.0 {
+                return Err(err("--tol must be a positive number"));
+            }
+            if let Some(extra) = rest.first() {
+                return Err(err(format!("unexpected serve argument '{extra}'")));
+            }
+            let endpoint = match (&socket, &tcp) {
+                (Some(p), None) => rebudget_server::Endpoint::Unix(p.clone()),
+                (None, Some(a)) => rebudget_server::Endpoint::Tcp(a.clone()),
+                (None, None) => return Err(err("serve needs --socket=PATH or --tcp=ADDR")),
+                (Some(_), Some(_)) => return Err(err("serve takes --socket or --tcp, not both")),
+            };
+            // The daemon defaults to the sparse first-order engine — the
+            // dense paper engine only on an explicit --solver=jacobi.
+            let solver = if solver_flag.is_some() {
+                knobs.solver
+            } else {
+                SolverKind::ProportionalResponse
+            };
+            let mut options = EquilibriumOptions::large_scale().with_solver(solver);
+            options.deadline = knobs.deadline;
+            options.price_tolerance = tol;
+            let config = rebudget_server::ServerConfig {
+                capacities: vec![capacity; resources],
+                solver,
+                options,
+                retry: knobs.retry.unwrap_or_default(),
+                fallback_after,
+                seed: seed.unwrap_or(0),
+                commit_delay_ms,
+            };
+            let dconfig = rebudget_server::DaemonConfig {
+                queue_cap,
+                frame_cap,
+                read_timeout: std::time::Duration::from_millis(read_timeout_ms),
+                tick_interval: tick_ms.map(std::time::Duration::from_millis),
+                max_ticks,
+            };
+            let core = rebudget_server::ServerCore::open(config, &state_dir)
+                .map_err(|e| server_err(&e))?;
+            let daemon = rebudget_server::Daemon::new(core, dconfig);
+            let listener =
+                rebudget_server::Listener::bind(&endpoint).map_err(|e| server_err(&e))?;
+            // Readiness goes straight to stderr: notes only print after
+            // the (long-running) serve loop returns, and stdout stays
+            // reserved for the final summary.
+            eprintln!(
+                "serving on {} at tick {} ({} player(s){})",
+                listener.local_addr,
+                daemon.core().tick_index(),
+                daemon.core().players(),
+                if daemon.core().recovered_from_prev() {
+                    ", recovered from .prev snapshot"
+                } else {
+                    ""
+                },
+            );
+            let summary = daemon.serve(listener).map_err(|e| server_err(&e))?;
+            let s = summary.stats;
+            writeln!(
+                out,
+                "sealed {} record(s) after {} tick(s)",
+                summary.records, summary.ticks
+            )
+            .expect("infallible");
+            writeln!(
+                out,
+                "requests {} = accepted {} + rejected {} + shed {} + malformed {} + control {}",
+                s.requests, s.accepted, s.rejected, s.shed, s.malformed, s.control
+            )
+            .expect("infallible");
+            writeln!(
+                out,
+                "oversized {} slowloris {} disconnects {} fallback-ticks {}",
+                s.oversized, s.slowloris, s.disconnects, s.fallback_ticks
+            )
+            .expect("infallible");
+            Ok(out)
         }
         Some("theory") => {
             let mur: f64 = parse(args.get(1).ok_or_else(|| err(USAGE))?, "MUR")?;

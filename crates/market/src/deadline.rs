@@ -34,7 +34,8 @@ use std::time::{Duration, Instant};
 use rebudget_telemetry as telemetry;
 
 use crate::equilibrium::{EquilibriumOptions, EquilibriumOutcome};
-use crate::{Market, Result};
+use crate::sparse::{SparseMarket, SparseOutcome};
+use crate::{Market, MarketError, Result};
 
 /// A wall-clock and/or iteration budget for one solve.
 ///
@@ -58,20 +59,57 @@ impl DeadlineBudget {
     };
 
     /// A wall-clock-only budget.
-    pub fn wall_clock_ms(ms: u64) -> Self {
-        Self {
-            wall_clock: Some(Duration::from_millis(ms)),
-            max_iterations: None,
-        }
+    ///
+    /// # Errors
+    ///
+    /// [`MarketError::InvalidValue`] for `ms == 0`: a zero budget admits
+    /// no work at all, so every solve under it would "time out" having
+    /// done nothing — always a configuration mistake, never a policy.
+    /// (An *unlimited* budget is spelled [`DeadlineBudget::UNBOUNDED`],
+    /// not zero.)
+    pub fn wall_clock_ms(ms: u64) -> Result<Self> {
+        Self::checked(Some(ms), None)
     }
 
     /// An iteration-only budget (deterministic; use this for reproducible
     /// runs).
-    pub fn iterations(n: usize) -> Self {
-        Self {
-            wall_clock: None,
-            max_iterations: Some(n),
+    ///
+    /// # Errors
+    ///
+    /// [`MarketError::InvalidValue`] for `n == 0` (see
+    /// [`DeadlineBudget::wall_clock_ms`]).
+    pub fn iterations(n: usize) -> Result<Self> {
+        Self::checked(None, Some(n))
+    }
+
+    /// Builds a budget from optional wall-clock and iteration limits,
+    /// validating both axes. `None` on an axis means unlimited;
+    /// `checked(None, None)` is [`DeadlineBudget::UNBOUNDED`].
+    ///
+    /// # Errors
+    ///
+    /// [`MarketError::InvalidValue`] when either limit is zero — a budget
+    /// that can never admit an iteration. Callers that used to pass zero
+    /// to mean "no limit" must pass `None` instead.
+    pub fn checked(wall_clock_ms: Option<u64>, max_iterations: Option<usize>) -> Result<Self> {
+        if wall_clock_ms == Some(0) {
+            return Err(MarketError::InvalidValue {
+                what: "deadline wall-clock budget in ms (zero admits no work; \
+                       use an unbounded budget for no limit)",
+                value: 0.0,
+            });
         }
+        if max_iterations == Some(0) {
+            return Err(MarketError::InvalidValue {
+                what: "deadline iteration budget (zero admits no work; \
+                       use an unbounded budget for no limit)",
+                value: 0.0,
+            });
+        }
+        Ok(Self {
+            wall_clock: wall_clock_ms.map(Duration::from_millis),
+            max_iterations,
+        })
     }
 
     /// `true` when either axis is bounded.
@@ -182,8 +220,13 @@ impl RetryPolicy {
         }
     }
 
-    /// The options for 0-based attempt `k` of the ladder.
-    fn options_for_attempt(&self, base: &EquilibriumOptions, k: usize) -> EquilibriumOptions {
+    /// The options for 0-based attempt `k` of the ladder: attempt 0 runs
+    /// `base` unchanged, attempt 1 tightens the bidding tolerances, and
+    /// attempts ≥ 2 relax the price tolerance geometrically; every rung's
+    /// deadline is scaled by `backoff^k`. Public so callers that drive
+    /// their own solve loop (e.g. the online server's per-tick sparse
+    /// solves) reuse the exact ladder semantics of [`solve_with_retry`].
+    pub fn options_for_attempt(&self, base: &EquilibriumOptions, k: usize) -> EquilibriumOptions {
         let mut opts = base.clone();
         opts.deadline = base.deadline.scaled(self.backoff.max(1.0).powi(k as i32));
         match k {
@@ -284,6 +327,68 @@ pub fn solve_with_retry(
     Ok((outcome, report))
 }
 
+/// The retry ladder of [`solve_with_retry`] for sparse markets: identical
+/// rung semantics (same [`RetryPolicy::options_for_attempt`] options per
+/// attempt), driving [`SparseMarket::solve`] instead of the dense engine.
+///
+/// Returns the first converged, in-budget outcome; if every rung fails,
+/// the lowest-residual outcome seen is returned best-effort with the
+/// [`RetryReport`] describing the ladder. The caller owns any further
+/// fallback (the online server degrades to `EqualShare`).
+///
+/// # Errors
+///
+/// Propagates [`crate::MarketError`]s from degenerate inputs (including
+/// [`MarketError::UnsupportedSolver`] for the Jacobi engine, which cannot
+/// run sparse); running out of rungs is *not* an error.
+pub fn solve_sparse_with_retry(
+    market: &SparseMarket,
+    options: &EquilibriumOptions,
+    policy: &RetryPolicy,
+) -> Result<(SparseOutcome, RetryReport)> {
+    let attempts = policy.max_attempts.max(1);
+    let mut report = RetryReport::default();
+    let mut best: Option<SparseOutcome> = None;
+    for k in 0..attempts {
+        let opts = policy.options_for_attempt(options, k);
+        let out = market.solve(&opts)?;
+        report.attempts = (k + 1) as u64;
+        if out.report.timed_out {
+            report.timed_out_attempts += 1;
+        }
+        let done = out.converged() && !out.report.timed_out;
+        if telemetry::enabled() {
+            telemetry::record(
+                telemetry::Event::new("retry_attempt")
+                    .field_u64("attempt", report.attempts)
+                    .field_bool("converged", out.converged())
+                    .field_bool("timed_out", out.report.timed_out)
+                    .field_f64("residual", out.report.residual),
+            );
+            if k > 0 {
+                telemetry::global()
+                    .registry
+                    .counter("solver.retries")
+                    .incr();
+            }
+        }
+        let better = match &best {
+            None => true,
+            Some(b) => out.report.residual < b.report.residual,
+        };
+        if better {
+            best = Some(out);
+        }
+        if done {
+            break;
+        }
+    }
+    #[allow(clippy::expect_used)] // attempts >= 1, so a solve always ran
+    let outcome = best.expect("at least one attempt");
+    report.converged = outcome.converged();
+    Ok((outcome, report))
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
@@ -329,7 +434,7 @@ mod tests {
 
     #[test]
     fn iteration_budget_is_exact() {
-        let mut clock = DeadlineBudget::iterations(3).start();
+        let mut clock = DeadlineBudget::iterations(3).unwrap().start();
         assert!(!clock.charge(1));
         assert!(!clock.charge(1));
         assert!(clock.charge(1), "third iteration exhausts the budget");
@@ -337,10 +442,42 @@ mod tests {
     }
 
     #[test]
-    fn zero_wall_clock_expires_immediately() {
-        let clock = DeadlineBudget::wall_clock_ms(0).start();
-        assert!(clock.expired());
-        assert!(clock.elapsed().is_some());
+    fn zero_budgets_are_rejected_at_construction() {
+        // Regression: zero used to build a budget that could never admit
+        // an iteration; now both axes validate at construction.
+        for result in [
+            DeadlineBudget::wall_clock_ms(0),
+            DeadlineBudget::iterations(0),
+            DeadlineBudget::checked(Some(0), Some(5)),
+            DeadlineBudget::checked(Some(5), Some(0)),
+        ] {
+            match result {
+                Err(MarketError::InvalidValue { what, value }) => {
+                    assert!(what.contains("deadline"), "what: {what}");
+                    assert_eq!(value, 0.0);
+                }
+                other => panic!("expected InvalidValue, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn checked_constructors_build_valid_budgets() {
+        let b = DeadlineBudget::checked(Some(10), Some(8)).unwrap();
+        assert_eq!(b.wall_clock, Some(Duration::from_millis(10)));
+        assert_eq!(b.max_iterations, Some(8));
+        assert_eq!(
+            DeadlineBudget::checked(None, None).unwrap(),
+            DeadlineBudget::UNBOUNDED
+        );
+        assert_eq!(
+            DeadlineBudget::wall_clock_ms(7).unwrap().wall_clock,
+            Some(Duration::from_millis(7))
+        );
+        assert_eq!(
+            DeadlineBudget::iterations(9).unwrap().max_iterations,
+            Some(9)
+        );
     }
 
     #[test]
@@ -359,7 +496,7 @@ mod tests {
     #[test]
     fn timed_out_solve_returns_within_budget() {
         let m = market();
-        let opts = opts_with(DeadlineBudget::iterations(1));
+        let opts = opts_with(DeadlineBudget::iterations(1).unwrap());
         let out = m.equilibrium(&opts).unwrap();
         assert!(out.report.timed_out, "one iteration cannot converge here");
         assert!(!out.converged());
@@ -386,7 +523,7 @@ mod tests {
     fn retry_ladder_recovers_from_starved_first_attempt() {
         let m = market();
         // First attempt gets 1 iteration; back-off doubles it each rung.
-        let opts = opts_with(DeadlineBudget::iterations(1));
+        let opts = opts_with(DeadlineBudget::iterations(1).unwrap());
         let policy = RetryPolicy {
             max_attempts: 6,
             backoff: 4.0,
@@ -414,7 +551,7 @@ mod tests {
     #[test]
     fn exhausted_ladder_returns_best_effort() {
         let m = market();
-        let opts = opts_with(DeadlineBudget::iterations(1));
+        let opts = opts_with(DeadlineBudget::iterations(1).unwrap());
         // No back-off: every rung is starved.
         let policy = RetryPolicy {
             max_attempts: 3,
@@ -433,7 +570,7 @@ mod tests {
     #[test]
     fn ladder_is_deterministic_with_iteration_budgets() {
         let m = market();
-        let opts = opts_with(DeadlineBudget::iterations(2));
+        let opts = opts_with(DeadlineBudget::iterations(2).unwrap());
         let policy = RetryPolicy::with_attempts(4);
         let run = || solve_with_retry(&m, &[100.0, 100.0], &opts, &policy).unwrap();
         let (a, ra) = run();

@@ -29,6 +29,8 @@
 //! per player, and each best response runs allocation-free against a
 //! per-worker [`crate::bidding::BidScratch`].
 
+use std::sync::Arc;
+
 use rebudget_telemetry as telemetry;
 
 use crate::bidding::{best_response_into, BidScratch, BiddingOptions};
@@ -109,6 +111,104 @@ impl SolverKind {
     }
 }
 
+/// A bid seed carried from a previous solve, so an online re-solve starts
+/// from the last quantum's equilibrium instead of from scratch.
+///
+/// The layout matches the engine that consumes it:
+///
+/// * dense engines (Jacobi and the dense first-order reference) expect a
+///   row-major `n × m` matrix — [`WarmStart::from_outcome`];
+/// * the sparse engines expect the CSR value array of the market's
+///   interest pattern, `nnz` entries — [`WarmStart::from_sparse`].
+///
+/// Warm starting is **best effort and row-local**: a seed whose length
+/// does not match the market is ignored wholesale, and any individual row
+/// that is unusable (non-finite or negative entries, or a non-positive
+/// row sum) falls back to the cold equal-split start for that player
+/// only. Usable rows are rescaled to the player's *current* budget, so a
+/// budget change between quanta keeps the seed feasible.
+///
+/// The multiplicative first-order engines additionally **lift** exact-zero
+/// seed entries to a tiny positive fraction of the budget before seeding:
+/// a converged multiplicative run underflows unattractive bids to exact
+/// `0.0`, and a zero bid can never revive under the multiplicative step —
+/// rejecting such rows outright would cold-start nearly every player and
+/// forfeit the warm start precisely where it matters (the online server's
+/// tick-to-tick re-solves). A warm-started solve is still a pure function
+/// of `(market, budgets, options)` — determinism and the bit-identical
+/// parallel-policy guarantee are unaffected.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WarmStart {
+    /// The seed bids (dense row-major `n × m`, or sparse CSR values).
+    pub bids: Vec<f64>,
+}
+
+impl WarmStart {
+    /// Seeds the next dense solve from a previous outcome's final bids.
+    pub fn from_outcome(outcome: &EquilibriumOutcome) -> Self {
+        Self {
+            bids: outcome.bids.as_slice().to_vec(),
+        }
+    }
+
+    /// Seeds the next sparse solve from a previous sparse outcome's final
+    /// CSR bid values (the interest pattern must be unchanged; a changed
+    /// pattern makes the lengths disagree and the seed is ignored).
+    pub fn from_sparse(outcome: &crate::sparse::SparseOutcome) -> Self {
+        Self {
+            bids: outcome.bids.vals().to_vec(),
+        }
+    }
+
+    /// Wraps the seed for [`EquilibriumOptions::warm_start`].
+    pub fn shared(self) -> Option<Arc<Self>> {
+        Some(Arc::new(self))
+    }
+}
+
+/// Validates one warm row: every entry finite and ≥ the floor, with a
+/// strictly positive finite sum. `floor` is `0.0` everywhere today:
+/// Jacobi tolerates zero bids outright, and the multiplicative engines
+/// lift zeros via [`warm_overlay_multiplicative`] instead of rejecting
+/// the row.
+pub(crate) fn warm_row_usable(row: &[f64], floor: f64) -> bool {
+    let mut sum = 0.0;
+    for &b in row {
+        if !b.is_finite() || b < floor {
+            return false;
+        }
+        sum += b;
+    }
+    sum.is_finite() && sum > 0.0
+}
+
+/// Fraction of a player's budget (spread over the row) used to lift a
+/// zero seed bid back to strictly positive before a multiplicative
+/// solve. Small enough that a lifted entry contributes nothing to the
+/// seeded prices, large enough that the multiplicative step can grow it
+/// back if the new market wants that bid nonzero.
+const WARM_LIFT: f64 = 1e-12;
+
+/// Overlays one warm seed row for a multiplicative engine: every entry
+/// is lifted to at least `budget · WARM_LIFT / len`, then the row is
+/// rescaled to sum to the player's current budget — strictly positive
+/// throughout, as the multiplicative step requires. Returns `false`
+/// (leaving `dst` at its cold start) when the seed is unusable: empty
+/// row, zero budget, non-finite or negative entries, or a non-positive
+/// sum.
+pub(crate) fn warm_overlay_multiplicative(dst: &mut [f64], seed: &[f64], budget: f64) -> bool {
+    if seed.is_empty() || budget <= 0.0 || !warm_row_usable(seed, 0.0) {
+        return false;
+    }
+    let floor = budget * WARM_LIFT / seed.len() as f64;
+    let sum: f64 = seed.iter().map(|&b| b.max(floor)).sum();
+    let scale = budget / sum;
+    for (dst, &b) in dst.iter_mut().zip(seed) {
+        *dst = b.max(floor) * scale;
+    }
+    true
+}
+
 /// Options for the equilibrium search.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EquilibriumOptions {
@@ -137,6 +237,11 @@ pub struct EquilibriumOptions {
     /// Which engine runs the solve. The default ([`SolverKind::Jacobi`])
     /// reproduces the paper's behaviour exactly.
     pub solver: SolverKind,
+    /// Bid seed from a previous solve (see [`WarmStart`]). `None` — the
+    /// default — is the cold equal-split start and changes nothing.
+    /// Behind an `Arc` so cloning options (the retry ladder does this per
+    /// rung) never copies a large seed.
+    pub warm_start: Option<Arc<WarmStart>>,
 }
 
 impl Default for EquilibriumOptions {
@@ -149,6 +254,7 @@ impl Default for EquilibriumOptions {
             parallel: ParallelPolicy::Auto,
             deadline: DeadlineBudget::UNBOUNDED,
             solver: SolverKind::Jacobi,
+            warm_start: None,
         }
     }
 }
@@ -168,6 +274,7 @@ impl EquilibriumOptions {
             parallel: ParallelPolicy::Auto,
             deadline: DeadlineBudget::UNBOUNDED,
             solver: SolverKind::Jacobi,
+            warm_start: None,
         }
     }
 
@@ -183,6 +290,7 @@ impl EquilibriumOptions {
             parallel: ParallelPolicy::Auto,
             deadline: DeadlineBudget::UNBOUNDED,
             solver: SolverKind::ProportionalResponse,
+            warm_start: None,
         }
     }
 
@@ -198,6 +306,14 @@ impl EquilibriumOptions {
     #[must_use]
     pub fn with_solver(mut self, solver: SolverKind) -> Self {
         self.solver = solver;
+        self
+    }
+
+    /// Returns `self` with the warm-start seed replaced (`None` clears
+    /// it back to the cold equal-split start).
+    #[must_use]
+    pub fn with_warm_start(mut self, warm: Option<Arc<WarmStart>>) -> Self {
+        self.warm_start = warm;
         self
     }
 }
@@ -406,6 +522,22 @@ fn find_equilibrium_jacobi(
     }
 
     let mut bids = BidMatrix::equal_split(budgets, m)?;
+    // Warm start: overlay usable seed rows over the equal-split baseline,
+    // rescaled to each player's current budget (Jacobi tolerates zero
+    // bids, so the row floor is 0).
+    if let Some(warm) = options.warm_start.as_deref() {
+        if warm.bids.len() == n * m {
+            for i in 0..n {
+                let row = &warm.bids[i * m..(i + 1) * m];
+                if budgets[i] > 0.0 && warm_row_usable(row, 0.0) {
+                    let scale = budgets[i] / row.iter().sum::<f64>();
+                    for (j, &b) in row.iter().enumerate() {
+                        bids.set(i, j, b * scale);
+                    }
+                }
+            }
+        }
+    }
     // Double buffer for the Jacobi sweep: responses for iteration k+1 are
     // written into `next` while `bids` holds the iteration-k snapshot.
     let mut next = bids.clone();
@@ -848,6 +980,81 @@ mod tests {
             "expected sanitization actions, got {:?}",
             out.report.recovery
         );
+    }
+
+    #[test]
+    fn warm_start_from_converged_outcome_restarts_cheaply() {
+        let market = two_player_market([0.8, 0.2], [0.2, 0.8]);
+        let opts = EquilibriumOptions::default();
+        let cold = market.equilibrium(&opts).unwrap();
+        assert!(cold.converged());
+        let warm_opts = opts
+            .clone()
+            .with_warm_start(WarmStart::from_outcome(&cold).shared());
+        let warm = market.equilibrium(&warm_opts).unwrap();
+        assert!(warm.converged());
+        assert!(
+            warm.iterations <= cold.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+        // Warm solves are deterministic: same seed, same bits.
+        let again = market.equilibrium(&warm_opts).unwrap();
+        assert_eq!(warm.iterations, again.iterations);
+        for (a, b) in warm.prices.iter().zip(&again.prices) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn mismatched_or_poisoned_warm_seed_falls_back_to_cold() {
+        let market = two_player_market([0.8, 0.2], [0.2, 0.8]);
+        let opts = EquilibriumOptions::default();
+        let cold = market.equilibrium(&opts).unwrap();
+        // Wrong length: ignored wholesale.
+        let short = opts.clone().with_warm_start(
+            WarmStart {
+                bids: vec![1.0, 2.0, 3.0],
+            }
+            .shared(),
+        );
+        // NaN row: that row (and here, every row) cold-starts.
+        let poisoned = opts.clone().with_warm_start(
+            WarmStart {
+                bids: vec![f64::NAN, 1.0, f64::NAN, 1.0],
+            }
+            .shared(),
+        );
+        for bad in [short, poisoned] {
+            let out = market.equilibrium(&bad).unwrap();
+            assert_eq!(out.iterations, cold.iterations);
+            for (a, b) in out.prices.iter().zip(&cold.prices) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn warm_seed_rescales_to_changed_budgets() {
+        let market = two_player_market([0.5, 0.5], [0.5, 0.5]);
+        let opts = EquilibriumOptions::precise();
+        let cold = market.equilibrium(&opts).unwrap();
+        // Re-solve with shifted budgets, seeded from the old equilibrium:
+        // the seed must be rescaled to the new budgets (stay feasible),
+        // and the richer player ends up ahead as usual.
+        let warm_opts = opts
+            .clone()
+            .with_warm_start(WarmStart::from_outcome(&cold).shared());
+        let out = market
+            .equilibrium_with_budgets(&[150.0, 50.0], &warm_opts)
+            .unwrap();
+        assert!(out.converged());
+        for (i, budget) in [150.0, 50.0].iter().enumerate() {
+            let spent: f64 = (0..2).map(|j| out.bids.get(i, j)).sum();
+            assert!(spent <= budget + 1e-9, "player {i} spent {spent}");
+        }
+        assert!(out.allocation.get(0, 0) > out.allocation.get(1, 0));
     }
 
     #[test]

@@ -327,6 +327,23 @@ pub(crate) fn solve_sparse(
             vals[lo..hi].fill(budgets[i] / (hi - lo) as f64);
         }
     }
+    // Warm start: overlay usable seed rows (CSR value layout) over the
+    // equal split, rescaled to each player's current budget. Exact-zero
+    // seed entries (underflow in the previous converged run) are lifted
+    // to a tiny positive floor — a zero can never revive under the
+    // multiplicative step; unusable rows keep the cold start.
+    if let Some(warm) = options.warm_start.as_deref() {
+        if warm.bids.len() == vals.len() {
+            for i in 0..n {
+                let (lo, hi) = (row_ptr[i], row_ptr[i + 1]);
+                crate::equilibrium::warm_overlay_multiplicative(
+                    &mut vals[lo..hi],
+                    &warm.bids[lo..hi],
+                    budgets[i],
+                );
+            }
+        }
+    }
     let mut init_money = vec![0.0; m];
     for (&c, &b) in cols.iter().zip(&vals) {
         init_money[c as usize] += b;
@@ -684,6 +701,84 @@ mod tests {
                 "good {j}"
             );
         }
+    }
+
+    #[test]
+    fn sparse_warm_start_converges_in_fewer_iterations() {
+        use crate::equilibrium::WarmStart;
+        let market = SynthSpec::new(2_000, 32, 17).generate().unwrap();
+        let opts = EquilibriumOptions::large_scale();
+        let cold = solve_sparse(&market, &opts, 1.0).unwrap();
+        assert!(cold.converged());
+        let warm_opts = opts
+            .clone()
+            .with_warm_start(WarmStart::from_sparse(&cold).shared());
+        let warm = solve_sparse(&market, &warm_opts, 1.0).unwrap();
+        assert!(warm.converged());
+        assert!(
+            warm.iterations <= cold.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+        // And it is deterministic: bit-identical across repeats.
+        let again = solve_sparse(&market, &warm_opts, 1.0).unwrap();
+        assert_eq!(warm.prices, again.prices);
+        assert_eq!(warm.bids, again.bids);
+    }
+
+    #[test]
+    fn sparse_warm_rows_with_zeros_are_lifted() {
+        use crate::equilibrium::WarmStart;
+        // A zero entry would be frozen forever by the multiplicative
+        // step, so it is lifted to a tiny positive floor rather than
+        // discarding the whole row (a converged run underflows most
+        // rows' unattractive bids to exact 0.0, and rejecting them all
+        // would forfeit the warm start). The seeded solve must still
+        // converge to the same equilibrium.
+        let market = linear_market(
+            vec![1.0, 1.0],
+            vec![1.0, 1.0],
+            vec![vec![(0, 3.0), (1, 1.0)], vec![(0, 1.0), (1, 2.0)]],
+        );
+        let opts = tight();
+        let cold = solve_sparse(&market, &opts, 1.0).unwrap();
+        let seeded = opts.clone().with_warm_start(
+            WarmStart {
+                bids: vec![0.0, 1.0, 0.5, 0.5],
+            }
+            .shared(),
+        );
+        let out = solve_sparse(&market, &seeded, 1.0).unwrap();
+        assert!(out.converged());
+        for (w, c) in out.prices.iter().zip(&cold.prices) {
+            assert!((w - c).abs() < 1e-4, "warm {w} vs cold {c}");
+        }
+    }
+
+    #[test]
+    fn sparse_warm_rows_with_negatives_cold_start() {
+        use crate::equilibrium::WarmStart;
+        // Negative or non-finite seed entries are not liftable: the row
+        // falls back to the equal split, which reproduces the cold solve
+        // bitwise (player 1's strictly positive seed *is* the equal
+        // split here).
+        let market = linear_market(
+            vec![1.0, 1.0],
+            vec![1.0, 1.0],
+            vec![vec![(0, 3.0), (1, 1.0)], vec![(0, 1.0), (1, 2.0)]],
+        );
+        let opts = tight();
+        let cold = solve_sparse(&market, &opts, 1.0).unwrap();
+        let seeded = opts.clone().with_warm_start(
+            WarmStart {
+                bids: vec![-0.5, 1.5, 0.5, 0.5],
+            }
+            .shared(),
+        );
+        let out = solve_sparse(&market, &seeded, 1.0).unwrap();
+        assert_eq!(out.prices, cold.prices);
+        assert_eq!(out.bids, cold.bids);
     }
 
     #[test]

@@ -68,6 +68,21 @@ pub(crate) fn find_equilibrium_first_order(
             row[..m].fill(budgets[i] / m as f64);
         }
     }
+    // Warm start: overlay usable seed rows, rescaled to the current
+    // budget. Exact-zero seed entries are lifted to a tiny positive
+    // floor (the multiplicative step can never revive a zero bid);
+    // unusable rows keep the cold equal-split row.
+    if let Some(warm) = options.warm_start.as_deref() {
+        if warm.bids.len() == n * m {
+            for (i, row) in vals.chunks_exact_mut(stride).enumerate() {
+                crate::equilibrium::warm_overlay_multiplicative(
+                    &mut row[..m],
+                    &warm.bids[i * m..(i + 1) * m],
+                    budgets[i],
+                );
+            }
+        }
+    }
     let mut init_money = vec![0.0; m];
     for row in vals.chunks_exact(stride) {
         for (sum, &b) in init_money.iter_mut().zip(row) {

@@ -85,8 +85,10 @@ pub mod utility;
 
 pub use allocation::AllocationMatrix;
 pub use bids::BidMatrix;
-pub use deadline::{solve_with_retry, DeadlineBudget, RetryPolicy, RetryReport};
-pub use equilibrium::{RecoveryAction, SolveReport, SolverKind};
+pub use deadline::{
+    solve_sparse_with_retry, solve_with_retry, DeadlineBudget, RetryPolicy, RetryReport,
+};
+pub use equilibrium::{RecoveryAction, SolveReport, SolverKind, WarmStart};
 pub use error::MarketError;
 pub use faults::{FaultPlan, FaultedMarket};
 pub use par::ParallelPolicy;

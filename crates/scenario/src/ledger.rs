@@ -126,34 +126,55 @@ impl Ledger {
     /// Panics if the ledger is already sealed — records are append-only
     /// and the seal is final.
     pub fn append(&mut self, record: &LedgerRecord) {
-        assert!(!self.sealed, "cannot append to a sealed ledger");
-        self.text
-            .push_str(&format!("[quantum {}]\n", record.quantum));
-        self.text.push_str(&format!("phase={}\n", record.phase));
+        let mut fields: Vec<(&str, String)> = Vec::with_capacity(10);
+        fields.push(("phase", record.phase.to_string()));
         if !record.events.is_empty() {
-            self.text
-                .push_str(&format!("events={}\n", record.events.join(";")));
+            fields.push(("events", record.events.join(";")));
         }
         let mask: String = record
             .active
             .iter()
             .map(|&a| if a { '1' } else { '0' })
             .collect();
-        self.text.push_str(&format!("active={mask}\n"));
-        self.text
-            .push_str(&format!("budgets={}\n", hex_list(record.budgets)));
-        self.text
-            .push_str(&format!("alloc={}\n", hex_list(record.allocation)));
-        self.text
-            .push_str(&format!("eff={}\n", f64_hex(record.efficiency)));
-        self.text
-            .push_str(&format!("envy={}\n", f64_hex(record.envy_freeness)));
-        self.text
-            .push_str(&format!("degraded={}\n", u8::from(record.degraded)));
-        self.text
-            .push_str(&format!("fallback={}\n", u8::from(record.fallback)));
-        self.text
-            .push_str(&format!("converged={}\n", u8::from(record.converged)));
+        fields.push(("active", mask));
+        fields.push(("budgets", hex_list(record.budgets)));
+        fields.push(("alloc", hex_list(record.allocation)));
+        fields.push(("eff", f64_hex(record.efficiency)));
+        fields.push(("envy", f64_hex(record.envy_freeness)));
+        fields.push(("degraded", u8::from(record.degraded).to_string()));
+        fields.push(("fallback", u8::from(record.fallback).to_string()));
+        fields.push(("converged", u8::from(record.converged).to_string()));
+        self.append_section(record.quantum, &fields);
+    }
+
+    /// Appends one `[quantum N]` record with caller-supplied `key=value`
+    /// fields, closing it with the chain hash of all preceding bytes.
+    ///
+    /// This is the raw record surface behind [`Ledger::append`]: other
+    /// producers (the online server's tick records) write their own field
+    /// sets while staying inside the chained, auditable format that
+    /// [`verify`] checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ledger is sealed, if a key is empty, shadows the
+    /// reserved `chain` key, or contains `=`/newlines, or if a value
+    /// contains newlines — all programming errors that would corrupt the
+    /// line-oriented format.
+    pub fn append_section(&mut self, quantum: usize, fields: &[(&str, String)]) {
+        assert!(!self.sealed, "cannot append to a sealed ledger");
+        self.text.push_str(&format!("[quantum {quantum}]\n"));
+        for (key, value) in fields {
+            assert!(
+                !key.is_empty() && *key != "chain" && !key.contains(['=', '\n']),
+                "invalid ledger field key {key:?}"
+            );
+            assert!(
+                !value.contains('\n'),
+                "ledger field {key} value has newline"
+            );
+            self.text.push_str(&format!("{key}={value}\n"));
+        }
         let chain = fnv1a(self.text.as_bytes());
         self.text.push_str(&format!("chain={chain:016x}\n"));
         self.records += 1;
@@ -190,17 +211,181 @@ impl Ledger {
     ///
     /// # Errors
     ///
-    /// [`ScenarioError::Io`] if the file exists or cannot be written.
+    /// [`ScenarioError::LedgerExists`] naming the offending path when the
+    /// file already exists; [`ScenarioError::Io`] for any other
+    /// filesystem failure.
     pub fn write_new(&self, path: &Path) -> Result<(), ScenarioError> {
         use std::io::Write;
-        let mut f = std::fs::OpenOptions::new()
-            .write(true)
-            .create_new(true)
-            .open(path)?;
+        let mut f = create_new_ledger_file(path)?;
         f.write_all(self.text.as_bytes())?;
         f.sync_all()?;
         Ok(())
     }
+
+    /// Reconstructs an **unsealed** ledger from previously written text,
+    /// so an interrupted producer (the online server after a crash) can
+    /// keep appending where it left off.
+    ///
+    /// The text must be a fully chain-valid, unsealed ledger — i.e.
+    /// exactly the [`valid_prefix`] of itself. Callers recovering from a
+    /// torn tail should truncate to `valid_prefix(text)` first.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Ledger`] when the text is sealed, has a torn or
+    /// tampered tail, or lacks a valid header.
+    pub fn resume(text: &str) -> Result<Self, ScenarioError> {
+        let prefix = valid_prefix(text);
+        if prefix.header_bytes == 0 {
+            return Err(ScenarioError::Ledger {
+                line: 1,
+                reason: "cannot resume: missing or malformed ledger header".into(),
+            });
+        }
+        if prefix.sealed {
+            return Err(ScenarioError::Ledger {
+                line: text.lines().count(),
+                reason: "cannot resume a sealed ledger (the seal is final)".into(),
+            });
+        }
+        if prefix.bytes != text.len() {
+            return Err(ScenarioError::Ledger {
+                line: text[..prefix.bytes].lines().count() + 1,
+                reason: format!(
+                    "cannot resume: torn or tampered tail after byte {} \
+                     (truncate to the valid prefix first)",
+                    prefix.bytes
+                ),
+            });
+        }
+        Ok(Self {
+            text: text.to_string(),
+            records: prefix.records,
+            sealed: false,
+        })
+    }
+}
+
+/// Opens `path` with `create_new`, mapping an existing-file collision to
+/// the named [`ScenarioError::LedgerExists`]. Shared by every ledger
+/// producer (scenario runs, the online server) so the collision is always
+/// a typed, actionable error rather than a raw [`ScenarioError::Io`].
+pub fn create_new_ledger_file(path: &Path) -> Result<std::fs::File, ScenarioError> {
+    std::fs::OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(path)
+        .map_err(|e| {
+            if e.kind() == std::io::ErrorKind::AlreadyExists {
+                ScenarioError::LedgerExists {
+                    path: path.to_path_buf(),
+                }
+            } else {
+                ScenarioError::Io(e)
+            }
+        })
+}
+
+/// The longest cryptographically-consistent prefix of a ledger file: the
+/// header/meta section plus every leading record whose `chain=` hash
+/// matches the bytes before it, stopping at the first torn, tampered, or
+/// malformed line.
+///
+/// This is the crash-recovery primitive: a producer killed mid-append
+/// leaves a torn tail, and because each chain hashes *all* preceding
+/// bytes, truncating to `bytes` restores a valid ledger that
+/// [`Ledger::resume`] can continue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerPrefix {
+    /// Bytes in the valid prefix (a safe truncation point).
+    pub bytes: usize,
+    /// Whole records inside the valid prefix.
+    pub records: usize,
+    /// Byte length of the header + meta section (the valid prefix with
+    /// zero records). Zero when even the header line is bad.
+    pub header_bytes: usize,
+    /// Byte offset just past each valid record's `chain=` line —
+    /// `record_ends[k]` truncates the ledger to `k + 1` records.
+    pub record_ends: Vec<usize>,
+    /// Whether the prefix ends in a complete, checksum-valid seal.
+    pub sealed: bool,
+}
+
+/// Computes the [`LedgerPrefix`] of `text`. Never errors: a hopeless
+/// input simply yields a zero-byte prefix.
+#[must_use]
+pub fn valid_prefix(text: &str) -> LedgerPrefix {
+    let mut prefix = LedgerPrefix {
+        bytes: 0,
+        records: 0,
+        header_bytes: 0,
+        record_ends: Vec::new(),
+        sealed: false,
+    };
+    let bytes = text.as_bytes();
+    let mut offset = 0usize;
+    let mut first = true;
+    // Are we inside the header/meta section (before the first record)?
+    let mut in_meta = true;
+    for line in text.split_inclusive('\n') {
+        let complete = line.ends_with('\n');
+        let content = line.trim_end_matches('\n');
+        if first {
+            if !(complete && content == HEADER) {
+                return prefix;
+            }
+            first = false;
+            offset += line.len();
+            prefix.bytes = offset;
+            prefix.header_bytes = offset;
+            continue;
+        }
+        if !complete {
+            // Torn final line: everything before it already stands.
+            return prefix;
+        }
+        if content == "[seal]" || content.starts_with("records=") {
+            // Seal in progress; only a valid fnv1a line below completes it.
+            offset += line.len();
+            continue;
+        }
+        if let Some(rest) = content.strip_prefix("fnv1a=") {
+            let valid = u64::from_str_radix(rest, 16)
+                .map(|want| fnv1a(&bytes[..offset]) == want)
+                .unwrap_or(false);
+            if valid {
+                offset += line.len();
+                prefix.bytes = offset;
+                prefix.sealed = true;
+            }
+            return prefix;
+        }
+        if let Some(rest) = content.strip_prefix("chain=") {
+            let valid = u64::from_str_radix(rest, 16)
+                .map(|want| fnv1a(&bytes[..offset]) == want)
+                .unwrap_or(false);
+            if !valid {
+                return prefix;
+            }
+            offset += line.len();
+            prefix.bytes = offset;
+            prefix.records += 1;
+            prefix.record_ends.push(offset);
+            continue;
+        }
+        if content.starts_with("[quantum ") {
+            in_meta = false;
+        } else if in_meta {
+            // Meta lines carry no checksum; they stand with the header.
+            offset += line.len();
+            prefix.bytes = offset;
+            prefix.header_bytes = offset;
+            continue;
+        }
+        // A record body line: provisional until its chain validates.
+        offset += line.len();
+    }
+    prefix
 }
 
 /// What [`verify`] found in a well-formed ledger.
@@ -378,6 +563,226 @@ mod tests {
         // Bad header.
         assert!(matches!(
             verify("nonsense\n").unwrap_err(),
+            ScenarioError::Ledger { line: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn write_new_collision_is_a_named_error() {
+        let dir = std::env::temp_dir().join(format!("rebudget-ledger-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("collision.ledger");
+        let ledger = sample();
+        ledger.write_new(&path).unwrap();
+        // Regression: the second write used to surface a raw io::Error;
+        // it must name the colliding path instead.
+        match ledger.write_new(&path).unwrap_err() {
+            ScenarioError::LedgerExists { path: p } => assert_eq!(p, path),
+            other => panic!("expected LedgerExists, got {other}"),
+        }
+        let msg = ledger.write_new(&path).unwrap_err().to_string();
+        assert!(msg.contains("collision.ledger"), "{msg}");
+        assert!(msg.contains("immutable"), "{msg}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_section_matches_typed_append_bytes() {
+        let meta = LedgerMeta {
+            scenario: "raw".into(),
+            seed: 1,
+            mechanism: "m".into(),
+            workload: "w".into(),
+            cores: 1,
+            resources: 1,
+            quanta: 1,
+            budget: 1.0,
+            faults: String::new(),
+        };
+        let mut typed = Ledger::new(&meta);
+        typed.append(&LedgerRecord {
+            quantum: 0,
+            phase: "p",
+            events: &[],
+            active: &[true],
+            budgets: &[1.0],
+            allocation: &[1.0],
+            efficiency: 1.0,
+            envy_freeness: 1.0,
+            degraded: false,
+            fallback: false,
+            converged: true,
+        });
+        let mut raw = Ledger::new(&meta);
+        raw.append_section(
+            0,
+            &[
+                ("phase", "p".into()),
+                ("active", "1".into()),
+                ("budgets", f64_hex(1.0)),
+                ("alloc", f64_hex(1.0)),
+                ("eff", f64_hex(1.0)),
+                ("envy", f64_hex(1.0)),
+                ("degraded", "0".into()),
+                ("fallback", "0".into()),
+                ("converged", "1".into()),
+            ],
+        );
+        assert_eq!(typed.text(), raw.text());
+        assert_eq!(typed.records(), raw.records());
+    }
+
+    #[test]
+    fn valid_prefix_finds_truncation_points() {
+        let mut ledger = sample();
+        let sealed_text = ledger.text().to_string();
+        // Sealed ledger: the whole file is the prefix.
+        let p = valid_prefix(&sealed_text);
+        assert_eq!(p.bytes, sealed_text.len());
+        assert_eq!(p.records, 2);
+        assert!(p.sealed);
+        assert_eq!(p.record_ends.len(), 2);
+
+        // An unsealed ledger with a torn tail (mid-record kill): the
+        // prefix stops at the last complete record.
+        ledger = {
+            let mut l = Ledger::new(&LedgerMeta {
+                scenario: "torn".into(),
+                seed: 7,
+                mechanism: "rebudget".into(),
+                workload: "cpbn".into(),
+                cores: 2,
+                resources: 2,
+                quanta: 2,
+                budget: 100.0,
+                faults: String::new(),
+            });
+            for q in 0..2 {
+                l.append(&LedgerRecord {
+                    quantum: q,
+                    phase: "steady",
+                    events: &[],
+                    active: &[true, true],
+                    budgets: &[100.0, 100.0],
+                    allocation: &[8.0, 40.0, 8.0, 40.0],
+                    efficiency: 1.5,
+                    envy_freeness: 1.0,
+                    degraded: false,
+                    fallback: false,
+                    converged: true,
+                });
+            }
+            l
+        };
+        let clean = ledger.text().to_string();
+        let p = valid_prefix(&clean);
+        assert_eq!(p.bytes, clean.len());
+        assert_eq!(p.records, 2);
+        assert!(!p.sealed);
+        // Tear the file mid-second-record: prefix = exactly record 1.
+        let torn = &clean[..p.record_ends[0] + 17];
+        let tp = valid_prefix(torn);
+        assert_eq!(tp.bytes, p.record_ends[0]);
+        assert_eq!(tp.records, 1);
+        // Truncating to any record count reproduces a resumable ledger.
+        let resumed = Ledger::resume(&clean[..tp.bytes]).unwrap();
+        assert_eq!(resumed.records(), 1);
+        // Header + meta only: still resumable with zero records.
+        let meta_only = &clean[..p.header_bytes];
+        let mp = valid_prefix(meta_only);
+        assert_eq!(mp.bytes, meta_only.len());
+        assert_eq!(mp.records, 0);
+        assert_eq!(Ledger::resume(meta_only).unwrap().records(), 0);
+        // Garbage: zero-byte prefix.
+        assert_eq!(valid_prefix("nonsense\n").bytes, 0);
+        assert_eq!(valid_prefix("").bytes, 0);
+    }
+
+    #[test]
+    fn resume_continues_the_chain_byte_identically() {
+        // Reference: three records appended in one sitting.
+        let meta = LedgerMeta {
+            scenario: "resume".into(),
+            seed: 7,
+            mechanism: "rebudget".into(),
+            workload: "cpbn".into(),
+            cores: 2,
+            resources: 2,
+            quanta: 3,
+            budget: 100.0,
+            faults: String::new(),
+        };
+        let record = |q: usize| LedgerRecord {
+            quantum: q,
+            phase: "steady",
+            events: &[],
+            active: &[true, true],
+            budgets: &[100.0, 100.0],
+            allocation: &[8.0, 40.0, 8.0, 40.0],
+            efficiency: 1.5,
+            envy_freeness: 1.0,
+            degraded: false,
+            fallback: false,
+            converged: true,
+        };
+        let mut reference = Ledger::new(&meta);
+        for q in 0..3 {
+            reference.append(&record(q));
+        }
+        reference.seal();
+        // Interrupted: two records, "crash", resume, third record, seal.
+        let mut before = Ledger::new(&meta);
+        before.append(&record(0));
+        before.append(&record(1));
+        let mut after = Ledger::resume(before.text()).unwrap();
+        after.append(&record(2));
+        after.seal();
+        assert_eq!(reference.text(), after.text());
+        verify(after.text()).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_sealed_and_torn_ledgers() {
+        let sealed = sample();
+        assert!(matches!(
+            Ledger::resume(sealed.text()).unwrap_err(),
+            ScenarioError::Ledger { .. }
+        ));
+        let unsealed = {
+            let mut l = Ledger::new(&LedgerMeta {
+                scenario: "t".into(),
+                seed: 1,
+                mechanism: "m".into(),
+                workload: "w".into(),
+                cores: 1,
+                resources: 1,
+                quanta: 1,
+                budget: 1.0,
+                faults: String::new(),
+            });
+            l.append(&LedgerRecord {
+                quantum: 0,
+                phase: "p",
+                events: &[],
+                active: &[true],
+                budgets: &[1.0],
+                allocation: &[1.0],
+                efficiency: 1.0,
+                envy_freeness: 1.0,
+                degraded: false,
+                fallback: false,
+                converged: true,
+            });
+            l
+        };
+        // Torn tail: drop the last 3 bytes.
+        let torn = &unsealed.text()[..unsealed.text().len() - 3];
+        assert!(matches!(
+            Ledger::resume(torn).unwrap_err(),
+            ScenarioError::Ledger { .. }
+        ));
+        assert!(matches!(
+            Ledger::resume("junk\n").unwrap_err(),
             ScenarioError::Ledger { line: 1, .. }
         ));
     }

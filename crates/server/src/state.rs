@@ -1,0 +1,1197 @@
+//! The daemon's durable tick state machine.
+//!
+//! [`ServerCore`] owns the live player table, the warm-start bid cache,
+//! the append-only hash-chained ledger, and the crash-atomic snapshot.
+//! Each [`ServerCore::tick`] assembles the current market, re-solves it
+//! **warm-started from the previous quantum's bids**, appends one ledger
+//! record, and then commits a snapshot — in that order, which is what
+//! makes `kill -9` at any byte recoverable:
+//!
+//! * killed before the ledger append: the snapshot still says tick `T`
+//!   and the ledger holds `T` records — resume re-runs tick `T`.
+//! * killed mid-append: the torn tail is cut at
+//!   [`rebudget_scenario::valid_prefix`]'s record boundary — same as
+//!   above.
+//! * killed between append and snapshot: the ledger holds `T + 1`
+//!   records but the snapshot says `T` — recovery truncates the ledger
+//!   back to the snapshot's `T` records and re-runs tick `T`, which is
+//!   deterministic (same players, same warm seeds, same options) and so
+//!   reproduces the truncated record **byte for byte**.
+//! * killed mid-snapshot: [`rebudget_sim::checkpoint::write_atomic`]'s
+//!   tmp/rename/`.prev` rotation guarantees a parseable generation
+//!   survives; if only `.prev` does, that is an older tick and the
+//!   ledger is truncated accordingly.
+//!
+//! No fsync is needed for these guarantees: a killed *process* loses
+//! nothing from the kernel page cache, so `write_all` suffices. (A
+//! power-cut story would need fsync; that is out of scope, as it is for
+//! the checkpoint layer this reuses.)
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use rebudget_market::equilibrium::{EquilibriumOptions, WarmStart};
+use rebudget_market::{
+    solve_sparse_with_retry, solve_with_retry, RetryPolicy, SolverKind, SparseBids, SparseMarket,
+    SparseUtilityKind,
+};
+use rebudget_scenario::{valid_prefix, Ledger, LedgerMeta};
+use rebudget_sim::checkpoint::{fnv1a, prev_path, write_atomic};
+
+use crate::{ServerError, ServerResult};
+
+const SNAPSHOT_HEADER: &str = "rebudget-server-snapshot v1";
+
+fn f64_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn hex_list(values: &[f64]) -> String {
+    values
+        .iter()
+        .map(|&v| f64_hex(v))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn parse_hex_f64(s: &str) -> Option<f64> {
+    // Fixed-width to keep snapshot lines canonical (encode emits 16).
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+/// Static configuration of the market the daemon serves.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Per-resource capacities (fixes the resource count `M`).
+    pub capacities: Vec<f64>,
+    /// Equilibrium engine for the per-tick solves. `Jacobi` densifies
+    /// the sparse player table each tick (small markets only); the
+    /// first-order engines solve it sparse.
+    pub solver: SolverKind,
+    /// Base solve options; the per-tick warm start is installed on top.
+    pub options: EquilibriumOptions,
+    /// Retry ladder each tick's solve runs under.
+    pub retry: RetryPolicy,
+    /// Consecutive failed ticks (non-converged after the whole ladder)
+    /// before the daemon degrades to `EqualShare` allocations. Recovery
+    /// is automatic: the solve is still attempted every tick, and the
+    /// first converged one lifts the degradation.
+    pub fallback_after: usize,
+    /// Seed stamped into the ledger meta (the workload seed when driven
+    /// by the seeded generator; purely descriptive).
+    pub seed: u64,
+    /// Chaos hook: sleep this long between the ledger append and the
+    /// snapshot write of every tick, widening the crash window where
+    /// the ledger is one record ahead of the snapshot. Zero (the
+    /// default) in production; the kill-safety tests set it to make
+    /// SIGKILL land inside that window deterministically often.
+    pub commit_delay_ms: u64,
+}
+
+impl ServerConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Config`] for an empty or non-positive capacity
+    /// vector or a zero `fallback_after`.
+    pub fn validate(&self) -> ServerResult<()> {
+        if self.capacities.is_empty() {
+            return Err(ServerError::Config {
+                reason: "server needs at least one resource".into(),
+            });
+        }
+        if self.capacities.iter().any(|&c| !c.is_finite() || c <= 0.0) {
+            return Err(ServerError::Config {
+                reason: "every capacity must be finite and positive".into(),
+            });
+        }
+        if self.fallback_after == 0 {
+            return Err(ServerError::Config {
+                reason: "fallback-after must be at least 1 tick".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One live player.
+#[derive(Debug, Clone, PartialEq)]
+struct PlayerRec {
+    budget: f64,
+    /// `(resource, weight)` interests, sorted by resource.
+    interests: Vec<(u32, f64)>,
+    /// Bids from the last converged solve over exactly these interests —
+    /// the next tick's warm seed. Cleared when the interest set changes.
+    bids: Option<Vec<f64>>,
+}
+
+/// What one tick did, for the response line and telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickReport {
+    /// The tick index just committed.
+    pub tick: u64,
+    /// Live players at solve time.
+    pub players: usize,
+    /// Admission commands applied in this tick's batch.
+    pub admitted: usize,
+    /// Whether the solve converged within its retry ladder.
+    pub converged: bool,
+    /// Whether the enforced allocation fell back to `EqualShare`.
+    pub fallback: bool,
+    /// Solver iterations of the final attempt (0 for an empty market).
+    pub iterations: u64,
+    /// Final residual (0 for an empty market).
+    pub residual: f64,
+    /// System efficiency of the enforced allocation.
+    pub efficiency: f64,
+}
+
+/// An admission command's typed rejection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApplyError {
+    /// `arrive` with an id that is already live.
+    Duplicate(String),
+    /// `depart`/`update` naming no live player.
+    Unknown(String),
+    /// An interest names a resource index `>= M`.
+    ResourceRange(u32),
+}
+
+impl std::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApplyError::Duplicate(id) => write!(f, "player '{id}' is already live"),
+            ApplyError::Unknown(id) => write!(f, "no live player '{id}'"),
+            ApplyError::ResourceRange(c) => write!(f, "resource index {c} out of range"),
+        }
+    }
+}
+
+/// The durable tick state machine. See the module docs for the commit
+/// ordering that makes it kill-safe.
+#[derive(Debug)]
+pub struct ServerCore {
+    config: ServerConfig,
+    /// Live players, keyed by id. `BTreeMap` fixes the market's row
+    /// order to id order, independent of arrival interleaving.
+    players: BTreeMap<String, PlayerRec>,
+    /// Next tick to run (ticks `0..tick` are committed).
+    tick: u64,
+    consecutive_failures: usize,
+    degraded: bool,
+    ledger: Ledger,
+    ledger_file: File,
+    ledger_path: PathBuf,
+    snapshot_path: PathBuf,
+    /// Bytes of `ledger.text()` already on disk.
+    written: usize,
+    /// Whether recovery fell back to the `.prev` snapshot generation.
+    recovered_from_prev: bool,
+}
+
+impl ServerCore {
+    /// Opens the daemon state under `state_dir`: recovers from an
+    /// existing snapshot if one is present, otherwise starts fresh with
+    /// a new ledger (`server.ledger`) and snapshot (`server.snapshot`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Config`] for invalid configuration,
+    /// [`ServerError::Ledger`] when a fresh start collides with an
+    /// existing (immutable) ledger, [`ServerError::Snapshot`] when
+    /// recovery finds no usable snapshot generation, and
+    /// [`ServerError::Io`] for filesystem trouble.
+    pub fn open(config: ServerConfig, state_dir: &Path) -> ServerResult<Self> {
+        config.validate()?;
+        std::fs::create_dir_all(state_dir)?;
+        let ledger_path = state_dir.join("server.ledger");
+        let snapshot_path = state_dir.join("server.snapshot");
+        if snapshot_path.exists() || prev_path(&snapshot_path).exists() {
+            Self::recover(config, ledger_path, snapshot_path)
+        } else {
+            Self::fresh(config, ledger_path, snapshot_path)
+        }
+    }
+
+    fn ledger_meta(config: &ServerConfig) -> LedgerMeta {
+        LedgerMeta {
+            scenario: "server".into(),
+            seed: config.seed,
+            mechanism: config.solver.label().into(),
+            workload: "online".into(),
+            cores: 0,
+            resources: config.capacities.len(),
+            // The stream is open-ended; the seal carries the real count.
+            quanta: 0,
+            budget: 0.0,
+            faults: String::new(),
+        }
+    }
+
+    fn fresh(
+        config: ServerConfig,
+        ledger_path: PathBuf,
+        snapshot_path: PathBuf,
+    ) -> ServerResult<Self> {
+        let ledger = Ledger::new(&Self::ledger_meta(&config));
+        let mut ledger_file = rebudget_scenario::create_new_ledger_file(&ledger_path)?;
+        ledger_file.write_all(ledger.text().as_bytes())?;
+        ledger_file.flush()?;
+        let written = ledger.text().len();
+        let core = Self {
+            config,
+            players: BTreeMap::new(),
+            tick: 0,
+            consecutive_failures: 0,
+            degraded: false,
+            ledger,
+            ledger_file,
+            ledger_path,
+            snapshot_path,
+            written,
+            recovered_from_prev: false,
+        };
+        core.write_snapshot()?;
+        Ok(core)
+    }
+
+    fn recover(
+        config: ServerConfig,
+        ledger_path: PathBuf,
+        snapshot_path: PathBuf,
+    ) -> ServerResult<Self> {
+        let ledger_text =
+            std::fs::read_to_string(&ledger_path).map_err(|e| ServerError::Snapshot {
+                reason: format!(
+                    "snapshot exists but ledger '{}' is unreadable: {e}",
+                    ledger_path.display()
+                ),
+            })?;
+        let prefix = valid_prefix(&ledger_text);
+        if prefix.header_bytes == 0 {
+            return Err(ServerError::Snapshot {
+                reason: format!(
+                    "ledger '{}' has no valid header; cannot recover",
+                    ledger_path.display()
+                ),
+            });
+        }
+        // Try the live snapshot first, then the rotated .prev generation.
+        // A generation is usable only if the ledger still holds at least
+        // as many valid records as the snapshot's tick (the ledger is
+        // written before the snapshot, so this holds for every crash
+        // point).
+        let mut chosen: Option<(Decoded, bool)> = None;
+        let mut failures: Vec<String> = Vec::new();
+        for (path, is_prev) in [
+            (snapshot_path.clone(), false),
+            (prev_path(&snapshot_path), true),
+        ] {
+            match std::fs::read_to_string(&path) {
+                Ok(text) => match decode_snapshot(&text, &config) {
+                    Ok(snap) if (snap.tick as usize) <= prefix.records => {
+                        chosen = Some((snap, is_prev));
+                        break;
+                    }
+                    Ok(snap) => failures.push(format!(
+                        "{}: snapshot tick {} ahead of ledger ({} records)",
+                        path.display(),
+                        snap.tick,
+                        prefix.records
+                    )),
+                    Err(reason) => failures.push(format!("{}: {reason}", path.display())),
+                },
+                Err(e) => failures.push(format!("{}: {e}", path.display())),
+            }
+        }
+        let Some((snap, recovered_from_prev)) = chosen else {
+            return Err(ServerError::Snapshot {
+                reason: format!("no usable snapshot generation: {}", failures.join("; ")),
+            });
+        };
+        // Truncate the ledger to exactly the snapshot's records: drops
+        // both torn tails and whole records from a crash that landed
+        // between the ledger append and the snapshot write. The dropped
+        // tick re-runs deterministically.
+        let keep = if snap.tick == 0 {
+            prefix.header_bytes
+        } else {
+            prefix.record_ends[snap.tick as usize - 1]
+        };
+        let file = std::fs::OpenOptions::new().write(true).open(&ledger_path)?;
+        file.set_len(keep as u64)?;
+        drop(file);
+        let ledger = Ledger::resume(&ledger_text[..keep])?;
+        let ledger_file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&ledger_path)?;
+        Ok(Self {
+            config,
+            players: snap.players,
+            tick: snap.tick,
+            consecutive_failures: snap.failures,
+            degraded: snap.degraded,
+            ledger,
+            ledger_file,
+            ledger_path,
+            snapshot_path,
+            written: keep,
+            recovered_from_prev,
+        })
+    }
+
+    /// The next tick to run (ticks `0..tick()` are committed).
+    pub fn tick_index(&self) -> u64 {
+        self.tick
+    }
+
+    /// Live player count.
+    pub fn players(&self) -> usize {
+        self.players.len()
+    }
+
+    /// Whether the daemon is currently degraded to `EqualShare`.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Whether recovery used the rotated `.prev` snapshot generation.
+    pub fn recovered_from_prev(&self) -> bool {
+        self.recovered_from_prev
+    }
+
+    /// Ledger records committed so far (equals [`Self::tick_index`]).
+    pub fn records(&self) -> usize {
+        self.ledger.records()
+    }
+
+    /// Path of the ledger file.
+    pub fn ledger_path(&self) -> &Path {
+        &self.ledger_path
+    }
+
+    /// Applies one admission command (arrive / update / depart).
+    ///
+    /// # Errors
+    ///
+    /// [`ApplyError`] naming the rejection; the player table is
+    /// unchanged on error.
+    pub fn apply(&mut self, req: &crate::proto::Request) -> Result<(), ApplyError> {
+        use crate::proto::Request;
+        let m = self.config.capacities.len() as u32;
+        let check_range = |interests: &[(u32, f64)]| {
+            interests
+                .iter()
+                .find(|&&(c, _)| c >= m)
+                .map_or(Ok(()), |&(c, _)| Err(ApplyError::ResourceRange(c)))
+        };
+        match req {
+            Request::Arrive {
+                id,
+                budget,
+                interests,
+            } => {
+                if self.players.contains_key(id) {
+                    return Err(ApplyError::Duplicate(id.clone()));
+                }
+                check_range(interests)?;
+                self.players.insert(
+                    id.clone(),
+                    PlayerRec {
+                        budget: *budget,
+                        interests: interests.clone(),
+                        bids: None,
+                    },
+                );
+                Ok(())
+            }
+            Request::Update { id, interests } => {
+                check_range(interests)?;
+                let rec = self
+                    .players
+                    .get_mut(id)
+                    .ok_or_else(|| ApplyError::Unknown(id.clone()))?;
+                if rec.interests != *interests {
+                    rec.interests = interests.clone();
+                    // The warm seed indexes the old interest set.
+                    rec.bids = None;
+                }
+                Ok(())
+            }
+            Request::Depart { id } => self
+                .players
+                .remove(id)
+                .map(|_| ())
+                .ok_or_else(|| ApplyError::Unknown(id.clone())),
+            _ => unreachable!("only admission commands reach apply()"),
+        }
+    }
+
+    /// Runs one market quantum: solve (warm-started), append the ledger
+    /// record, commit the snapshot. `admitted` is the size of this
+    /// tick's admission batch, recorded in the ledger.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Market`] for a degenerate market the admission
+    /// validation failed to catch, [`ServerError::Io`] for ledger or
+    /// snapshot write failures. Non-convergence is **not** an error —
+    /// it feeds the degradation counter.
+    pub fn tick(&mut self, admitted: usize) -> ServerResult<TickReport> {
+        let m = self.config.capacities.len();
+        let n = self.players.len();
+        let (solved, prices, alloc, utilities) = if n == 0 {
+            (None, vec![0.0; m], Vec::new(), Vec::new())
+        } else {
+            let (outcome, report) = self.solve()?;
+            (Some(report), outcome.0, outcome.1, outcome.2)
+        };
+        let converged = solved.as_ref().is_none_or(|r| r.0);
+        let iterations = solved.as_ref().map_or(0, |r| r.1);
+        let residual = solved.as_ref().map_or(0.0, |r| r.2);
+        // Degradation bookkeeping: K consecutive failed ticks flip to
+        // EqualShare; the first converged tick flips back.
+        if n > 0 {
+            if converged {
+                self.consecutive_failures = 0;
+                self.degraded = false;
+            } else {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.fallback_after {
+                    self.degraded = true;
+                }
+            }
+        }
+        let fallback = self.degraded && n > 0;
+        let (alloc, utilities) = if fallback {
+            self.equal_share()
+        } else {
+            (alloc, utilities)
+        };
+        let efficiency: f64 = utilities.iter().sum();
+        let budgets: Vec<f64> = self.players.values().map(|p| p.budget).collect();
+        let ids: Vec<&str> = self.players.keys().map(String::as_str).collect();
+        let report = TickReport {
+            tick: self.tick,
+            players: n,
+            admitted,
+            converged,
+            fallback,
+            iterations,
+            residual,
+            efficiency,
+        };
+        // Commit point 1: the ledger record (crash before/inside this
+        // write re-runs the tick from the previous snapshot).
+        let alloc_hex = hex_list(&alloc);
+        let fields: Vec<(&str, String)> = vec![
+            ("players", n.to_string()),
+            ("admitted", admitted.to_string()),
+            ("converged", u8::from(converged).to_string()),
+            ("fallback", u8::from(fallback).to_string()),
+            ("iterations", iterations.to_string()),
+            (
+                "ids_fnv",
+                format!("{:016x}", fnv1a(ids.join(";").as_bytes())),
+            ),
+            ("budgets", hex_list(&budgets)),
+            ("prices", hex_list(&prices)),
+            ("alloc_fnv", format!("{:016x}", fnv1a(alloc_hex.as_bytes()))),
+            ("eff", f64_hex(efficiency)),
+        ];
+        self.ledger.append_section(self.tick as usize, &fields);
+        self.ledger_file
+            .write_all(&self.ledger.text().as_bytes()[self.written..])?;
+        self.ledger_file.flush()?;
+        self.written = self.ledger.text().len();
+        self.tick += 1;
+        if self.config.commit_delay_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(
+                self.config.commit_delay_ms,
+            ));
+        }
+        // Commit point 2: the snapshot (crash between the two replays
+        // this tick deterministically and reproduces the record bytes).
+        self.write_snapshot()?;
+        Ok(report)
+    }
+
+    /// Solves the current market warm-started from the stored bids.
+    /// Returns `((prices, alloc, utilities), (converged, iterations,
+    /// residual))` where `alloc` is row-major over each player's
+    /// interest set.
+    #[allow(clippy::type_complexity)]
+    fn solve(&mut self) -> ServerResult<((Vec<f64>, Vec<f64>, Vec<f64>), (bool, u64, f64))> {
+        let m = self.config.capacities.len();
+        let rows: Vec<Vec<(usize, f64)>> = self
+            .players
+            .values()
+            .map(|p| p.interests.iter().map(|&(c, w)| (c as usize, w)).collect())
+            .collect();
+        let interests = SparseBids::from_rows(m, rows)?;
+        let budgets: Vec<f64> = self.players.values().map(|p| p.budget).collect();
+        let market = SparseMarket::new(
+            self.config.capacities.clone(),
+            budgets.clone(),
+            interests,
+            SparseUtilityKind::Linear,
+        )?;
+        if self.config.solver == SolverKind::Jacobi {
+            return self.solve_dense(&market, &budgets);
+        }
+        // Warm seed over the CSR values: stored bids where the player
+        // has a converged prior solve, equal split (== the cold start)
+        // elsewhere. Per-row usability is the solver's problem.
+        let mut warm = Vec::with_capacity(market.nnz());
+        for rec in self.players.values() {
+            match &rec.bids {
+                Some(bids) if bids.len() == rec.interests.len() => warm.extend_from_slice(bids),
+                _ => {
+                    let k = rec.interests.len() as f64;
+                    warm.extend(rec.interests.iter().map(|_| rec.budget / k));
+                }
+            }
+        }
+        let options = self
+            .config
+            .options
+            .clone()
+            .with_warm_start(WarmStart { bids: warm }.shared());
+        let (out, retry) = solve_sparse_with_retry(&market, &options, &self.config.retry)?;
+        if retry.converged {
+            for (rec, i) in self.players.values_mut().zip(0..) {
+                rec.bids = Some(out.bids.row_vals(i).to_vec());
+            }
+        }
+        let alloc: Vec<f64> = (0..out.bids.players())
+            .flat_map(|i| out.allocation_of(i).into_iter().map(|(_, x)| x))
+            .collect();
+        Ok((
+            (out.prices.clone(), alloc, out.utilities.clone()),
+            (retry.converged, out.iterations, out.report.residual),
+        ))
+    }
+
+    /// The dense (Jacobi) arm: densifies the player table and solves
+    /// with a dense warm start assembled from the stored bids.
+    #[allow(clippy::type_complexity)]
+    fn solve_dense(
+        &mut self,
+        market: &SparseMarket,
+        budgets: &[f64],
+    ) -> ServerResult<((Vec<f64>, Vec<f64>, Vec<f64>), (bool, u64, f64))> {
+        let m = self.config.capacities.len();
+        let n = self.players.len();
+        let dense = market.to_market()?;
+        let mut options = self.config.options.clone();
+        if self.players.values().any(|p| p.bids.is_some()) {
+            let mut warm = vec![0.0; n * m];
+            for (i, rec) in self.players.values().enumerate() {
+                match &rec.bids {
+                    Some(bids) if bids.len() == rec.interests.len() => {
+                        for (&(c, _), &b) in rec.interests.iter().zip(bids) {
+                            warm[i * m + c as usize] = b;
+                        }
+                    }
+                    _ => {
+                        // Cold row: equal split, the dense solver's own
+                        // starting point.
+                        for v in &mut warm[i * m..(i + 1) * m] {
+                            *v = rec.budget / m as f64;
+                        }
+                    }
+                }
+            }
+            options = options.with_warm_start(WarmStart { bids: warm }.shared());
+        }
+        let (out, retry) = solve_with_retry(&dense, budgets, &options, &self.config.retry)?;
+        if retry.converged {
+            let bids = out.bids.as_slice();
+            for (i, rec) in self.players.values_mut().enumerate() {
+                rec.bids = Some(
+                    rec.interests
+                        .iter()
+                        .map(|&(c, _)| bids[i * m + c as usize])
+                        .collect(),
+                );
+            }
+        }
+        // Project the dense allocation onto each player's interest set
+        // so the ledger's allocation layout matches the sparse arm.
+        let alloc: Vec<f64> = self
+            .players
+            .values()
+            .enumerate()
+            .flat_map(|(i, rec)| {
+                rec.interests
+                    .iter()
+                    .map(|&(c, _)| out.allocation.get(i, c as usize))
+                    .collect::<Vec<f64>>()
+            })
+            .collect();
+        Ok((
+            (out.prices.clone(), alloc, out.utilities.clone()),
+            (retry.converged, out.iterations, out.report.residual),
+        ))
+    }
+
+    /// The `EqualShare` fallback allocation: every resource is split
+    /// evenly among the players interested in it. Returns the row-major
+    /// interest-set allocation and per-player linear utilities.
+    fn equal_share(&self) -> (Vec<f64>, Vec<f64>) {
+        let m = self.config.capacities.len();
+        let mut interested = vec![0usize; m];
+        for rec in self.players.values() {
+            for &(c, _) in &rec.interests {
+                interested[c as usize] += 1;
+            }
+        }
+        let mut alloc = Vec::new();
+        let mut utilities = Vec::with_capacity(self.players.len());
+        for rec in self.players.values() {
+            let mut u = 0.0;
+            for &(c, w) in &rec.interests {
+                let share = self.config.capacities[c as usize] / interested[c as usize] as f64;
+                alloc.push(share);
+                u += w * share;
+            }
+            utilities.push(u);
+        }
+        (alloc, utilities)
+    }
+
+    /// Seals the ledger and flushes it; called on graceful shutdown.
+    /// The snapshot generations are removed afterwards: a sealed ledger
+    /// is final, and a later `open` of the same directory will refuse
+    /// the collision rather than resume it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Io`] for write failures.
+    pub fn seal(&mut self) -> ServerResult<usize> {
+        self.ledger.seal();
+        self.ledger_file
+            .write_all(&self.ledger.text().as_bytes()[self.written..])?;
+        self.ledger_file.flush()?;
+        self.ledger_file.sync_all()?;
+        self.written = self.ledger.text().len();
+        let _ = std::fs::remove_file(&self.snapshot_path);
+        let _ = std::fs::remove_file(prev_path(&self.snapshot_path));
+        Ok(self.ledger.records())
+    }
+
+    fn write_snapshot(&self) -> ServerResult<()> {
+        write_atomic(&self.snapshot_path, &self.encode_snapshot()).map_err(|e| {
+            ServerError::Snapshot {
+                reason: e.to_string(),
+            }
+        })
+    }
+
+    fn encode_snapshot(&self) -> String {
+        let mut text = String::new();
+        text.push_str(SNAPSHOT_HEADER);
+        text.push('\n');
+        text.push_str("[config]\n");
+        text.push_str(&format!("resources={}\n", self.config.capacities.len()));
+        text.push_str(&format!("solver={}\n", self.config.solver.label()));
+        text.push_str("[state]\n");
+        text.push_str(&format!("tick={}\n", self.tick));
+        text.push_str(&format!("degraded={}\n", u8::from(self.degraded)));
+        text.push_str(&format!("failures={}\n", self.consecutive_failures));
+        text.push_str(&format!("players={}\n", self.players.len()));
+        for (k, (id, rec)) in self.players.iter().enumerate() {
+            text.push_str(&format!("[player {k}]\n"));
+            text.push_str(&format!("id={id}\n"));
+            text.push_str(&format!("budget={}\n", f64_hex(rec.budget)));
+            let interests: Vec<String> = rec
+                .interests
+                .iter()
+                .map(|&(c, w)| format!("{c}:{}", f64_hex(w)))
+                .collect();
+            text.push_str(&format!("interests={}\n", interests.join(" ")));
+            if let Some(bids) = &rec.bids {
+                text.push_str(&format!("bids={}\n", hex_list(bids)));
+            }
+        }
+        text.push_str("[seal]\n");
+        let sum = fnv1a(text.as_bytes());
+        text.push_str(&format!("fnv1a={sum:016x}\n"));
+        text
+    }
+}
+
+#[derive(Debug)]
+struct Decoded {
+    tick: u64,
+    degraded: bool,
+    failures: usize,
+    players: BTreeMap<String, PlayerRec>,
+}
+
+fn decode_snapshot(text: &str, config: &ServerConfig) -> Result<Decoded, String> {
+    // Checksum first: everything before the fnv1a line must hash to it.
+    let seal_at = text
+        .rfind("fnv1a=")
+        .ok_or_else(|| "snapshot has no seal".to_string())?;
+    let want = text[seal_at..]
+        .trim_end()
+        .strip_prefix("fnv1a=")
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or_else(|| "malformed seal hash".to_string())?;
+    let got = fnv1a(&text.as_bytes()[..seal_at]);
+    if got != want {
+        return Err(format!(
+            "snapshot checksum mismatch ({got:016x} != {want:016x})"
+        ));
+    }
+    let mut lines = text.lines();
+    if lines.next() != Some(SNAPSHOT_HEADER) {
+        return Err(format!(
+            "bad snapshot header (expected '{SNAPSHOT_HEADER}')"
+        ));
+    }
+    let mut kv: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut players = BTreeMap::new();
+    let mut current: Option<(Option<String>, PlayerRec)> = None;
+    let flush = |current: &mut Option<(Option<String>, PlayerRec)>,
+                 players: &mut BTreeMap<String, PlayerRec>| {
+        if let Some((id, rec)) = current.take() {
+            let id = id.ok_or_else(|| "player section missing id".to_string())?;
+            if players.insert(id.clone(), rec).is_some() {
+                return Err(format!("duplicate player '{id}' in snapshot"));
+            }
+        }
+        Ok(())
+    };
+    for line in lines {
+        if line.starts_with("[player ") {
+            flush(&mut current, &mut players)?;
+            current = Some((
+                None,
+                PlayerRec {
+                    budget: 0.0,
+                    interests: Vec::new(),
+                    bids: None,
+                },
+            ));
+            continue;
+        }
+        if line == "[seal]" {
+            flush(&mut current, &mut players)?;
+            continue;
+        }
+        if line.starts_with('[') {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("malformed snapshot line '{line}'"));
+        };
+        if let Some((id_slot, rec)) = &mut current {
+            match key {
+                "id" => *id_slot = Some(value.to_string()),
+                "budget" => {
+                    rec.budget = parse_hex_f64(value)
+                        .ok_or_else(|| format!("malformed budget '{value}'"))?;
+                }
+                "interests" => {
+                    for item in value.split(' ').filter(|s| !s.is_empty()) {
+                        let (c, w) = item
+                            .split_once(':')
+                            .ok_or_else(|| format!("malformed interest '{item}'"))?;
+                        let c: u32 = c
+                            .parse()
+                            .map_err(|_| format!("malformed interest column '{item}'"))?;
+                        let w = parse_hex_f64(w)
+                            .ok_or_else(|| format!("malformed interest weight '{item}'"))?;
+                        rec.interests.push((c, w));
+                    }
+                }
+                "bids" => {
+                    let bids: Option<Vec<f64>> = value
+                        .split(' ')
+                        .filter(|s| !s.is_empty())
+                        .map(parse_hex_f64)
+                        .collect();
+                    rec.bids = Some(bids.ok_or_else(|| format!("malformed bids '{value}'"))?);
+                }
+                other => return Err(format!("unknown player field '{other}'")),
+            }
+        } else {
+            kv.insert(key, value);
+        }
+    }
+    flush(&mut current, &mut players)?;
+    let field = |key: &str| {
+        kv.get(key)
+            .copied()
+            .ok_or_else(|| format!("snapshot missing '{key}'"))
+    };
+    let resources: usize = field("resources")?
+        .parse()
+        .map_err(|_| "malformed resources".to_string())?;
+    if resources != config.capacities.len() {
+        return Err(format!(
+            "snapshot is for {resources} resources, server configured with {}",
+            config.capacities.len()
+        ));
+    }
+    let solver = field("solver")?;
+    if solver != config.solver.label() {
+        return Err(format!(
+            "snapshot is for solver '{solver}', server configured with '{}'",
+            config.solver.label()
+        ));
+    }
+    let tick: u64 = field("tick")?
+        .parse()
+        .map_err(|_| "malformed tick".to_string())?;
+    let degraded = field("degraded")? == "1";
+    let failures: usize = field("failures")?
+        .parse()
+        .map_err(|_| "malformed failures".to_string())?;
+    let declared: usize = field("players")?
+        .parse()
+        .map_err(|_| "malformed player count".to_string())?;
+    if declared != players.len() {
+        return Err(format!(
+            "snapshot declares {declared} players, holds {}",
+            players.len()
+        ));
+    }
+    for (id, rec) in &players {
+        if let Some(bids) = &rec.bids {
+            if bids.len() != rec.interests.len() {
+                return Err(format!("player '{id}' bids/interests length mismatch"));
+            }
+        }
+    }
+    Ok(Decoded {
+        tick,
+        degraded,
+        failures,
+        players,
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadSpec;
+    use rebudget_market::equilibrium::EquilibriumOptions;
+
+    fn config(solver: SolverKind) -> ServerConfig {
+        ServerConfig {
+            capacities: vec![8.0; 6],
+            solver,
+            options: EquilibriumOptions::large_scale(),
+            retry: RetryPolicy::default(),
+            fallback_after: 2,
+            seed: 11,
+            commit_delay_ms: 0,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rebudget-state-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::small(11, 6)
+    }
+
+    /// Applies tick `tick`'s workload commands, then commits the tick.
+    fn drive(core: &mut ServerCore, tick: u64) -> TickReport {
+        let commands = spec().commands_for_tick(tick);
+        for cmd in &commands {
+            core.apply(cmd).unwrap();
+        }
+        core.tick(commands.len()).unwrap()
+    }
+
+    /// An uninterrupted `0..ticks` run, sealed; returns the ledger bytes.
+    fn reference_ledger(solver: SolverKind, tag: &str, ticks: u64) -> String {
+        let dir = temp_dir(tag);
+        let mut core = ServerCore::open(config(solver), &dir).unwrap();
+        for t in 0..ticks {
+            drive(&mut core, t);
+        }
+        core.seal().unwrap();
+        std::fs::read_to_string(dir.join("server.ledger")).unwrap()
+    }
+
+    #[test]
+    fn resume_between_ticks_is_byte_identical() {
+        for (solver, tag) in [
+            (SolverKind::ProportionalResponse, "resume-pr"),
+            (SolverKind::MirrorDescent, "resume-md"),
+            (SolverKind::Jacobi, "resume-jacobi"),
+        ] {
+            let reference = reference_ledger(solver, &format!("{tag}-ref"), 8);
+            let dir = temp_dir(tag);
+            let mut core = ServerCore::open(config(solver), &dir).unwrap();
+            for t in 0..5 {
+                drive(&mut core, t);
+            }
+            let live_players = core.players();
+            // Simulated crash between ticks: drop without sealing.
+            drop(core);
+            let mut core = ServerCore::open(config(solver), &dir).unwrap();
+            assert_eq!(core.tick_index(), 5, "{tag}");
+            assert_eq!(core.players(), live_players, "{tag}");
+            assert!(!core.recovered_from_prev(), "{tag}");
+            for t in 5..8 {
+                drive(&mut core, t);
+            }
+            core.seal().unwrap();
+            let resumed = std::fs::read_to_string(dir.join("server.ledger")).unwrap();
+            assert_eq!(
+                resumed, reference,
+                "{tag}: resumed ledger must be byte-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn torn_ledger_tail_is_cut_and_rerun() {
+        let reference = reference_ledger(SolverKind::ProportionalResponse, "torn-ref", 8);
+        let dir = temp_dir("torn");
+        let mut core = ServerCore::open(config(SolverKind::ProportionalResponse), &dir).unwrap();
+        for t in 0..5 {
+            drive(&mut core, t);
+        }
+        drop(core);
+        // Simulated crash mid-append: a torn, chain-less record tail.
+        let ledger_path = dir.join("server.ledger");
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&ledger_path)
+            .unwrap();
+        file.write_all(b"[quantum 5]\nplayers=999\nadmitt").unwrap();
+        drop(file);
+        let mut core = ServerCore::open(config(SolverKind::ProportionalResponse), &dir).unwrap();
+        assert_eq!(core.tick_index(), 5);
+        for t in 5..8 {
+            drive(&mut core, t);
+        }
+        core.seal().unwrap();
+        let resumed = std::fs::read_to_string(&ledger_path).unwrap();
+        assert_eq!(
+            resumed, reference,
+            "torn tail must be cut and re-run identically"
+        );
+    }
+
+    #[test]
+    fn stale_snapshot_rerun_reproduces_record_bytes() {
+        let reference = reference_ledger(SolverKind::ProportionalResponse, "stale-ref", 8);
+        let dir = temp_dir("stale");
+        let mut core = ServerCore::open(config(SolverKind::ProportionalResponse), &dir).unwrap();
+        for t in 0..5 {
+            drive(&mut core, t);
+        }
+        // Save the tick-5 snapshot, then commit tick 5 so the ledger
+        // runs one record ahead of the restored snapshot.
+        let snapshot_path = dir.join("server.snapshot");
+        let stale = std::fs::read_to_string(&snapshot_path).unwrap();
+        drive(&mut core, 5);
+        drop(core);
+        std::fs::write(&snapshot_path, &stale).unwrap();
+        // Recovery must truncate the ledger back to 5 records and the
+        // re-run of tick 5 must reproduce the dropped record exactly.
+        let mut core = ServerCore::open(config(SolverKind::ProportionalResponse), &dir).unwrap();
+        assert_eq!(core.tick_index(), 5);
+        for t in 5..8 {
+            drive(&mut core, t);
+        }
+        core.seal().unwrap();
+        let resumed = std::fs::read_to_string(dir.join("server.ledger")).unwrap();
+        assert_eq!(
+            resumed, reference,
+            "re-run of the un-snapshotted tick must reproduce its record bytes"
+        );
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_prev_generation() {
+        let reference = reference_ledger(SolverKind::ProportionalResponse, "prev-ref", 8);
+        let dir = temp_dir("prev");
+        let mut core = ServerCore::open(config(SolverKind::ProportionalResponse), &dir).unwrap();
+        for t in 0..5 {
+            drive(&mut core, t);
+        }
+        drop(core);
+        // Simulated crash mid-snapshot-write: the live generation is
+        // garbage, the rotated .prev (tick 4) must carry recovery.
+        let snapshot_path = dir.join("server.snapshot");
+        std::fs::write(&snapshot_path, "rebudget-server-snapshot v1\ngarbage\n").unwrap();
+        let mut core = ServerCore::open(config(SolverKind::ProportionalResponse), &dir).unwrap();
+        assert!(core.recovered_from_prev());
+        assert_eq!(core.tick_index(), 4);
+        for t in 4..8 {
+            drive(&mut core, t);
+        }
+        core.seal().unwrap();
+        let resumed = std::fs::read_to_string(dir.join("server.ledger")).unwrap();
+        assert_eq!(
+            resumed, reference,
+            ".prev recovery must stay byte-identical"
+        );
+    }
+
+    #[test]
+    fn sealed_directory_refuses_reopen() {
+        let dir = temp_dir("sealed");
+        let mut core = ServerCore::open(config(SolverKind::ProportionalResponse), &dir).unwrap();
+        drive(&mut core, 0);
+        core.seal().unwrap();
+        drop(core);
+        let err = ServerCore::open(config(SolverKind::ProportionalResponse), &dir).unwrap_err();
+        assert!(
+            matches!(err, ServerError::Ledger(_)),
+            "sealed ledger must collide, got: {err}"
+        );
+    }
+
+    #[test]
+    fn snapshot_codec_round_trips_and_checksums() {
+        let dir = temp_dir("codec");
+        let cfg = config(SolverKind::ProportionalResponse);
+        let mut core = ServerCore::open(cfg.clone(), &dir).unwrap();
+        drive(&mut core, 0);
+        drive(&mut core, 1);
+        let text = std::fs::read_to_string(dir.join("server.snapshot")).unwrap();
+        let snap = decode_snapshot(&text, &cfg).unwrap();
+        assert_eq!(snap.tick, 2);
+        assert_eq!(snap.players, core.players);
+        assert!(!snap.degraded);
+        // Any flipped byte fails the checksum.
+        let tampered = text.replacen("budget=", "budget=f", 1);
+        let err = decode_snapshot(&tampered, &cfg).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+        // A snapshot for a different market shape is refused.
+        let mut other = cfg.clone();
+        other.capacities.push(8.0);
+        let err = decode_snapshot(&text, &other).unwrap_err();
+        assert!(err.contains("resources"), "{err}");
+    }
+
+    #[test]
+    fn apply_rejections_are_typed() {
+        use crate::proto::Request;
+        let dir = temp_dir("apply");
+        let mut core = ServerCore::open(config(SolverKind::ProportionalResponse), &dir).unwrap();
+        let arrive = Request::Arrive {
+            id: "a".into(),
+            budget: 10.0,
+            interests: vec![(0, 1.0)],
+        };
+        core.apply(&arrive).unwrap();
+        assert_eq!(
+            core.apply(&arrive).unwrap_err(),
+            ApplyError::Duplicate("a".into())
+        );
+        assert_eq!(
+            core.apply(&Request::Depart { id: "zz".into() })
+                .unwrap_err(),
+            ApplyError::Unknown("zz".into())
+        );
+        assert_eq!(
+            core.apply(&Request::Update {
+                id: "zz".into(),
+                interests: vec![(0, 1.0)],
+            })
+            .unwrap_err(),
+            ApplyError::Unknown("zz".into())
+        );
+        assert_eq!(
+            core.apply(&Request::Arrive {
+                id: "b".into(),
+                budget: 10.0,
+                interests: vec![(99, 1.0)],
+            })
+            .unwrap_err(),
+            ApplyError::ResourceRange(99)
+        );
+        // Rejected commands leave the table unchanged.
+        assert_eq!(core.players(), 1);
+    }
+
+    #[test]
+    fn degrades_to_equal_share_after_k_failures() {
+        use crate::proto::Request;
+        let dir = temp_dir("degrade");
+        // An impossible tolerance with no retry budget: every solve
+        // fails, flipping to EqualShare after fallback_after = 2.
+        let mut cfg = config(SolverKind::ProportionalResponse);
+        cfg.options.max_iterations = 1;
+        cfg.options.price_tolerance = 0.0;
+        cfg.retry = RetryPolicy {
+            max_attempts: 1,
+            tighten: 1.0,
+            relax: 1.0,
+            backoff: 1.0,
+        };
+        let mut core = ServerCore::open(cfg.clone(), &dir).unwrap();
+        core.apply(&Request::Arrive {
+            id: "a".into(),
+            budget: 10.0,
+            interests: vec![(0, 1.0)],
+        })
+        .unwrap();
+        core.apply(&Request::Arrive {
+            id: "b".into(),
+            budget: 30.0,
+            interests: vec![(0, 1.0), (1, 2.0)],
+        })
+        .unwrap();
+        let r = core.tick(2).unwrap();
+        assert!(!r.converged && !r.fallback, "first failure only counts");
+        let r = core.tick(0).unwrap();
+        assert!(!r.converged && r.fallback, "second failure degrades");
+        assert!(core.degraded());
+        // EqualShare: resource 0 split between both, resource 1 whole.
+        let (alloc, utilities) = core.equal_share();
+        assert_eq!(alloc, vec![4.0, 4.0, 8.0]);
+        assert_eq!(utilities, vec![4.0, 4.0 + 16.0]);
+        // Degradation survives a crash/recovery cycle.
+        drop(core);
+        let core = ServerCore::open(cfg, &dir).unwrap();
+        assert!(core.degraded());
+    }
+
+    #[test]
+    fn empty_market_ticks_commit() {
+        let dir = temp_dir("empty");
+        let mut core = ServerCore::open(config(SolverKind::ProportionalResponse), &dir).unwrap();
+        let r = core.tick(0).unwrap();
+        assert!(r.converged && !r.fallback);
+        assert_eq!(r.players, 0);
+        assert_eq!(core.records(), 1);
+        drop(core);
+        let core = ServerCore::open(config(SolverKind::ProportionalResponse), &dir).unwrap();
+        assert_eq!(core.tick_index(), 1);
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_setups() {
+        let mut cfg = config(SolverKind::ProportionalResponse);
+        cfg.capacities.clear();
+        assert!(matches!(cfg.validate(), Err(ServerError::Config { .. })));
+        let mut cfg = config(SolverKind::ProportionalResponse);
+        cfg.capacities[0] = -1.0;
+        assert!(matches!(cfg.validate(), Err(ServerError::Config { .. })));
+        let mut cfg = config(SolverKind::ProportionalResponse);
+        cfg.fallback_after = 0;
+        assert!(matches!(cfg.validate(), Err(ServerError::Config { .. })));
+    }
+}

@@ -373,7 +373,11 @@ fn tmp_path(path: &Path) -> PathBuf {
 /// writeback stall (~100 µs per save), an order of magnitude more than
 /// unlink + rename onto a free name. A crash in the gap still leaves the
 /// sealed live snapshot at `path`, so no recovery point is ever lost.
-fn write_atomic(path: &Path, contents: &str) -> Result<()> {
+///
+/// Public because every durable writer in the workspace (sim checkpoints,
+/// sweep checkpoints, the online server's tick snapshots) shares this one
+/// crash-atomic primitive and its `.prev` rotation contract.
+pub fn write_atomic(path: &Path, contents: &str) -> Result<()> {
     let tmp = tmp_path(path);
     fs::write(&tmp, contents).map_err(|e| io_err(&tmp, &e))?;
     if path.exists() {

@@ -352,6 +352,20 @@ pub const EVENTS: &[(&str, &[(&str, Kind)])] = &[
             ("to", Kind::Str),
         ],
     ),
+    (
+        "server_request",
+        &[("cmd", Kind::Str), ("outcome", Kind::Str)],
+    ),
+    (
+        "server_tick",
+        &[
+            ("tick", Kind::U64),
+            ("players", Kind::U64),
+            ("admitted", Kind::U64),
+            ("converged", Kind::Bool),
+            ("fallback", Kind::Bool),
+        ],
+    ),
 ];
 
 fn kind_matches(kind: Kind, value: &Json) -> bool {
@@ -514,6 +528,20 @@ mod tests {
         let skipped = good.replace("\"seq\":1", "\"seq\":2");
         let e = validate_stream(&skipped).unwrap_err();
         assert!(e.0.contains("out of order"), "{e}");
+    }
+
+    #[test]
+    fn server_events_validate() {
+        let req = r#"{"seq":0,"event":"server_request","cmd":"arrive","outcome":"accepted"}"#;
+        assert_eq!(validate_line(req).unwrap(), 0);
+        let tick = concat!(
+            r#"{"seq":1,"event":"server_tick","tick":3,"players":100,"#,
+            r#""admitted":2,"converged":true,"fallback":false}"#,
+        );
+        assert_eq!(validate_line(tick).unwrap(), 1);
+        let bad = r#"{"seq":0,"event":"server_tick","tick":3,"players":100,"admitted":2}"#;
+        let e = validate_line(bad).unwrap_err();
+        assert!(e.0.contains("missing field \"converged\""), "{e}");
     }
 
     #[test]
